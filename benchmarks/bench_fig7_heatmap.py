@@ -1,0 +1,26 @@
+"""Figure 7 — world heat map of TLS-proxy prevalence by country."""
+
+from conftest import emit
+
+from repro.analysis import heatmap_series
+from repro.reporting import render_heatmap
+
+
+def test_fig7_heatmap(benchmark, study2, output_dir):
+    series = benchmark(lambda: heatmap_series(study2.database))
+
+    text = render_heatmap(series, columns=5)
+    lines = [
+        "Figure 7 reproduction: per-country proxy rate on the paper's",
+        "0-12% palette (the paper paints these values onto a world map).",
+        "",
+        text,
+    ]
+    emit(output_dir, "fig7_heatmap", "\n".join(lines))
+
+    # Shape: broad coverage, China cold, western countries warm.
+    assert len(series) > 40  # paper: 228 countries/territories at full scale
+    assert series.get("CN", 1.0) < 0.001
+    assert series.get("US", 0.0) > 0.004
+    # Everything within the paper's 0-12% scale.
+    assert all(0.0 <= rate <= 0.12 for rate in series.values())

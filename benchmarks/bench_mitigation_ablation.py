@@ -1,0 +1,47 @@
+"""A1 — §7 mitigation ablation: which defences catch which proxies."""
+
+from conftest import emit
+
+from repro.mitigation import evaluate_mitigations
+
+
+def test_mitigation_ablation(benchmark, output_dir):
+    evaluation = benchmark(lambda: evaluate_mitigations(seed=42))
+
+    header = (
+        f"{'scenario':<18} {'intercepted':<11} {'pinning':<20} "
+        f"{'pin-strict':<11} {'notary':<15} {'dvcert':<14} {'ct':<10} disclosure"
+    )
+    lines = [header, "-" * len(header)]
+    for outcome in evaluation.outcomes:
+        lines.append(
+            f"{outcome.scenario:<18} {str(outcome.intercepted):<11} "
+            f"{outcome.pinning:<20} {outcome.pinning_strict:<11} "
+            f"{outcome.notary:<15} {outcome.dvcert:<14} "
+            f"{outcome.ct_monitor:<10} {outcome.disclosure}"
+        )
+    lines.extend(
+        [
+            "",
+            "§7's implicit predictions, verified:",
+            "  - Chrome-style pinning trusts locally installed roots, so every",
+            "    root-injecting proxy (benign or malware) bypasses it;",
+            "  - multi-path notaries and DVCert detect all MitM variants;",
+            "  - Certificate Transparency flags the rogue *public* CA but is",
+            "    blind to local-root proxies (their certs never reach a log);",
+            "  - only a cooperating explicit proxy ever disclosed itself.",
+        ]
+    )
+    emit(output_dir, "mitigation_ablation", "\n".join(lines))
+
+    for scenario in ("benign-av", "malware", "chained-attack"):
+        assert evaluation.by_scenario(scenario).pinning == "bypassed-local-root"
+        assert evaluation.by_scenario(scenario).ct_monitor == "invisible"
+    assert evaluation.by_scenario("rogue-ca").pinning == "violation"
+    assert evaluation.by_scenario("rogue-ca").ct_monitor == "flagged"
+    for scenario in ("benign-av", "malware", "rogue-ca", "chained-attack"):
+        outcome = evaluation.by_scenario(scenario)
+        assert outcome.notary == "mitm-suspected"
+        assert outcome.dvcert == "mitm-detected"
+    assert evaluation.by_scenario("clean").dvcert == "ok"
+    assert evaluation.by_scenario("clean").ct_monitor == "clean"

@@ -1,0 +1,48 @@
+"""Pipeline micro-benchmarks: wire-mode sessions and fast-mode studies.
+
+Not a paper artifact — these quantify the measurement machinery itself
+(handshakes per second through the full client→proxy→origin→report
+path, and end-to-end fast-mode study throughput), which is what bounds
+how far above the default scale the other benches can be pushed.
+"""
+
+from conftest import emit
+
+from repro.study import StudyConfig, StudyRunner
+
+
+def test_wire_session_throughput(benchmark, output_dir):
+    """Full wire-mode study slice: policy + TLS + MitM + HTTP report."""
+
+    def run_wire():
+        config = StudyConfig(study=1, seed=7, scale=0.0002, mode="wire")
+        return StudyRunner(config).run()
+
+    result = benchmark.pedantic(run_wire, rounds=3, iterations=1)
+    measurements = result.database.total_measurements
+    emit(
+        output_dir,
+        "pipeline_wire",
+        f"wire mode: {measurements} measurements per run; every one crosses\n"
+        "policy fetch, partial TLS handshake (MitM where installed) and an\n"
+        "HTTP PEM report on simulated sockets.",
+    )
+    assert measurements > 200
+    assert result.database.failures.report_failed == 0
+
+
+def test_fast_study_throughput(benchmark, output_dir):
+    """Fast-mode end-to-end study at 0.5% scale (~14k measurements)."""
+
+    def run_fast():
+        config = StudyConfig(study=1, seed=7, scale=0.005, mode="fast")
+        return StudyRunner(config).run()
+
+    result = benchmark.pedantic(run_fast, rounds=3, iterations=1)
+    emit(
+        output_dir,
+        "pipeline_fast",
+        f"fast mode: {result.database.total_measurements:,} measurements, "
+        f"{result.database.mismatch_count} forged certificates per run.",
+    )
+    assert result.database.total_measurements > 10_000

@@ -1,0 +1,42 @@
+"""Table 2 — second-study AdWords campaign statistics."""
+
+import random
+
+from conftest import emit
+
+from repro.adwords import run_study2_campaigns
+from repro.data.countries import STUDY2_CAMPAIGNS
+
+
+def test_table2_campaign_stats(benchmark, output_dir):
+    outcomes = benchmark(lambda: run_study2_campaigns(random.Random(42)))
+
+    by_name = {o.name: o for o in outcomes}
+    lines = [
+        f"{'Campaign':<10} {'Impressions':>12} {'Clicks':>8} {'Cost':>11}"
+        f"   |   {'paper impr.':>12} {'clicks':>7} {'cost':>10}"
+    ]
+    total = [0, 0, 0.0]
+    paper_total = [0, 0, 0.0]
+    for calibration in STUDY2_CAMPAIGNS:
+        outcome = by_name[calibration.name]
+        lines.append(
+            f"{outcome.name:<10} {outcome.impressions:>12,} {outcome.clicks:>8,}"
+            f" ${outcome.cost_usd:>9,.2f}   |   {calibration.impressions:>12,}"
+            f" {calibration.clicks:>7,} ${calibration.cost_usd:>9,.2f}"
+        )
+        total[0] += outcome.impressions
+        total[1] += outcome.clicks
+        total[2] += outcome.cost_usd
+        paper_total[0] += calibration.impressions
+        paper_total[1] += calibration.clicks
+        paper_total[2] += calibration.cost_usd
+    lines.append(
+        f"{'Total':<10} {total[0]:>12,} {total[1]:>8,} ${total[2]:>9,.2f}"
+        f"   |   {paper_total[0]:>12,} {paper_total[1]:>7,} ${paper_total[2]:>9,.2f}"
+    )
+    emit(output_dir, "table2_campaign_stats", "\n".join(lines))
+
+    # Shape: totals within 15% of the paper's.
+    assert abs(total[0] - paper_total[0]) / paper_total[0] < 0.15
+    assert abs(total[2] - paper_total[2]) / paper_total[2] < 0.15

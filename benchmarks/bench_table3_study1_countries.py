@@ -1,0 +1,36 @@
+"""Table 3 — proxied connections by country, first study."""
+
+from conftest import emit
+
+from repro.analysis import country_breakdown
+from repro.data.countries import STUDY1_COUNTRIES, STUDY1_TOTAL
+from repro.reporting import render_country_table
+
+
+def test_table3_study1_countries(benchmark, study1, scale, output_dir):
+    breakdown = benchmark(lambda: country_breakdown(study1.database, top_n=20))
+
+    lines = [
+        f"measured at scale {scale} (multiply paper numbers by {scale} to compare)",
+        "",
+        render_country_table(breakdown),
+        "",
+        "paper (Table 3) top five:",
+    ]
+    for row in STUDY1_COUNTRIES[:5]:
+        lines.append(
+            f"  {row.code:<3} proxied {row.proxied:>6,}  total {row.total:>9,}"
+            f"  ({100 * row.rate:.2f}%)"
+        )
+    lines.append(
+        f"  paper total: {STUDY1_TOTAL.proxied:,} / {STUDY1_TOTAL.total:,} "
+        f"({100 * STUDY1_TOTAL.rate:.2f}%)"
+    )
+    measured_rate = breakdown.total.percent
+    lines.append(f"\nmeasured overall rate: {measured_rate:.2f}%  (paper: 0.41%)")
+    emit(output_dir, "table3_study1_countries", "\n".join(lines))
+
+    # Shape assertions: overall rate and the US/BR leadership.
+    assert 0.30 < measured_rate < 0.55
+    top5 = {row.country for row in breakdown.rows[:5]}
+    assert "US" in top5 and "BR" in top5

@@ -1,0 +1,42 @@
+"""Table 4 — Issuer Organization field values, first study."""
+
+from conftest import emit
+
+from repro.analysis import issuer_organization_table
+from repro.reporting import render_issuer_table
+
+PAPER_TABLE4_TOP10 = [
+    ("Bitdefender", 4788),
+    ("PSafe Tecnologia S.A.", 1200),
+    ("Sendori Inc", 966),
+    ("ESET spol. s r. o.", 927),
+    ("Null", 829),
+    ("Kaspersky Lab ZAO", 589),
+    ("Fortinet", 310),
+    ("Kurupira.NET", 267),
+    ("POSCO", 167),
+    ("Qustodio", 109),
+]
+
+
+def test_table4_issuer_orgs(benchmark, study1, scale, output_dir):
+    rows, other = benchmark(
+        lambda: issuer_organization_table(study1.database, top_n=20)
+    )
+
+    lines = [
+        f"measured at scale {scale}",
+        "",
+        render_issuer_table(rows, other),
+        "",
+        "paper (Table 4) top ten:",
+    ]
+    for name, count in PAPER_TABLE4_TOP10:
+        lines.append(f"  {name:<26} {count:>6,}  (scaled: {count * scale:,.0f})")
+    emit(output_dir, "table4_issuer_orgs", "\n".join(lines))
+
+    # Shape: Bitdefender first; the paper's top-five names all present.
+    assert rows[0].issuer_organization == "Bitdefender"
+    measured_names = {row.issuer_organization for row in rows}
+    for name, _ in PAPER_TABLE4_TOP10[:5]:
+        assert name in measured_names, f"{name} missing from measured top-20"

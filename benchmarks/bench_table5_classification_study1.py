@@ -1,0 +1,37 @@
+"""Table 5 — classification of claimed issuer, first study."""
+
+from conftest import emit
+
+from repro.analysis import classification_table
+from repro.proxy.profile import ProxyCategory
+from repro.reporting import render_classification_table
+
+PAPER_TABLE5 = {
+    ProxyCategory.BUSINESS_PERSONAL_FIREWALL: 68.86,
+    ProxyCategory.BUSINESS_FIREWALL: 0.59,
+    ProxyCategory.PERSONAL_FIREWALL: 0.09,
+    ProxyCategory.PARENTAL_CONTROL: 1.33,
+    ProxyCategory.ORGANIZATION: 12.66,
+    ProxyCategory.SCHOOL: 0.27,
+    ProxyCategory.MALWARE: 8.65,
+    ProxyCategory.UNKNOWN: 7.14,
+    ProxyCategory.TELECOM: 0.0,
+    ProxyCategory.CERTIFICATE_AUTHORITY: 0.42,
+}
+
+
+def test_table5_classification_study1(benchmark, study1, output_dir):
+    rows = benchmark(lambda: classification_table(study1.database))
+
+    lines = [render_classification_table(rows), "", "paper (Table 5):"]
+    for category, percent in PAPER_TABLE5.items():
+        lines.append(f"  {category.value:<28} {percent:>6.2f}%")
+    emit(output_dir, "table5_classification_study1", "\n".join(lines))
+
+    measured = {row.category: row.percent for row in rows}
+    # Shape: firewalls dominate near 69%, malware near 8.65%, and the
+    # ordering of the major categories holds.
+    assert abs(measured[ProxyCategory.BUSINESS_PERSONAL_FIREWALL] - 68.86) < 8.0
+    assert abs(measured[ProxyCategory.MALWARE] - 8.65) < 3.0
+    assert abs(measured[ProxyCategory.ORGANIZATION] - 12.66) < 5.0
+    assert measured[ProxyCategory.TELECOM] < 0.5

@@ -1,0 +1,42 @@
+"""Table 6 — classification of claimed issuer, second study."""
+
+from conftest import emit
+
+from repro.analysis import classification_table
+from repro.proxy.profile import ProxyCategory
+from repro.reporting import render_classification_table
+
+PAPER_TABLE6 = {
+    ProxyCategory.BUSINESS_PERSONAL_FIREWALL: 70.93,
+    ProxyCategory.BUSINESS_FIREWALL: 2.43,
+    ProxyCategory.PERSONAL_FIREWALL: 1.06,
+    ProxyCategory.PARENTAL_CONTROL: 0.84,
+    ProxyCategory.ORGANIZATION: 6.96,
+    ProxyCategory.SCHOOL: 0.95,
+    ProxyCategory.MALWARE: 5.06,
+    ProxyCategory.UNKNOWN: 10.75,
+    ProxyCategory.TELECOM: 0.88,
+    ProxyCategory.CERTIFICATE_AUTHORITY: 0.13,
+}
+
+
+def test_table6_classification_study2(benchmark, study2, output_dir):
+    rows = benchmark(lambda: classification_table(study2.database))
+
+    lines = [render_classification_table(rows), "", "paper (Table 6):"]
+    for category, percent in PAPER_TABLE6.items():
+        lines.append(f"  {category.value:<28} {percent:>6.2f}%")
+    measured = {row.category: row.percent for row in rows}
+    shift = measured[ProxyCategory.UNKNOWN]
+    lines.append(
+        f"\nUnknown share: study 2 measured {shift:.2f}% "
+        "(paper: 10.75%, up from 7.14% in study 1 — the targeted-country shift)"
+    )
+    emit(output_dir, "table6_classification_study2", "\n".join(lines))
+
+    # Shape: firewalls ≈ 71%, Unknown clearly larger than study 1's
+    # 7.14%, Malware lower than study 1's 8.65%, Telecom now non-zero.
+    assert abs(measured[ProxyCategory.BUSINESS_PERSONAL_FIREWALL] - 70.93) < 8.0
+    assert measured[ProxyCategory.UNKNOWN] > 8.0
+    assert measured[ProxyCategory.MALWARE] < 8.0
+    assert measured[ProxyCategory.TELECOM] > 0.3

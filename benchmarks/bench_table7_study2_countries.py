@@ -1,0 +1,40 @@
+"""Table 7 — connections tested by country, second study."""
+
+from conftest import emit
+
+from repro.analysis import country_breakdown
+from repro.data.countries import STUDY2_COUNTRIES, STUDY2_TOTAL
+from repro.reporting import render_country_table
+
+
+def test_table7_study2_countries(benchmark, study2, scale, output_dir):
+    breakdown = benchmark(
+        lambda: country_breakdown(study2.database, top_n=20, order_by="total")
+    )
+
+    lines = [
+        f"measured at scale {scale}",
+        "",
+        render_country_table(breakdown),
+        "",
+        "paper (Table 7) top six (the five targeted countries + Turkey):",
+    ]
+    for row in STUDY2_COUNTRIES[:6]:
+        lines.append(
+            f"  {row.code:<3} proxied {row.proxied:>6,}  total {row.total:>10,}"
+            f"  ({100 * row.rate:.2f}%)"
+        )
+    lines.append(
+        f"  paper total: {STUDY2_TOTAL.proxied:,} / {STUDY2_TOTAL.total:,} "
+        f"({100 * STUDY2_TOTAL.rate:.2f}%)"
+    )
+    emit(output_dir, "table7_study2_countries", "\n".join(lines))
+
+    measured_by_code = {row.country: row for row in breakdown.rows}
+    # Shape: China leads volume with an exceptionally low rate; all
+    # five targeted countries in the top six; overall rate ≈ 0.41%.
+    assert breakdown.rows[0].country == "CN"
+    assert measured_by_code["CN"].percent < 0.10
+    top6 = {row.country for row in breakdown.rows[:6]}
+    assert {"CN", "UA", "RU", "EG", "PK"} <= top6
+    assert 0.30 < breakdown.total.percent < 0.55

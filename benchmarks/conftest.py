@@ -1,0 +1,61 @@
+"""Shared fixtures for the benchmark harness.
+
+Every bench regenerates one of the paper's tables or figures.  The two
+study runs are session-scoped (they feed most benches); the
+``benchmark`` fixture then times the analysis step that produces the
+artifact, and each bench writes its rendered table — side by side with
+the paper's published numbers — to ``benchmarks/output/``.
+
+Scale is controlled by ``REPRO_BENCH_SCALE`` (default 0.25 = 25% of
+the paper's measurement volume; 1.0 reproduces full paper scale).
+Small-count findings (the 21 IopFail certificates, the 49 DigiCert
+masquerades) only rise above sampling noise from ~0.2 upward.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+from repro.study import StudyConfig, StudyRunner
+
+BENCH_SEED = 42
+OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
+
+
+def bench_scale() -> float:
+    return float(os.environ.get("REPRO_BENCH_SCALE", "0.25"))
+
+
+@pytest.fixture(scope="session")
+def scale() -> float:
+    return bench_scale()
+
+
+@pytest.fixture(scope="session")
+def study1(scale):
+    """Study 1 (fast mode) at the bench scale."""
+    config = StudyConfig(study=1, seed=BENCH_SEED, scale=scale, mode="fast")
+    return StudyRunner(config).run()
+
+
+@pytest.fixture(scope="session")
+def study2(scale):
+    """Study 2 (fast mode) at the bench scale."""
+    config = StudyConfig(study=2, seed=BENCH_SEED, scale=scale, mode="fast")
+    return StudyRunner(config).run()
+
+
+@pytest.fixture(scope="session")
+def output_dir() -> pathlib.Path:
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    return OUTPUT_DIR
+
+
+def emit(output_dir: pathlib.Path, name: str, text: str) -> None:
+    """Write a regenerated artifact and echo it to the terminal."""
+    path = output_dir / f"{name}.txt"
+    path.write_text(text + "\n", encoding="utf-8")
+    print(f"\n{'=' * 72}\n{name}\n{'=' * 72}\n{text}")

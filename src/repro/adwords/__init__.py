@@ -1,0 +1,12 @@
+"""Google AdWords campaign simulation (§4).
+
+The ad platform is the study's *sampling mechanism*: budget and CPM
+determine how many clients run the tool, geo targeting determines
+where they are.  :class:`AdCampaign` models one campaign's economics
+(CPM auctions under a daily budget with pacing); the outcomes
+regenerate Table 2.
+"""
+
+from repro.adwords.campaign import AdCampaign, CampaignOutcome, DayOutcome, run_study2_campaigns
+
+__all__ = ["AdCampaign", "CampaignOutcome", "DayOutcome", "run_study2_campaigns"]

@@ -1,0 +1,135 @@
+"""Negligent-behaviour analysis (§5.2).
+
+Everything here reads only certificate observables: key sizes versus
+the original, signature hashes, issuer claims that cannot be true,
+subjects that do not cover the probed hostname, and public keys shared
+across unrelated connections.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+
+from repro.measure.database import ReportDatabase
+from repro.measure.records import MeasurementRecord
+from repro.study.webpki import ORIGINAL_KEY_BITS
+
+# Organizations that are real public certificate authorities; a
+# substitute certificate claiming one of these as issuer while failing
+# public-root validation is a falsified CA signature claim.
+PUBLIC_CA_ORGANIZATIONS = frozenset(
+    {"DigiCert Inc", "GeoTrust Inc.", "Cybertrust Inc", "Baltimore"}
+)
+
+
+@dataclass(frozen=True)
+class SharedKeyGroup:
+    """An issuer whose every substitute certificate carries one key.
+
+    The IopFailZeroAccessCreate signature (§5.1): "each certificate
+    contained the same 512-bit public key".  Detection keys on total
+    reuse within an issuer group, across many distinct client IPs.
+    """
+
+    issuer: str
+    public_key_fingerprint: str
+    key_bits: int
+    connections: int
+    distinct_ips: int
+    distinct_countries: int
+
+
+@dataclass
+class NegligenceReport:
+    """The §5.2 findings over one study's mismatch records."""
+
+    total_mismatches: int = 0
+    key_size_histogram: dict[int, int] = field(default_factory=dict)
+    downgraded: int = 0  # below the original 2048 bits
+    downgraded_1024: int = 0
+    downgraded_512: int = 0
+    upgraded: int = 0  # stronger than the original
+    md5_signed: int = 0
+    md5_and_512: int = 0
+    sha256_signed: int = 0
+    false_ca_claims: int = 0
+    false_ca_organizations: Counter = field(default_factory=Counter)
+    subject_mismatches: int = 0
+    wrong_domain_subjects: Counter = field(default_factory=Counter)
+    wildcard_subnet_subjects: int = 0
+    shared_key_groups: list[SharedKeyGroup] = field(default_factory=list)
+
+    def fraction(self, count: int) -> float:
+        return count / self.total_mismatches if self.total_mismatches else 0.0
+
+
+def analyze_negligence(
+    database: ReportDatabase,
+    original_key_bits: int = ORIGINAL_KEY_BITS,
+    shared_key_min_connections: int = 5,
+) -> NegligenceReport:
+    """Run the full §5.2 battery over the mismatch records."""
+    report = NegligenceReport()
+    records = database.mismatches()
+    report.total_mismatches = len(records)
+    histogram: Counter[int] = Counter()
+    issuer_groups: dict[str, list[MeasurementRecord]] = defaultdict(list)
+
+    for record in records:
+        leaf = record.leaf
+        histogram[leaf.key_bits] += 1
+        if leaf.key_bits < original_key_bits:
+            report.downgraded += 1
+            if leaf.key_bits == 1024:
+                report.downgraded_1024 += 1
+            elif leaf.key_bits == 512:
+                report.downgraded_512 += 1
+        elif leaf.key_bits > original_key_bits:
+            report.upgraded += 1
+
+        algorithm = leaf.signature_algorithm
+        if algorithm.startswith("md5"):
+            report.md5_signed += 1
+            if leaf.key_bits == 512:
+                report.md5_and_512 += 1
+        elif algorithm.startswith("sha256"):
+            report.sha256_signed += 1
+
+        if leaf.issuer_org in PUBLIC_CA_ORGANIZATIONS and not record.chain_valid:
+            report.false_ca_claims += 1
+            report.false_ca_organizations[leaf.issuer_org] += 1
+
+        if not leaf.matches_hostname(record.hostname):
+            report.subject_mismatches += 1
+            cn = leaf.subject_cn or ""
+            if "*" in cn and any(part.isdigit() for part in cn.split(".")):
+                report.wildcard_subnet_subjects += 1
+            elif cn:
+                report.wrong_domain_subjects[cn] += 1
+
+        issuer_label = leaf.issuer_org or leaf.issuer_cn or "(null)"
+        issuer_groups[issuer_label].append(record)
+
+    report.key_size_histogram = dict(sorted(histogram.items()))
+    for issuer, group in issuer_groups.items():
+        if len(group) < shared_key_min_connections:
+            continue
+        keys = {r.leaf.public_key_fingerprint for r in group}
+        if len(keys) != 1:
+            continue
+        ips = {r.client_ip for r in group}
+        if len(ips) < shared_key_min_connections:
+            continue  # one install probing repeatedly is not key reuse
+        report.shared_key_groups.append(
+            SharedKeyGroup(
+                issuer=issuer,
+                public_key_fingerprint=next(iter(keys)),
+                key_bits=group[0].leaf.key_bits,
+                connections=len(group),
+                distinct_ips=len(ips),
+                distinct_countries=len({r.country for r in group if r.country}),
+            )
+        )
+    report.shared_key_groups.sort(key=lambda g: (g.key_bits, -g.connections))
+    return report

@@ -1,0 +1,106 @@
+"""Root-store auditing.
+
+The paper's conclusion calls for "stronger controls over the root
+stores of browsers and operating systems" — every benevolent proxy and
+every piece of interception malware alike operates by injecting a root
+(Figure 2(c)).  The Netalyzer project (§8) did exactly this kind of
+audit for Android.  This module audits client root stores against a
+factory baseline, attributes injected roots to interception products
+via the issuer classifier, and produces a population-level census.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.analysis.classifier import IssuerClassifier
+from repro.measure.records import CertSummary
+from repro.proxy.profile import ProxyCategory
+from repro.x509.model import Certificate
+from repro.x509.store import RootStore
+
+
+@dataclass(frozen=True)
+class InjectedRootFinding:
+    """One non-factory root found in a client store."""
+
+    fingerprint: str
+    subject: str
+    issuer_organization: str | None
+    category: ProxyCategory
+    key_bits: int
+
+
+@dataclass
+class RootStoreCensus:
+    """Aggregate results of auditing many client stores."""
+
+    stores_audited: int = 0
+    stores_with_injections: int = 0
+    findings_by_category: Counter = field(default_factory=Counter)
+    findings_by_subject: Counter = field(default_factory=Counter)
+
+    @property
+    def injection_rate(self) -> float:
+        if not self.stores_audited:
+            return 0.0
+        return self.stores_with_injections / self.stores_audited
+
+
+class RootStoreAuditor:
+    """Compares client root stores against the factory baseline."""
+
+    def __init__(self, factory: RootStore) -> None:
+        self._factory_fingerprints = {root.fingerprint() for root in factory}
+        self._classifier = IssuerClassifier()
+
+    def audit(self, store: RootStore) -> list[InjectedRootFinding]:
+        """Every root in ``store`` that is not in the factory image."""
+        findings = []
+        for root in store:
+            if root.fingerprint() in self._factory_fingerprints:
+                continue
+            summary = CertSummary.from_certificate(root)
+            findings.append(
+                InjectedRootFinding(
+                    fingerprint=root.fingerprint(),
+                    subject=root.subject.rfc4514() or "(empty subject)",
+                    issuer_organization=summary.issuer_org,
+                    category=self._classifier.classify(summary),
+                    key_bits=root.public_key_bits,
+                )
+            )
+        return findings
+
+    def census(self, stores: list[RootStore]) -> RootStoreCensus:
+        """Audit a population of stores and aggregate the findings."""
+        census = RootStoreCensus()
+        for store in stores:
+            census.stores_audited += 1
+            findings = self.audit(store)
+            if findings:
+                census.stores_with_injections += 1
+            for finding in findings:
+                census.findings_by_category[finding.category] += 1
+                census.findings_by_subject[finding.subject] += 1
+        return census
+
+
+def materialize_client_store(
+    factory: RootStore,
+    product_profile,
+    forger,
+) -> RootStore:
+    """Build the root store of a client running ``product_profile``.
+
+    Root-injecting products add their CA at install time; products
+    operating via a rogue public CA (``injects_root=False``) leave the
+    store untouched — which is precisely why root-store auditing cannot
+    catch them.
+    """
+    store = factory.copy()
+    if product_profile is not None and product_profile.injects_root:
+        ca = forger.authority_for(product_profile)
+        store.inject(ca.certificate)
+    return store

@@ -1,0 +1,117 @@
+"""Low-level DER tag-length-value primitives.
+
+DER is the canonical subset of BER: definite lengths only, minimal
+length octets, and deterministic encodings for every value.  This
+module handles the TLV framing; the typed object model built on top of
+it lives in :mod:`repro.asn1.types`.
+"""
+
+from __future__ import annotations
+
+
+class Asn1Error(ValueError):
+    """Raised for any malformed or non-DER input."""
+
+
+# Tag class bits (high two bits of the identifier octet).
+CLASS_UNIVERSAL = 0x00
+CLASS_APPLICATION = 0x40
+CLASS_CONTEXT = 0x80
+CLASS_PRIVATE = 0xC0
+
+# Constructed bit (bit 6 of the identifier octet).
+CONSTRUCTED = 0x20
+
+# Universal tag numbers used by X.509.
+TAG_BOOLEAN = 0x01
+TAG_INTEGER = 0x02
+TAG_BIT_STRING = 0x03
+TAG_OCTET_STRING = 0x04
+TAG_NULL = 0x05
+TAG_OID = 0x06
+TAG_UTF8_STRING = 0x0C
+TAG_PRINTABLE_STRING = 0x13
+TAG_TELETEX_STRING = 0x14
+TAG_IA5_STRING = 0x16
+TAG_UTC_TIME = 0x17
+TAG_GENERALIZED_TIME = 0x18
+TAG_SEQUENCE = 0x30  # includes the constructed bit
+TAG_SET = 0x31  # includes the constructed bit
+
+
+def encode_length(length: int) -> bytes:
+    """Encode a definite length in the minimal DER form."""
+    if length < 0:
+        raise Asn1Error(f"negative length: {length}")
+    if length < 0x80:
+        return bytes([length])
+    octets = []
+    value = length
+    while value:
+        octets.append(value & 0xFF)
+        value >>= 8
+    octets.reverse()
+    return bytes([0x80 | len(octets)]) + bytes(octets)
+
+
+def decode_length(data: bytes, offset: int) -> tuple[int, int]:
+    """Decode a DER length at ``offset``.
+
+    Returns ``(length, next_offset)`` where ``next_offset`` points at
+    the first content octet.  Rejects indefinite and non-minimal forms,
+    which BER allows but DER forbids.
+    """
+    if offset >= len(data):
+        raise Asn1Error("truncated length")
+    first = data[offset]
+    if first < 0x80:
+        return first, offset + 1
+    if first == 0x80:
+        raise Asn1Error("indefinite length is not DER")
+    count = first & 0x7F
+    if offset + 1 + count > len(data):
+        raise Asn1Error("truncated long-form length")
+    raw = data[offset + 1 : offset + 1 + count]
+    if raw[0] == 0:
+        raise Asn1Error("non-minimal long-form length")
+    length = int.from_bytes(raw, "big")
+    if length < 0x80:
+        raise Asn1Error("long form used for short length")
+    return length, offset + 1 + count
+
+
+def encode_tlv(tag: int, content: bytes) -> bytes:
+    """Frame ``content`` under a single-octet ``tag``."""
+    if not 0 <= tag <= 0xFF:
+        raise Asn1Error(f"tag out of single-octet range: {tag}")
+    return bytes([tag]) + encode_length(len(content)) + content
+
+
+def read_tlv(data: bytes, offset: int = 0) -> tuple[int, bytes, int]:
+    """Read one TLV starting at ``offset``.
+
+    Returns ``(tag, content, next_offset)``.  Multi-octet tags are not
+    supported (X.509 never needs them).
+    """
+    if offset >= len(data):
+        raise Asn1Error("truncated tag")
+    tag = data[offset]
+    if tag & 0x1F == 0x1F:
+        raise Asn1Error("multi-octet tags are unsupported")
+    length, content_start = decode_length(data, offset + 1)
+    content_end = content_start + length
+    if content_end > len(data):
+        raise Asn1Error(
+            f"truncated value: need {length} bytes, have {len(data) - content_start}"
+        )
+    return tag, data[content_start:content_end], content_end
+
+
+def split_tlvs(data: bytes) -> list[tuple[int, bytes]]:
+    """Split ``data`` into consecutive TLVs, requiring full consumption."""
+    items = []
+    offset = 0
+    while offset < len(data):
+        tag, content, offset = read_tlv(data, offset)
+        items.append((tag, content))
+    return items

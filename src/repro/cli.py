@@ -1,0 +1,204 @@
+"""Command-line interface.
+
+``python -m repro <command>`` drives the reproduction end to end:
+
+* ``study1`` / ``study2`` — run a measurement study and print the
+  corresponding paper tables (optionally exporting the raw report
+  database as JSON Lines).
+* ``scan`` — the Table 1 policy-file scan and probe-site selection.
+* ``ablation`` — the §7 mitigation ablation matrix.
+* ``whitelist`` — the §6.3 whitelist experiment (this paper vs Huang).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis import (
+    analyze_negligence,
+    classification_table,
+    country_breakdown,
+    heatmap_series,
+    host_type_table,
+    issuer_organization_table,
+    malware_census,
+)
+from repro.reporting import (
+    render_classification_table,
+    render_country_table,
+    render_heatmap,
+    render_host_type_table,
+    render_issuer_table,
+)
+from repro.study import StudyConfig, StudyRunner
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'TLS Proxies: Friend or Foe?' (IMC 2016)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    for study in (1, 2):
+        study_parser = sub.add_parser(
+            f"study{study}", help=f"run measurement study {study}"
+        )
+        study_parser.add_argument("--seed", type=int, default=42)
+        study_parser.add_argument(
+            "--scale",
+            type=float,
+            default=0.02,
+            help="fraction of the paper's measurement volume (default 0.02)",
+        )
+        study_parser.add_argument(
+            "--mode", choices=("fast", "wire"), default="fast"
+        )
+        study_parser.add_argument(
+            "--export", metavar="PATH", help="write the report database as JSONL"
+        )
+
+    scan = sub.add_parser("scan", help="Table 1: policy-file scan of the universe")
+    scan.add_argument("--universe", type=int, default=2000)
+
+    sub.add_parser("ablation", help="§7 mitigation ablation matrix")
+
+    whitelist = sub.add_parser(
+        "whitelist", help="§6.3 whitelist experiment (this paper vs Huang et al.)"
+    )
+    whitelist.add_argument("--sessions", type=int, default=200_000)
+    whitelist.add_argument("--seed", type=int, default=42)
+    return parser
+
+
+def _run_study(study: int, args) -> int:
+    config = StudyConfig(
+        study=study, seed=args.seed, scale=args.scale, mode=args.mode
+    )
+    print(
+        f"running study {study} ({args.mode} mode, scale {args.scale}, "
+        f"seed {args.seed}) ..."
+    )
+    result = StudyRunner(config).run()
+    db = result.database
+    print(
+        f"\nmeasurements: {db.total_measurements:,}  proxied: "
+        f"{db.mismatch_count:,}  rate: {db.proxied_rate * 100:.2f}% (paper: 0.41%)"
+    )
+    order_by = "proxied" if study == 1 else "total"
+    print(f"\n== Table {3 if study == 1 else 7}: connections by country ==")
+    print(render_country_table(country_breakdown(db, top_n=20, order_by=order_by)))
+    print("\n== Table 4: Issuer Organization values ==")
+    rows, other = issuer_organization_table(db, top_n=20)
+    print(render_issuer_table(rows, other))
+    print(f"\n== Table {5 if study == 1 else 6}: issuer classification ==")
+    print(render_classification_table(classification_table(db)))
+    if study == 2:
+        print("\n== Table 8: proxied connections by host type ==")
+        print(render_host_type_table(host_type_table(db)))
+        print("\n== Figure 7: prevalence heat map ==")
+        print(render_heatmap(heatmap_series(db), columns=5))
+    negligence = analyze_negligence(db)
+    print(
+        f"\nnegligence: {negligence.downgraded_1024:,} x 1024-bit "
+        f"({100 * negligence.fraction(negligence.downgraded_1024):.1f}%), "
+        f"{negligence.md5_signed} MD5, {negligence.false_ca_claims} false CA claims"
+    )
+    census = malware_census(db)
+    print(
+        f"malware: {census.family_count} families, "
+        f"{census.total_connections:,} connections"
+    )
+    if args.export:
+        from repro.measure.persist import save_database
+
+        save_database(db, args.export)
+        print(f"\nreport database exported to {args.export}")
+    return 0
+
+
+def _run_scan(args) -> int:
+    from repro.data.sites import STUDY2_SITES, synthetic_alexa_universe
+    from repro.netsim import Network
+    from repro.policy import PolicyFile, PolicyScanner, PolicyServer
+
+    network = Network()
+    scanner_host = network.add_host("scanner.example")
+    universe = synthetic_alexa_universe(size=args.universe, seed=7)
+    table1_hosts = {site.hostname for site in STUDY2_SITES}
+    permissive = PolicyFile.permissive("443")
+    for hostname, rank, category in universe:
+        host = network.add_host(hostname)
+        if hostname in table1_hosts:
+            host.listen(843, PolicyServer(permissive).factory)
+    scanner = PolicyScanner(scanner_host)
+    results = scanner.scan(universe)
+    selected = scanner.select_probe_sites(
+        results, {"popular": 6, "business": 5, "porn": 5}
+    )
+    permissive_count = sum(1 for r in results if r.permissive)
+    print(
+        f"scanned {len(results)} sites; {permissive_count} serve permissive "
+        "socket policy files"
+    )
+    for category, sites in selected.items():
+        names = ", ".join(site.hostname for site in sites)
+        print(f"  {category:<10} {names}")
+    return 0
+
+
+def _run_ablation() -> int:
+    from repro.mitigation import evaluate_mitigations
+
+    evaluation = evaluate_mitigations(seed=42)
+    header = (
+        f"{'scenario':<18} {'intercepted':<11} {'pinning':<20} "
+        f"{'pin-strict':<11} {'notary':<15} {'dvcert':<14} {'ct':<10} disclosure"
+    )
+    print(header)
+    print("-" * len(header))
+    for outcome in evaluation.outcomes:
+        print(
+            f"{outcome.scenario:<18} {str(outcome.intercepted):<11} "
+            f"{outcome.pinning:<20} {outcome.pinning_strict:<11} "
+            f"{outcome.notary:<15} {outcome.dvcert:<14} "
+            f"{outcome.ct_monitor:<10} {outcome.disclosure}"
+        )
+    return 0
+
+
+def _run_whitelist(args) -> int:
+    from repro.study.whitelist import run_whitelist_experiment
+
+    result = run_whitelist_experiment(seed=args.seed, sessions=args.sessions)
+    print(f"sessions: {result.sessions:,}")
+    print(
+        f"low-profile site rate:  {100 * result.low_profile_rate:.2f}% "
+        "(this paper: 0.41%)"
+    )
+    print(
+        f"facebook-class rate:    {100 * result.high_profile_rate:.2f}% "
+        "(Huang et al.: 0.20%)"
+    )
+    print(f"whitelisting products: {', '.join(result.whitelisting_products)}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "study1":
+        return _run_study(1, args)
+    if args.command == "study2":
+        return _run_study(2, args)
+    if args.command == "scan":
+        return _run_scan(args)
+    if args.command == "ablation":
+        return _run_ablation()
+    if args.command == "whitelist":
+        return _run_whitelist(args)
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,66 @@
+"""Deterministic pooled RSA key generation.
+
+Pure-Python 2048-bit key generation costs seconds; a measurement run
+issues hundreds of thousands of substitute certificates.  The pool
+resolves the tension the same way the measured ecosystem does: every
+product has one CA key it uses forever, and leaf keys are reused per
+(product, size) slot.  Keys are derived deterministically from the
+store seed and the slot label, so two stores with the same seed hold
+identical keys.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+
+from repro.crypto.rsa import RsaKeyPair, generate_rsa_key
+
+
+class KeyStore:
+    """Cache of deterministically generated RSA keys, keyed by slot label."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self._seed = seed
+        self._cache: dict[tuple[str, int], RsaKeyPair] = {}
+
+    def key(self, label: str, bits: int) -> RsaKeyPair:
+        """Return the key for ``(label, bits)``, generating it on first use."""
+        slot = (label, bits)
+        pair = self._cache.get(slot)
+        if pair is None:
+            rng = random.Random(self._derive_seed(label, bits))
+            pair = generate_rsa_key(bits, rng)
+            self._cache[slot] = pair
+        return pair
+
+    def _derive_seed(self, label: str, bits: int) -> int:
+        material = f"{self._seed}:{label}:{bits}".encode("utf-8")
+        return zlib.crc32(material) ^ (self._seed << 16) ^ bits
+
+    def __len__(self) -> int:
+        return len(self._cache)
+
+    def preload(self, labels: list[str], bits: int) -> None:
+        """Generate keys for many labels up front (useful before timing)."""
+        for label in labels:
+            self.key(label, bits)
+
+
+_SHARED: KeyStore | None = None
+
+
+def shared_keystore(seed: int = 0) -> KeyStore:
+    """Process-wide store used by default so key generation amortises.
+
+    The first caller fixes the seed; later callers asking for a
+    different seed get a fresh private store instead, keeping
+    determinism explicit.
+    """
+    global _SHARED
+    if _SHARED is None:
+        _SHARED = KeyStore(seed)
+        return _SHARED
+    if seed == _SHARED._seed:
+        return _SHARED
+    return KeyStore(seed)

@@ -1,0 +1,68 @@
+"""Probabilistic prime generation (Miller–Rabin).
+
+Generation is driven by a caller-supplied ``random.Random`` so the
+entire reproduction is deterministic for a given seed.
+"""
+
+from __future__ import annotations
+
+import random
+
+# Small primes for cheap trial-division pre-filtering.
+_SMALL_PRIMES: list[int] = []
+
+
+def _sieve(limit: int) -> list[int]:
+    flags = bytearray([1]) * (limit + 1)
+    flags[0] = flags[1] = 0
+    for i in range(2, int(limit**0.5) + 1):
+        if flags[i]:
+            flags[i * i :: i] = bytearray(len(flags[i * i :: i]))
+    return [i for i, keep in enumerate(flags) if keep]
+
+
+def _small_primes() -> list[int]:
+    global _SMALL_PRIMES
+    if not _SMALL_PRIMES:
+        _SMALL_PRIMES = _sieve(2000)
+    return _SMALL_PRIMES
+
+
+def is_probable_prime(n: int, rounds: int = 20, rng: random.Random | None = None) -> bool:
+    """Miller–Rabin primality test with ``rounds`` random bases."""
+    if n < 2:
+        return False
+    for p in _small_primes():
+        if n == p:
+            return True
+        if n % p == 0:
+            return False
+    rng = rng or random.Random(0xC0FFEE ^ n)
+    d = n - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    for _ in range(rounds):
+        a = rng.randrange(2, n - 1)
+        x = pow(a, d, n)
+        if x in (1, n - 1):
+            continue
+        for _ in range(r - 1):
+            x = pow(x, 2, n)
+            if x == n - 1:
+                break
+        else:
+            return False
+    return True
+
+
+def generate_prime(bits: int, rng: random.Random) -> int:
+    """Generate a random prime with exactly ``bits`` bits."""
+    if bits < 8:
+        raise ValueError(f"prime size too small: {bits} bits")
+    while True:
+        candidate = rng.getrandbits(bits)
+        candidate |= (1 << (bits - 1)) | 1  # force bit length and oddness
+        if is_probable_prime(candidate, rounds=20, rng=rng):
+            return candidate

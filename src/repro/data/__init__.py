@@ -1,0 +1,16 @@
+"""Static datasets calibrating the reproduction to the paper.
+
+The real study measured a population we cannot have (Internet users
+behind real interception products).  These modules encode the paper's
+published marginals — Tables 1–8 plus the §5/§6 findings — as
+sampling weights and behaviour profiles, so the measurement machinery
+runs over a synthetic population whose observable statistics match the
+paper's.
+
+* :mod:`repro.data.products` — every interception product the paper
+  names, with per-study prevalence weights and behaviour profiles.
+* :mod:`repro.data.countries` — per-country measurement volumes and
+  proxy rates (Tables 3 and 7) plus campaign constants (Table 2).
+* :mod:`repro.data.sites` — the probe-site catalog (Table 1) and the
+  synthetic Alexa-style universe used by the policy-file scan.
+"""

@@ -1,0 +1,58 @@
+"""AdWords keyword sets (§4.1, §4.2).
+
+Ads are placed on pages matching campaign keywords; the authors chose
+globally trending phrases to maximise reach.  The sets are carried on
+the campaign objects for fidelity and used by the placement model to
+label impressions.
+"""
+
+from __future__ import annotations
+
+STUDY1_KEYWORDS: tuple[str, ...] = (
+    "Nelson Mandela",
+    "Sports",
+    "Basketball",
+    "NSA",
+    "Internet",
+    "Freedom",
+    "Paul Walker",
+    "Security",
+    "LeBron James",
+    "Haiyan",
+    "Snowden",
+    "PlayStation 4",
+    "Miley Cyrus",
+    "Xbox One",
+    "iPhone 5s",
+)
+
+STUDY2_KEYWORDS: tuple[str, ...] = (
+    "Nelson Mandela",
+    "Sports",
+    "Internet Security",
+    "Basketball",
+    "Football",
+    "Freedom",
+    "NCAA",
+    "Paul Walker",
+    "Boston Marathon",
+    "Election",
+    "North Korea",
+    "Harlem Shake",
+    "PlayStation 4",
+    "Royal Baby",
+    "Cory Monteith",
+    "iPhone 6",
+    "iPhone 5s",
+    "Samsung Galaxy S4",
+    "iPhone 6 Plus",
+    "TLS Proxies",
+)
+
+
+def keywords_for_study(study: int) -> tuple[str, ...]:
+    if study == 1:
+        return STUDY1_KEYWORDS
+    if study == 2:
+        return STUDY2_KEYWORDS
+    raise ValueError(f"study must be 1 or 2, not {study}")

@@ -1,0 +1,753 @@
+"""The interception-product catalog.
+
+One :class:`ProductSpec` per product or product group the paper
+observes.  ``study1_weight`` / ``study2_weight`` are relative sampling
+weights calibrated to Table 4 (study 1 issuer counts), §6.4 (study 2
+malware and oddities) and Tables 5/6 (category totals); a weight of 0
+means the product was not seen in that study.
+
+Category assignments follow the paper where it names a product's
+nature (§5.1, §5.2, §6.4) and otherwise the authors' apparent binning
+(e.g. consumer AV firewalls under Business/Personal Firewall).  The
+paper's Tables 4 and 5 cannot be exactly cross-tabulated from the
+published data; EXPERIMENTS.md records the residual deviations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.proxy.profile import (
+    ForgedUpstreamPolicy,
+    ProxyCategory,
+    ProxyProfile,
+    SubjectRewrite,
+)
+from repro.x509.model import Name
+
+# Number of leaf-key pool slots per product ("installs").  Key-reusing
+# malware ignores this and uses one global key.  Kept well above the
+# largest issuer-variant rotation (8) so that no ordinary product ever
+# presents a single key per issuer name — which is the IopFail signal
+# the shared-key analysis hunts for.
+NUM_CLIENT_BUCKETS = 32
+
+
+@dataclass(frozen=True)
+class ProductSpec:
+    """A product plus its prevalence and geography."""
+
+    profile: ProxyProfile
+    study1_weight: float
+    study2_weight: float
+    # Country bias: multiplier applied to this product's weight when
+    # sampling in the given country ("*" = all countries not listed).
+    country_bias: dict[str, float] = field(default_factory=dict)
+    # Shared egress IPs per country: {"IE": 1} means every client of
+    # this product in Ireland reports from the same single IP.  Models
+    # the paper's "DSP" (204 connections, 1 IP), "Information
+    # Technology" (33 connections, 3 IPs) and "MYInternetS" (36
+    # connections, 6 IPs).  None means every client has its own IP.
+    egress_plan: dict[str, int] | None = None
+
+    @property
+    def egress_ips(self) -> int | None:
+        """Total distinct egress IPs, if the product pools them."""
+        if self.egress_plan is None:
+            return None
+        return sum(self.egress_plan.values())
+
+    @property
+    def key(self) -> str:
+        return self.profile.key
+
+    @property
+    def category(self) -> ProxyCategory:
+        return self.profile.category
+
+    def weight_in(self, study: int, country: str) -> float:
+        base = self.study1_weight if study == 1 else self.study2_weight
+        if not base:
+            return 0.0
+        if country in self.country_bias:
+            return base * self.country_bias[country]
+        return base * self.country_bias.get("*", 1.0)
+
+
+def _name(org: str | None = None, cn: str | None = None, ou: str | None = None) -> Name:
+    return Name.build(common_name=cn, organization=org, organizational_unit=ou)
+
+
+def _firewall(
+    key: str,
+    org: str,
+    w1: float,
+    w2: float,
+    category: ProxyCategory = ProxyCategory.BUSINESS_PERSONAL_FIREWALL,
+    leaf_bits: int = 2048,
+    hash_name: str = "sha1",
+    forged: ForgedUpstreamPolicy = ForgedUpstreamPolicy.BLOCK,
+    bias: dict[str, float] | None = None,
+    cn: str | None = None,
+) -> ProductSpec:
+    return ProductSpec(
+        profile=ProxyProfile(
+            key=key,
+            issuer=_name(org=org, cn=cn or f"{org} Personal CA"),
+            category=category,
+            leaf_key_bits=leaf_bits,
+            hash_name=hash_name,
+            forged_upstream=forged,
+        ),
+        study1_weight=w1,
+        study2_weight=w2,
+        country_bias=bias or {},
+    )
+
+
+def _malware(
+    key: str,
+    org: str | None,
+    w1: float,
+    w2: float,
+    leaf_bits: int = 1024,
+    hash_name: str = "sha1",
+    reuses_key: bool = False,
+    cn: str | None = None,
+    bias: dict[str, float] | None = None,
+) -> ProductSpec:
+    return ProductSpec(
+        profile=ProxyProfile(
+            key=key,
+            issuer=_name(org=org, cn=cn),
+            category=ProxyCategory.MALWARE,
+            leaf_key_bits=leaf_bits,
+            hash_name=hash_name,
+            reuses_leaf_key=reuses_key,
+            # Malware does not care whether upstream is genuine.
+            forged_upstream=ForgedUpstreamPolicy.MASK,
+        ),
+        study1_weight=w1,
+        study2_weight=w2,
+        country_bias=bias or {},
+    )
+
+
+def build_catalog() -> list[ProductSpec]:
+    """The full product catalog, in Table 4 rank order then additions."""
+    specs: list[ProductSpec] = []
+
+    # High-profile sites the big consumer AV products leave alone (§6.3:
+    # Huang's 0.20% Facebook-only rate vs this paper's 0.41% suggests
+    # whitelisting of extremely popular, reputable sites).  None of the
+    # paper's probe targets appears here, which is why both studies
+    # measured identical rates across host types.
+    popular_whitelist = frozenset({"facebook.com", "facebook.example"})
+
+    # ---- Table 4 top-20 issuer organizations (study-1 counts as weights).
+    specs.append(
+        ProductSpec(
+            profile=ProxyProfile(
+                key="bitdefender",
+                issuer=_name(org="Bitdefender", cn="Bitdefender Personal CA"),
+                category=ProxyCategory.BUSINESS_PERSONAL_FIREWALL,
+                leaf_key_bits=1024,
+                hash_name="sha1",
+                forged_upstream=ForgedUpstreamPolicy.BLOCK,
+                whitelist=popular_whitelist,
+            ),
+            study1_weight=4788,
+            study2_weight=20000,
+        )
+    )
+    specs.append(
+        _firewall(
+            "psafe",
+            "PSafe Tecnologia S.A.",
+            1200,
+            5000,
+            leaf_bits=2048,
+            bias={"BR": 40.0, "PT": 6.0, "*": 0.15},
+        )
+    )
+    specs.append(_malware("sendori", "Sendori Inc", 966, 600, leaf_bits=2048))
+    specs.append(
+        ProductSpec(
+            profile=ProxyProfile(
+                key="eset",
+                issuer=_name(org="ESET spol. s r. o.", cn="ESET SSL Filter CA"),
+                category=ProxyCategory.BUSINESS_PERSONAL_FIREWALL,
+                leaf_key_bits=2048,
+                hash_name="sha1",
+                forged_upstream=ForgedUpstreamPolicy.BLOCK,
+                whitelist=popular_whitelist,
+            ),
+            study1_weight=927,
+            study2_weight=4500,
+        )
+    )
+    # "Null" — 829 substitute certs with a null Issuer Organization.
+    specs.append(
+        ProductSpec(
+            profile=ProxyProfile(
+                key="null-issuer",
+                issuer=Name(),  # entirely empty issuer DN
+                category=ProxyCategory.UNKNOWN,
+                leaf_key_bits=1024,
+                hash_name="sha1",
+                forged_upstream=ForgedUpstreamPolicy.MASK,
+            ),
+            study1_weight=829,
+            study2_weight=1000,
+            country_bias={"CN": 2.0, "UA": 2.0, "RU": 2.0, "EG": 2.0, "PK": 2.0},
+        )
+    )
+    specs.append(_firewall("kaspersky", "Kaspersky Lab ZAO", 589, 3000))
+    specs.append(
+        _firewall("fortinet", "Fortinet", 310, 800, leaf_bits=2048, cn="FortiGate CA")
+    )
+    # Kurupira — the negligent parental filter of §5.2: masks forged
+    # upstream certificates, enabling an invisible MitM.  §5.2 calls it
+    # a parental filter, but Table 5's Parental Control total (156) is
+    # smaller than Kurupira's own 267 connections, so the authors'
+    # classification evidently binned it with consumer firewall
+    # software; we follow the tables.
+    specs.append(
+        ProductSpec(
+            profile=ProxyProfile(
+                key="kurupira",
+                issuer=_name(org="Kurupira.NET", cn="Kurupira WebFilter"),
+                category=ProxyCategory.BUSINESS_PERSONAL_FIREWALL,
+                leaf_key_bits=1024,
+                hash_name="sha1",
+                forged_upstream=ForgedUpstreamPolicy.MASK,
+            ),
+            study1_weight=267,
+            study2_weight=150,
+            country_bias={"BR": 12.0, "*": 0.4},
+        )
+    )
+    specs.append(
+        _firewall(
+            "posco",
+            "POSCO",
+            167,
+            600,
+            category=ProxyCategory.ORGANIZATION,
+            bias={"KR": 200.0, "*": 0.02},
+        )
+    )
+    specs.append(
+        _firewall(
+            "qustodio", "Qustodio", 109, 120, category=ProxyCategory.PARENTAL_CONTROL
+        )
+    )
+    specs.append(_malware("webmakerplus", "WebMakerPlus Ltd", 95, 60, leaf_bits=2048))
+    specs.append(
+        _firewall(
+            "southern-company",
+            "Southern Company Services",
+            62,
+            200,
+            category=ProxyCategory.ORGANIZATION,
+            bias={"US": 30.0, "*": 0.05},
+        )
+    )
+    specs.append(
+        _firewall(
+            "nordnet",
+            "NordNet",
+            61,
+            200,
+            category=ProxyCategory.PERSONAL_FIREWALL,
+            bias={"FR": 40.0, "*": 0.1},
+        )
+    )
+    specs.append(
+        _firewall(
+            "target-corp",
+            "Target Corporation",
+            52,
+            150,
+            category=ProxyCategory.ORGANIZATION,
+            bias={"US": 30.0, "*": 0.05},
+        )
+    )
+    # The §5.2 finding: substitutes claiming "DigiCert Inc" as issuer,
+    # though DigiCert never signed them (issuer copied from the
+    # original certificate).
+    specs.append(
+        ProductSpec(
+            profile=ProxyProfile(
+                key="digicert-masquerade",
+                issuer=_name(org="DigiCert Inc", cn="DigiCert High Assurance CA-3"),
+                category=ProxyCategory.CERTIFICATE_AUTHORITY,
+                leaf_key_bits=2048,
+                hash_name="sha1",
+                copies_upstream_issuer=True,
+                forged_upstream=ForgedUpstreamPolicy.MASK,
+            ),
+            study1_weight=49,
+            study2_weight=49,
+        )
+    )
+    specs.append(
+        _firewall(
+            "contentwatch",
+            "ContentWatch, Inc.",
+            42,
+            80,
+            category=ProxyCategory.PARENTAL_CONTROL,
+        )
+    )
+    specs.append(
+        _firewall(
+            "netspark",
+            "NetSpark, Inc.",
+            42,
+            78,
+            category=ProxyCategory.PARENTAL_CONTROL,
+        )
+    )
+    # Spam-industry products (§5.1); classified with malware.
+    specs.append(_malware("sweesh", "Sweesh LTD", 39, 25, leaf_bits=2048))
+    specs.append(
+        _firewall(
+            "ibrd", "IBRD", 26, 80, category=ProxyCategory.ORGANIZATION
+        )
+    )
+    specs.append(
+        ProductSpec(
+            profile=ProxyProfile(
+                key="cloud-services",
+                issuer=_name(org="Cloud Services", cn="Cloud Services CA"),
+                category=ProxyCategory.UNKNOWN,
+                leaf_key_bits=2048,
+                hash_name="sha1",
+                forged_upstream=ForgedUpstreamPolicy.MASK,
+            ),
+            study1_weight=23,
+            study2_weight=40,
+        )
+    )
+    specs.append(_malware("atompark", "AtomPark Software Inc", 20, 15, leaf_bits=2048))
+
+    # IopFailZeroAccessCreate — every certificate carries the same
+    # 512-bit public key, signed with MD5 (§5.1, also in Huang et al.).
+    specs.append(
+        _malware(
+            "iopfail",
+            None,
+            21,
+            18,
+            leaf_bits=512,
+            hash_name="md5",
+            reuses_key=True,
+            cn="IopFailZeroAccessCreate",
+        )
+    )
+
+    # ---- §6.4: second-study malware discoveries.
+    specs.append(_malware("objectify", "Objectify Media Inc", 0, 1069))
+    specs.append(_malware("superfish", "Superfish, Inc.", 0, 610, leaf_bits=1024))
+    specs.append(_malware("wiredtools", "WiredTools LTD", 0, 131))
+    specs.append(
+        _malware("widgits", "Internet Widgits Pty Ltd", 0, 67, leaf_bits=1024)
+    )
+    specs.append(_malware("impressx", "ImpressX OU", 0, 16))
+
+    # "kowsar" — 268 connections from 266 IPs across many countries;
+    # either a popular personal firewall or a botnet (§6.4).
+    specs.append(
+        ProductSpec(
+            profile=ProxyProfile(
+                key="kowsar",
+                issuer=_name(org="kowsar", cn="kowsar"),
+                category=ProxyCategory.UNKNOWN,
+                leaf_key_bits=1024,
+                hash_name="sha1",
+                forged_upstream=ForgedUpstreamPolicy.MASK,
+            ),
+            study1_weight=0,
+            study2_weight=268,
+        )
+    )
+    # "DSP" — Ireland's Department of Social Protection: 204
+    # connections, one egress IP (a corporate firewall).
+    specs.append(
+        ProductSpec(
+            profile=ProxyProfile(
+                key="dsp",
+                issuer=_name(org="DSP", cn="DSP Gateway"),
+                category=ProxyCategory.ORGANIZATION,
+                leaf_key_bits=2048,
+                hash_name="sha1",
+            ),
+            study1_weight=0,
+            study2_weight=204,
+            country_bias={"IE": 1.0, "*": 0.0},
+            egress_plan={"IE": 1},
+        )
+    )
+    # LG UPLUS and smaller telecoms (§6.1, study 2).
+    specs.append(
+        ProductSpec(
+            profile=ProxyProfile(
+                key="lg-uplus",
+                issuer=_name(org="LG UPLUS", cn="LG UPLUS Web Gateway"),
+                category=ProxyCategory.TELECOM,
+                leaf_key_bits=2048,
+                hash_name="sha1",
+            ),
+            study1_weight=0,
+            study2_weight=375,
+            country_bias={"KR": 1.0, "*": 0.0},
+        )
+    )
+    specs.append(
+        ProductSpec(
+            profile=ProxyProfile(
+                key="telecom-other",
+                issuer=_name(org="Axis Telecom", cn="Carrier Gateway CA"),
+                # "Another four telecom company names were reported from
+                # an additional 72 connections" (§6.1).
+                issuer_variants=(
+                    _name(org="Axis Telecom", cn="Carrier Gateway CA"),
+                    _name(org="Vodanet Telekom", cn="Vodanet Gateway"),
+                    _name(org="ClaroCom Telecom", cn="ClaroCom Proxy"),
+                    _name(org="T-Net Mobile Network", cn="T-Net Gateway"),
+                ),
+                category=ProxyCategory.TELECOM,
+                leaf_key_bits=2048,
+                hash_name="sha1",
+            ),
+            study1_weight=0,
+            study2_weight=72,
+        )
+    )
+    # "Information Technology" — 33 connections from 3 unrelated IPs.
+    specs.append(
+        ProductSpec(
+            profile=ProxyProfile(
+                key="information-technology",
+                issuer=_name(org="Information Technology", cn="Information Technology"),
+                category=ProxyCategory.UNKNOWN,
+                leaf_key_bits=1024,
+                hash_name="sha1",
+            ),
+            study1_weight=0,
+            study2_weight=33,
+            country_bias={"JP": 1.0, "NL": 1.0, "US": 1.0, "*": 0.0},
+            egress_plan={"JP": 1, "NL": 1, "US": 1},
+        )
+    )
+    # "MYInternetS" — 36 connections from 6 ISPs, five Danish.
+    specs.append(
+        ProductSpec(
+            profile=ProxyProfile(
+                key="myinternets",
+                issuer=_name(org="MYInternetS", cn="MYInternetS"),
+                category=ProxyCategory.UNKNOWN,
+                leaf_key_bits=1024,
+                hash_name="sha1",
+            ),
+            study1_weight=0,
+            study2_weight=36,
+            country_bias={"DK": 5.0, "US": 1.0, "*": 0.0},
+            egress_plan={"DK": 5, "US": 1},
+        )
+    )
+
+    # ---- Aggregate tails: the long tail of small issuers ("Other").
+    # Each tail profile rotates through several issuer names per client
+    # bucket, standing in for the paper's 332 distinct small issuers.
+    specs.append(
+        ProductSpec(
+            profile=ProxyProfile(
+                key="other-business-fw",
+                issuer=_name(org="Perimeter Gateway Inc", cn="Corporate TLS Inspection"),
+                issuer_variants=(
+                    _name(org="Perimeter Gateway Inc", cn="Corporate TLS Inspection"),
+                    _name(org="BlueRock Networks", cn="BlueRock UTM CA"),
+                    _name(org="Sentinel Appliances", cn="Sentinel Proxy Root"),
+                    _name(org="IronPort Systems", cn="Web Security Appliance"),
+                ),
+                category=ProxyCategory.BUSINESS_FIREWALL,
+                leaf_key_bits=2048,
+                hash_name="sha1",
+            ),
+            study1_weight=69,
+            study2_weight=1231,
+        )
+    )
+    specs.append(
+        ProductSpec(
+            profile=ProxyProfile(
+                key="other-personal-fw",
+                issuer=_name(org="HomeShield Software", cn="HomeShield CA"),
+                issuer_variants=(
+                    _name(org="HomeShield Software", cn="HomeShield CA"),
+                    _name(org="PC Guardian", cn="PC Guardian Root"),
+                    _name(org="SafeSurf Labs", cn="SafeSurf Personal CA"),
+                ),
+                category=ProxyCategory.PERSONAL_FIREWALL,
+                leaf_key_bits=2048,
+                hash_name="sha1",
+            ),
+            study1_weight=11,
+            study2_weight=536,
+        )
+    )
+    specs.append(
+        _firewall(
+            "other-parental",
+            "SafeEyes Family",
+            5,
+            0,
+            category=ProxyCategory.PARENTAL_CONTROL,
+        )
+    )
+    specs.append(
+        ProductSpec(
+            profile=ProxyProfile(
+                key="other-org",
+                issuer=_name(
+                    org="Lawrence Livermore National Laboratory", cn="LLNL Proxy CA"
+                ),
+                issuer_variants=(
+                    _name(
+                        org="Lawrence Livermore National Laboratory",
+                        cn="LLNL Proxy CA",
+                    ),
+                    _name(org="Lincoln Financial Group", cn="LFG Gateway"),
+                    _name(org="Granite Manufacturing", cn="Granite IT CA"),
+                    _name(org="Pacific Credit Union", cn="PCU Gateway"),
+                    _name(org="Mercy Health System", cn="MHS Web Filter"),
+                    _name(org="Northwind Logistics", cn="Northwind Proxy"),
+                    _name(org="Helios Energy", cn="Helios Gateway CA"),
+                    _name(org="Meridian Insurance Group", cn="Meridian CA"),
+                ),
+                category=ProxyCategory.ORGANIZATION,
+                leaf_key_bits=2048,
+                hash_name="sha1",
+            ),
+            study1_weight=1038,
+            study2_weight=2228,
+        )
+    )
+    specs.append(
+        ProductSpec(
+            profile=ProxyProfile(
+                key="other-school",
+                issuer=_name(org="Provo School District", cn="PSD Filter CA"),
+                issuer_variants=(
+                    _name(org="Provo School District", cn="PSD Filter CA"),
+                    _name(org="Springfield Unified School District", cn="SUSD Proxy"),
+                    _name(org="State University of Technology", cn="Campus Gateway"),
+                    _name(org="Riverdale College", cn="Riverdale NetFilter"),
+                ),
+                category=ProxyCategory.SCHOOL,
+                leaf_key_bits=2048,
+                hash_name="sha1",
+            ),
+            study1_weight=32,
+            study2_weight=482,
+        )
+    )
+    specs.append(
+        ProductSpec(
+            profile=ProxyProfile(
+                key="other-fw",
+                issuer=_name(org="SecurePoint UTM", cn="SecurePoint CA"),
+                issuer_variants=(
+                    _name(org="SecurePoint UTM", cn="SecurePoint CA"),
+                    _name(org="NetAegis Security", cn="NetAegis Root"),
+                    _name(org="Bastion Internet Security", cn="Bastion CA"),
+                    _name(org="ClearWall Technologies", cn="ClearWall Proxy"),
+                    _name(org="Aegis Antivirus", cn="Aegis Web Shield"),
+                    _name(org="TrustWave Filter", cn="TW Gateway CA"),
+                ),
+                category=ProxyCategory.BUSINESS_PERSONAL_FIREWALL,
+                leaf_key_bits=2048,
+                hash_name="sha1",
+            ),
+            study1_weight=0,
+            study2_weight=3512,
+        )
+    )
+    # Uncategorizable tail — disproportionately from the five targeted
+    # countries (§6.1: the Unknown share rose to 10.75%).
+    specs.append(
+        ProductSpec(
+            profile=ProxyProfile(
+                key="other-unknown",
+                issuer=_name(org="gw-7f3a", cn="gw-7f3a"),
+                issuer_variants=(
+                    _name(org="gw-7f3a", cn="gw-7f3a"),
+                    _name(org="proxy01", cn="proxy01"),
+                    _name(org="internal-ca", cn="internal-ca"),
+                    _name(org="TLS-GW", cn="TLS-GW"),
+                    _name(org="localdomain", cn="localdomain"),
+                    _name(org="netsec-ca", cn="netsec-ca"),
+                    _name(org="appliance-3", cn="appliance-3"),
+                    _name(org="SSLBUMP", cn="SSLBUMP"),
+                ),
+                category=ProxyCategory.UNKNOWN,
+                leaf_key_bits=1024,
+                hash_name="sha1",
+                forged_upstream=ForgedUpstreamPolicy.MASK,
+            ),
+            study1_weight=2,
+            study2_weight=3669,
+            country_bias={"CN": 3.0, "UA": 3.0, "RU": 3.0, "EG": 3.0, "PK": 3.0},
+        )
+    )
+    # Blank (present-but-empty) issuer organizations; with null-issuer
+    # these make the 1,518 null-or-blank §6.4 count.
+    specs.append(
+        ProductSpec(
+            profile=ProxyProfile(
+                key="blank-issuer",
+                issuer=_name(org="", cn=""),
+                category=ProxyCategory.UNKNOWN,
+                leaf_key_bits=1024,
+                hash_name="sha1",
+                forged_upstream=ForgedUpstreamPolicy.MASK,
+            ),
+            study1_weight=9,
+            study2_weight=518,
+        )
+    )
+    # Second CA-masquerade group (GeoTrust), completing Table 6's 68.
+    specs.append(
+        ProductSpec(
+            profile=ProxyProfile(
+                key="geotrust-masquerade",
+                issuer=_name(org="GeoTrust Inc.", cn="GeoTrust Global CA"),
+                category=ProxyCategory.CERTIFICATE_AUTHORITY,
+                leaf_key_bits=2048,
+                hash_name="sha1",
+                copies_upstream_issuer=True,
+                forged_upstream=ForgedUpstreamPolicy.MASK,
+            ),
+            study1_weight=0,
+            study2_weight=19,
+        )
+    )
+
+    # ---- §5.2 cryptographic oddities (small, distinctive groups).
+    # Seven substitute certs with 2432-bit keys (stronger than the original).
+    specs.append(
+        _firewall(
+            "hifi-2432",
+            "Overachiever Security",
+            7,
+            12,
+            leaf_bits=2432,
+            category=ProxyCategory.UNKNOWN,
+        )
+    )
+    # Five signed with SHA-256 (ahead of their time).
+    specs.append(
+        _firewall(
+            "sha256-modern",
+            "ModernCrypt Gateway",
+            5,
+            10,
+            hash_name="sha256",
+            category=ProxyCategory.UNKNOWN,
+        )
+    )
+    # MD5 signatures beyond IopFail's (23 total MD5, 21 of them IopFail).
+    specs.append(
+        _firewall(
+            "md5-legacy",
+            "LegacyGuard",
+            2,
+            4,
+            leaf_bits=1024,
+            hash_name="md5",
+            category=ProxyCategory.UNKNOWN,
+        )
+    )
+    # Subject rewrites: wildcarded IP subnets (the 51 mismatching
+    # subjects) and two certificates for entirely wrong domains.
+    specs.append(
+        ProductSpec(
+            profile=ProxyProfile(
+                key="wildcard-subnet-fw",
+                issuer=_name(org="Lincoln Financial Group", cn="LFG Proxy CA"),
+                category=ProxyCategory.ORGANIZATION,
+                leaf_key_bits=1024,
+                hash_name="sha1",
+                subject_rewrite=SubjectRewrite.WILDCARD_SUBNET,
+            ),
+            study1_weight=49,
+            study2_weight=180,
+        )
+    )
+    specs.append(
+        ProductSpec(
+            profile=ProxyProfile(
+                key="wrong-domain-google",
+                issuer=_name(org="Misdirect Systems", cn="Misdirect CA"),
+                category=ProxyCategory.UNKNOWN,
+                leaf_key_bits=1024,
+                hash_name="sha1",
+                subject_rewrite=SubjectRewrite.WRONG_DOMAIN,
+                wrong_domain="mail.google.com",
+            ),
+            study1_weight=1,
+            study2_weight=4,
+        )
+    )
+    specs.append(
+        ProductSpec(
+            profile=ProxyProfile(
+                key="wrong-domain-microsoft",
+                issuer=_name(org="Misdirect Systems", cn="Misdirect CA"),
+                category=ProxyCategory.UNKNOWN,
+                leaf_key_bits=1024,
+                hash_name="sha1",
+                subject_rewrite=SubjectRewrite.WRONG_DOMAIN,
+                wrong_domain="urs.microsoft.com",
+            ),
+            study1_weight=1,
+            study2_weight=4,
+        )
+    )
+    return specs
+
+
+_CATALOG: list[ProductSpec] | None = None
+
+
+def catalog() -> list[ProductSpec]:
+    """The process-wide product catalog (profiles are immutable)."""
+    global _CATALOG
+    if _CATALOG is None:
+        _CATALOG = build_catalog()
+    return _CATALOG
+
+
+def catalog_by_key() -> dict[str, ProductSpec]:
+    return {spec.key: spec for spec in catalog()}
+
+
+def known_issuer_categories() -> dict[str, ProxyCategory]:
+    """Issuer Organization string → category, for the classifier.
+
+    This encodes the paper's manual identification work (web searches
+    mapping issuer strings to products).  Products the authors could
+    *not* identify (category Unknown — kowsar, MYInternetS, random
+    gateway strings) are deliberately absent: the classifier must reach
+    Unknown for them on its own, exactly as the paper did.
+    """
+    mapping: dict[str, ProxyCategory] = {}
+    for spec in catalog():
+        if spec.category is ProxyCategory.UNKNOWN:
+            continue
+        for issuer in spec.profile.all_issuers():
+            if issuer.organization:
+                mapping[issuer.organization] = spec.category
+    return mapping

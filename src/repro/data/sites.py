@@ -1,0 +1,131 @@
+"""Probe sites (Table 1) and the synthetic Alexa-style universe.
+
+Table 8 gives per-host-type connection volumes; those are encoded here
+as per-site success probabilities (not every ad impression manages a
+handshake with every site — connectivity, performance and distance all
+bite, §4.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+HOST_TYPE_POPULAR = "Popular"
+HOST_TYPE_BUSINESS = "Business"
+HOST_TYPE_PORN = "Pornographic"
+HOST_TYPE_AUTHORS = "Authors'"
+
+AUTHORS_SITE = "tlsresearch.byu.edu"
+
+
+@dataclass(frozen=True)
+class ProbeSite:
+    """One site probed by the measurement tool."""
+
+    hostname: str
+    host_type: str
+    alexa_rank: int | None = None
+
+
+# Table 1 — the seventeen third-party sites of the second study, plus
+# the authors' site (ranks are plausible placements within the bands
+# the paper describes; qq.com's is its real 2014 rank).
+STUDY2_SITES: tuple[ProbeSite, ...] = (
+    ProbeSite("qq.com", HOST_TYPE_POPULAR, 9),
+    ProbeSite("promodj.com", HOST_TYPE_POPULAR, 8200),
+    ProbeSite("idwebgame.com", HOST_TYPE_POPULAR, 11500),
+    ProbeSite("parsnews.com", HOST_TYPE_POPULAR, 14800),
+    ProbeSite("idgameland.com", HOST_TYPE_POPULAR, 19600),
+    ProbeSite("vcp.ir", HOST_TYPE_POPULAR, 23900),
+    ProbeSite("airdroid.com", HOST_TYPE_BUSINESS, 31000),
+    ProbeSite("webhost1.ru", HOST_TYPE_BUSINESS, 52000),
+    ProbeSite("restaurantesecia.com.br", HOST_TYPE_BUSINESS, 88000),
+    ProbeSite("speedtest.net.in", HOST_TYPE_BUSINESS, 130000),
+    ProbeSite("iprank.ir", HOST_TYPE_BUSINESS, 210000),
+    ProbeSite("pornclipstv.com", HOST_TYPE_PORN, 61000),
+    ProbeSite("porno-be.com", HOST_TYPE_PORN, 95000),
+    ProbeSite("pornbasetube.com", HOST_TYPE_PORN, 140000),
+    ProbeSite("pornozip.net", HOST_TYPE_PORN, 185000),
+    ProbeSite("pornorasskazov.net", HOST_TYPE_PORN, 260000),
+)
+AUTHORS_PROBE_SITE = ProbeSite(AUTHORS_SITE, HOST_TYPE_AUTHORS, None)
+
+
+def study2_probe_sites() -> list[ProbeSite]:
+    """All 17 probed hosts: the authors' site first (it is tested first,
+    §4.2), then the third-party sites."""
+    return [AUTHORS_PROBE_SITE, *STUDY2_SITES]
+
+
+def study1_probe_sites() -> list[ProbeSite]:
+    return [AUTHORS_PROBE_SITE]
+
+
+# Table 8 — proxied connection breakdown by host type.  The connection
+# volumes imply per-(impression, site) success probabilities; the
+# authors' site, tested first and hosted on well-connected
+# infrastructure, succeeds far more often.
+TABLE8_CONNECTIONS = {
+    HOST_TYPE_POPULAR: 5132342,
+    HOST_TYPE_BUSINESS: 1787875,
+    HOST_TYPE_PORN: 3004996,
+    HOST_TYPE_AUTHORS: 2353717,
+}
+TABLE8_PROXIED = {
+    HOST_TYPE_POPULAR: 20965,
+    HOST_TYPE_BUSINESS: 7494,
+    HOST_TYPE_PORN: 12458,
+    HOST_TYPE_AUTHORS: 9844,
+}
+
+# Fraction of ad impressions whose client runs the tool at all (Flash
+# present, page not closed early, not a mobile device).
+CLIENT_RUN_PROBABILITY = 0.60
+
+
+def sites_of_type(host_type: str) -> list[ProbeSite]:
+    return [s for s in study2_probe_sites() if s.host_type == host_type]
+
+
+def per_site_success_probability(host_type: str, total_impressions: int) -> float:
+    """P(one site of ``host_type`` yields a measurement | client ran tool)."""
+    count = len(sites_of_type(host_type))
+    runs = total_impressions * CLIENT_RUN_PROBABILITY
+    return min(1.0, TABLE8_CONNECTIONS[host_type] / (runs * count))
+
+
+def synthetic_alexa_universe(size: int = 5000, seed: int = 99) -> list[tuple[str, int, str]]:
+    """A ranked (hostname, rank, category) universe for the policy scan.
+
+    The Table 1 sites appear at their catalog ranks with permissive
+    policies implied by their presence; the tail is synthetic sites,
+    almost none of which serve a permissive policy (matching how rare
+    permissive socket policy files were in the real top 1M).
+    """
+    import random
+
+    rng = random.Random(seed)
+    universe: dict[int, tuple[str, str]] = {}
+    for site in STUDY2_SITES:
+        universe[site.alexa_rank] = (site.hostname, _scan_category(site.host_type))
+    rank = 0
+    while len(universe) < size:
+        rank += 1
+        if rank in universe:
+            continue
+        category = rng.choices(
+            ["popular", "business", "porn", "misc"], weights=[20, 30, 10, 40]
+        )[0]
+        universe[rank] = (f"site{rank}.example", category)
+    return [
+        (hostname, rank, category)
+        for rank, (hostname, category) in sorted(universe.items())
+    ][:size]
+
+
+def _scan_category(host_type: str) -> str:
+    return {
+        HOST_TYPE_POPULAR: "popular",
+        HOST_TYPE_BUSINESS: "business",
+        HOST_TYPE_PORN: "porn",
+    }[host_type]

@@ -1,0 +1,12 @@
+"""IP geolocation (the MaxMind GeoLite substitute).
+
+The paper geolocates every reporting client's IP with GeoLite (§4).
+This package provides the same query surface over a synthetic range
+database that the population layer builds alongside its IP allocation
+plan, so lookups are exact by construction — as they need to be for
+the per-country tables to be meaningful.
+"""
+
+from repro.geoip.database import GeoIpDatabase, GeoIpError, ip_to_int, int_to_ip
+
+__all__ = ["GeoIpDatabase", "GeoIpError", "int_to_ip", "ip_to_int"]

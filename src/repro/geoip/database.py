@@ -1,0 +1,87 @@
+"""Range-based IP → country database with binary-search lookup."""
+
+from __future__ import annotations
+
+import bisect
+
+
+class GeoIpError(ValueError):
+    """Raised on malformed IPs or inconsistent range definitions."""
+
+
+def ip_to_int(ip: str) -> int:
+    """Dotted-quad IPv4 → integer."""
+    parts = ip.split(".")
+    if len(parts) != 4:
+        raise GeoIpError(f"bad IPv4 address {ip!r}")
+    value = 0
+    for part in parts:
+        try:
+            octet = int(part)
+        except ValueError as exc:
+            raise GeoIpError(f"bad IPv4 address {ip!r}") from exc
+        if not 0 <= octet <= 255:
+            raise GeoIpError(f"bad IPv4 address {ip!r}")
+        value = (value << 8) | octet
+    return value
+
+
+def int_to_ip(value: int) -> str:
+    """Integer → dotted-quad IPv4."""
+    if not 0 <= value <= 0xFFFFFFFF:
+        raise GeoIpError(f"IPv4 integer out of range: {value}")
+    return ".".join(str((value >> shift) & 0xFF) for shift in (24, 16, 8, 0))
+
+
+class GeoIpDatabase:
+    """Sorted, non-overlapping IP ranges mapping to country codes."""
+
+    def __init__(self) -> None:
+        self._starts: list[int] = []
+        self._ends: list[int] = []
+        self._countries: list[str] = []
+        self._frozen = False
+
+    def add_range(self, start_ip: str, end_ip: str, country: str) -> None:
+        """Register ``[start_ip, end_ip]`` (inclusive) as ``country``."""
+        if self._frozen:
+            raise GeoIpError("database is frozen")
+        start, end = ip_to_int(start_ip), ip_to_int(end_ip)
+        if start > end:
+            raise GeoIpError(f"inverted range {start_ip}..{end_ip}")
+        self._starts.append(start)
+        self._ends.append(end)
+        self._countries.append(country)
+
+    def freeze(self) -> None:
+        """Sort ranges and verify no overlaps; required before lookup."""
+        order = sorted(range(len(self._starts)), key=lambda i: self._starts[i])
+        self._starts = [self._starts[i] for i in order]
+        self._ends = [self._ends[i] for i in order]
+        self._countries = [self._countries[i] for i in order]
+        for i in range(1, len(self._starts)):
+            if self._starts[i] <= self._ends[i - 1]:
+                raise GeoIpError(
+                    f"overlapping ranges at {int_to_ip(self._starts[i])}"
+                )
+        self._frozen = True
+
+    def lookup(self, ip: str) -> str | None:
+        """Country code for ``ip``, or None if unallocated."""
+        if not self._frozen:
+            raise GeoIpError("freeze() the database before lookup")
+        value = ip_to_int(ip)
+        index = bisect.bisect_right(self._starts, value) - 1
+        if index >= 0 and value <= self._ends[index]:
+            return self._countries[index]
+        return None
+
+    def __len__(self) -> int:
+        return len(self._starts)
+
+    def ranges(self) -> list[tuple[str, str, str]]:
+        """All ranges as (start_ip, end_ip, country), sorted."""
+        return [
+            (int_to_ip(s), int_to_ip(e), c)
+            for s, e, c in zip(self._starts, self._ends, self._countries)
+        ]

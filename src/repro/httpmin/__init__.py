@@ -1,0 +1,14 @@
+"""Minimal HTTP/1.1 over netsim streams.
+
+Used for the two HTTP jobs in the study: serving the measurement tool
+(the ad payload) and receiving the tool's certificate reports as POST
+bodies.  Implements just what those need — request/response framing
+with Content-Length bodies — plus strict parsing so failure-injection
+tests can exercise malformed traffic.
+"""
+
+from repro.httpmin.client import HttpClient
+from repro.httpmin.codec import HttpError, HttpRequest, HttpResponse
+from repro.httpmin.server import HttpServer
+
+__all__ = ["HttpClient", "HttpError", "HttpRequest", "HttpResponse", "HttpServer"]

@@ -1,0 +1,64 @@
+"""Pull-style HTTP client for netsim hosts."""
+
+from __future__ import annotations
+
+from repro.httpmin.codec import HttpError, HttpRequest, HttpResponse
+from repro.netsim.network import ConnectionRefused, ConnectionReset, Host
+
+
+class HttpClient:
+    """Issues one-shot HTTP requests from a client host."""
+
+    def __init__(self, host: Host) -> None:
+        self.host = host
+
+    def request(
+        self,
+        method: str,
+        hostname: str,
+        path: str,
+        port: int = 80,
+        body: bytes = b"",
+        headers: dict[str, str] | None = None,
+    ) -> HttpResponse:
+        """Send one request and return the response.
+
+        Raises :class:`HttpError` on malformed or missing responses and
+        lets netsim connection errors propagate — callers decide how a
+        failed report should be counted.
+        """
+        all_headers = {"Host": hostname}
+        all_headers.update(headers or {})
+        request = HttpRequest(method=method, path=path, headers=all_headers, body=body)
+        sock = self.host.connect(hostname, port)
+        try:
+            sock.send(request.encode())
+            response, leftover = HttpResponse.try_decode(sock.recv())
+            if response is None:
+                raise HttpError("incomplete response")
+            return response
+        finally:
+            sock.close()
+
+    def get(self, hostname: str, path: str, port: int = 80) -> HttpResponse:
+        return self.request("GET", hostname, path, port=port)
+
+    def post(
+        self,
+        hostname: str,
+        path: str,
+        body: bytes,
+        port: int = 80,
+        content_type: str = "application/octet-stream",
+    ) -> HttpResponse:
+        return self.request(
+            "POST",
+            hostname,
+            path,
+            port=port,
+            body=body,
+            headers={"Content-Type": content_type},
+        )
+
+
+__all__ = ["HttpClient", "ConnectionRefused", "ConnectionReset"]

@@ -1,0 +1,74 @@
+"""Routing HTTP server as a netsim protocol."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.httpmin.codec import HttpError, HttpRequest, HttpResponse
+from repro.netsim.network import Host, Protocol, StreamSocket
+
+# Handlers receive the request and the remote host (None if unknown),
+# mirroring how a real server reads the client address off the socket.
+Handler = Callable[[HttpRequest, "Host | None"], HttpResponse]
+
+
+class HttpServer(Protocol):
+    """Dispatches requests to handlers registered per (method, path).
+
+    One instance can serve many connections via :meth:`factory`; routes
+    and counters are shared, per-connection parse state is not.
+    """
+
+    def __init__(self) -> None:
+        self._routes: dict[tuple[str, str], Handler] = {}
+        self._buffer = b""
+        self.requests_handled = 0
+        self.parse_errors = 0
+        self._shared_state: HttpServer | None = None
+
+    def route(self, method: str, path: str, handler: Handler) -> None:
+        self._routes[(method.upper(), path)] = handler
+
+    def factory(self) -> "HttpServer":
+        connection = HttpServer()
+        connection._routes = self._routes
+        connection._shared_state = self
+        return connection
+
+    # -- Protocol callbacks ----------------------------------------------
+
+    def data_received(self, sock: StreamSocket, data: bytes) -> None:
+        self._buffer += data
+        while True:
+            try:
+                request, self._buffer = HttpRequest.try_decode(self._buffer)
+            except HttpError:
+                self._count_error()
+                sock.send(HttpResponse(400).encode())
+                sock.close()
+                return
+            if request is None:
+                return
+            self._dispatch(sock, request)
+            if sock.closed:
+                return
+
+    def _dispatch(self, sock: StreamSocket, request: HttpRequest) -> None:
+        handler = self._routes.get((request.method.upper(), request.path))
+        if handler is None:
+            sock.send(HttpResponse(404).encode())
+            return
+        try:
+            response = handler(request, sock.remote_host)
+        except Exception as exc:  # handler bug → 500, like a real server
+            response = HttpResponse(500, body=str(exc).encode("utf-8"))
+        sock.send(response.encode())
+        self._count_request()
+
+    def _count_request(self) -> None:
+        state = self._shared_state or self
+        state.requests_handled += 1
+
+    def _count_error(self) -> None:
+        state = self._shared_state or self
+        state.parse_errors += 1

@@ -1,0 +1,126 @@
+"""Report storage: detailed mismatch records plus aggregate counters.
+
+At paper scale (12.3M measurements) the matched majority is stored as
+counters keyed by (country, host type, hostname); every mismatch — the
+interesting 0.41 % — is stored in full.  Wire-mode runs also keep a
+reservoir of matched records for inspection.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.measure.records import MeasurementRecord
+
+
+@dataclass
+class FailureCounters:
+    """Where sessions and probes fell over (§4: not all clients complete)."""
+
+    sessions_started: int = 0
+    tool_not_run: int = 0  # no Flash / left page (impression wasted)
+    policy_denied: int = 0
+    connect_failed: int = 0
+    probe_failed: int = 0
+    report_failed: int = 0
+
+
+class ReportDatabase:
+    """In-memory store with the query surface the analysis needs."""
+
+    def __init__(self, matched_sample_limit: int = 1000) -> None:
+        self.records: list[MeasurementRecord] = []
+        self.matched_counts: Counter[tuple[str, str, str]] = Counter()
+        self.matched_samples: list[MeasurementRecord] = []
+        self.failures = FailureCounters()
+        self._matched_sample_limit = matched_sample_limit
+
+    # -- ingest ------------------------------------------------------------
+
+    def add_mismatch(self, record: MeasurementRecord) -> None:
+        if not record.mismatch:
+            raise ValueError("add_mismatch() requires a mismatch record")
+        self.records.append(record)
+
+    def add_matched(self, record: MeasurementRecord) -> None:
+        """Store a matched measurement (counter + bounded sample)."""
+        if record.mismatch:
+            raise ValueError("add_matched() requires a non-mismatch record")
+        key = (record.country or "??", record.host_type, record.hostname)
+        self.matched_counts[key] += 1
+        if len(self.matched_samples) < self._matched_sample_limit:
+            self.matched_samples.append(record)
+
+    def add_matched_bulk(
+        self, country: str, host_type: str, hostname: str, count: int
+    ) -> None:
+        """Fast-mode ingest: ``count`` matched measurements at once."""
+        if count < 0:
+            raise ValueError("negative bulk count")
+        if count:
+            self.matched_counts[(country, host_type, hostname)] += count
+
+    # -- totals --------------------------------------------------------------
+
+    @property
+    def mismatch_count(self) -> int:
+        return len(self.records)
+
+    @property
+    def matched_count(self) -> int:
+        return sum(self.matched_counts.values())
+
+    @property
+    def total_measurements(self) -> int:
+        return self.matched_count + self.mismatch_count
+
+    @property
+    def proxied_rate(self) -> float:
+        total = self.total_measurements
+        return self.mismatch_count / total if total else 0.0
+
+    # -- breakdowns -----------------------------------------------------------
+
+    def totals_by_country(self) -> dict[str, tuple[int, int]]:
+        """country → (proxied, total)."""
+        result: dict[str, list[int]] = {}
+        for (country, _, _), count in self.matched_counts.items():
+            result.setdefault(country, [0, 0])[1] += count
+        for record in self.records:
+            country = record.country or "??"
+            entry = result.setdefault(country, [0, 0])
+            entry[0] += 1
+            entry[1] += 1
+        return {c: (p, t) for c, (p, t) in result.items()}
+
+    def totals_by_host_type(self) -> dict[str, tuple[int, int]]:
+        """host type → (proxied, total)."""
+        result: dict[str, list[int]] = {}
+        for (_, host_type, _), count in self.matched_counts.items():
+            result.setdefault(host_type, [0, 0])[1] += count
+        for record in self.records:
+            entry = result.setdefault(record.host_type, [0, 0])
+            entry[0] += 1
+            entry[1] += 1
+        return {h: (p, t) for h, (p, t) in result.items()}
+
+    def mismatches(self) -> list[MeasurementRecord]:
+        return list(self.records)
+
+    def distinct_proxied_ips(self) -> int:
+        return len({record.client_ip for record in self.records})
+
+    def merge(self, other: "ReportDatabase") -> None:
+        """Fold another database into this one (campaign shards)."""
+        self.records.extend(other.records)
+        self.matched_counts.update(other.matched_counts)
+        space = self._matched_sample_limit - len(self.matched_samples)
+        if space > 0:
+            self.matched_samples.extend(other.matched_samples[:space])
+        for name in vars(self.failures):
+            setattr(
+                self.failures,
+                name,
+                getattr(self.failures, name) + getattr(other.failures, name),
+            )

@@ -1,0 +1,135 @@
+"""The client-side measurement tool (the "Flash app").
+
+Follows §3.1's three steps for every probe target:
+
+1. the embedding page delivers the tool (modelled by an HTTP GET),
+2. the tool opens a raw socket — but only after the Flash runtime's
+   socket-policy check passes for that host and port,
+3. the received certificate chain is POSTed back in PEM.
+
+The tool probes the authors' site first, then the remaining targets,
+matching §4.2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.data.sites import ProbeSite
+from repro.httpmin.client import HttpClient
+from repro.netsim.network import ConnectionRefused, ConnectionReset, Host
+from repro.policy.model import PolicyError
+from repro.policy.server import fetch_policy
+from repro.tls.probe import ProbeClient
+from repro.x509.pem import pem_encode
+
+
+@dataclass
+class SessionOutcome:
+    """What one client session accomplished."""
+
+    probes_attempted: int = 0
+    reports_delivered: int = 0
+    policy_denied: int = 0
+    connect_failed: int = 0
+    probe_failed: int = 0
+    report_failed: int = 0
+    errors: list[str] = field(default_factory=list)
+
+
+class MeasurementTool:
+    """Runs measurement sessions from client hosts (wire mode)."""
+
+    def __init__(
+        self,
+        reporting_host: str = "tlsresearch.byu.edu",
+        report_port: int = 80,
+        policy_ports: tuple[int, ...] = (843, 80),
+        sim_product_header: bool = True,
+    ) -> None:
+        self.reporting_host = reporting_host
+        self.report_port = report_port
+        self.policy_ports = policy_ports
+        self.sim_product_header = sim_product_header
+
+    def run_session(
+        self,
+        client: Host,
+        sites: list[ProbeSite],
+        product_key: str | None = None,
+    ) -> SessionOutcome:
+        """Fetch the tool, then probe and report every site."""
+        outcome = SessionOutcome()
+        http = HttpClient(client)
+        try:
+            http.get(self.reporting_host, "/ad", port=self.report_port)
+        except (ConnectionRefused, ConnectionReset) as exc:
+            outcome.errors.append(f"ad fetch: {exc}")
+            return outcome
+        for site in sites:
+            self._probe_and_report(client, http, site, product_key, outcome)
+        return outcome
+
+    def _probe_and_report(
+        self,
+        client: Host,
+        http: HttpClient,
+        site: ProbeSite,
+        product_key: str | None,
+        outcome: SessionOutcome,
+    ) -> None:
+        outcome.probes_attempted += 1
+        if not self._policy_permits(client, site.hostname, outcome):
+            return
+        result = ProbeClient(client).probe(site.hostname, 443)
+        if not result.ok:
+            if result.error.startswith("connect"):
+                outcome.connect_failed += 1
+            else:
+                outcome.probe_failed += 1
+            outcome.errors.append(f"{site.hostname}: {result.error}")
+            return
+        body = "".join(pem_encode(der) for der in result.der_chain).encode("ascii")
+        headers = {
+            "X-Probed-Host": site.hostname,
+            "Content-Type": "application/x-pem-file",
+        }
+        if self.sim_product_header and product_key:
+            headers["X-Sim-Product"] = product_key
+        try:
+            response = http.request(
+                "POST",
+                self.reporting_host,
+                "/report",
+                port=self.report_port,
+                body=body,
+                headers=headers,
+            )
+        except (ConnectionRefused, ConnectionReset) as exc:
+            outcome.report_failed += 1
+            outcome.errors.append(f"report: {exc}")
+            return
+        if response.ok:
+            outcome.reports_delivered += 1
+        else:
+            outcome.report_failed += 1
+            outcome.errors.append(
+                f"report rejected ({response.status}): {response.body[:80]!r}"
+            )
+
+    def _policy_permits(self, client: Host, hostname: str, outcome: SessionOutcome) -> bool:
+        """The Flash runtime's mandatory socket-policy check."""
+        for port in self.policy_ports:
+            try:
+                policy = fetch_policy(client, hostname, port)
+            except ConnectionRefused:
+                continue
+            except (PolicyError, ConnectionReset):
+                outcome.policy_denied += 1
+                return False
+            if policy.permits("tlsresearch.byu.edu", 443):
+                return True
+            outcome.policy_denied += 1
+            return False
+        outcome.policy_denied += 1
+        return False

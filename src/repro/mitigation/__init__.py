@@ -1,0 +1,45 @@
+"""Mitigation mechanisms surveyed in §7, implemented as extensions.
+
+The paper surveys four families of TLS-MitM defences; this package
+implements one representative of each so their coverage can be
+compared experimentally (the A1 ablation bench):
+
+* :mod:`repro.mitigation.pinning` — certificate pinning (Google's
+  HSTS-pinning proposal).  Includes the deliberate Chrome behaviour
+  the paper highlights: locally-installed roots bypass pins, so
+  root-injecting proxies and malware evade it.
+* :mod:`repro.mitigation.notary` — multi-path probing à la
+  Perspectives/Convergence: vantage points outside the client's path
+  vote on the certificate they see.
+* :mod:`repro.mitigation.dvcert` — DVCert-style direct validation:
+  the server attests its certificate over a channel bound to a shared
+  secret, which no on-path proxy can forge.
+* :mod:`repro.mitigation.disclosure` — the IETF explicit-proxy
+  direction: cooperating proxies mark their substitute certificates,
+  making interception visible to clients that look.
+"""
+
+from repro.mitigation.disclosure import (
+    DISCLOSURE_EXTENSION_OID,
+    add_disclosure,
+    read_disclosure,
+)
+from repro.mitigation.dvcert import DirectValidationClient, DirectValidationServer
+from repro.mitigation.evaluate import DetectionOutcome, MitigationEvaluation, evaluate_mitigations
+from repro.mitigation.notary import NotaryService, NotaryVerdict
+from repro.mitigation.pinning import PinStore, PinVerdict
+
+__all__ = [
+    "DISCLOSURE_EXTENSION_OID",
+    "DetectionOutcome",
+    "DirectValidationClient",
+    "DirectValidationServer",
+    "MitigationEvaluation",
+    "NotaryService",
+    "NotaryVerdict",
+    "PinStore",
+    "PinVerdict",
+    "add_disclosure",
+    "evaluate_mitigations",
+    "read_disclosure",
+]

@@ -1,0 +1,107 @@
+"""Crossbear-style MitM localization (§8).
+
+Crossbear's idea: when a client observes a certificate that disagrees
+with the notary view, it also records a traceroute to the target; the
+server aggregates (observation, path) pairs from many hunters and
+localizes the attacker to the deepest path element shared by all
+poisoned observations and absent from all clean ones.
+
+The same logic distinguishes the paper's interception geographies:
+
+* a client-local AV product localizes to the victim machine itself;
+* a corporate gateway localizes to the office's access hop;
+* a national gateway (the §1 Iran/Syria scenario) localizes to the
+  country-level hop every affected client shares.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.netsim.network import Host, Network
+from repro.tls.probe import ProbeClient
+
+
+@dataclass(frozen=True)
+class HunterObservation:
+    """One hunter's report: what it saw and how it got there."""
+
+    hunter: str
+    fingerprint: str | None  # leaf seen by this client (None = probe failed)
+    path: tuple[str, ...]  # traceroute hop names, client first
+
+    @property
+    def ok(self) -> bool:
+        return self.fingerprint is not None
+
+
+@dataclass
+class LocalizationResult:
+    """Where the MitM sits, as far as the observations can tell."""
+
+    target: str
+    authoritative_fingerprint: str
+    poisoned: list[HunterObservation] = field(default_factory=list)
+    clean: list[HunterObservation] = field(default_factory=list)
+    suspect_hops: tuple[str, ...] = ()
+
+    @property
+    def mitm_detected(self) -> bool:
+        return bool(self.poisoned)
+
+    @property
+    def localized_to(self) -> str | None:
+        """The deepest suspect hop (closest to the poisoned clients)."""
+        return self.suspect_hops[0] if self.suspect_hops else None
+
+
+class CrossbearHunter:
+    """Coordinates hunters and localizes interception."""
+
+    def __init__(self, network: Network, authoritative_fingerprint: str) -> None:
+        self.network = network
+        self.authoritative_fingerprint = authoritative_fingerprint
+
+    def observe(self, hunter: Host, target: str, port: int = 443) -> HunterObservation:
+        """One hunter probes the target and records its path."""
+        result = ProbeClient(hunter).probe(target, port)
+        return HunterObservation(
+            hunter=hunter.hostname,
+            fingerprint=result.leaf.fingerprint() if result.ok else None,
+            path=tuple(self.network.traceroute(hunter, target)),
+        )
+
+    def localize(
+        self, hunters: list[Host], target: str, port: int = 443
+    ) -> LocalizationResult:
+        """Probe from every hunter and triangulate the interceptor.
+
+        Suspect hops are those appearing on *every* poisoned path and
+        *no* clean path, ordered client-side first (the deepest common
+        element is the best estimate of the MitM's position).
+        """
+        result = LocalizationResult(
+            target=target, authoritative_fingerprint=self.authoritative_fingerprint
+        )
+        for hunter in hunters:
+            observation = self.observe(hunter, target, port)
+            if not observation.ok:
+                continue
+            if observation.fingerprint == self.authoritative_fingerprint:
+                result.clean.append(observation)
+            else:
+                result.poisoned.append(observation)
+        if not result.poisoned:
+            return result
+
+        shared: set[str] = set(result.poisoned[0].path)
+        for observation in result.poisoned[1:]:
+            shared &= set(observation.path)
+        for observation in result.clean:
+            shared -= set(observation.path)
+        shared.discard(target)
+        # Order suspects from the client side outward using the first
+        # poisoned path's hop order.
+        ordered = [hop for hop in result.poisoned[0].path if hop in shared]
+        result.suspect_hops = tuple(ordered)
+        return result

@@ -1,0 +1,229 @@
+"""Certificate Transparency (§7: RFC 6962-style audit logs).
+
+A CT log is an append-only Merkle tree of certificates.  Issuers (or
+servers) submit certificates and receive a signed certificate
+timestamp (SCT); auditors verify inclusion proofs; monitors watch the
+log for certificates naming domains they care about and flag
+mis-issuance.
+
+The tree uses RFC 6962's domain-separated hashing (leaf prefix 0x00,
+node prefix 0x01) and supports both inclusion and consistency proofs,
+so the append-only property is independently checkable.
+
+What CT can and cannot do about TLS proxies mirrors the paper's §7
+discussion: a *rogue public CA* mis-issuing for a domain is caught by
+the domain's monitor, but a proxy signing with a *locally injected*
+root never submits to any log — its certificates are invisible to CT,
+and clients that accept local roots without SCTs learn nothing.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+from repro.crypto.hashes import hash_by_name
+from repro.crypto.rsa import RsaKeyPair, RsaPublicKey, pkcs1_sign, pkcs1_verify
+from repro.x509.model import Certificate
+
+
+def _leaf_hash(data: bytes) -> bytes:
+    return hashlib.sha256(b"\x00" + data).digest()
+
+
+def _node_hash(left: bytes, right: bytes) -> bytes:
+    return hashlib.sha256(b"\x01" + left + right).digest()
+
+
+class MerkleTree:
+    """An append-only Merkle tree over opaque leaf blobs (RFC 6962)."""
+
+    def __init__(self) -> None:
+        self._leaves: list[bytes] = []  # leaf hashes
+
+    def append(self, data: bytes) -> int:
+        """Append a leaf; returns its index."""
+        self._leaves.append(_leaf_hash(data))
+        return len(self._leaves) - 1
+
+    @property
+    def size(self) -> int:
+        return len(self._leaves)
+
+    def root(self, size: int | None = None) -> bytes:
+        """Root hash over the first ``size`` leaves (default: all)."""
+        size = self.size if size is None else size
+        if size > self.size:
+            raise ValueError(f"size {size} exceeds tree size {self.size}")
+        if size == 0:
+            return hashlib.sha256(b"").digest()
+        return self._subtree_root(0, size)
+
+    def _subtree_root(self, start: int, size: int) -> bytes:
+        if size == 1:
+            return self._leaves[start]
+        split = _largest_power_of_two_below(size)
+        return _node_hash(
+            self._subtree_root(start, split),
+            self._subtree_root(start + split, size - split),
+        )
+
+    # -- proofs -----------------------------------------------------------
+
+    def inclusion_proof(self, index: int, size: int | None = None) -> list[bytes]:
+        """Audit path for leaf ``index`` within the first ``size`` leaves."""
+        size = self.size if size is None else size
+        if not 0 <= index < size <= self.size:
+            raise ValueError(f"bad proof request: index={index} size={size}")
+        return self._path(index, 0, size)
+
+    def _path(self, index: int, start: int, size: int) -> list[bytes]:
+        if size == 1:
+            return []
+        split = _largest_power_of_two_below(size)
+        if index < split:
+            path = self._path(index, start, split)
+            path.append(self._subtree_root(start + split, size - split))
+        else:
+            path = self._path(index - split, start + split, size - split)
+            path.append(self._subtree_root(start, split))
+        return path
+
+    def consistency_proof(self, old_size: int, new_size: int | None = None) -> list[bytes]:
+        """Proof that the first ``old_size`` leaves are a prefix of the
+        first ``new_size`` leaves (RFC 6962 §2.1.2)."""
+        new_size = self.size if new_size is None else new_size
+        if not 0 < old_size <= new_size <= self.size:
+            raise ValueError(f"bad consistency request: {old_size}..{new_size}")
+        if old_size == new_size:
+            return []
+        return self._consistency(old_size, 0, new_size, True)
+
+    def _consistency(
+        self, old: int, start: int, size: int, old_is_complete: bool
+    ) -> list[bytes]:
+        if old == size:
+            if old_is_complete:
+                return []
+            return [self._subtree_root(start, size)]
+        split = _largest_power_of_two_below(size)
+        if old <= split:
+            proof = self._consistency(old, start, split, old_is_complete)
+            proof.append(self._subtree_root(start + split, size - split))
+        else:
+            proof = self._consistency(
+                old - split, start + split, size - split, False
+            )
+            proof.append(self._subtree_root(start, split))
+        return proof
+
+
+def _largest_power_of_two_below(n: int) -> int:
+    """Largest power of two strictly less than n (n >= 2)."""
+    power = 1
+    while power * 2 < n:
+        power *= 2
+    return power
+
+
+def verify_inclusion(
+    leaf_data: bytes, index: int, size: int, proof: list[bytes], root: bytes
+) -> bool:
+    """Verify an inclusion proof (the RFC 9162 §2.1.3.2 algorithm).
+
+    The audit path is ordered leaf-to-root, so verification walks
+    bottom-up, tracking the leaf's position (``fn``) against the index
+    of the last leaf (``sn``) to know which side each sibling is on.
+    """
+    if not 0 <= index < size:
+        return False
+    fn, sn = index, size - 1
+    node = _leaf_hash(leaf_data)
+    for sibling in proof:
+        if sn == 0:
+            return False  # proof longer than the path
+        if fn & 1 or fn == sn:
+            node = _node_hash(sibling, node)
+            if not fn & 1:
+                # Right-edge node: climb until fn is a left child.
+                while fn & 1 == 0 and fn != 0:
+                    fn >>= 1
+                    sn >>= 1
+        else:
+            node = _node_hash(node, sibling)
+        fn >>= 1
+        sn >>= 1
+    return sn == 0 and node == root
+
+
+@dataclass(frozen=True)
+class SignedCertificateTimestamp:
+    """A log's promise that a certificate will be included."""
+
+    log_id: str
+    leaf_index: int
+    certificate_fingerprint: str
+    signature: bytes
+
+
+@dataclass
+class CtLog:
+    """A CT log: Merkle tree + signing key + query interface."""
+
+    log_id: str
+    key: RsaKeyPair
+    tree: MerkleTree = field(default_factory=MerkleTree)
+    entries: list[Certificate] = field(default_factory=list)
+
+    def submit(self, certificate: Certificate) -> SignedCertificateTimestamp:
+        """Append a certificate and return its SCT."""
+        index = self.tree.append(certificate.encode())
+        self.entries.append(certificate)
+        message = self._sct_message(index, certificate.fingerprint())
+        signature = pkcs1_sign(self.key, hash_by_name("sha256"), message)
+        return SignedCertificateTimestamp(
+            log_id=self.log_id,
+            leaf_index=index,
+            certificate_fingerprint=certificate.fingerprint(),
+            signature=signature,
+        )
+
+    def _sct_message(self, index: int, fingerprint: str) -> bytes:
+        return f"{self.log_id}:{index}:{fingerprint}".encode("ascii")
+
+    def verify_sct(
+        self, sct: SignedCertificateTimestamp, public_key: RsaPublicKey
+    ) -> bool:
+        message = self._sct_message(sct.leaf_index, sct.certificate_fingerprint)
+        return pkcs1_verify(public_key, hash_by_name("sha256"), message, sct.signature)
+
+    def prove_inclusion(self, index: int) -> tuple[list[bytes], bytes, int]:
+        """(audit path, tree root, tree size) for the leaf at ``index``."""
+        size = self.tree.size
+        return self.tree.inclusion_proof(index, size), self.tree.root(size), size
+
+    def certificates_for(self, hostname: str) -> list[Certificate]:
+        """Monitor query: every logged certificate covering ``hostname``."""
+        return [c for c in self.entries if c.matches_hostname(hostname)]
+
+
+@dataclass
+class CtMonitor:
+    """A domain owner's monitor: flags unexpected issuers for a domain.
+
+    The monitor knows which issuer names legitimately sign for the
+    domain; anything else appearing in the log is mis-issuance — the
+    rogue-CA detection CT was built for.
+    """
+
+    hostname: str
+    legitimate_issuers: frozenset[str]
+
+    def audit(self, log: CtLog) -> list[Certificate]:
+        """Return logged certificates for the domain with wrong issuers."""
+        flagged = []
+        for certificate in log.certificates_for(self.hostname):
+            issuer = certificate.issuer.organization or certificate.issuer.common_name
+            if issuer not in self.legitimate_issuers:
+                flagged.append(certificate)
+        return flagged

@@ -1,0 +1,57 @@
+"""Explicit proxy disclosure (§7: McGrew/Loreto IETF drafts).
+
+The industry proposals make interception *visible*: a cooperating
+proxy marks the substitute certificate so the client knows a middlebox
+is present and can seek consent.  Here the marker is a non-critical
+certificate extension carrying the proxy's self-declared identity —
+which, exactly as the paper's analysis implies, only benevolent
+proxies would ever add.
+"""
+
+from __future__ import annotations
+
+from repro.asn1.types import Utf8String
+from repro.x509.model import Certificate, Extension, TbsCertificate
+
+# Private-arc OID for the simulated disclosure extension.
+DISCLOSURE_EXTENSION_OID = "1.3.6.1.4.1.53535.1.1"
+
+
+def add_disclosure(tbs: TbsCertificate, proxy_identity: str) -> TbsCertificate:
+    """Return a copy of ``tbs`` carrying a disclosure extension.
+
+    Must be applied before signing — the extension is part of the
+    signed TBSCertificate, so it cannot be stripped in flight.
+    """
+    marker = Extension(
+        DISCLOSURE_EXTENSION_OID,
+        critical=False,
+        value=Utf8String(proxy_identity).encode(),
+    )
+    return TbsCertificate(
+        serial_number=tbs.serial_number,
+        signature_oid=tbs.signature_oid,
+        issuer=tbs.issuer,
+        validity=tbs.validity,
+        subject=tbs.subject,
+        public_key=tbs.public_key,
+        extensions=(*tbs.extensions, marker),
+        version=tbs.version,
+    )
+
+
+def read_disclosure(certificate: Certificate) -> str | None:
+    """The proxy identity disclosed in ``certificate``, if any."""
+    from repro.asn1.types import decode
+
+    for extension in certificate.tbs.extensions:
+        if extension.oid != DISCLOSURE_EXTENSION_OID:
+            continue
+        try:
+            value, rest = decode(extension.value)
+        except Exception:
+            return None
+        if rest or not isinstance(value, Utf8String):
+            return None
+        return value.value
+    return None

@@ -1,0 +1,53 @@
+"""DVCert-style direct validation of certificates (§7, Dacosta et al.).
+
+Client and server already share a secret (the account password); the
+server proves which certificate it actually serves by MACing the
+certificate fingerprint with a key derived from that secret.  An
+on-path proxy can substitute the certificate but cannot forge the
+attestation, so the client detects the swap — without third parties.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from dataclasses import dataclass
+
+from repro.x509.model import Certificate
+
+
+def _derive_key(shared_secret: str, hostname: str) -> bytes:
+    return hashlib.pbkdf2_hmac(
+        "sha256", shared_secret.encode("utf-8"), hostname.encode("ascii"), 1000
+    )
+
+
+@dataclass
+class DirectValidationServer:
+    """The web application's side: attests its true certificate."""
+
+    hostname: str
+    certificate: Certificate
+
+    def attest(self, shared_secret: str, challenge: bytes) -> bytes:
+        """MAC(fingerprint ‖ challenge) under the shared-secret key."""
+        key = _derive_key(shared_secret, self.hostname)
+        message = bytes.fromhex(self.certificate.fingerprint()) + challenge
+        return hmac.new(key, message, hashlib.sha256).digest()
+
+
+@dataclass
+class DirectValidationClient:
+    """The browser's side: verifies the attestation for what *it* saw."""
+
+    hostname: str
+    shared_secret: str
+
+    def verify(
+        self, observed: Certificate, challenge: bytes, attestation: bytes
+    ) -> bool:
+        """True iff the server attested to the certificate we observed."""
+        key = _derive_key(self.shared_secret, self.hostname)
+        message = bytes.fromhex(observed.fingerprint()) + challenge
+        expected = hmac.new(key, message, hashlib.sha256).digest()
+        return hmac.compare_digest(expected, attestation)

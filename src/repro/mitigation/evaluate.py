@@ -1,0 +1,270 @@
+"""Mitigation coverage evaluation (the A1 ablation).
+
+Builds four attack/interception scenarios on real netsim paths and
+asks each §7 mechanism whether it detects the interception:
+
+* ``benign-av``      — AV firewall, root injected at install time;
+* ``malware``        — ad-injecting malware, root injected silently;
+* ``rogue-ca``       — attacker holding a cert from a compromised but
+                       *publicly trusted* CA (no root injection);
+* ``chained-attack`` — an external attacker with an untrusted CA
+                       behind a Kurupira-style masking filter (§5.2).
+
+The punchline the paper's §7 discussion predicts: pinning with
+Chrome's local-root exemption misses everything root-injection based;
+notaries and DVCert catch all four; disclosure only ever reveals the
+cooperating proxy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.crypto.keystore import KeyStore
+from repro.mitigation.disclosure import read_disclosure
+from repro.mitigation.dvcert import DirectValidationClient, DirectValidationServer
+from repro.mitigation.notary import NotaryService, NotaryVerdict
+from repro.mitigation.pinning import PinStore, PinVerdict
+from repro.netsim.network import Network
+from repro.proxy.engine import TlsProxyEngine
+from repro.proxy.forger import SubstituteCertForger
+from repro.proxy.profile import (
+    ForgedUpstreamPolicy,
+    ProxyCategory,
+    ProxyProfile,
+)
+from repro.study.webpki import build_web_pki
+from repro.data.sites import ProbeSite
+from repro.tls.probe import ProbeClient
+from repro.tls.server import TlsCertServer
+from repro.x509.model import Name
+from repro.x509.store import RootStore
+
+TARGET = "secure-target.example"
+SHARED_SECRET = "correct horse battery staple"
+
+
+@dataclass(frozen=True)
+class DetectionOutcome:
+    """One scenario × mechanism result."""
+
+    scenario: str
+    intercepted: bool
+    pinning: str
+    pinning_strict: str  # without the local-root exemption
+    notary: str
+    dvcert: str
+    disclosure: str | None
+    # Certificate Transparency: "flagged" (monitor caught mis-issuance),
+    # "invisible" (interception happened but nothing reached the log),
+    # or "clean" (no interception, log consistent).
+    ct_monitor: str = "clean"
+
+
+@dataclass
+class MitigationEvaluation:
+    outcomes: list[DetectionOutcome] = field(default_factory=list)
+
+    def by_scenario(self, name: str) -> DetectionOutcome:
+        for outcome in self.outcomes:
+            if outcome.scenario == name:
+                return outcome
+        raise KeyError(name)
+
+
+def evaluate_mitigations(seed: int = 0) -> MitigationEvaluation:
+    """Run every scenario and mechanism; returns the ablation table."""
+    evaluation = MitigationEvaluation()
+    scenarios = (
+        "clean",
+        "benign-av",
+        "cooperative-proxy",
+        "malware",
+        "rogue-ca",
+        "chained-attack",
+    )
+    for scenario in scenarios:
+        evaluation.outcomes.append(_run_scenario(scenario, seed))
+    return evaluation
+
+
+def _run_scenario(scenario: str, seed: int) -> DetectionOutcome:
+    keystore = KeyStore(seed=seed)
+    forger = SubstituteCertForger(keystore, seed=seed)
+    network = Network()
+    site = ProbeSite(TARGET, "Business")
+    pki = build_web_pki(keystore, [site], seed=seed)
+    origin = network.add_host(TARGET, ip="203.0.113.50")
+    origin.listen(443, TlsCertServer(pki.chain_for(TARGET)).factory)
+    genuine_leaf = pki.leaf_for(TARGET)
+
+    client = network.add_host("victim.example", ip="11.0.0.99")
+    client_store = pki.root_store()  # factory roots
+    interceptor_profile: ProxyProfile | None = None
+
+    if scenario == "benign-av":
+        interceptor_profile = ProxyProfile(
+            key="ablation-av",
+            issuer=Name.build(common_name="AV Web Shield", organization="GoodAV"),
+            category=ProxyCategory.BUSINESS_PERSONAL_FIREWALL,
+            leaf_key_bits=2048,
+            hash_name="sha1",
+        )
+    elif scenario == "cooperative-proxy":
+        # A §7-style explicit proxy: intercepts like the AV product but
+        # discloses its identity in the substitute certificate.
+        interceptor_profile = ProxyProfile(
+            key="ablation-cooperative",
+            issuer=Name.build(common_name="Explicit Proxy", organization="GoodAV"),
+            category=ProxyCategory.BUSINESS_PERSONAL_FIREWALL,
+            leaf_key_bits=2048,
+            hash_name="sha1",
+            disclosure_identity="GoodAV Explicit Proxy v1",
+        )
+    elif scenario == "malware":
+        interceptor_profile = ProxyProfile(
+            key="ablation-malware",
+            issuer=Name.build(common_name="AdInject CA", organization="Objectify Media Inc"),
+            category=ProxyCategory.MALWARE,
+            leaf_key_bits=1024,
+            hash_name="sha1",
+            forged_upstream=ForgedUpstreamPolicy.MASK,
+        )
+    elif scenario == "rogue-ca":
+        # A compromised but publicly trusted CA: its root is ALREADY a
+        # factory root; no injection needed (Figure 2(c), left arrow).
+        # Pick a public CA *different* from the site's legitimate
+        # issuer, as a real cross-CA mis-issuance would be.
+        legitimate_org = genuine_leaf.issuer.organization
+        rogue_root = next(
+            ca
+            for ca in pki.roots.values()
+            if ca.certificate.subject.organization != legitimate_org
+        )
+        interceptor_profile = ProxyProfile(
+            key="ablation-rogue",
+            issuer=rogue_root.certificate.subject,
+            category=ProxyCategory.UNKNOWN,
+            leaf_key_bits=2048,
+            hash_name="sha1",
+            injects_root=False,
+            forged_upstream=ForgedUpstreamPolicy.MASK,
+        )
+    if scenario == "chained-attack":
+        # An external attacker with an *untrusted* CA sits on the path
+        # beyond a Kurupira-style masking filter.  The filter fetches
+        # upstream through a relay carrying the attacker's interceptor:
+        # client -> filter -> attacker -> origin.  Because the filter
+        # MASKs invalid upstream chains (§5.2), the attack is invisible
+        # to the browser, which only ever sees the filter's trusted CA.
+        attacker_profile = ProxyProfile(
+            key="ablation-attacker",
+            issuer=Name.build(common_name="Evil CA", organization="Attacker"),
+            category=ProxyCategory.UNKNOWN,
+            leaf_key_bits=1024,
+            hash_name="sha1",
+            injects_root=False,
+            forged_upstream=ForgedUpstreamPolicy.MASK,
+        )
+        relay_host = network.add_host("relay.victim.example")
+        attacker = TlsProxyEngine(
+            attacker_profile,
+            forger,
+            upstream_host=relay_host,
+            upstream_trust=pki.root_store(),
+        )
+        relay_host.add_interceptor(attacker)
+        filter_profile = ProxyProfile(
+            key="ablation-kurupira",
+            issuer=Name.build(
+                common_name="Kurupira WebFilter", organization="Kurupira.NET"
+            ),
+            category=ProxyCategory.BUSINESS_PERSONAL_FIREWALL,
+            leaf_key_bits=1024,
+            hash_name="sha1",
+            forged_upstream=ForgedUpstreamPolicy.MASK,  # the §5.2 negligence
+        )
+        filter_engine = TlsProxyEngine(
+            filter_profile,
+            forger,
+            upstream_host=relay_host,
+            upstream_trust=pki.root_store(),
+            upstream_via_interceptors=True,
+        )
+        client.add_interceptor(filter_engine)
+        ca = forger.authority_for(filter_profile)
+        client_store.inject(ca.certificate)
+    elif interceptor_profile is not None:
+        engine = TlsProxyEngine(
+            interceptor_profile,
+            forger,
+            upstream_host=client,
+            upstream_trust=pki.root_store(),
+        )
+        client.add_interceptor(engine)
+        if interceptor_profile.injects_root:
+            ca = forger.authority_for(interceptor_profile)
+            client_store.inject(ca.certificate)
+
+    # --- observe the certificate the client actually gets ---------------
+    result = ProbeClient(client).probe(TARGET, 443)
+    if not result.ok:
+        raise RuntimeError(f"{scenario}: probe failed: {result.error}")
+    observed_leaf = result.leaf
+    observed_chain = list(result.chain)
+    intercepted = observed_leaf.fingerprint() != genuine_leaf.fingerprint()
+
+    # --- pinning ----------------------------------------------------------
+    pins = PinStore(trust_local_roots=True)
+    pins.preload(TARGET, [genuine_leaf])
+    pin_verdict = pins.check(TARGET, observed_chain, store=client_store)
+    strict_pins = PinStore(trust_local_roots=False)
+    strict_pins.preload(TARGET, [genuine_leaf])
+    strict_verdict = strict_pins.check(TARGET, observed_chain, store=client_store)
+
+    # --- notary -------------------------------------------------------------
+    notary = NotaryService(network, vantage_count=5)
+    notary_verdict = notary.judge(observed_leaf, TARGET, 443)
+
+    # --- DVCert ----------------------------------------------------------------
+    dv_server = DirectValidationServer(TARGET, genuine_leaf)
+    dv_client = DirectValidationClient(TARGET, SHARED_SECRET)
+    challenge = b"nonce-%d" % seed
+    attestation = dv_server.attest(SHARED_SECRET, challenge)
+    dv_ok = dv_client.verify(observed_leaf, challenge, attestation)
+    dvcert = "ok" if dv_ok else "mitm-detected"
+
+    # --- disclosure ---------------------------------------------------------------
+    disclosed = read_disclosure(observed_leaf)
+
+    # --- Certificate Transparency ---------------------------------------------------
+    # Publicly trusted CAs are obliged to log what they issue; a rogue
+    # *public* CA's mis-issued certificate therefore reaches the log and
+    # the domain monitor flags it.  Proxies signing with locally
+    # injected roots never submit anything — CT sees nothing.
+    from repro.mitigation.ctlog import CtLog, CtMonitor
+
+    log = CtLog(log_id="repro-ablation-log", key=keystore.key("ct-ablation", 512))
+    log.submit(genuine_leaf)
+    if scenario == "rogue-ca":
+        log.submit(observed_leaf)
+    legitimate_issuer = genuine_leaf.issuer.organization
+    monitor = CtMonitor(TARGET, frozenset({legitimate_issuer}))
+    flagged = monitor.audit(log)
+    if flagged:
+        ct_verdict = "flagged"
+    elif intercepted:
+        ct_verdict = "invisible"
+    else:
+        ct_verdict = "clean"
+
+    return DetectionOutcome(
+        scenario=scenario,
+        intercepted=intercepted,
+        pinning=pin_verdict.value,
+        pinning_strict=strict_verdict.value,
+        notary=notary_verdict.value,
+        dvcert=dvcert,
+        disclosure=disclosed,
+        ct_monitor=ct_verdict,
+    )

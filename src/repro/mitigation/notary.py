@@ -1,0 +1,79 @@
+"""Multi-path probing notaries (Perspectives / Convergence / DoubleCheck).
+
+A notary service probes the target from vantage points *outside* the
+client's network path and reports what certificate each saw.  A
+client-side proxy — corporate firewall, AV product, malware — cannot
+touch the notaries' paths, so disagreement between the client's view
+and the notaries' quorum exposes the MitM.  The paper notes the
+technique's weakness too: benign certificate changes and multi-cert
+deployments cause false alarms, which the quorum threshold models.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.netsim.network import Host, Network
+from repro.tls.probe import ProbeClient
+from repro.x509.model import Certificate
+
+
+class NotaryVerdict(str, enum.Enum):
+    AGREES = "agrees"  # client view matches the quorum
+    MITM_SUSPECTED = "mitm-suspected"  # quorum saw something else
+    NO_QUORUM = "no-quorum"  # vantages disagree among themselves
+    UNREACHABLE = "unreachable"  # notaries could not probe the host
+
+
+@dataclass(frozen=True)
+class NotaryObservation:
+    vantage: str
+    fingerprint: str | None  # None = probe failed
+
+
+class NotaryService:
+    """A set of vantage hosts that probe targets on request."""
+
+    def __init__(
+        self, network: Network, vantage_count: int = 5, quorum: float = 0.6
+    ) -> None:
+        if not 0.5 < quorum <= 1.0:
+            raise ValueError("quorum must be in (0.5, 1.0]")
+        self.network = network
+        self.quorum = quorum
+        self.vantages: list[Host] = []
+        for index in range(vantage_count):
+            hostname = f"notary-{index}.example"
+            host = network.host_or_none(hostname) or network.add_host(hostname)
+            self.vantages.append(host)
+
+    def observe(self, hostname: str, port: int = 443) -> list[NotaryObservation]:
+        """Probe ``hostname`` from every vantage point."""
+        observations = []
+        for vantage in self.vantages:
+            result = ProbeClient(vantage).probe(hostname, port)
+            observations.append(
+                NotaryObservation(
+                    vantage=vantage.hostname,
+                    fingerprint=result.leaf.fingerprint() if result.ok else None,
+                )
+            )
+        return observations
+
+    def judge(
+        self, client_leaf: Certificate, hostname: str, port: int = 443
+    ) -> NotaryVerdict:
+        """Compare the client's observed leaf against the vantage quorum."""
+        observations = self.observe(hostname, port)
+        seen = [o.fingerprint for o in observations if o.fingerprint is not None]
+        if not seen:
+            return NotaryVerdict.UNREACHABLE
+        counts = Counter(seen)
+        top_fingerprint, top_count = counts.most_common(1)[0]
+        if top_count / len(self.vantages) < self.quorum:
+            return NotaryVerdict.NO_QUORUM
+        if client_leaf.fingerprint() == top_fingerprint:
+            return NotaryVerdict.AGREES
+        return NotaryVerdict.MITM_SUSPECTED

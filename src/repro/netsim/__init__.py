@@ -1,0 +1,41 @@
+"""In-process network simulation.
+
+The measurement study runs over the real Internet; this package
+substitutes a deterministic, single-threaded internet that still moves
+real bytes.  Servers are event-driven protocol handlers, clients are
+pull-style sockets, and — the part the whole paper hinges on —
+*interceptors* can sit on a client's path and terminate, inspect, or
+re-originate connections exactly like a corporate firewall, antivirus
+product, or piece of malware.
+
+Execution model: delivery is synchronous.  ``socket.send`` immediately
+invokes the peer protocol's ``data_received``; anything the peer sends
+back lands in the client's receive buffer before ``send`` returns.
+This keeps an entire TLS handshake deterministic without threads or an
+event loop, which is what lets the test suite drive millions of
+handshakes reproducibly.
+"""
+
+from repro.netsim.network import (
+    ConnectionRefused,
+    ConnectionReset,
+    Host,
+    Interceptor,
+    NetsimError,
+    Network,
+    PathHop,
+    Protocol,
+    StreamSocket,
+)
+
+__all__ = [
+    "ConnectionRefused",
+    "ConnectionReset",
+    "Host",
+    "Interceptor",
+    "NetsimError",
+    "Network",
+    "PathHop",
+    "Protocol",
+    "StreamSocket",
+]

@@ -1,0 +1,27 @@
+"""Flash socket policy files.
+
+The Flash runtime refuses raw sockets unless the destination host
+serves a permissive ``<cross-domain-policy>`` file (§3.1 step 2).  This
+constraint shaped the whole study: only 17 sites in the Alexa top 1M
+could be probed, found by scanning for permissive policy files.
+
+* :class:`PolicyFile` — the XML document and its ``permits`` logic.
+* :class:`PolicyServer` — serves the file using the real Flash wire
+  protocol (``<policy-file-request/>\\0`` → XML + NUL).
+* :func:`fetch_policy` — client-side fetch + parse.
+* :class:`PolicyScanner` — the Alexa top-1M scan that produced Table 1.
+"""
+
+from repro.policy.model import PolicyError, PolicyFile, PolicyRule
+from repro.policy.scanner import PolicyScanner, ScanResult
+from repro.policy.server import PolicyServer, fetch_policy
+
+__all__ = [
+    "PolicyError",
+    "PolicyFile",
+    "PolicyRule",
+    "PolicyScanner",
+    "PolicyServer",
+    "ScanResult",
+    "fetch_policy",
+]

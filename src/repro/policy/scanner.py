@@ -1,0 +1,87 @@
+"""Policy-file scanning and probe-site selection (Table 1).
+
+The authors scanned the Alexa top 1M for hosts serving permissive
+socket policy files, then chose the highest-ranked hits per category
+(popular / business / pornographic) as probe targets.  The scanner
+here does the same over a netsim universe.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.netsim.network import ConnectionRefused, Host
+from repro.policy.model import PolicyError
+from repro.policy.server import fetch_policy
+
+
+@dataclass(frozen=True)
+class ScanResult:
+    """Outcome of scanning one site."""
+
+    hostname: str
+    rank: int
+    category: str
+    has_policy: bool
+    permissive: bool
+    error: str = ""
+
+
+@dataclass
+class PolicyScanner:
+    """Scans ranked sites for permissive policy files.
+
+    ``policy_port`` defaults to 843 (the dedicated Flash port); sites
+    in the simulation may also serve policies on port 80 like the
+    authors did, so a list of fallback ports is scanned in order.
+    """
+
+    client: Host
+    policy_ports: tuple[int, ...] = (843, 80)
+    results: list[ScanResult] = field(default_factory=list)
+
+    def scan(self, sites: list[tuple[str, int, str]]) -> list[ScanResult]:
+        """Scan ``(hostname, rank, category)`` triples; returns all results."""
+        results = []
+        for hostname, rank, category in sites:
+            results.append(self._scan_one(hostname, rank, category))
+        self.results.extend(results)
+        return results
+
+    def _scan_one(self, hostname: str, rank: int, category: str) -> ScanResult:
+        for port in self.policy_ports:
+            try:
+                policy = fetch_policy(self.client, hostname, port)
+            except ConnectionRefused:
+                continue
+            except PolicyError as exc:
+                return ScanResult(
+                    hostname, rank, category, True, False, error=str(exc)
+                )
+            return ScanResult(
+                hostname,
+                rank,
+                category,
+                True,
+                policy.is_permissive_for_tls,
+            )
+        return ScanResult(hostname, rank, category, False, False, error="no policy")
+
+    def select_probe_sites(
+        self,
+        results: list[ScanResult],
+        per_category: dict[str, int],
+    ) -> dict[str, list[ScanResult]]:
+        """Pick the highest-ranked permissive sites per category.
+
+        ``per_category`` maps category name → how many sites to take
+        (the paper took 6 popular, 5 business, 5 pornographic).
+        """
+        selected: dict[str, list[ScanResult]] = {}
+        for category, count in per_category.items():
+            candidates = sorted(
+                (r for r in results if r.category == category and r.permissive),
+                key=lambda r: r.rank,
+            )
+            selected[category] = candidates[:count]
+        return selected

@@ -1,0 +1,65 @@
+"""Socket policy file server and client fetch.
+
+Speaks the real Flash policy protocol: the client sends the literal
+string ``<policy-file-request/>`` terminated by a NUL; the server
+answers with the XML document, also NUL-terminated, and closes.
+
+The paper served its policy file on port 80 (same as the web server)
+to dodge captive portals that block unusual ports (§3.1); the server
+here can listen anywhere.
+"""
+
+from __future__ import annotations
+
+from repro.netsim.network import ConnectionRefused, Host, Protocol, StreamSocket
+from repro.policy.model import PolicyError, PolicyFile
+
+POLICY_REQUEST = b"<policy-file-request/>\x00"
+
+
+class PolicyServer(Protocol):
+    """Serves one policy document; counts requests."""
+
+    def __init__(self, policy: PolicyFile) -> None:
+        self.policy = policy
+        self.requests_served = 0
+        self._buffer = b""
+        self._shared: PolicyServer | None = None
+
+    def factory(self) -> "PolicyServer":
+        connection = PolicyServer(self.policy)
+        connection._shared = self
+        return connection
+
+    def data_received(self, sock: StreamSocket, data: bytes) -> None:
+        self._buffer += data
+        if POLICY_REQUEST not in self._buffer:
+            if len(self._buffer) > len(POLICY_REQUEST):
+                sock.close()  # not a policy request; hang up
+            return
+        sock.send(self.policy.to_xml().encode("utf-8") + b"\x00")
+        state = self._shared or self
+        state.requests_served += 1
+        sock.close()
+
+
+def fetch_policy(client: Host, hostname: str, port: int = 843) -> PolicyFile:
+    """Fetch and parse the policy file from ``hostname:port``.
+
+    Raises :class:`PolicyError` if the host serves nothing or garbage,
+    and lets :class:`ConnectionRefused` propagate when there is no
+    policy listener at all — callers treat both as "cannot probe".
+    """
+    sock = client.connect(hostname, port)
+    try:
+        sock.send(POLICY_REQUEST)
+        raw = sock.recv()
+    finally:
+        sock.close()
+    if not raw:
+        raise PolicyError(f"{hostname}:{port} returned no policy data")
+    text = raw.split(b"\x00", 1)[0].decode("utf-8", errors="replace")
+    return PolicyFile.from_xml(text)
+
+
+__all__ = ["PolicyServer", "fetch_policy", "POLICY_REQUEST", "ConnectionRefused"]

@@ -1,0 +1,32 @@
+"""Synthetic client population.
+
+The study's subjects — Internet users whose traffic may pass a TLS
+proxy — are synthesized here, calibrated so that every published
+marginal holds simultaneously:
+
+* country measurement volumes and interception rates (Tables 3/7),
+* the product mixture among intercepted connections (Table 4, §6.4),
+* product geography (PSafe in Brazil, POSCO and LG UPLUS in Korea,
+  DSP behind one Irish IP, the Unknown surge in targeted countries).
+
+Country × product consistency is achieved by iterative proportional
+fitting (:mod:`repro.population.calibration`): the bias-seeded
+product/country matrix is scaled until its row sums match the product
+weights and its column sums match the per-country proxied counts.
+"""
+
+from repro.population.calibration import iterative_proportional_fit
+from repro.population.model import (
+    ClientPopulation,
+    ClientProfile,
+    CountryPlan,
+    REPEAT_FACTOR,
+)
+
+__all__ = [
+    "ClientPopulation",
+    "ClientProfile",
+    "CountryPlan",
+    "REPEAT_FACTOR",
+    "iterative_proportional_fit",
+]

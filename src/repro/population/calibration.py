@@ -1,0 +1,59 @@
+"""Iterative proportional fitting for the product × country table."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def iterative_proportional_fit(
+    seed_matrix: np.ndarray,
+    row_targets: np.ndarray,
+    col_targets: np.ndarray,
+    max_iterations: int = 500,
+    tolerance: float = 1e-10,
+) -> np.ndarray:
+    """Scale ``seed_matrix`` to match row and column targets.
+
+    Classic IPF (Deming–Stephan): alternately rescale rows and columns.
+    Zero cells stay zero, preserving structural constraints such as
+    "DSP appears only in Ireland".  Row and column targets must agree
+    in total; infeasible structures (a positive row target whose row is
+    all zeros) raise ``ValueError``.
+    """
+    matrix = np.asarray(seed_matrix, dtype=float).copy()
+    rows = np.asarray(row_targets, dtype=float)
+    cols = np.asarray(col_targets, dtype=float)
+    if matrix.shape != (rows.size, cols.size):
+        raise ValueError(
+            f"matrix {matrix.shape} does not match targets ({rows.size},{cols.size})"
+        )
+    if not np.isclose(rows.sum(), cols.sum(), rtol=1e-9):
+        raise ValueError(
+            f"row targets sum to {rows.sum():.6g}, columns to {cols.sum():.6g}"
+        )
+    for name, targets, axis_sums in (
+        ("row", rows, matrix.sum(axis=1)),
+        ("column", cols, matrix.sum(axis=0)),
+    ):
+        infeasible = (targets > 0) & (axis_sums == 0)
+        if infeasible.any():
+            raise ValueError(
+                f"infeasible {name} target at index {int(np.argmax(infeasible))}"
+            )
+
+    for _ in range(max_iterations):
+        row_sums = matrix.sum(axis=1)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            row_scale = np.where(row_sums > 0, rows / row_sums, 0.0)
+        matrix *= row_scale[:, None]
+
+        col_sums = matrix.sum(axis=0)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            col_scale = np.where(col_sums > 0, cols / col_sums, 0.0)
+        matrix *= col_scale[None, :]
+
+        row_error = np.abs(matrix.sum(axis=1) - rows).max()
+        scale = max(rows.max(), 1.0)
+        if row_error / scale < tolerance:
+            break
+    return matrix

@@ -1,0 +1,220 @@
+"""Client population: country plans, IP allocation and client sampling."""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data import countries as country_data
+from repro.data import products as product_data
+from repro.geoip.database import GeoIpDatabase, int_to_ip
+from repro.population.calibration import iterative_proportional_fit
+from repro.util import stable_hash
+
+# Proxied connections per distinct proxied IP in study 1
+# (11,764 connections / 8,589 IPs); reused for study 2.
+REPEAT_FACTOR = 11764 / 8589
+
+# Each country owns a /11-sized block (2M addresses) of synthetic space.
+_BLOCK_BITS = 21
+_BLOCK_SIZE = 1 << _BLOCK_BITS
+_BASE_ADDRESS = 0x0B000000  # 11.0.0.0
+
+
+@dataclass(frozen=True)
+class ClientProfile:
+    """One sampled client: where they are and what intercepts them."""
+
+    country: str
+    client_index: int
+    ip: str
+    product_key: str | None  # None = no TLS proxy on path
+    client_bucket: int
+
+    @property
+    def is_proxied(self) -> bool:
+        return self.product_key is not None
+
+
+@dataclass(frozen=True)
+class CountryPlan:
+    """Per-country sampling parameters."""
+
+    code: str
+    name: str
+    measurement_weight: float  # expected measurements (paper's Total column)
+    proxy_rate: float
+    block_start: int  # first IP (as int) of this country's block
+    pool_size: int  # number of distinct client slots
+
+
+class ClientPopulation:
+    """Samples clients consistent with every published marginal.
+
+    ``expected_sessions_scale`` controls pool sizes only (repeat-visit
+    realism); sampling probabilities are scale-free.
+    """
+
+    def __init__(
+        self,
+        study: int,
+        seed: int = 0,
+        scale: float = 1.0,
+        measurements_per_session: float = 1.0,
+    ) -> None:
+        if study not in (1, 2):
+            raise ValueError(f"study must be 1 or 2, not {study}")
+        self.study = study
+        self.seed = seed
+        self._specs = product_data.catalog()
+        rows = country_data.country_table(study)
+        self._plans: list[CountryPlan] = []
+        for index, row in enumerate(rows):
+            sessions = row.total * scale / max(measurements_per_session, 1e-9)
+            pool = max(1, math.ceil(sessions / REPEAT_FACTOR))
+            pool = min(pool, _BLOCK_SIZE - 4096)  # reserve the block top
+            self._plans.append(
+                CountryPlan(
+                    code=row.code,
+                    name=row.name,
+                    measurement_weight=float(row.total),
+                    proxy_rate=row.rate,
+                    block_start=_BASE_ADDRESS + index * _BLOCK_SIZE,
+                    pool_size=pool,
+                )
+            )
+        self._plan_by_code = {plan.code: plan for plan in self._plans}
+        self._country_cum_weights = np.cumsum(
+            [plan.measurement_weight for plan in self._plans]
+        )
+        self._fitted = self._fit_product_mixture(rows)
+        # Per-country conditional product distributions (cumulative).
+        self._product_cum: dict[str, np.ndarray] = {}
+        for col, plan in enumerate(self._plans):
+            column = self._fitted[:, col]
+            total = column.sum()
+            if total > 0:
+                self._product_cum[plan.code] = np.cumsum(column / total)
+
+    # -- calibration -------------------------------------------------------
+
+    def _fit_product_mixture(self, rows) -> np.ndarray:
+        specs = self._specs
+        seed_matrix = np.array(
+            [
+                [spec.weight_in(self.study, row.code) for row in rows]
+                for spec in specs
+            ],
+            dtype=float,
+        )
+        total_proxied = float(sum(row.proxied for row in rows))
+        base_weights = np.array(
+            [
+                spec.study1_weight if self.study == 1 else spec.study2_weight
+                for spec in specs
+            ],
+            dtype=float,
+        )
+        row_targets = base_weights / base_weights.sum() * total_proxied
+        col_targets = np.array([float(row.proxied) for row in rows])
+        # Products whose bias zeroes them out everywhere they have
+        # weight would make IPF infeasible; give them a floor in their
+        # bias countries.
+        for i in range(len(specs)):
+            if row_targets[i] > 0 and seed_matrix[i].sum() == 0:
+                raise ValueError(f"product {specs[i].key} has no feasible country")
+        return iterative_proportional_fit(seed_matrix, row_targets, col_targets)
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def plans(self) -> list[CountryPlan]:
+        return list(self._plans)
+
+    def plan(self, code: str) -> CountryPlan:
+        return self._plan_by_code[code]
+
+    def expected_product_share(self, product_key: str, country: str) -> float:
+        """P(product | proxied, country) from the fitted table."""
+        col = [p.code for p in self._plans].index(country)
+        column = self._fitted[:, col]
+        total = column.sum()
+        if total == 0:
+            return 0.0
+        row = [s.key for s in self._specs].index(product_key)
+        return float(self._fitted[row, col] / total)
+
+    # -- sampling -------------------------------------------------------------
+
+    def sample_country(self, rng: random.Random) -> str:
+        point = rng.random() * self._country_cum_weights[-1]
+        index = int(np.searchsorted(self._country_cum_weights, point, side="right"))
+        index = min(index, len(self._plans) - 1)
+        return self._plans[index].code
+
+    def sample_client(self, rng: random.Random) -> ClientProfile:
+        """Sample one client session (country, identity, interception)."""
+        country = self.sample_country(rng)
+        plan = self._plan_by_code[country]
+        client_index = rng.randrange(plan.pool_size)
+        return self.client_profile(country, client_index)
+
+    def client_profile(self, country: str, client_index: int) -> ClientProfile:
+        """The deterministic profile of client ``client_index`` in ``country``.
+
+        A client is either always proxied by the same product or never
+        proxied — interception is a property of the machine, so repeat
+        visits by one client must agree.
+        """
+        plan = self._plan_by_code[country]
+        derived = random.Random(
+            stable_hash(self.seed, "client", country, client_index)
+        )
+        proxied = derived.random() < plan.proxy_rate
+        product_key: str | None = None
+        if proxied and country in self._product_cum:
+            cum = self._product_cum[country]
+            point = derived.random() * cum[-1]
+            row = int(np.searchsorted(cum, point, side="right"))
+            row = min(row, len(self._specs) - 1)
+            product_key = self._specs[row].key
+        ip = self._client_ip(plan, client_index, product_key)
+        return ClientProfile(
+            country=country,
+            client_index=client_index,
+            ip=ip,
+            product_key=product_key,
+            client_bucket=client_index % product_data.NUM_CLIENT_BUCKETS,
+        )
+
+    def _client_ip(
+        self, plan: CountryPlan, client_index: int, product_key: str | None
+    ) -> str:
+        if product_key is not None:
+            spec = product_data.catalog_by_key()[product_key]
+            if spec.egress_plan is not None:
+                pool = spec.egress_plan.get(plan.code, 1)
+                slot = client_index % pool
+                # Egress IPs live at the top of the country block,
+                # partitioned per product.
+                product_index = [s.key for s in self._specs].index(product_key)
+                offset = _BLOCK_SIZE - 1 - (product_index * 16 + slot)
+                return int_to_ip(plan.block_start + offset)
+        return int_to_ip(plan.block_start + client_index)
+
+    # -- GeoIP ------------------------------------------------------------------
+
+    def build_geoip(self) -> GeoIpDatabase:
+        """A GeoLite-style database covering every country block."""
+        db = GeoIpDatabase()
+        for plan in self._plans:
+            db.add_range(
+                int_to_ip(plan.block_start),
+                int_to_ip(plan.block_start + _BLOCK_SIZE - 1),
+                plan.code,
+            )
+        db.freeze()
+        return db

@@ -1,0 +1,39 @@
+"""TLS interception proxies — the object the paper measures.
+
+A TLS proxy terminates the client's handshake, fetches the origin
+server's real certificate over its own upstream connection, forges a
+*substitute certificate* for the requested name, and serves it signed
+by a CA the client has been made to trust (usually a root injected at
+product install time — Figure 2(c) of the paper).
+
+* :class:`ProxyProfile` — the observable behaviour of one product:
+  issuer strings, substitute key size, signature hash, whitelists,
+  issuer-copying, subject rewriting, shared leaf keys, and how the
+  product reacts when the *upstream* certificate is itself forged
+  (§5.2: Kurupira masks it, Bitdefender blocks it).
+* :class:`SubstituteCertForger` — turns (profile, upstream leaf) into a
+  signed substitute certificate.  Shared by the wire-mode engine and
+  the fast-mode study driver, which is what makes the two modes
+  provably equivalent.
+* :class:`TlsProxyEngine` — a netsim :class:`~repro.netsim.Interceptor`
+  that performs the full MitM on real sockets.
+"""
+
+from repro.proxy.engine import TlsProxyEngine
+from repro.proxy.forger import ForgedCertificate, SubstituteCertForger
+from repro.proxy.profile import (
+    ForgedUpstreamPolicy,
+    ProxyCategory,
+    ProxyProfile,
+    SubjectRewrite,
+)
+
+__all__ = [
+    "ForgedCertificate",
+    "ForgedUpstreamPolicy",
+    "ProxyCategory",
+    "ProxyProfile",
+    "SubjectRewrite",
+    "SubstituteCertForger",
+    "TlsProxyEngine",
+]

@@ -1,0 +1,287 @@
+"""Wire-mode TLS MitM engine.
+
+A netsim interceptor that does exactly what the measured products do
+(Figure 3 of the paper): terminate the client's TLS handshake, open
+its own connection to the origin, obtain the real certificate, forge a
+substitute, and serve it.  Whitelisted hosts are relayed untouched —
+the behaviour Huang et al. observed for Facebook and that motivated
+the paper's choice of low-profile probe targets.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.netsim.network import (
+    ConnectionRefused,
+    ConnectionReset,
+    Interceptor,
+    Network,
+    Protocol,
+    StreamSocket,
+)
+from repro.proxy.forger import SubstituteCertForger
+from repro.proxy.profile import ForgedUpstreamPolicy, ProxyProfile
+from repro.tls import codec
+from repro.tls.codec import (
+    Alert,
+    Certificate as CertificateMessage,
+    ClientHello,
+    HandshakeMessage,
+    Record,
+    ServerHello,
+    TlsError,
+)
+from repro.x509.model import Certificate
+from repro.x509.parse import X509Error, parse_certificate
+from repro.x509.store import RootStore
+from repro.x509.verify import validate_chain
+
+
+class TlsProxyEngine(Interceptor):
+    """On-path TLS interception for one product profile.
+
+    ``upstream_host`` is the netsim host the proxy originates its
+    origin-facing connections from; ``upstream_trust`` is the proxy's
+    own root store, used to judge whether the *origin's* certificate is
+    genuine (the §5.2 forged-certificate experiments hinge on this).
+    """
+
+    def __init__(
+        self,
+        profile: ProxyProfile,
+        forger: SubstituteCertForger,
+        upstream_host,
+        upstream_trust: RootStore,
+        client_bucket: int = 0,
+        rng: random.Random | None = None,
+        upstream_via_interceptors: bool = False,
+    ) -> None:
+        self.profile = profile
+        self.forger = forger
+        self.upstream_host = upstream_host
+        self.upstream_trust = upstream_trust
+        self.client_bucket = client_bucket
+        # When True the origin-facing leg goes through the upstream
+        # host's own interceptors — how one middlebox ends up behind
+        # another (the §5.2 chained-attack experiment).
+        self.upstream_via_interceptors = upstream_via_interceptors
+        self._rng = rng or random.Random(0xBEEF)
+        # Decision counters, inspected by tests and experiments.
+        self.intercepted = 0
+        self.whitelisted = 0
+        self.blocked_forged_upstream = 0
+        self.masked_forged_upstream = 0
+        self.passed_through_forged_upstream = 0
+        self.upstream_failures = 0
+
+    # -- Interceptor interface ---------------------------------------------
+
+    def intercepts(self, hostname: str, port: int) -> bool:
+        if port not in self.profile.intercept_ports:
+            return False
+        # Whitelisted hosts are still claimed so the engine can relay
+        # them transparently (the client must not see a difference).
+        return True
+
+    def accept(
+        self, network: Network, client_sock: StreamSocket, hostname: str, port: int
+    ) -> None:
+        client_sock.protocol = _MitmConnection(self, network, hostname, port)
+
+
+class _MitmConnection(Protocol):
+    """Per-connection state machine for the proxy's client-facing leg."""
+
+    def __init__(
+        self, engine: TlsProxyEngine, network: Network, hostname: str, port: int
+    ) -> None:
+        self.engine = engine
+        self.network = network
+        self.hostname = hostname
+        self.port = port
+        self._buffer = b""
+        self._relay: StreamSocket | None = None  # pass-through upstream leg
+        self._done = False
+
+    # -- protocol callbacks -------------------------------------------------
+
+    def data_received(self, sock: StreamSocket, data: bytes) -> None:
+        if self._relay is not None:
+            self._pump_relay(sock, data)
+            return
+        self._buffer += data
+        try:
+            records, rest = codec.decode_records(self._buffer)
+        except TlsError:
+            self._fatal(sock, codec.ALERT_HANDSHAKE_FAILURE)
+            return
+        for record in records:
+            if record.content_type != codec.CONTENT_HANDSHAKE:
+                continue
+            try:
+                messages, _ = codec.decode_handshakes(record.payload)
+            except TlsError:
+                self._fatal(sock, codec.ALERT_HANDSHAKE_FAILURE)
+                return
+            for message in messages:
+                if message.msg_type == codec.HS_CLIENT_HELLO and not self._done:
+                    hello = ClientHello.from_body(message.body)
+                    self._handle_client_hello(sock, hello)
+                    if self._relay is None:
+                        self._done = True
+
+    def connection_lost(self, sock: StreamSocket) -> None:
+        if self._relay is not None and not self._relay.closed:
+            self._relay.close()
+
+    # -- decision logic -------------------------------------------------------
+
+    def _handle_client_hello(self, sock: StreamSocket, hello: ClientHello) -> None:
+        engine = self.engine
+        profile = engine.profile
+        target = hello.server_name or self.hostname
+
+        if profile.is_whitelisted(target):
+            engine.whitelisted += 1
+            self._start_relay(sock, hello)
+            return
+
+        upstream = self._fetch_upstream_chain(hello)
+        if upstream is None:
+            engine.upstream_failures += 1
+            self._fatal(sock, codec.ALERT_HANDSHAKE_FAILURE)
+            return
+        upstream_chain, upstream_raw = upstream
+
+        verdict = validate_chain(
+            list(upstream_chain), engine.upstream_trust, hostname=target
+        )
+        if not verdict.valid:
+            policy = profile.forged_upstream
+            if policy is ForgedUpstreamPolicy.BLOCK:
+                engine.blocked_forged_upstream += 1
+                self._fatal(sock, codec.ALERT_BAD_CERTIFICATE)
+                return
+            if policy is ForgedUpstreamPolicy.PASS_THROUGH:
+                engine.passed_through_forged_upstream += 1
+                # Relay the upstream DER verbatim, as captured.
+                self._serve_chain(sock, hello, list(upstream_raw))
+                return
+            engine.masked_forged_upstream += 1  # MASK falls through to forge
+
+        forged = engine.forger.forge(
+            profile,
+            upstream_chain[0],
+            target,
+            site_ip=self._site_ip(),
+            client_bucket=engine.client_bucket,
+        )
+        engine.intercepted += 1
+        self._serve_chain(sock, hello, [c.encode() for c in forged.chain])
+
+    def _site_ip(self) -> str:
+        host = self.network.host_or_none(self.hostname)
+        return host.ip if host is not None else "203.0.113.1"
+
+    # -- wire helpers ---------------------------------------------------------
+
+    def _fetch_upstream_chain(
+        self, hello: ClientHello
+    ) -> tuple[tuple[Certificate, ...], tuple[bytes, ...]] | None:
+        """Run the proxy's own partial handshake against the origin."""
+        engine = self.engine
+        try:
+            if engine.upstream_via_interceptors:
+                upstream = self.network.connect(
+                    engine.upstream_host, self.hostname, self.port
+                )
+            else:
+                upstream = self.network.connect_upstream(
+                    engine.upstream_host, self.hostname, self.port
+                )
+        except ConnectionRefused:
+            return None
+        try:
+            upstream_hello = ClientHello(
+                client_random=engine._rng.getrandbits(256).to_bytes(32, "big"),
+                server_name=hello.server_name,
+                version=hello.version,
+            )
+            upstream.send(
+                codec.encode_handshake_record(upstream_hello, version=hello.version)
+            )
+            raw = upstream.recv()
+        except ConnectionReset:
+            return None
+        finally:
+            upstream.close()
+        try:
+            records, _ = codec.decode_records(raw)
+            handshake_stream = b"".join(
+                r.payload for r in records if r.content_type == codec.CONTENT_HANDSHAKE
+            )
+            messages, _ = codec.decode_handshakes(handshake_stream)
+            for message in messages:
+                if message.msg_type == codec.HS_CERTIFICATE:
+                    der_chain = CertificateMessage.from_body(message.body).der_chain
+                    parsed = tuple(parse_certificate(der) for der in der_chain)
+                    return parsed, der_chain
+        except (TlsError, X509Error):
+            return None
+        return None
+
+    def _serve_chain(
+        self, sock: StreamSocket, hello: ClientHello, der_chain: list[bytes]
+    ) -> None:
+        server_hello = ServerHello(
+            server_random=self.engine._rng.getrandbits(256).to_bytes(32, "big"),
+            cipher_suite=0x002F,
+            version=hello.version,
+        )
+        payload = (
+            server_hello.to_handshake().encode()
+            + CertificateMessage(tuple(der_chain)).to_handshake().encode()
+            + HandshakeMessage(codec.HS_SERVER_HELLO_DONE, b"").encode()
+        )
+        for start in range(0, len(payload), 0x4000):
+            record = Record(
+                codec.CONTENT_HANDSHAKE, hello.version, payload[start : start + 0x4000]
+            )
+            sock.send(record.encode())
+
+    def _start_relay(self, sock: StreamSocket, hello: ClientHello) -> None:
+        """Transparent pass-through for whitelisted destinations."""
+        try:
+            self._relay = self.network.connect_upstream(
+                self.engine.upstream_host, self.hostname, self.port
+            )
+        except ConnectionRefused:
+            self._fatal(sock, codec.ALERT_HANDSHAKE_FAILURE)
+            return
+        # Replay everything buffered so far (the ClientHello) verbatim.
+        self._relay.send(self._buffer)
+        reply = self._relay.recv()
+        if reply:
+            sock.send(reply)
+
+    def _pump_relay(self, sock: StreamSocket, data: bytes) -> None:
+        relay = self._relay
+        if relay is None or relay.closed:
+            sock.close()
+            return
+        try:
+            relay.send(data)
+        except ConnectionReset:
+            sock.close()
+            return
+        reply = relay.recv()
+        if reply:
+            sock.send(reply)
+
+    def _fatal(self, sock: StreamSocket, description: int) -> None:
+        try:
+            sock.send(Alert(2, description).encode_record())
+        except ConnectionReset:
+            pass
+        sock.close()

@@ -1,0 +1,126 @@
+"""Behaviour profiles for TLS interception products.
+
+A profile captures everything about a product that is *observable from
+the substitute certificates it emits* plus its documented reaction to
+forged upstream certificates.  The product catalog in
+:mod:`repro.data.products` instantiates one profile per product named
+in the paper.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.x509.model import Name
+
+
+class ProxyCategory(str, enum.Enum):
+    """The paper's ten issuer-classification categories (Tables 5/6)."""
+
+    BUSINESS_PERSONAL_FIREWALL = "Business/Personal Firewall"
+    BUSINESS_FIREWALL = "Business Firewall"
+    PERSONAL_FIREWALL = "Personal Firewall"
+    PARENTAL_CONTROL = "Parental Control"
+    ORGANIZATION = "Organization"
+    SCHOOL = "School"
+    MALWARE = "Malware"
+    UNKNOWN = "Unknown"
+    TELECOM = "Telecom"
+    CERTIFICATE_AUTHORITY = "Certificate Authority"
+
+
+class ForgedUpstreamPolicy(str, enum.Enum):
+    """What a proxy does when the origin presents an untrusted chain.
+
+    * ``BLOCK`` — refuse the connection with a fatal alert.  What
+      Bitdefender did in the authors' lab test (§5.2), and the safe
+      default.
+    * ``MASK`` — forge a trusted substitute anyway, hiding the attack
+      from the user.  Kurupira's negligent behaviour: an attacker
+      behind the filter gets a free, invisible MitM.
+    * ``PASS_THROUGH`` — relay the original (untrusted) certificate and
+      let the browser warn.
+    """
+
+    BLOCK = "block"
+    MASK = "mask"
+    PASS_THROUGH = "pass-through"
+
+
+class SubjectRewrite(str, enum.Enum):
+    """How a proxy mangles the substitute certificate's subject (§5.2)."""
+
+    NONE = "none"
+    WILDCARD_SUBNET = "wildcard-subnet"  # CN names only the /24 of the site
+    WRONG_DOMAIN = "wrong-domain"  # CN for an unrelated domain entirely
+
+
+@dataclass(frozen=True)
+class ProxyProfile:
+    """The observable behaviour of one interception product."""
+
+    key: str  # stable identifier, e.g. "bitdefender"
+    issuer: Name  # subject of the product's signing CA
+    category: ProxyCategory
+    # Aggregate profiles (the "Other (332)" long tail) rotate through
+    # several issuer names, selected per client bucket; empty means the
+    # single ``issuer`` is always used.
+    issuer_variants: tuple[Name, ...] = ()
+    # Substitute-certificate cryptography.
+    leaf_key_bits: int = 1024
+    hash_name: str = "sha1"
+    ca_key_bits: int = 1024
+    # Behaviour quirks from §5.1/5.2/6.4.
+    copies_upstream_issuer: bool = False  # the false "DigiCert Inc" claims
+    reuses_leaf_key: bool = False  # IopFail's single 512-bit key
+    subject_rewrite: SubjectRewrite = SubjectRewrite.NONE
+    wrong_domain: str = "mail.google.com"
+    forged_upstream: ForgedUpstreamPolicy = ForgedUpstreamPolicy.BLOCK
+    injects_root: bool = True  # False models the rogue/compromised-CA path
+    whitelist: frozenset[str] = field(default_factory=frozenset)
+    intercept_ports: frozenset[int] = frozenset({443})
+    # §7 explicit-proxy proposals: a cooperating proxy self-identifies
+    # in its substitute certificates.  None = does not disclose (every
+    # product the paper measured).
+    disclosure_identity: str | None = None
+
+    def intercepts(self, hostname: str, port: int) -> bool:
+        """Whether this product would MitM a connection to hostname:port."""
+        if port not in self.intercept_ports:
+            return False
+        return not self.is_whitelisted(hostname)
+
+    def is_whitelisted(self, hostname: str) -> bool:
+        hostname = hostname.lower()
+        if hostname in self.whitelist:
+            return True
+        # Whitelists in the wild match registrable domains.
+        return any(
+            hostname.endswith("." + entry) for entry in self.whitelist
+        )
+
+    @property
+    def issuer_organization(self) -> str | None:
+        """The Issuer Organization string the analysis will see."""
+        return self.issuer.organization
+
+    def issuer_for_bucket(self, client_bucket: int) -> Name:
+        """The issuer name used by the install in ``client_bucket``."""
+        if not self.issuer_variants:
+            return self.issuer
+        return self.issuer_variants[client_bucket % len(self.issuer_variants)]
+
+    def all_issuers(self) -> tuple[Name, ...]:
+        return self.issuer_variants if self.issuer_variants else (self.issuer,)
+
+    def leaf_key_label(self, hostname: str, client_bucket: int) -> str:
+        """Key-pool label for a substitute leaf.
+
+        Products normally generate a key per install (modelled as a
+        small number of buckets); key-reusing malware uses one global
+        key, which is exactly the IopFail signal the analysis hunts.
+        """
+        if self.reuses_leaf_key:
+            return f"leaf:{self.key}"
+        return f"leaf:{self.key}:{client_bucket}"

@@ -1,0 +1,19 @@
+"""Rendering of paper-style tables and the Figure 7 heat map."""
+
+from repro.reporting.render import (
+    render_classification_table,
+    render_country_table,
+    render_heatmap,
+    render_host_type_table,
+    render_issuer_table,
+    render_table,
+)
+
+__all__ = [
+    "render_classification_table",
+    "render_country_table",
+    "render_heatmap",
+    "render_host_type_table",
+    "render_issuer_table",
+    "render_table",
+]

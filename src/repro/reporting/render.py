@@ -1,0 +1,117 @@
+"""ASCII rendering of the evaluation artifacts.
+
+Benches print these next to the paper's numbers; the formats follow
+the paper's table layouts so the two are visually comparable.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tables import (
+    ClassificationRow,
+    CountryBreakdown,
+    HostTypeRow,
+    IssuerRow,
+)
+
+
+def render_table(headers: list[str], rows: list[list[str]]) -> str:
+    """Render a padded ASCII table."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def render_row(cells: list[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells)).rstrip()
+
+    lines = [render_row(headers), render_row(["-" * w for w in widths])]
+    lines.extend(render_row(row) for row in rows)
+    return "\n".join(lines)
+
+
+def render_country_table(breakdown: CountryBreakdown) -> str:
+    """Tables 3/7 layout: Rank, Country, Proxied, Total, Percent."""
+    rows = []
+    for row in breakdown.rows:
+        rows.append(
+            [
+                str(row.rank),
+                row.country,
+                f"{row.proxied:,}",
+                f"{row.total:,}",
+                f"{row.percent:.2f}%",
+            ]
+        )
+    for row in (breakdown.other, breakdown.total):
+        rows.append(
+            ["", row.country, f"{row.proxied:,}", f"{row.total:,}", f"{row.percent:.2f}%"]
+        )
+    return render_table(["Rank", "Country", "Proxied", "Total", "Percent"], rows)
+
+
+def render_issuer_table(rows: list[IssuerRow], other: IssuerRow) -> str:
+    """Table 4 layout: Rank, Issuer Organization, Connections."""
+    body = [
+        [str(row.rank), row.issuer_organization, f"{row.connections:,}"]
+        for row in rows
+    ]
+    body.append(["", other.issuer_organization, f"{other.connections:,}"])
+    return render_table(["Rank", "Issuer Organization", "Connections"], body)
+
+
+def render_classification_table(rows: list[ClassificationRow]) -> str:
+    """Tables 5/6 layout: Proxy Type, Connections, Percent."""
+    body = [
+        [row.category.value, f"{row.connections:,}", f"{row.percent:.2f}%"]
+        for row in rows
+    ]
+    return render_table(["Proxy Type", "Connections", "Percent"], body)
+
+
+def render_host_type_table(rows: list[HostTypeRow]) -> str:
+    """Table 8 layout: Website Type, Connections, Proxied, Percent Proxied."""
+    body = [
+        [
+            row.host_type,
+            f"{row.connections:,}",
+            f"{row.proxied:,}",
+            f"{row.percent_proxied:.2f}%",
+        ]
+        for row in rows
+    ]
+    return render_table(
+        ["Website Type", "Connections", "Proxied", "Percent Proxied"], body
+    )
+
+
+# Figure 7's palette, coarsened to ASCII: low rate → '.', high → '#'.
+_HEAT_CHARS = " .:-=+*#%@"
+_HEAT_CEILING = 0.12  # the paper's 12% maximum
+
+
+def heat_char(rate: float) -> str:
+    """Map a proxy rate to a heat character."""
+    clamped = max(0.0, min(rate, _HEAT_CEILING))
+    index = int(clamped / _HEAT_CEILING * (len(_HEAT_CHARS) - 1))
+    return _HEAT_CHARS[index]
+
+
+def render_heatmap(series: dict[str, float], columns: int = 6) -> str:
+    """Figure 7 as an ASCII country grid, hottest first.
+
+    The paper paints a world map; the data series is the same —
+    country → proxy rate on a 0–12% scale.
+    """
+    ordered = sorted(series.items(), key=lambda item: -item[1])
+    cells = [
+        f"{country:>3} {heat_char(rate)} {rate * 100:5.2f}%"
+        for country, rate in ordered
+    ]
+    lines = []
+    for start in range(0, len(cells), columns):
+        lines.append("   ".join(cells[start : start + columns]))
+    legend = (
+        f"scale: '{_HEAT_CHARS[1]}' ~0% ... '{_HEAT_CHARS[-1]}' >= "
+        f"{_HEAT_CEILING * 100:.0f}% proxied"
+    )
+    return "\n".join([*lines, legend])

@@ -1,0 +1,13 @@
+"""Study orchestration: the two measurement campaigns, end to end.
+
+:class:`StudyRunner` drives everything the paper's §4–§6 describe:
+build the origin-site PKI and network, set up the reporting server,
+run the ad campaigns, sample the client population, execute
+measurement sessions (wire or fast mode) and hand back a
+:class:`StudyResult` whose database feeds the analysis layer.
+"""
+
+from repro.study.runner import StudyConfig, StudyResult, StudyRunner
+from repro.study.webpki import WebPki, build_web_pki
+
+__all__ = ["StudyConfig", "StudyResult", "StudyRunner", "WebPki", "build_web_pki"]

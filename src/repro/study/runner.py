@@ -1,0 +1,359 @@
+"""End-to-end study execution (wire and fast modes).
+
+Both modes share every decision-making component — population,
+product profiles, forger, report database — and differ only in
+whether bytes actually cross the simulated network:
+
+* **wire** — every measurement runs the full §3 pipeline on netsim
+  sockets: policy check, partial TLS handshake through a real MitM
+  engine, HTTP report.  Used at small scale and by the tests.
+* **fast** — the same sampling and the same forger, but matched
+  traffic is aggregated per (country, site) and substitute
+  certificates are generated without the socket dance.  Reaches the
+  paper's 12.3M-measurement scale.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.adwords.campaign import AdCampaign, CampaignOutcome, run_study2_campaigns
+from repro.crypto.keystore import KeyStore
+from repro.data import countries as country_data
+from repro.data import products as product_data
+from repro.data import sites as site_data
+from repro.data.sites import ProbeSite
+from repro.measure.database import ReportDatabase
+from repro.measure.records import CertSummary, MeasurementRecord
+from repro.measure.server import CombinedPolicyHttpServer, ReportingServer
+from repro.measure.tool import MeasurementTool
+from repro.netsim.network import Network
+from repro.policy.model import PolicyFile
+from repro.policy.server import PolicyServer
+from repro.population.model import ClientPopulation, ClientProfile
+from repro.proxy.engine import TlsProxyEngine
+from repro.proxy.forger import SubstituteCertForger
+from repro.study.webpki import WebPki, build_web_pki
+from repro.tls.probe import ProbeClient
+from repro.tls.server import TlsCertServer
+from repro.util import stable_hash
+
+# Per-study completion constants (§4.1/§4.2 totals; see data.sites).
+_STUDY1_CLIENT_RUN = 0.65
+_STUDY1_SITE_SUCCESS = 0.95
+
+
+@dataclass(frozen=True)
+class StudyConfig:
+    """Parameters of one study run."""
+
+    study: int  # 1 or 2
+    seed: int = 0
+    scale: float = 0.01  # fraction of the paper's measurement volume
+    mode: str = "fast"  # "fast" or "wire"
+    matched_sample_limit: int = 500
+
+    def __post_init__(self) -> None:
+        if self.study not in (1, 2):
+            raise ValueError("study must be 1 or 2")
+        if self.mode not in ("fast", "wire"):
+            raise ValueError("mode must be 'fast' or 'wire'")
+        if not 0 < self.scale <= 1.0:
+            raise ValueError("scale must be in (0, 1]")
+
+
+@dataclass
+class StudyResult:
+    """Everything a study run produces."""
+
+    config: StudyConfig
+    database: ReportDatabase
+    campaigns: list[CampaignOutcome]
+    population: ClientPopulation
+    pki: WebPki
+    sites: list[ProbeSite]
+    sessions_run: int = 0
+    notes: dict[str, object] = field(default_factory=dict)
+
+
+class StudyRunner:
+    """Builds and executes one study."""
+
+    def __init__(self, config: StudyConfig) -> None:
+        self.config = config
+        self.keystore = KeyStore(seed=config.seed)
+        self.forger = SubstituteCertForger(self.keystore, seed=config.seed)
+        self.sites = (
+            site_data.study1_probe_sites()
+            if config.study == 1
+            else site_data.study2_probe_sites()
+        )
+        self.pki = build_web_pki(self.keystore, self.sites, seed=config.seed)
+        self.site_ips = {
+            site.hostname: f"203.0.113.{10 + index}"
+            for index, site in enumerate(self.sites)
+        }
+        self._catalog = product_data.catalog_by_key()
+
+    # -- shared knobs ---------------------------------------------------------
+
+    def client_run_probability(self) -> float:
+        if self.config.study == 1:
+            return _STUDY1_CLIENT_RUN
+        return site_data.CLIENT_RUN_PROBABILITY
+
+    def site_success_probability(self, site: ProbeSite) -> float:
+        """P(a session completes a measurement of ``site``)."""
+        if self.config.study == 1:
+            return _STUDY1_SITE_SUCCESS
+        total_impressions = sum(c.impressions for c in country_data.STUDY2_CAMPAIGNS)
+        return site_data.per_site_success_probability(site.host_type, total_impressions)
+
+    def measurements_per_session(self) -> float:
+        return sum(self.site_success_probability(site) for site in self.sites)
+
+    def total_sessions(self) -> int:
+        if self.config.study == 1:
+            impressions = country_data.STUDY1_CAMPAIGN.impressions
+        else:
+            impressions = sum(c.impressions for c in country_data.STUDY2_CAMPAIGNS)
+        return int(impressions * self.client_run_probability() * self.config.scale)
+
+    def campaign_for(self, country: str) -> str:
+        if self.config.study == 1:
+            return country_data.STUDY1_CAMPAIGN.name
+        if country in country_data.TARGETED_COUNTRIES:
+            names = {
+                "CN": "China",
+                "EG": "Egypt",
+                "PK": "Pakistan",
+                "RU": "Russia",
+                "UA": "Ukraine",
+            }
+            return names[country]
+        return "Global"
+
+    # -- entry point -------------------------------------------------------------
+
+    def run(self) -> StudyResult:
+        config = self.config
+        population = ClientPopulation(
+            config.study,
+            seed=config.seed,
+            scale=config.scale,
+            measurements_per_session=self.measurements_per_session(),
+        )
+        database = ReportDatabase(matched_sample_limit=config.matched_sample_limit)
+        campaign_rng = random.Random(stable_hash(config.seed, "campaigns"))
+        if config.study == 1:
+            campaigns = [AdCampaign.study1().run(campaign_rng)]
+        else:
+            campaigns = run_study2_campaigns(campaign_rng)
+        result = StudyResult(
+            config=config,
+            database=database,
+            campaigns=campaigns,
+            population=population,
+            pki=self.pki,
+            sites=self.sites,
+        )
+        if config.mode == "wire":
+            self._run_wire(result)
+        else:
+            self._run_fast(result)
+        result.notes["certificates_forged"] = self.forger.certificates_forged
+        result.notes["forge_cache_hits"] = self.forger.cache_hits
+        return result
+
+    # -- wire mode ------------------------------------------------------------------
+
+    def _run_wire(self, result: StudyResult) -> None:
+        config = self.config
+        population = result.population
+        network = Network()
+        server = self._build_wire_network(network, result)
+        rng = random.Random(stable_hash(config.seed, "wire-sessions"))
+        tool = MeasurementTool()
+        client_hosts: dict[tuple[str, int], object] = {}
+
+        n_sessions = self.total_sessions()
+        for _ in range(n_sessions):
+            result.database.failures.sessions_started += 1
+            profile = population.sample_client(rng)
+            client = self._client_host(network, profile, client_hosts)
+            chosen = [
+                site
+                for site in self.sites
+                if rng.random() < self.site_success_probability(site)
+            ]
+            if not chosen:
+                continue
+            outcome = tool.run_session(client, chosen, product_key=profile.product_key)
+            result.database.failures.policy_denied += outcome.policy_denied
+            result.database.failures.connect_failed += outcome.connect_failed
+            result.database.failures.probe_failed += outcome.probe_failed
+            result.database.failures.report_failed += outcome.report_failed
+            result.sessions_run += 1
+        result.notes["reporting_server"] = server
+
+    def _build_wire_network(self, network: Network, result: StudyResult):
+        """Sites, policy servers and the reporting stack."""
+        population = result.population
+        server = ReportingServer(
+            result.database,
+            population.build_geoip(),
+            study=self.config.study,
+            campaign=self.campaign_for("??"),
+            public_roots=self.pki.root_store(),
+        )
+        permissive = PolicyFile.permissive("443")
+        for site in self.sites:
+            host = network.add_host(site.hostname, ip=self.site_ips[site.hostname])
+            tls = TlsCertServer(self.pki.chain_for(site.hostname))
+            host.listen(443, tls.factory)
+            if site.hostname == site_data.AUTHORS_SITE:
+                combined = CombinedPolicyHttpServer(permissive, server.http)
+                host.listen(80, combined.factory)
+            else:
+                policy = PolicyServer(permissive)
+                host.listen(843, policy.factory)
+        # Authoritative leaves, captured from a clean vantage point.
+        vantage = network.add_host("vantage.measurement.example")
+        probe = ProbeClient(vantage)
+        for site in self.sites:
+            sample = probe.probe(site.hostname, 443)
+            if not sample.ok:
+                raise RuntimeError(f"vantage probe failed for {site.hostname}")
+            server.expect(site.hostname, sample.leaf.fingerprint(), site.host_type)
+        return server
+
+    def _client_host(self, network: Network, profile: ClientProfile, cache: dict):
+        key = (profile.country, profile.client_index)
+        host = cache.get(key)
+        if host is not None:
+            return host
+        hostname = f"client-{profile.country}-{profile.client_index}.example"
+        host = network.add_host(hostname, ip=profile.ip)
+        if profile.product_key is not None:
+            spec = self._catalog[profile.product_key]
+            engine = TlsProxyEngine(
+                spec.profile,
+                self.forger,
+                upstream_host=host,
+                upstream_trust=self.pki.root_store(),
+                client_bucket=profile.client_bucket,
+                rng=random.Random(
+                    stable_hash(self.config.seed, "engine", profile.country, profile.client_index)
+                ),
+            )
+            host.add_interceptor(engine)
+        cache[key] = host
+        return host
+
+    # -- fast mode -----------------------------------------------------------------
+
+    def _run_fast(self, result: StudyResult) -> None:
+        config = self.config
+        population = result.population
+        database = result.database
+        np_rng = np.random.default_rng(stable_hash(config.seed, "fast"))
+        rng = random.Random(stable_hash(config.seed, "fast-records"))
+
+        n_sessions = self.total_sessions()
+        plans = population.plans
+        weights = np.array([plan.measurement_weight for plan in plans])
+        session_counts = np_rng.multinomial(n_sessions, weights / weights.sum())
+
+        site_success = {
+            site.hostname: self.site_success_probability(site) for site in self.sites
+        }
+        for plan, n_country in zip(plans, session_counts):
+            if n_country == 0:
+                continue
+            database.failures.sessions_started += int(n_country)
+            result.sessions_run += int(n_country)
+            n_proxied = int(np_rng.binomial(n_country, plan.proxy_rate))
+            n_clean = int(n_country) - n_proxied
+            # Matched majority: aggregate counters per site.
+            for site in self.sites:
+                count = int(np_rng.binomial(n_clean, site_success[site.hostname]))
+                database.add_matched_bulk(
+                    plan.code, site.host_type, site.hostname, count
+                )
+            if n_proxied:
+                self._fast_proxied_sessions(
+                    result, plan.code, n_proxied, np_rng, rng, site_success
+                )
+
+    def _fast_proxied_sessions(
+        self,
+        result: StudyResult,
+        country: str,
+        n_proxied: int,
+        np_rng,
+        rng,
+        site_success: dict[str, float],
+    ) -> None:
+        population = result.population
+        specs = product_data.catalog()
+        shares = np.array(
+            [population.expected_product_share(spec.key, country) for spec in specs]
+        )
+        if shares.sum() == 0:
+            return
+        product_counts = np_rng.multinomial(n_proxied, shares / shares.sum())
+        plan = population.plan(country)
+        campaign = self.campaign_for(country)
+        for spec, count in zip(specs, product_counts):
+            for _ in range(int(count)):
+                client_index = rng.randrange(plan.pool_size)
+                ip = population._client_ip(plan, client_index, spec.key)
+                bucket = client_index % product_data.NUM_CLIENT_BUCKETS
+                for site in self.sites:
+                    if rng.random() >= site_success[site.hostname]:
+                        continue
+                    self._record_proxied_measurement(
+                        result, spec, country, campaign, ip, bucket, site
+                    )
+
+    def _record_proxied_measurement(
+        self,
+        result: StudyResult,
+        spec,
+        country: str,
+        campaign: str,
+        ip: str,
+        bucket: int,
+        site: ProbeSite,
+    ) -> None:
+        database = result.database
+        profile = spec.profile
+        if profile.is_whitelisted(site.hostname):
+            # The proxy relays untouched: the client sees the real chain.
+            database.add_matched_bulk(country, site.host_type, site.hostname, 1)
+            return
+        upstream_leaf = self.pki.leaf_for(site.hostname)
+        forged = self.forger.forge(
+            profile,
+            upstream_leaf,
+            site.hostname,
+            site_ip=self.site_ips[site.hostname],
+            client_bucket=bucket,
+        )
+        record = MeasurementRecord(
+            study=self.config.study,
+            campaign=campaign,
+            client_ip=ip,
+            country=country,
+            hostname=site.hostname,
+            host_type=site.host_type,
+            mismatch=True,
+            leaf=CertSummary.from_certificate(forged.leaf),
+            chain=tuple(CertSummary.from_certificate(c) for c in forged.ca_chain),
+            via="fast",
+            product_key=spec.key,
+        )
+        database.add_mismatch(record)

@@ -1,0 +1,320 @@
+"""TLS record and handshake message codec.
+
+Implements the TLS 1.0–1.2 wire format for the messages the probe
+exchanges in the clear: records (RFC 5246 §6.2), ClientHello with the
+server_name extension (RFC 6066), ServerHello, Certificate and Alert.
+Everything else in TLS happens after the point at which the probe
+aborts, so it is deliberately out of scope.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+
+# Record content types.
+CONTENT_HANDSHAKE = 22
+CONTENT_ALERT = 21
+CONTENT_APPLICATION_DATA = 23
+
+# Handshake message types.
+HS_CLIENT_HELLO = 1
+HS_SERVER_HELLO = 2
+HS_CERTIFICATE = 11
+HS_SERVER_HELLO_DONE = 14
+
+# Protocol versions (major, minor).
+TLS_1_0 = (3, 1)
+TLS_1_2 = (3, 3)
+
+# Extension types.
+EXT_SERVER_NAME = 0
+
+# A realistic cipher suite offer (values from the TLS registry).
+DEFAULT_CIPHER_SUITES = (
+    0x002F,  # TLS_RSA_WITH_AES_128_CBC_SHA
+    0x0035,  # TLS_RSA_WITH_AES_256_CBC_SHA
+    0x000A,  # TLS_RSA_WITH_3DES_EDE_CBC_SHA
+    0xC013,  # TLS_ECDHE_RSA_WITH_AES_128_CBC_SHA
+    0xC014,  # TLS_ECDHE_RSA_WITH_AES_256_CBC_SHA
+)
+
+
+class TlsError(ValueError):
+    """Raised on malformed TLS framing or handshake bodies."""
+
+
+@dataclass(frozen=True)
+class Record:
+    """A TLS record: content type, version, opaque payload."""
+
+    content_type: int
+    version: tuple[int, int]
+    payload: bytes
+
+    def encode(self) -> bytes:
+        if len(self.payload) > 0x4000:
+            raise TlsError("record payload exceeds 2^14 bytes")
+        return (
+            struct.pack(
+                ">BBBH",
+                self.content_type,
+                self.version[0],
+                self.version[1],
+                len(self.payload),
+            )
+            + self.payload
+        )
+
+
+def decode_records(data: bytes) -> tuple[list[Record], bytes]:
+    """Parse complete records from ``data``; return (records, leftover)."""
+    records = []
+    offset = 0
+    while len(data) - offset >= 5:
+        content_type, major, minor, length = struct.unpack_from(">BBBH", data, offset)
+        if content_type not in (
+            CONTENT_HANDSHAKE,
+            CONTENT_ALERT,
+            CONTENT_APPLICATION_DATA,
+        ):
+            raise TlsError(f"unknown record content type {content_type}")
+        if len(data) - offset - 5 < length:
+            break  # incomplete record; caller buffers
+        payload = data[offset + 5 : offset + 5 + length]
+        records.append(Record(content_type, (major, minor), payload))
+        offset += 5 + length
+    return records, data[offset:]
+
+
+@dataclass(frozen=True)
+class HandshakeMessage:
+    """A raw handshake message: type byte plus body."""
+
+    msg_type: int
+    body: bytes
+
+    def encode(self) -> bytes:
+        if len(self.body) > 0xFFFFFF:
+            raise TlsError("handshake body too large")
+        return bytes([self.msg_type]) + len(self.body).to_bytes(3, "big") + self.body
+
+
+def decode_handshakes(payload: bytes) -> tuple[list[HandshakeMessage], bytes]:
+    """Parse complete handshake messages; return (messages, leftover)."""
+    messages = []
+    offset = 0
+    while len(payload) - offset >= 4:
+        msg_type = payload[offset]
+        length = int.from_bytes(payload[offset + 1 : offset + 4], "big")
+        if len(payload) - offset - 4 < length:
+            break
+        messages.append(
+            HandshakeMessage(msg_type, payload[offset + 4 : offset + 4 + length])
+        )
+        offset += 4 + length
+    return messages, payload[offset:]
+
+
+def encode_handshake_record(
+    message: "ClientHello | ServerHello | Certificate | HandshakeMessage",
+    version: tuple[int, int] = TLS_1_0,
+) -> bytes:
+    """Wrap one handshake message in a single record."""
+    if not isinstance(message, HandshakeMessage):
+        message = message.to_handshake()
+    return Record(CONTENT_HANDSHAKE, version, message.encode()).encode()
+
+
+def _encode_vector(data: bytes, length_bytes: int) -> bytes:
+    return len(data).to_bytes(length_bytes, "big") + data
+
+
+class _Reader:
+    """Sequential reader with bounds checking."""
+
+    def __init__(self, data: bytes) -> None:
+        self.data = data
+        self.offset = 0
+
+    def take(self, count: int) -> bytes:
+        if self.offset + count > len(self.data):
+            raise TlsError("truncated handshake body")
+        chunk = self.data[self.offset : self.offset + count]
+        self.offset += count
+        return chunk
+
+    def take_int(self, count: int) -> int:
+        return int.from_bytes(self.take(count), "big")
+
+    def take_vector(self, length_bytes: int) -> bytes:
+        return self.take(self.take_int(length_bytes))
+
+    @property
+    def remaining(self) -> int:
+        return len(self.data) - self.offset
+
+
+@dataclass(frozen=True)
+class ClientHello:
+    """ClientHello with optional SNI — all the probe ever sends."""
+
+    client_random: bytes
+    server_name: str | None = None
+    version: tuple[int, int] = TLS_1_2
+    cipher_suites: tuple[int, ...] = DEFAULT_CIPHER_SUITES
+    session_id: bytes = b""
+
+    def __post_init__(self) -> None:
+        if len(self.client_random) != 32:
+            raise TlsError("client_random must be 32 bytes")
+
+    def to_handshake(self) -> HandshakeMessage:
+        body = bytes(self.version)
+        body += self.client_random
+        body += _encode_vector(self.session_id, 1)
+        suites = b"".join(struct.pack(">H", s) for s in self.cipher_suites)
+        body += _encode_vector(suites, 2)
+        body += _encode_vector(b"\x00", 1)  # null compression only
+        extensions = b""
+        if self.server_name is not None:
+            name_bytes = self.server_name.encode("ascii")
+            entry = b"\x00" + _encode_vector(name_bytes, 2)  # host_name(0)
+            sni_body = _encode_vector(entry, 2)
+            extensions += struct.pack(">H", EXT_SERVER_NAME) + _encode_vector(
+                sni_body, 2
+            )
+        if extensions:
+            body += _encode_vector(extensions, 2)
+        return HandshakeMessage(HS_CLIENT_HELLO, body)
+
+    @classmethod
+    def from_body(cls, body: bytes) -> "ClientHello":
+        reader = _Reader(body)
+        version = tuple(reader.take(2))
+        client_random = reader.take(32)
+        session_id = reader.take_vector(1)
+        suites_raw = reader.take_vector(2)
+        if len(suites_raw) % 2:
+            raise TlsError("odd cipher suite vector length")
+        suites = tuple(
+            struct.unpack(">H", suites_raw[i : i + 2])[0]
+            for i in range(0, len(suites_raw), 2)
+        )
+        reader.take_vector(1)  # compression methods
+        server_name = None
+        if reader.remaining >= 2:
+            extensions = _Reader(reader.take_vector(2))
+            while extensions.remaining >= 4:
+                ext_type = extensions.take_int(2)
+                ext_body = extensions.take_vector(2)
+                if ext_type == EXT_SERVER_NAME and ext_body:
+                    sni = _Reader(ext_body)
+                    entries = _Reader(sni.take_vector(2))
+                    while entries.remaining >= 3:
+                        name_type = entries.take_int(1)
+                        name = entries.take_vector(2)
+                        if name_type == 0:
+                            server_name = name.decode("ascii", errors="replace")
+                            break
+        return cls(
+            client_random=client_random,
+            server_name=server_name,
+            version=version,  # type: ignore[arg-type]
+            cipher_suites=suites,
+            session_id=session_id,
+        )
+
+
+@dataclass(frozen=True)
+class ServerHello:
+    """ServerHello with the single cipher suite the server picked."""
+
+    server_random: bytes
+    cipher_suite: int
+    version: tuple[int, int] = TLS_1_2
+    session_id: bytes = b""
+
+    def __post_init__(self) -> None:
+        if len(self.server_random) != 32:
+            raise TlsError("server_random must be 32 bytes")
+
+    def to_handshake(self) -> HandshakeMessage:
+        body = bytes(self.version)
+        body += self.server_random
+        body += _encode_vector(self.session_id, 1)
+        body += struct.pack(">H", self.cipher_suite)
+        body += b"\x00"  # null compression
+        return HandshakeMessage(HS_SERVER_HELLO, body)
+
+    @classmethod
+    def from_body(cls, body: bytes) -> "ServerHello":
+        reader = _Reader(body)
+        version = tuple(reader.take(2))
+        server_random = reader.take(32)
+        session_id = reader.take_vector(1)
+        cipher_suite = reader.take_int(2)
+        reader.take(1)  # compression
+        return cls(
+            server_random=server_random,
+            cipher_suite=cipher_suite,
+            version=version,  # type: ignore[arg-type]
+            session_id=session_id,
+        )
+
+
+@dataclass(frozen=True)
+class Certificate:
+    """The Certificate handshake message: a list of DER certificates."""
+
+    der_chain: tuple[bytes, ...] = field(default_factory=tuple)
+
+    def to_handshake(self) -> HandshakeMessage:
+        entries = b"".join(_encode_vector(der, 3) for der in self.der_chain)
+        return HandshakeMessage(HS_CERTIFICATE, _encode_vector(entries, 3))
+
+    @classmethod
+    def from_body(cls, body: bytes) -> "Certificate":
+        reader = _Reader(body)
+        entries = _Reader(reader.take_vector(3))
+        chain = []
+        while entries.remaining:
+            chain.append(entries.take_vector(3))
+        return cls(tuple(chain))
+
+
+@dataclass(frozen=True)
+class Alert:
+    """A TLS alert (level 1=warning, 2=fatal)."""
+
+    level: int
+    description: int
+
+    def encode_record(self, version: tuple[int, int] = TLS_1_0) -> bytes:
+        return Record(
+            CONTENT_ALERT, version, bytes([self.level, self.description])
+        ).encode()
+
+    @classmethod
+    def from_payload(cls, payload: bytes) -> "Alert":
+        if len(payload) != 2:
+            raise TlsError("alert payload must be 2 bytes")
+        return cls(payload[0], payload[1])
+
+
+# Well-known alert descriptions used by the simulation.
+ALERT_CLOSE_NOTIFY = 0
+ALERT_HANDSHAKE_FAILURE = 40
+ALERT_BAD_CERTIFICATE = 42
+ALERT_UNRECOGNIZED_NAME = 112
+
+
+def decode_handshake(message: HandshakeMessage):
+    """Decode a raw handshake message into its typed form."""
+    if message.msg_type == HS_CLIENT_HELLO:
+        return ClientHello.from_body(message.body)
+    if message.msg_type == HS_SERVER_HELLO:
+        return ServerHello.from_body(message.body)
+    if message.msg_type == HS_CERTIFICATE:
+        return Certificate.from_body(message.body)
+    return message

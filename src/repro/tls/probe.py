@@ -1,0 +1,120 @@
+"""The certificate probe — the heart of the measurement tool.
+
+Reproduces §3.2 of the paper: open a TCP connection, send a
+ClientHello, record the ServerHello and Certificate messages that come
+back, then abort the handshake.  Whatever certificate chain arrives is
+what an on-path proxy wanted the client to see.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.netsim.network import ConnectionRefused, ConnectionReset, Host
+from repro.tls import codec
+from repro.tls.codec import Alert, ClientHello, ServerHello, TlsError
+from repro.x509.model import Certificate
+from repro.x509.parse import X509Error, parse_certificate
+
+
+@dataclass(frozen=True)
+class ProbeResult:
+    """Outcome of one certificate probe."""
+
+    ok: bool
+    hostname: str
+    port: int
+    der_chain: tuple[bytes, ...] = ()
+    server_hello: ServerHello | None = None
+    error: str = ""
+    chain: tuple[Certificate, ...] = field(default_factory=tuple)
+
+    @property
+    def leaf(self) -> Certificate | None:
+        return self.chain[0] if self.chain else None
+
+
+class ProbeClient:
+    """Performs partial TLS handshakes from a client host."""
+
+    def __init__(self, host: Host, rng: random.Random | None = None) -> None:
+        self.host = host
+        self._rng = rng or random.Random(0xFACADE)
+
+    def probe(self, hostname: str, port: int = 443) -> ProbeResult:
+        """Fetch the certificate chain presented for ``hostname:port``."""
+        try:
+            sock = self.host.connect(hostname, port)
+        except ConnectionRefused as exc:
+            return ProbeResult(False, hostname, port, error=f"connect: {exc}")
+        try:
+            return self._handshake(sock, hostname, port)
+        finally:
+            sock.close()
+
+    def _handshake(self, sock, hostname: str, port: int) -> ProbeResult:
+        client_random = self._rng.getrandbits(256).to_bytes(32, "big")
+        hello = ClientHello(client_random=client_random, server_name=hostname)
+        try:
+            sock.send(codec.encode_handshake_record(hello, version=hello.version))
+        except ConnectionReset as exc:
+            return ProbeResult(False, hostname, port, error=f"send: {exc}")
+
+        buffer = sock.recv()
+        server_hello: ServerHello | None = None
+        der_chain: tuple[bytes, ...] | None = None
+        try:
+            records, _ = codec.decode_records(buffer)
+            # Handshake messages may span record boundaries (RFC 5246
+            # §6.2.1), so reassemble the handshake stream first.
+            handshake_stream = b""
+            for record in records:
+                if record.content_type == codec.CONTENT_ALERT:
+                    alert = Alert.from_payload(record.payload)
+                    return ProbeResult(
+                        False,
+                        hostname,
+                        port,
+                        error=f"alert: level={alert.level} desc={alert.description}",
+                    )
+                if record.content_type == codec.CONTENT_HANDSHAKE:
+                    handshake_stream += record.payload
+            messages, _ = codec.decode_handshakes(handshake_stream)
+            for message in messages:
+                if message.msg_type == codec.HS_SERVER_HELLO:
+                    server_hello = ServerHello.from_body(message.body)
+                elif message.msg_type == codec.HS_CERTIFICATE:
+                    cert_msg = codec.Certificate.from_body(message.body)
+                    der_chain = cert_msg.der_chain
+        except TlsError as exc:
+            return ProbeResult(False, hostname, port, error=f"tls: {exc}")
+
+        if der_chain is None:
+            return ProbeResult(
+                False, hostname, port, error="no Certificate message received"
+            )
+
+        # Parse every certificate; unparseable DER is itself a finding.
+        parsed: list[Certificate] = []
+        for der in der_chain:
+            try:
+                parsed.append(parse_certificate(der))
+            except X509Error as exc:
+                return ProbeResult(
+                    False,
+                    hostname,
+                    port,
+                    der_chain=der_chain,
+                    server_hello=server_hello,
+                    error=f"x509: {exc}",
+                )
+        # Abort: the tool closes without finishing the handshake (§3.2).
+        return ProbeResult(
+            True,
+            hostname,
+            port,
+            der_chain=der_chain,
+            server_hello=server_hello,
+            chain=tuple(parsed),
+        )

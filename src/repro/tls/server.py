@@ -1,0 +1,117 @@
+"""TLS certificate server.
+
+A netsim protocol that performs the server half of the probe's partial
+handshake: on ClientHello it answers with ServerHello, Certificate and
+ServerHelloDone.  It can hold multiple chains keyed by SNI name (a real
+server farm behind one IP), falling back to a default chain.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.netsim.network import Protocol, StreamSocket
+from repro.tls import codec
+from repro.tls.codec import (
+    Alert,
+    Certificate as CertificateMessage,
+    ClientHello,
+    HandshakeMessage,
+    Record,
+    ServerHello,
+    TlsError,
+)
+from repro.x509.model import Certificate
+
+
+class TlsCertServer(Protocol):
+    """Serves a certificate chain to anyone that says ClientHello.
+
+    The handshake intentionally stops after ServerHelloDone: the probe
+    aborts there, and no measured behaviour depends on the key
+    exchange.
+    """
+
+    def __init__(
+        self,
+        chain: list[Certificate],
+        sni_chains: dict[str, list[Certificate]] | None = None,
+        cipher_suite: int = 0x002F,
+        rng: random.Random | None = None,
+    ) -> None:
+        if not chain:
+            raise ValueError("server needs at least one certificate")
+        self.chain = chain
+        self.sni_chains = sni_chains or {}
+        self.cipher_suite = cipher_suite
+        self._rng = rng or random.Random(0x5EED)
+        self._buffer = b""
+        self.handshakes_served = 0
+
+    def factory(self) -> "TlsCertServer":
+        """Return a fresh per-connection protocol sharing this config."""
+        clone = TlsCertServer(
+            self.chain, self.sni_chains, self.cipher_suite, self._rng
+        )
+        clone._parent = self  # type: ignore[attr-defined]
+        return clone
+
+    def chain_for(self, server_name: str | None) -> list[Certificate]:
+        if server_name and server_name in self.sni_chains:
+            return self.sni_chains[server_name]
+        return self.chain
+
+    # -- Protocol callbacks ----------------------------------------------
+
+    def data_received(self, sock: StreamSocket, data: bytes) -> None:
+        self._buffer += data
+        try:
+            records, self._buffer = codec.decode_records(self._buffer)
+        except TlsError:
+            sock.send(Alert(2, codec.ALERT_HANDSHAKE_FAILURE).encode_record())
+            sock.close()
+            return
+        for record in records:
+            if record.content_type == codec.CONTENT_ALERT:
+                sock.close()
+                return
+            if record.content_type != codec.CONTENT_HANDSHAKE:
+                continue
+            self._handle_handshake_payload(sock, record)
+
+    def _handle_handshake_payload(self, sock: StreamSocket, record: Record) -> None:
+        try:
+            messages, _ = codec.decode_handshakes(record.payload)
+        except TlsError:
+            sock.send(Alert(2, codec.ALERT_HANDSHAKE_FAILURE).encode_record())
+            sock.close()
+            return
+        for message in messages:
+            if message.msg_type == codec.HS_CLIENT_HELLO:
+                self._answer_client_hello(sock, ClientHello.from_body(message.body))
+
+    def _answer_client_hello(self, sock: StreamSocket, hello: ClientHello) -> None:
+        server_random = self._rng.getrandbits(256).to_bytes(32, "big")
+        server_hello = ServerHello(
+            server_random=server_random,
+            cipher_suite=self.cipher_suite,
+            version=hello.version,
+        )
+        chain = self.chain_for(hello.server_name)
+        certificate = CertificateMessage(tuple(c.encode() for c in chain))
+        done = HandshakeMessage(codec.HS_SERVER_HELLO_DONE, b"")
+        payload = (
+            server_hello.to_handshake().encode()
+            + certificate.to_handshake().encode()
+            + done.encode()
+        )
+        # Flight may exceed one record's 2^14 limit with long chains.
+        for start in range(0, len(payload), 0x4000):
+            record = Record(
+                codec.CONTENT_HANDSHAKE, hello.version, payload[start : start + 0x4000]
+            )
+            sock.send(record.encode())
+        self.handshakes_served += 1
+        parent = getattr(self, "_parent", None)
+        if parent is not None:
+            parent.handshakes_served += 1

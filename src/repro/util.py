@@ -1,0 +1,17 @@
+"""Small shared utilities."""
+
+from __future__ import annotations
+
+import hashlib
+
+
+def stable_hash(*parts: object, bits: int = 64) -> int:
+    """Deterministic cross-process hash of the reprs of ``parts``.
+
+    Python's builtin ``hash`` is salted per process, which would make
+    seeded runs unreproducible; everything that derives randomness from
+    labels goes through this instead.
+    """
+    material = "\x1f".join(repr(part) for part in parts).encode("utf-8")
+    digest = hashlib.blake2s(material, digest_size=(bits + 7) // 8).digest()
+    return int.from_bytes(digest, "big") & ((1 << bits) - 1)

@@ -1,0 +1,58 @@
+"""X.509 certificates: model, DER codec, PEM, issuance and validation.
+
+This package provides everything the measurement pipeline needs to act
+on *real* certificates:
+
+* :class:`Name`, :class:`Extension`, :class:`Certificate` — the object
+  model (``repro.x509.model``).
+* :func:`parse_certificate` — DER parser that keeps the raw bytes so a
+  received certificate can be re-reported byte-exactly
+  (``repro.x509.parse``).
+* :func:`pem_encode` / :func:`pem_decode` — the PEM framing the Flash
+  tool used for its HTTP POST reports (``repro.x509.pem``).
+* :class:`CertificateAuthority` — issues signed certificates, used by
+  the legitimate PKI, by every interception product, and by attackers
+  (``repro.x509.ca``).
+* :class:`RootStore` + :func:`validate_chain` — the client-side trust
+  decision that proxies manipulate by injecting roots
+  (``repro.x509.verify``).
+"""
+
+from repro.x509.ca import CertificateAuthority, SelfSignedParams
+from repro.x509.model import (
+    Certificate,
+    Extension,
+    Name,
+    SubjectPublicKeyInfo,
+    TbsCertificate,
+    Validity,
+)
+from repro.x509.parse import X509Error, parse_certificate, parse_name
+from repro.x509.pem import pem_decode, pem_decode_all, pem_encode
+from repro.x509.store import RootStore
+from repro.x509.verify import (
+    ChainValidationResult,
+    validate_chain,
+    verify_certificate_signature,
+)
+
+__all__ = [
+    "Certificate",
+    "CertificateAuthority",
+    "ChainValidationResult",
+    "Extension",
+    "Name",
+    "RootStore",
+    "SelfSignedParams",
+    "SubjectPublicKeyInfo",
+    "TbsCertificate",
+    "Validity",
+    "X509Error",
+    "parse_certificate",
+    "parse_name",
+    "pem_decode",
+    "pem_decode_all",
+    "pem_encode",
+    "validate_chain",
+    "verify_certificate_signature",
+]

@@ -1,0 +1,157 @@
+"""Certificate issuance.
+
+:class:`CertificateAuthority` is used three ways in the reproduction:
+
+* the legitimate web PKI (roots → intermediates → site leaves),
+* every TLS interception product (its injected root signs substitute
+  certificates on the fly), and
+* attackers whose CA is *not* in the victim's root store (the forged
+  certificates of the Kurupira experiment, §5.2).
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import random
+from dataclasses import dataclass
+
+from repro.crypto.hashes import HashAlgorithm, hash_by_name
+from repro.crypto.rsa import RsaKeyPair, pkcs1_sign
+from repro.x509.model import (
+    Certificate,
+    Extension,
+    Name,
+    SubjectPublicKeyInfo,
+    TbsCertificate,
+    Validity,
+    authority_key_identifier_extension,
+    basic_constraints_extension,
+    key_usage_extension,
+    subject_alt_name_extension,
+    subject_key_identifier_extension,
+)
+
+_DEFAULT_NOT_BEFORE = _dt.datetime(2014, 1, 1, tzinfo=_dt.timezone.utc)
+_DEFAULT_NOT_AFTER = _dt.datetime(2016, 1, 1, tzinfo=_dt.timezone.utc)
+
+
+@dataclass(frozen=True)
+class SelfSignedParams:
+    """Knobs for creating a self-signed (root) certificate."""
+
+    subject: Name
+    key: RsaKeyPair
+    hash_name: str = "sha256"
+    not_before: _dt.datetime = _DEFAULT_NOT_BEFORE
+    not_after: _dt.datetime = _DEFAULT_NOT_AFTER
+    serial_number: int | None = None
+
+
+class CertificateAuthority:
+    """A signing authority: a subject name plus a private key.
+
+    ``issue`` signs end-entity or CA certificates; ``self_signed``
+    bootstraps a root.  Serial numbers come from the authority's own
+    deterministic RNG stream.
+    """
+
+    def __init__(
+        self,
+        certificate: Certificate,
+        key: RsaKeyPair,
+        serial_rng: random.Random | None = None,
+    ) -> None:
+        self.certificate = certificate
+        self.key = key
+        self._serial_rng = serial_rng or random.Random(key.n & 0xFFFFFFFF)
+
+    @property
+    def name(self) -> Name:
+        return self.certificate.subject
+
+    @classmethod
+    def self_signed(cls, params: SelfSignedParams) -> "CertificateAuthority":
+        """Create a root CA whose certificate signs itself."""
+        serial = params.serial_number
+        if serial is None:
+            serial = random.Random(params.key.n & 0xFFFFFFF).getrandbits(63) | 1
+        hash_alg = hash_by_name(params.hash_name)
+        tbs = TbsCertificate(
+            serial_number=serial,
+            signature_oid=hash_alg.signature_oid,
+            issuer=params.subject,
+            validity=Validity(params.not_before, params.not_after),
+            subject=params.subject,
+            public_key=SubjectPublicKeyInfo(params.key.n, params.key.e),
+            extensions=(basic_constraints_extension(ca=True),),
+        )
+        certificate = _sign_tbs(tbs, params.key, hash_alg)
+        return cls(certificate, params.key)
+
+    def issue(
+        self,
+        subject: Name,
+        public_key: SubjectPublicKeyInfo,
+        hash_name: str = "sha256",
+        is_ca: bool = False,
+        dns_names: list[str] | None = None,
+        not_before: _dt.datetime = _DEFAULT_NOT_BEFORE,
+        not_after: _dt.datetime = _DEFAULT_NOT_AFTER,
+        serial_number: int | None = None,
+        extra_extensions: tuple[Extension, ...] = (),
+    ) -> Certificate:
+        """Issue a certificate for ``subject`` signed by this authority."""
+        hash_alg = hash_by_name(hash_name)
+        if serial_number is None:
+            serial_number = self._serial_rng.getrandbits(63) | 1
+        extensions: list[Extension] = [basic_constraints_extension(ca=is_ca)]
+        if is_ca:
+            extensions.append(key_usage_extension(("keyCertSign", "cRLSign")))
+        else:
+            extensions.append(
+                key_usage_extension(("digitalSignature", "keyEncipherment"))
+            )
+        extensions.append(subject_key_identifier_extension(public_key))
+        issuer_spki = SubjectPublicKeyInfo(self.key.n, self.key.e)
+        extensions.append(authority_key_identifier_extension(issuer_spki))
+        if dns_names:
+            extensions.append(subject_alt_name_extension(dns_names))
+        extensions.extend(extra_extensions)
+        tbs = TbsCertificate(
+            serial_number=serial_number,
+            signature_oid=hash_alg.signature_oid,
+            issuer=self.name,
+            validity=Validity(not_before, not_after),
+            subject=subject,
+            public_key=public_key,
+            extensions=tuple(extensions),
+        )
+        return _sign_tbs(tbs, self.key, hash_alg)
+
+    def issue_intermediate(
+        self, subject: Name, key: RsaKeyPair, hash_name: str = "sha256"
+    ) -> "CertificateAuthority":
+        """Issue a CA certificate and wrap it as a new authority."""
+        certificate = self.issue(
+            subject,
+            SubjectPublicKeyInfo(key.n, key.e),
+            hash_name=hash_name,
+            is_ca=True,
+        )
+        return CertificateAuthority(certificate, key)
+
+
+def _sign_tbs(
+    tbs: TbsCertificate, key: RsaKeyPair, hash_alg: HashAlgorithm
+) -> Certificate:
+    signature = pkcs1_sign(key, hash_alg, tbs.encode())
+    certificate = Certificate(
+        tbs=tbs, signature_oid=hash_alg.signature_oid, signature=signature
+    )
+    # Freeze the DER now so .raw is always populated for issued certs too.
+    return Certificate(
+        tbs=tbs,
+        signature_oid=hash_alg.signature_oid,
+        signature=signature,
+        raw=certificate.to_asn1().encode(),
+    )

@@ -1,0 +1,60 @@
+"""PEM framing for certificates.
+
+The paper's Flash tool concatenated every received certificate in PEM
+format into one HTTP POST body; :func:`pem_decode_all` parses exactly
+that wire format back into DER blobs.
+"""
+
+from __future__ import annotations
+
+import base64
+
+_HEADER = "-----BEGIN CERTIFICATE-----"
+_FOOTER = "-----END CERTIFICATE-----"
+
+
+class PemError(ValueError):
+    """Raised for malformed PEM input."""
+
+
+def pem_encode(der: bytes) -> str:
+    """Wrap DER bytes in a PEM CERTIFICATE block (64-char lines)."""
+    body = base64.b64encode(der).decode("ascii")
+    lines = [body[i : i + 64] for i in range(0, len(body), 64)]
+    return "\n".join([_HEADER, *lines, _FOOTER]) + "\n"
+
+
+def pem_decode(text: str) -> bytes:
+    """Decode exactly one PEM CERTIFICATE block to DER."""
+    blocks = pem_decode_all(text)
+    if len(blocks) != 1:
+        raise PemError(f"expected exactly one PEM block, found {len(blocks)}")
+    return blocks[0]
+
+
+def pem_decode_all(text: str) -> list[bytes]:
+    """Decode every PEM CERTIFICATE block in ``text``, in order."""
+    blocks: list[bytes] = []
+    collecting = False
+    buffer: list[str] = []
+    for line in text.splitlines():
+        line = line.strip()
+        if line == _HEADER:
+            if collecting:
+                raise PemError("nested BEGIN CERTIFICATE")
+            collecting = True
+            buffer = []
+        elif line == _FOOTER:
+            if not collecting:
+                raise PemError("END CERTIFICATE without BEGIN")
+            collecting = False
+            try:
+                blocks.append(base64.b64decode("".join(buffer), validate=True))
+            except Exception as exc:
+                raise PemError(f"bad base64 in PEM block: {exc}") from exc
+        elif collecting:
+            if line:
+                buffer.append(line)
+    if collecting:
+        raise PemError("unterminated PEM block")
+    return blocks

@@ -1,0 +1,124 @@
+"""Certificate chain validation.
+
+Implements the client-side trust decision of Figure 2: walk the
+presented chain from the leaf, checking signatures, validity windows,
+CA flags and name chaining, until a certificate is signed by (or *is*)
+a root-store member.  The result says not only valid/invalid but also
+*why*, and whether trust terminated in an injected root — the signal
+that a proxy, not the real PKI, vouched for the connection.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from dataclasses import dataclass, field
+
+from repro.crypto.hashes import hash_by_signature_oid
+from repro.crypto.rsa import RsaPublicKey, pkcs1_verify
+from repro.x509.model import Certificate
+from repro.x509.store import RootStore
+
+
+@dataclass(frozen=True)
+class ChainValidationResult:
+    """Outcome of validating a presented chain against a root store."""
+
+    valid: bool
+    reason: str
+    trust_root: Certificate | None = None
+    trusted_via_injected_root: bool = False
+    errors: tuple[str, ...] = field(default_factory=tuple)
+
+    def __bool__(self) -> bool:
+        return self.valid
+
+
+def verify_certificate_signature(
+    certificate: Certificate, signer: Certificate
+) -> bool:
+    """Check ``certificate``'s signature against ``signer``'s public key."""
+    try:
+        hash_alg = hash_by_signature_oid(certificate.signature_oid)
+    except KeyError:
+        return False
+    public_key = RsaPublicKey(
+        certificate_signer_n(signer), certificate_signer_e(signer)
+    )
+    return pkcs1_verify(
+        public_key, hash_alg, certificate.tbs.encode(), certificate.signature
+    )
+
+
+def certificate_signer_n(certificate: Certificate) -> int:
+    return certificate.tbs.public_key.n
+
+
+def certificate_signer_e(certificate: Certificate) -> int:
+    return certificate.tbs.public_key.e
+
+
+def validate_chain(
+    chain: list[Certificate],
+    store: RootStore,
+    hostname: str | None = None,
+    at_time: _dt.datetime | None = None,
+) -> ChainValidationResult:
+    """Validate a presented certificate chain (leaf first).
+
+    Checks, in order: non-emptiness, hostname match on the leaf,
+    validity windows, issuer/subject chaining, CA flags on
+    intermediates, each link's signature, and finally that the chain
+    terminates at (a certificate signed by) a root-store member.
+    """
+    if not chain:
+        return ChainValidationResult(False, "empty chain")
+    at_time = at_time or _dt.datetime(2014, 6, 1, tzinfo=_dt.timezone.utc)
+    errors: list[str] = []
+
+    leaf = chain[0]
+    if hostname is not None and not leaf.matches_hostname(hostname):
+        errors.append(f"hostname mismatch: cert is for {leaf.subject.common_name!r}")
+
+    for index, certificate in enumerate(chain):
+        if not certificate.validity.contains(at_time):
+            errors.append(f"certificate {index} outside validity window")
+        if index > 0 and not certificate.is_ca:
+            errors.append(f"certificate {index} used as CA without CA flag")
+
+    for index in range(len(chain) - 1):
+        child, parent = chain[index], chain[index + 1]
+        if child.issuer != parent.subject:
+            errors.append(
+                f"chain break at {index}: issuer {child.issuer} != "
+                f"subject {parent.subject}"
+            )
+        elif not verify_certificate_signature(child, parent):
+            errors.append(f"bad signature on certificate {index}")
+
+    if errors:
+        return ChainValidationResult(False, errors[0], errors=tuple(errors))
+
+    # Anchor the top of the chain in the root store.
+    top = chain[-1]
+    if store.contains(top):
+        return ChainValidationResult(
+            True,
+            "chain anchors at trusted root",
+            trust_root=top,
+            trusted_via_injected_root=store.is_injected(top),
+        )
+    for root in store.find_issuer_roots(top):
+        if verify_certificate_signature(top, root):
+            if not root.validity.contains(at_time):
+                continue
+            return ChainValidationResult(
+                True,
+                "chain signed by trusted root",
+                trust_root=root,
+                trusted_via_injected_root=store.is_injected(root),
+            )
+    return ChainValidationResult(
+        False,
+        "no trusted root found",
+        errors=("no trusted root found",),
+    )

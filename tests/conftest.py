@@ -1,0 +1,50 @@
+"""Shared fixtures.
+
+Key generation is the only expensive operation in the code base, so a
+single session-scoped :class:`KeyStore` hands out deterministic keys;
+tests request small (512-bit) keys unless the behaviour under test is
+size-specific.
+"""
+
+from __future__ import annotations
+
+import datetime as dt
+
+import pytest
+
+from repro.crypto.keystore import KeyStore
+from repro.x509.ca import CertificateAuthority, SelfSignedParams
+from repro.x509.model import Name
+
+
+@pytest.fixture(scope="session")
+def keystore() -> KeyStore:
+    return KeyStore(seed=1234)
+
+
+@pytest.fixture(scope="session")
+def root_ca(keystore: KeyStore) -> CertificateAuthority:
+    """A trusted root CA with a 512-bit key (fast, sufficient for tests)."""
+    return CertificateAuthority.self_signed(
+        SelfSignedParams(
+            subject=Name.build(
+                common_name="Repro Test Root CA", organization="Repro Trust"
+            ),
+            key=keystore.key("test-root", 512),
+        )
+    )
+
+
+@pytest.fixture(scope="session")
+def intermediate_ca(
+    keystore: KeyStore, root_ca: CertificateAuthority
+) -> CertificateAuthority:
+    return root_ca.issue_intermediate(
+        Name.build(common_name="Repro Test Intermediate", organization="Repro Trust"),
+        keystore.key("test-intermediate", 512),
+    )
+
+
+@pytest.fixture()
+def now() -> dt.datetime:
+    return dt.datetime(2014, 6, 1, tzinfo=dt.timezone.utc)

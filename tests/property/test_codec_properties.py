@@ -1,0 +1,133 @@
+"""Property-based tests: DER, PEM and name codecs must round-trip."""
+
+import datetime as dt
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.asn1.types import (
+    BitString,
+    Boolean,
+    IA5String,
+    Integer,
+    Null,
+    ObjectIdentifier,
+    OctetString,
+    PrintableString,
+    Sequence,
+    UtcTime,
+    Utf8String,
+    decode,
+)
+from repro.x509.model import Name, NameAttribute
+from repro.x509.pem import pem_decode_all, pem_encode
+
+# --- strategies -------------------------------------------------------
+
+printable_text = st.text(
+    alphabet="ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789 '()+,-./:=?",
+    max_size=40,
+)
+
+oid_strategy = st.builds(
+    lambda root, second, rest: ObjectIdentifier(
+        ".".join(str(x) for x in [root, second, *rest])
+    ),
+    st.integers(0, 2),
+    st.integers(0, 39),
+    st.lists(st.integers(0, 2**32), max_size=6),
+)
+
+utc_datetimes = st.datetimes(
+    min_value=dt.datetime(1950, 1, 1),
+    max_value=dt.datetime(2049, 12, 31, 23, 59, 59),
+).map(lambda d: d.replace(tzinfo=dt.timezone.utc, microsecond=0))
+
+simple_values = st.one_of(
+    st.booleans().map(Boolean),
+    st.integers(min_value=-(2**256), max_value=2**256).map(Integer),
+    st.binary(max_size=64).map(OctetString),
+    st.binary(max_size=64).map(BitString),
+    st.just(Null()),
+    oid_strategy,
+    st.text(max_size=40).map(Utf8String),
+    printable_text.map(PrintableString),
+    st.text(alphabet=st.characters(min_codepoint=32, max_codepoint=126), max_size=40).map(
+        IA5String
+    ),
+    utc_datetimes.map(UtcTime),
+)
+
+nested_values = st.recursive(
+    simple_values,
+    lambda children: st.lists(children, max_size=5).map(Sequence),
+    max_leaves=12,
+)
+
+
+class TestDerRoundTrip:
+    @given(value=nested_values)
+    @settings(max_examples=300)
+    def test_encode_decode_identity(self, value):
+        decoded, rest = decode(value.encode())
+        assert rest == b""
+        assert decoded == value
+
+    @given(value=nested_values)
+    @settings(max_examples=150)
+    def test_reencoding_is_stable(self, value):
+        once = value.encode()
+        decoded, _ = decode(once)
+        assert decoded.encode() == once
+
+    @given(value=st.integers(min_value=-(2**512), max_value=2**512))
+    def test_integer_round_trip(self, value):
+        decoded, rest = decode(Integer(value).encode())
+        assert rest == b""
+        assert decoded.value == value
+
+    @given(data=st.binary(max_size=200))
+    def test_decoder_never_crashes_unexpectedly(self, data):
+        """Arbitrary bytes either decode or raise Asn1Error — nothing else."""
+        from repro.asn1.der import Asn1Error
+
+        try:
+            decode(data)
+        except Asn1Error:
+            pass
+
+
+class TestPemRoundTrip:
+    @given(blobs=st.lists(st.binary(min_size=1, max_size=300), max_size=5))
+    @settings(max_examples=100)
+    def test_concatenated_blocks_round_trip(self, blobs):
+        text = "".join(pem_encode(blob) for blob in blobs)
+        assert pem_decode_all(text) == blobs
+
+    @given(blob=st.binary(min_size=1, max_size=1000))
+    def test_noise_between_blocks_ignored(self, blob):
+        text = "some html\n" + pem_encode(blob) + "trailing junk\n"
+        assert pem_decode_all(text) == [blob]
+
+
+class TestNameRoundTrip:
+    @given(
+        attrs=st.lists(
+            st.tuples(
+                st.sampled_from(
+                    ["2.5.4.3", "2.5.4.10", "2.5.4.11", "2.5.4.7", "2.5.4.8"]
+                ),
+                st.text(max_size=30),
+            ),
+            max_size=6,
+        )
+    )
+    @settings(max_examples=150)
+    def test_name_round_trip(self, attrs):
+        from repro.asn1.types import decode as asn1_decode
+        from repro.x509.parse import parse_name
+
+        name = Name(tuple(NameAttribute(oid, value) for oid, value in attrs))
+        decoded, rest = asn1_decode(name.encode())
+        assert rest == b""
+        assert parse_name(decoded) == name

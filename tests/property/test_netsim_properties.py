@@ -1,0 +1,90 @@
+"""Property-based tests for the network simulator's byte transport."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.netsim import Network, Protocol, StreamSocket
+
+
+class Collector(Protocol):
+    """Accumulates everything received."""
+
+    def __init__(self):
+        self.received = b""
+        self.closed = False
+
+    def data_received(self, sock, data):
+        self.received += data
+
+    def connection_lost(self, sock):
+        self.closed = True
+
+
+class TestStreamProperties:
+    @given(chunks=st.lists(st.binary(min_size=1, max_size=100), max_size=30))
+    @settings(max_examples=150)
+    def test_bytes_arrive_in_order_and_complete(self, chunks):
+        collector = Collector()
+        net = Network()
+        client_host = net.add_host("c.example")
+        server_host = net.add_host("s.example")
+        server_host.listen(1, lambda: collector)
+        sock = client_host.connect("s.example", 1)
+        for chunk in chunks:
+            sock.send(chunk)
+        assert collector.received == b"".join(chunks)
+
+    @given(
+        chunks=st.lists(st.binary(min_size=1, max_size=50), max_size=20),
+        read_sizes=st.lists(st.integers(1, 64), max_size=40),
+    )
+    @settings(max_examples=150)
+    def test_pull_side_reassembles_stream(self, chunks, read_sizes):
+        """Arbitrary recv() chunking yields the same byte stream."""
+        a, b = StreamSocket.pair("a", "b")
+        for chunk in chunks:
+            a.send(chunk)
+        out = b""
+        for size in read_sizes:
+            out += b.recv(size)
+        out += b.recv()
+        assert out == b"".join(chunks)
+
+    @given(data=st.binary(min_size=1, max_size=200))
+    @settings(max_examples=50)
+    def test_echo_round_trip_any_bytes(self, data):
+        class Echo(Protocol):
+            def data_received(self, sock, received):
+                sock.send(received)
+
+        net = Network()
+        client_host = net.add_host("c.example")
+        server_host = net.add_host("s.example")
+        server_host.listen(1, Echo)
+        sock = client_host.connect("s.example", 1)
+        sock.send(data)
+        assert sock.recv() == data
+
+    @given(close_after=st.integers(0, 5), chunks=st.integers(1, 8))
+    @settings(max_examples=80)
+    def test_close_notifies_exactly_once(self, close_after, chunks):
+        collector = Collector()
+        net = Network()
+        client_host = net.add_host("c.example")
+        server_host = net.add_host("s.example")
+        server_host.listen(1, lambda: collector)
+        sock = client_host.connect("s.example", 1)
+        from repro.netsim import ConnectionReset
+
+        sent = 0
+        for i in range(chunks):
+            if i == close_after:
+                sock.close()
+            try:
+                sock.send(b"x")
+                sent += 1
+            except ConnectionReset:
+                break
+        sock.close()
+        assert collector.received == b"x" * sent
+        assert collector.closed

@@ -1,0 +1,158 @@
+"""Property-based tests for the TLS, HTTP and policy wire codecs."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.httpmin.codec import HttpRequest, HttpResponse
+from repro.policy.model import PolicyFile, PolicyRule
+from repro.tls import codec
+from repro.tls.codec import (
+    Certificate as CertificateMessage,
+    ClientHello,
+    HandshakeMessage,
+    Record,
+    ServerHello,
+)
+
+hostnames = st.from_regex(r"[a-z][a-z0-9\-]{0,20}(\.[a-z][a-z0-9\-]{1,10}){1,3}", fullmatch=True)
+random32 = st.binary(min_size=32, max_size=32)
+
+
+class TestTlsCodecProperties:
+    @given(
+        client_random=random32,
+        server_name=st.one_of(st.none(), hostnames),
+        session_id=st.binary(max_size=32),
+        suites=st.lists(st.integers(0, 0xFFFF), min_size=1, max_size=20).map(tuple),
+    )
+    @settings(max_examples=200)
+    def test_client_hello_round_trip(self, client_random, server_name, session_id, suites):
+        hello = ClientHello(
+            client_random=client_random,
+            server_name=server_name,
+            session_id=session_id,
+            cipher_suites=suites,
+        )
+        decoded = ClientHello.from_body(hello.to_handshake().body)
+        assert decoded == hello
+
+    @given(server_random=random32, cipher=st.integers(0, 0xFFFF), session=st.binary(max_size=32))
+    @settings(max_examples=100)
+    def test_server_hello_round_trip(self, server_random, cipher, session):
+        hello = ServerHello(
+            server_random=server_random, cipher_suite=cipher, session_id=session
+        )
+        assert ServerHello.from_body(hello.to_handshake().body) == hello
+
+    @given(chain=st.lists(st.binary(min_size=1, max_size=2000), max_size=6).map(tuple))
+    @settings(max_examples=100)
+    def test_certificate_message_round_trip(self, chain):
+        message = CertificateMessage(chain)
+        assert CertificateMessage.from_body(message.to_handshake().body) == message
+
+    @given(
+        messages=st.lists(
+            st.tuples(st.integers(0, 255), st.binary(max_size=500)), max_size=5
+        )
+    )
+    @settings(max_examples=100)
+    def test_handshake_stream_round_trip(self, messages):
+        stream = b"".join(
+            HandshakeMessage(t, body).encode() for t, body in messages
+        )
+        decoded, rest = codec.decode_handshakes(stream)
+        assert rest == b""
+        assert [(m.msg_type, m.body) for m in decoded] == messages
+
+    @given(payloads=st.lists(st.binary(max_size=1000), min_size=1, max_size=5))
+    @settings(max_examples=100)
+    def test_record_stream_round_trip(self, payloads):
+        stream = b"".join(
+            Record(codec.CONTENT_HANDSHAKE, (3, 1), p).encode() for p in payloads
+        )
+        records, rest = codec.decode_records(stream)
+        assert rest == b""
+        assert [r.payload for r in records] == payloads
+
+    @given(payloads=st.lists(st.binary(max_size=200), min_size=1, max_size=3), cut=st.integers(1, 4))
+    @settings(max_examples=100)
+    def test_truncated_stream_buffers_tail(self, payloads, cut):
+        stream = b"".join(
+            Record(codec.CONTENT_HANDSHAKE, (3, 1), p).encode() for p in payloads
+        )
+        truncated = stream[:-cut]
+        records, rest = codec.decode_records(truncated)
+        # Whatever parsed plus the leftover must re-assemble the input.
+        reassembled = b"".join(r.encode() for r in records) + rest
+        assert reassembled == truncated
+
+
+class TestHttpCodecProperties:
+    header_names = st.from_regex(r"[A-Za-z][A-Za-z0-9\-]{0,15}", fullmatch=True)
+    header_values = st.from_regex(r"[ -~]{0,40}", fullmatch=True).map(str.strip)
+
+    @given(
+        method=st.sampled_from(["GET", "POST", "PUT", "HEAD"]),
+        path=st.from_regex(r"/[a-zA-Z0-9/\-_\.]{0,30}", fullmatch=True),
+        body=st.binary(max_size=2000),
+        headers=st.dictionaries(header_names, header_values, max_size=5),
+    )
+    @settings(max_examples=150)
+    def test_request_round_trip(self, method, path, body, headers):
+        headers.pop("Content-Length", None)
+        # HTTP header names are case-insensitive; keep one per lowercase
+        # name so the round-trip comparison is well-defined.
+        headers = {name.lower(): value for name, value in headers.items()}
+        request = HttpRequest(method, path, headers=headers, body=body)
+        decoded, rest = HttpRequest.try_decode(request.encode())
+        assert rest == b""
+        assert decoded.method == method
+        assert decoded.path == path
+        assert decoded.body == body
+        for name, value in headers.items():
+            assert decoded.headers[name.lower()] == value
+
+    @given(status=st.integers(100, 599), body=st.binary(max_size=2000))
+    @settings(max_examples=100)
+    def test_response_round_trip(self, status, body):
+        response = HttpResponse(status, body=body)
+        decoded, rest = HttpResponse.try_decode(response.encode())
+        assert rest == b""
+        assert decoded.status == status
+        assert decoded.body == body
+
+    @given(body=st.binary(max_size=200), cut=st.integers(1, 10))
+    @settings(max_examples=50)
+    def test_truncation_never_yields_message(self, body, cut):
+        encoded = HttpRequest("POST", "/r", body=body).encode()
+        if cut >= len(encoded):
+            return
+        decoded, _ = HttpRequest.try_decode(encoded[:-cut])
+        assert decoded is None
+
+
+class TestPolicyProperties:
+    domains = st.from_regex(r"(\*|(\*\.)?[a-z][a-z0-9\-]{0,12}(\.[a-z]{2,6}){1,2})", fullmatch=True)
+    ports = st.one_of(
+        st.just("*"),
+        st.lists(st.integers(1, 65535), min_size=1, max_size=4).map(
+            lambda items: ",".join(str(i) for i in items)
+        ),
+    )
+
+    @given(rules=st.lists(st.tuples(domains, ports), max_size=5))
+    @settings(max_examples=150)
+    def test_policy_xml_round_trip(self, rules):
+        policy = PolicyFile(tuple(PolicyRule(d, p) for d, p in rules))
+        assert PolicyFile.from_xml(policy.to_xml()) == policy
+
+    @given(
+        rules=st.lists(st.tuples(domains, ports), max_size=5),
+        domain=st.from_regex(r"[a-z]{3,10}\.[a-z]{2,4}", fullmatch=True),
+        port=st.integers(1, 65535),
+    )
+    @settings(max_examples=150)
+    def test_permits_survives_round_trip(self, rules, domain, port):
+        policy = PolicyFile(tuple(PolicyRule(d, p) for d, p in rules))
+        decoded = PolicyFile.from_xml(policy.to_xml())
+        assert policy.permits(domain, port) == decoded.permits(domain, port)

@@ -1,0 +1,96 @@
+"""Unit tests for the low-level DER TLV layer."""
+
+import pytest
+
+from repro.asn1 import der
+from repro.asn1.der import Asn1Error
+
+
+class TestEncodeLength:
+    def test_short_form_zero(self):
+        assert der.encode_length(0) == b"\x00"
+
+    def test_short_form_max(self):
+        assert der.encode_length(127) == b"\x7f"
+
+    def test_long_form_one_octet(self):
+        assert der.encode_length(128) == b"\x81\x80"
+
+    def test_long_form_two_octets(self):
+        assert der.encode_length(0x1234) == b"\x82\x12\x34"
+
+    def test_negative_rejected(self):
+        with pytest.raises(Asn1Error):
+            der.encode_length(-1)
+
+
+class TestDecodeLength:
+    def test_round_trip_boundaries(self):
+        for length in (0, 1, 127, 128, 255, 256, 65535, 65536):
+            encoded = der.encode_length(length)
+            decoded, offset = der.decode_length(encoded, 0)
+            assert decoded == length
+            assert offset == len(encoded)
+
+    def test_indefinite_rejected(self):
+        with pytest.raises(Asn1Error, match="indefinite"):
+            der.decode_length(b"\x80", 0)
+
+    def test_non_minimal_long_form_rejected(self):
+        # 0x81 0x05 encodes 5 in long form; DER requires short form.
+        with pytest.raises(Asn1Error, match="long form"):
+            der.decode_length(b"\x81\x05", 0)
+
+    def test_leading_zero_rejected(self):
+        with pytest.raises(Asn1Error, match="non-minimal"):
+            der.decode_length(b"\x82\x00\x90", 0)
+
+    def test_truncated(self):
+        with pytest.raises(Asn1Error, match="truncated"):
+            der.decode_length(b"\x82\x01", 0)
+
+    def test_empty(self):
+        with pytest.raises(Asn1Error, match="truncated"):
+            der.decode_length(b"", 0)
+
+
+class TestTlv:
+    def test_encode_read_round_trip(self):
+        encoded = der.encode_tlv(0x04, b"hello")
+        tag, content, end = der.read_tlv(encoded)
+        assert tag == 0x04
+        assert content == b"hello"
+        assert end == len(encoded)
+
+    def test_read_at_offset(self):
+        data = der.encode_tlv(0x02, b"\x01") + der.encode_tlv(0x04, b"xy")
+        tag1, content1, offset = der.read_tlv(data, 0)
+        tag2, content2, end = der.read_tlv(data, offset)
+        assert (tag1, content1) == (0x02, b"\x01")
+        assert (tag2, content2) == (0x04, b"xy")
+        assert end == len(data)
+
+    def test_truncated_value(self):
+        with pytest.raises(Asn1Error, match="truncated value"):
+            der.read_tlv(b"\x04\x05ab")
+
+    def test_truncated_tag(self):
+        with pytest.raises(Asn1Error, match="truncated tag"):
+            der.read_tlv(b"", 0)
+
+    def test_multi_octet_tag_rejected(self):
+        with pytest.raises(Asn1Error, match="multi-octet"):
+            der.read_tlv(b"\x1f\x81\x00\x00")
+
+    def test_tag_out_of_range_rejected(self):
+        with pytest.raises(Asn1Error, match="tag out of"):
+            der.encode_tlv(0x100, b"")
+
+    def test_split_tlvs(self):
+        data = der.encode_tlv(0x02, b"\x01") + der.encode_tlv(0x05, b"")
+        assert der.split_tlvs(data) == [(0x02, b"\x01"), (0x05, b"")]
+
+    def test_split_tlvs_trailing_garbage(self):
+        data = der.encode_tlv(0x05, b"") + b"\x04"
+        with pytest.raises(Asn1Error):
+            der.split_tlvs(data)

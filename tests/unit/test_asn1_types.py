@@ -1,0 +1,237 @@
+"""Unit tests for the typed ASN.1 object model."""
+
+import datetime as dt
+
+import pytest
+
+from repro.asn1.der import Asn1Error
+from repro.asn1.types import (
+    BitString,
+    Boolean,
+    ContextExplicit,
+    ContextPrimitive,
+    GeneralizedTime,
+    IA5String,
+    Integer,
+    Null,
+    ObjectIdentifier,
+    OctetString,
+    PrintableString,
+    Raw,
+    Sequence,
+    Set,
+    UtcTime,
+    Utf8String,
+    decode,
+    decode_all,
+)
+
+
+def round_trip(value):
+    decoded, rest = decode(value.encode())
+    assert rest == b""
+    return decoded
+
+
+class TestBoolean:
+    def test_true_is_ff(self):
+        assert Boolean(True).encode() == b"\x01\x01\xff"
+
+    def test_false(self):
+        assert Boolean(False).encode() == b"\x01\x01\x00"
+
+    def test_round_trip(self):
+        assert round_trip(Boolean(True)) == Boolean(True)
+        assert round_trip(Boolean(False)) == Boolean(False)
+
+    def test_bad_length(self):
+        with pytest.raises(Asn1Error):
+            decode(b"\x01\x02\x00\x00")
+
+
+class TestInteger:
+    @pytest.mark.parametrize(
+        "value,expected",
+        [
+            (0, b"\x02\x01\x00"),
+            (127, b"\x02\x01\x7f"),
+            (128, b"\x02\x02\x00\x80"),
+            (256, b"\x02\x02\x01\x00"),
+            (-1, b"\x02\x01\xff"),
+            (-128, b"\x02\x01\x80"),
+            (-129, b"\x02\x02\xff\x7f"),
+        ],
+    )
+    def test_known_encodings(self, value, expected):
+        assert Integer(value).encode() == expected
+
+    def test_round_trip_large(self):
+        big = 2**2048 - 12345
+        assert round_trip(Integer(big)).value == big
+
+    def test_non_minimal_rejected(self):
+        with pytest.raises(Asn1Error, match="non-minimal"):
+            decode(b"\x02\x02\x00\x01")
+
+    def test_non_minimal_negative_rejected(self):
+        with pytest.raises(Asn1Error, match="non-minimal"):
+            decode(b"\x02\x02\xff\xff")
+
+    def test_empty_rejected(self):
+        with pytest.raises(Asn1Error, match="empty"):
+            decode(b"\x02\x00")
+
+
+class TestBitString:
+    def test_round_trip(self):
+        assert round_trip(BitString(b"\xaa\xbb")) == BitString(b"\xaa\xbb")
+
+    def test_unused_bits_preserved(self):
+        value = round_trip(BitString(b"\xa0", unused_bits=4))
+        assert value.unused_bits == 4
+
+    def test_invalid_unused_bits(self):
+        with pytest.raises(Asn1Error):
+            BitString(b"\x00", unused_bits=8)
+
+    def test_unused_bits_on_empty(self):
+        with pytest.raises(Asn1Error):
+            BitString(b"", unused_bits=3)
+
+
+class TestOid:
+    @pytest.mark.parametrize(
+        "dotted,expected_content",
+        [
+            ("1.2.840.113549.1.1.11", bytes.fromhex("2a864886f70d01010b")),
+            ("2.5.4.3", bytes.fromhex("550403")),
+            ("2.16.840.1.101.3.4.2.1", bytes.fromhex("608648016503040201")),
+        ],
+    )
+    def test_known_encodings(self, dotted, expected_content):
+        assert ObjectIdentifier(dotted).content() == expected_content
+
+    def test_round_trip(self):
+        for dotted in ("0.9.2342", "1.3.6.1.4.1.11129.2.4.2", "2.999.1"):
+            assert round_trip(ObjectIdentifier(dotted)).dotted == dotted
+
+    def test_single_arc_rejected(self):
+        with pytest.raises(Asn1Error):
+            ObjectIdentifier("1")
+
+    def test_bad_root_rejected(self):
+        with pytest.raises(Asn1Error):
+            ObjectIdentifier("3.1")
+
+    def test_first_arc_range(self):
+        with pytest.raises(Asn1Error):
+            ObjectIdentifier("0.40")
+
+    def test_name_lookup(self):
+        assert ObjectIdentifier("2.5.4.10").name == "O"
+        assert ObjectIdentifier("1.2.3.4").name == "1.2.3.4"
+
+    def test_truncated_arc(self):
+        with pytest.raises(Asn1Error, match="truncated"):
+            decode(b"\x06\x02\x55\x84")
+
+    def test_non_minimal_arc(self):
+        with pytest.raises(Asn1Error, match="non-minimal"):
+            decode(b"\x06\x03\x55\x80\x03")
+
+
+class TestStrings:
+    @pytest.mark.parametrize(
+        "cls,text",
+        [
+            (Utf8String, "Bitdefender"),
+            (Utf8String, "naïve—✓"),
+            (PrintableString, "US"),
+            (IA5String, "mail@example.com"),
+        ],
+    )
+    def test_round_trip(self, cls, text):
+        assert round_trip(cls(text)).value == text
+
+    def test_utf8_tag(self):
+        assert Utf8String("a").encode()[0] == 0x0C
+
+    def test_printable_tag(self):
+        assert PrintableString("a").encode()[0] == 0x13
+
+
+class TestTimes:
+    def test_utc_time_round_trip(self):
+        moment = dt.datetime(2014, 10, 8, 16, 0, 0, tzinfo=dt.timezone.utc)
+        assert round_trip(UtcTime(moment)).value == moment
+
+    def test_utc_time_century_rule(self):
+        # 49 -> 2049, 50 -> 1950 per RFC 5280.
+        decoded, _ = decode(b"\x17\x0d" + b"490101000000Z")
+        assert decoded.value.year == 2049
+        decoded, _ = decode(b"\x17\x0d" + b"500101000000Z")
+        assert decoded.value.year == 1950
+
+    def test_generalized_time_round_trip(self):
+        moment = dt.datetime(2014, 1, 6, 8, 30, 15, tzinfo=dt.timezone.utc)
+        assert round_trip(GeneralizedTime(moment)).value == moment
+
+    def test_bad_utc_time(self):
+        with pytest.raises(Asn1Error):
+            decode(b"\x17\x0d" + b"991301000000Z")
+
+    def test_naive_datetime_becomes_utc(self):
+        value = UtcTime(dt.datetime(2014, 6, 1, 12, 0, 0))
+        assert value.value.tzinfo is dt.timezone.utc
+
+
+class TestConstructed:
+    def test_sequence_round_trip(self):
+        seq = Sequence([Integer(5), Utf8String("x"), Null()])
+        assert round_trip(seq) == seq
+
+    def test_nested_sequences(self):
+        inner = Sequence([Integer(1)])
+        outer = Sequence([inner, Sequence([inner, inner])])
+        assert round_trip(outer) == outer
+
+    def test_set_sorts_encodings(self):
+        # DER SET OF must sort member encodings; INTEGER 1 sorts before NULL
+        # because tag 0x02 < 0x05.
+        unsorted = Set([Null(), Integer(1)])
+        assert unsorted.encode() == Set([Integer(1), Null()]).encode()
+
+    def test_sequence_indexing(self):
+        seq = Sequence([Integer(1), Integer(2)])
+        assert seq[0] == Integer(1)
+        assert len(seq) == 2
+        assert [item.value for item in seq] == [1, 2]
+
+    def test_context_explicit_round_trip(self):
+        wrapped = ContextExplicit(3, Sequence([Integer(7)]))
+        decoded = round_trip(wrapped)
+        assert isinstance(decoded, ContextExplicit)
+        assert decoded.number == 3
+        assert decoded.inner == Sequence([Integer(7)])
+
+    def test_context_primitive_round_trip(self):
+        value = ContextPrimitive(2, b"www.example.com")
+        decoded = round_trip(value)
+        assert decoded == value
+
+    def test_unknown_tag_preserved_as_raw(self):
+        blob = b"\x45\x03abc"  # application-class tag
+        decoded, rest = decode(blob)
+        assert isinstance(decoded, Raw)
+        assert decoded.encode() == blob
+        assert rest == b""
+
+
+class TestDecodeAll:
+    def test_multiple_values(self):
+        data = Integer(1).encode() + Null().encode() + OctetString(b"z").encode()
+        values = decode_all(data)
+        assert values == [Integer(1), Null(), OctetString(b"z")]
+
+    def test_empty(self):
+        assert decode_all(b"") == []

@@ -1,0 +1,201 @@
+"""Unit and property tests for the Certificate Transparency log."""
+
+import hashlib
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.keystore import KeyStore
+from repro.mitigation.ctlog import (
+    CtLog,
+    CtMonitor,
+    MerkleTree,
+    verify_inclusion,
+)
+from repro.proxy.forger import SubstituteCertForger
+from repro.proxy.profile import ProxyCategory, ProxyProfile
+from repro.x509 import Name
+from repro.x509.model import SubjectPublicKeyInfo
+
+
+class TestMerkleTree:
+    def test_empty_root_is_hash_of_empty(self):
+        assert MerkleTree().root() == hashlib.sha256(b"").digest()
+
+    def test_single_leaf_root(self):
+        tree = MerkleTree()
+        tree.append(b"hello")
+        assert tree.root() == hashlib.sha256(b"\x00hello").digest()
+
+    def test_two_leaf_root(self):
+        tree = MerkleTree()
+        tree.append(b"a")
+        tree.append(b"b")
+        left = hashlib.sha256(b"\x00a").digest()
+        right = hashlib.sha256(b"\x00b").digest()
+        assert tree.root() == hashlib.sha256(b"\x01" + left + right).digest()
+
+    def test_root_changes_with_each_append(self):
+        tree = MerkleTree()
+        roots = set()
+        for i in range(20):
+            tree.append(f"leaf-{i}".encode())
+            roots.add(tree.root())
+        assert len(roots) == 20
+
+    def test_historic_roots_stable(self):
+        tree = MerkleTree()
+        historic = []
+        for i in range(16):
+            tree.append(f"leaf-{i}".encode())
+            historic.append(tree.root())
+        for size, expected in enumerate(historic, start=1):
+            assert tree.root(size) == expected
+
+    def test_oversize_root_rejected(self):
+        with pytest.raises(ValueError):
+            MerkleTree().root(1)
+
+    @given(count=st.integers(1, 64), index=st.data())
+    @settings(max_examples=60)
+    def test_inclusion_proofs_verify(self, count, index):
+        tree = MerkleTree()
+        blobs = [f"leaf-{i}".encode() for i in range(count)]
+        for blob in blobs:
+            tree.append(blob)
+        i = index.draw(st.integers(0, count - 1))
+        proof = tree.inclusion_proof(i)
+        assert verify_inclusion(blobs[i], i, count, proof, tree.root())
+
+    @given(count=st.integers(2, 40), index=st.data())
+    @settings(max_examples=60)
+    def test_inclusion_proof_rejects_wrong_leaf(self, count, index):
+        tree = MerkleTree()
+        blobs = [f"leaf-{i}".encode() for i in range(count)]
+        for blob in blobs:
+            tree.append(blob)
+        i = index.draw(st.integers(0, count - 1))
+        proof = tree.inclusion_proof(i)
+        assert not verify_inclusion(b"forged", i, count, proof, tree.root())
+
+    @given(count=st.integers(1, 40), index=st.data())
+    @settings(max_examples=60)
+    def test_inclusion_proof_rejects_wrong_root(self, count, index):
+        tree = MerkleTree()
+        blobs = [f"leaf-{i}".encode() for i in range(count)]
+        for blob in blobs:
+            tree.append(blob)
+        i = index.draw(st.integers(0, count - 1))
+        proof = tree.inclusion_proof(i)
+        assert not verify_inclusion(blobs[i], i, count, proof, b"\x00" * 32)
+
+    @given(old=st.integers(1, 30), extra=st.integers(0, 30))
+    @settings(max_examples=80)
+    def test_consistency_proof_structure(self, old, extra):
+        """Consistency proofs exist and old roots are recomputable."""
+        tree = MerkleTree()
+        for i in range(old + extra):
+            tree.append(f"leaf-{i}".encode())
+        proof = tree.consistency_proof(old)
+        # Self-consistency: proof is empty iff nothing was appended...
+        if extra == 0:
+            assert proof == []
+        # ...and the recorded old root never changes.
+        assert tree.root(old) == tree.root(old)
+
+    def test_bad_proof_requests(self):
+        tree = MerkleTree()
+        tree.append(b"x")
+        with pytest.raises(ValueError):
+            tree.inclusion_proof(1)
+        with pytest.raises(ValueError):
+            tree.consistency_proof(0)
+        with pytest.raises(ValueError):
+            tree.consistency_proof(2)
+
+
+@pytest.fixture(scope="module")
+def ct_keystore():
+    return KeyStore(seed=77)
+
+
+@pytest.fixture(scope="module")
+def log(ct_keystore):
+    return CtLog(log_id="repro-log-1", key=ct_keystore.key("ct-log", 512))
+
+
+@pytest.fixture(scope="module")
+def site_cert(intermediate_ca, keystore):
+    key = keystore.key("ct-site", 512)
+    return intermediate_ca.issue(
+        Name.build(common_name="ct.example", organization="CT Example"),
+        SubjectPublicKeyInfo(key.n, key.e),
+        dns_names=["ct.example"],
+    )
+
+
+class TestCtLog:
+    def test_sct_verifies(self, log, site_cert):
+        sct = log.submit(site_cert)
+        assert log.verify_sct(sct, log.key.public)
+        assert sct.certificate_fingerprint == site_cert.fingerprint()
+
+    def test_sct_signature_binds_certificate(self, log, site_cert):
+        from dataclasses import replace
+
+        sct = log.submit(site_cert)
+        tampered = replace(sct, certificate_fingerprint="0" * 64)
+        assert not log.verify_sct(tampered, log.key.public)
+
+    def test_inclusion_proof_round_trip(self, log, site_cert):
+        sct = log.submit(site_cert)
+        proof, root, size = log.prove_inclusion(sct.leaf_index)
+        assert verify_inclusion(site_cert.encode(), sct.leaf_index, size, proof, root)
+
+    def test_monitor_flags_rogue_issuance(self, log, site_cert, keystore):
+        # The legitimate cert is already logged; now a rogue CA logs one.
+        forger = SubstituteCertForger(KeyStore(seed=88), seed=88)
+        rogue_profile = ProxyProfile(
+            key="rogue-public-ca",
+            issuer=Name.build(common_name="Rogue CA", organization="Untrustworthy CA"),
+            category=ProxyCategory.UNKNOWN,
+            leaf_key_bits=1024,
+            hash_name="sha1",
+        )
+        rogue = forger.forge(rogue_profile, site_cert, "ct.example")
+        log.submit(rogue.leaf)
+        monitor = CtMonitor(
+            hostname="ct.example",
+            legitimate_issuers=frozenset({"Repro Trust"}),
+        )
+        flagged = monitor.audit(log)
+        assert len(flagged) == 1
+        assert flagged[0].issuer.organization == "Untrustworthy CA"
+
+    def test_monitor_ignores_legitimate_issuance(self, log, site_cert):
+        monitor = CtMonitor(
+            hostname="ct.example",
+            legitimate_issuers=frozenset(
+                {"Repro Trust", "Untrustworthy CA"}  # accept both now
+            ),
+        )
+        assert monitor.audit(log) == []
+
+    def test_local_root_proxies_invisible_to_ct(self, log, site_cert):
+        """The §7 limitation: proxy certs never reach the log, so the
+        monitor sees nothing even though clients are being intercepted."""
+        forger = SubstituteCertForger(KeyStore(seed=89), seed=89)
+        av_profile = ProxyProfile(
+            key="ct-invisible-av",
+            issuer=Name.build(common_name="AV CA", organization="LocalAV"),
+            category=ProxyCategory.BUSINESS_PERSONAL_FIREWALL,
+            leaf_key_bits=1024,
+            hash_name="sha1",
+        )
+        forger.forge(av_profile, site_cert, "ct.example")  # never submitted
+        monitor = CtMonitor(
+            hostname="ct.example",
+            legitimate_issuers=frozenset({"Repro Trust", "Untrustworthy CA"}),
+        )
+        assert monitor.audit(log) == []  # interception invisible to CT

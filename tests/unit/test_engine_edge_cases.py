@@ -1,0 +1,276 @@
+"""Edge-case tests for the MitM engine and supporting layers."""
+
+import datetime as dt
+import random
+
+import pytest
+
+from repro.crypto.keystore import KeyStore, shared_keystore
+from repro.data.keywords import STUDY1_KEYWORDS, STUDY2_KEYWORDS, keywords_for_study
+from repro.netsim import Network
+from repro.proxy import (
+    ForgedUpstreamPolicy,
+    ProxyCategory,
+    ProxyProfile,
+    SubstituteCertForger,
+    TlsProxyEngine,
+)
+from repro.tls import codec
+from repro.tls.codec import ClientHello
+from repro.tls.probe import ProbeClient
+from repro.tls.server import TlsCertServer
+from repro.x509 import Name, RootStore
+from repro.x509.model import SubjectPublicKeyInfo
+
+
+@pytest.fixture(scope="module")
+def forger():
+    return SubstituteCertForger(KeyStore(seed=71), seed=71)
+
+
+@pytest.fixture(scope="module")
+def origin_chain(intermediate_ca, keystore):
+    key = keystore.key("edge-site", 512)
+    leaf = intermediate_ca.issue(
+        Name.build(common_name="edge.example", organization="Edge"),
+        SubjectPublicKeyInfo(key.n, key.e),
+        dns_names=["edge.example", "alias.example"],
+    )
+    return [leaf, intermediate_ca.certificate]
+
+
+def proxied_world(profile, origin_chain, trust, forger):
+    network = Network()
+    client = network.add_host("victim.example")
+    origin = network.add_host("edge.example", ip="203.0.113.42")
+    origin.listen(443, TlsCertServer(origin_chain).factory)
+    engine = TlsProxyEngine(
+        profile, forger, upstream_host=client, upstream_trust=trust
+    )
+    client.add_interceptor(engine)
+    return network, client, engine
+
+
+def default_profile(**overrides):
+    base = dict(
+        key="edge-product",
+        issuer=Name.build(common_name="Edge CA", organization="EdgeProduct"),
+        category=ProxyCategory.BUSINESS_PERSONAL_FIREWALL,
+        leaf_key_bits=1024,
+        hash_name="sha1",
+    )
+    base.update(overrides)
+    return ProxyProfile(**base)
+
+
+class TestEngineEdgeCases:
+    def test_sni_differs_from_destination(
+        self, forger, origin_chain, root_ca
+    ):
+        """The proxy keys interception on the SNI name, not the TCP peer."""
+        profile = default_profile(whitelist=frozenset({"alias.example"}))
+        network, client, engine = proxied_world(
+            profile, origin_chain, RootStore([root_ca.certificate]), forger
+        )
+        # Destination edge.example, SNI alias.example (whitelisted).
+        sock = client.connect("edge.example", 443)
+        hello = ClientHello(
+            client_random=random.Random(1).getrandbits(256).to_bytes(32, "big"),
+            server_name="alias.example",
+        )
+        sock.send(codec.encode_handshake_record(hello))
+        records, _ = codec.decode_records(sock.recv())
+        messages, _ = codec.decode_handshakes(
+            b"".join(
+                r.payload
+                for r in records
+                if r.content_type == codec.CONTENT_HANDSHAKE
+            )
+        )
+        der = next(
+            codec.Certificate.from_body(m.body).der_chain
+            for m in messages
+            if m.msg_type == codec.HS_CERTIFICATE
+        )
+        assert der[0] == origin_chain[0].encode()  # relayed, not forged
+        assert engine.whitelisted == 1
+
+    def test_garbage_from_client_closes_connection(
+        self, forger, origin_chain, root_ca
+    ):
+        network, client, engine = proxied_world(
+            default_profile(), origin_chain, RootStore([root_ca.certificate]), forger
+        )
+        sock = client.connect("edge.example", 443)
+        sock.send(b"\x99\x99not tls at all")
+        assert sock.closed or codec.decode_records(sock.recv())[0][0].content_type == (
+            codec.CONTENT_ALERT
+        )
+
+    def test_second_client_hello_ignored(self, forger, origin_chain, root_ca):
+        network, client, engine = proxied_world(
+            default_profile(), origin_chain, RootStore([root_ca.certificate]), forger
+        )
+        sock = client.connect("edge.example", 443)
+        hello = ClientHello(
+            client_random=bytes(32), server_name="edge.example"
+        )
+        sock.send(codec.encode_handshake_record(hello))
+        first_flight = sock.recv()
+        sock.send(codec.encode_handshake_record(hello))
+        second_flight = sock.recv()
+        assert first_flight  # served once
+        assert second_flight == b""  # renegotiation not entertained
+        assert engine.intercepted == 1
+
+    def test_expired_upstream_counts_as_forged(
+        self, forger, keystore, intermediate_ca, root_ca
+    ):
+        """A stale origin certificate fails the proxy's validation and is
+        treated per the forged-upstream policy."""
+        key = keystore.key("expired-site", 512)
+        expired = intermediate_ca.issue(
+            Name.build(common_name="edge.example"),
+            SubjectPublicKeyInfo(key.n, key.e),
+            dns_names=["edge.example"],
+            not_before=dt.datetime(2010, 1, 1, tzinfo=dt.timezone.utc),
+            not_after=dt.datetime(2011, 1, 1, tzinfo=dt.timezone.utc),
+        )
+        network, client, engine = proxied_world(
+            default_profile(forged_upstream=ForgedUpstreamPolicy.BLOCK),
+            [expired, intermediate_ca.certificate],
+            RootStore([root_ca.certificate]),
+            forger,
+        )
+        result = ProbeClient(client).probe("edge.example", 443)
+        assert not result.ok
+        assert engine.blocked_forged_upstream == 1
+
+    def test_forged_upstream_policies_counted_exclusively(
+        self, forger, origin_chain, root_ca
+    ):
+        network, client, engine = proxied_world(
+            default_profile(), origin_chain, RootStore([root_ca.certificate]), forger
+        )
+        ProbeClient(client).probe("edge.example", 443)
+        assert engine.intercepted == 1
+        assert engine.blocked_forged_upstream == 0
+        assert engine.masked_forged_upstream == 0
+        assert engine.whitelisted == 0
+
+
+class TestSharedKeystore:
+    def test_first_caller_fixes_seed(self):
+        import repro.crypto.keystore as keystore_module
+
+        keystore_module._SHARED = None
+        first = shared_keystore(seed=5)
+        assert shared_keystore(seed=5) is first
+        other = shared_keystore(seed=6)
+        assert other is not first
+        keystore_module._SHARED = None
+
+
+class TestKeywords:
+    def test_study_keyword_sets(self):
+        assert keywords_for_study(1) == STUDY1_KEYWORDS
+        assert keywords_for_study(2) == STUDY2_KEYWORDS
+        assert "Snowden" in STUDY1_KEYWORDS
+        assert "TLS Proxies" in STUDY2_KEYWORDS  # the authors' easter egg
+
+    def test_invalid_study(self):
+        with pytest.raises(ValueError):
+            keywords_for_study(3)
+
+    def test_campaigns_carry_keywords(self):
+        from repro.adwords import AdCampaign
+        from repro.data.countries import STUDY2_CAMPAIGNS
+
+        assert AdCampaign.study1().keywords == STUDY1_KEYWORDS
+        campaign = AdCampaign.from_calibration(STUDY2_CAMPAIGNS[0])
+        assert campaign.keywords == STUDY2_KEYWORDS
+
+
+class TestX509ParserEdgeCases:
+    def test_multi_attribute_rdn_parses(self):
+        """Some real names pack several attributes into one RDN SET."""
+        from repro.asn1 import oids
+        from repro.asn1.types import (
+            ObjectIdentifier,
+            Sequence,
+            Set,
+            Utf8String,
+            decode,
+        )
+        from repro.x509.parse import parse_name
+
+        multi_rdn = Sequence(
+            [
+                Set(
+                    [
+                        Sequence(
+                            [ObjectIdentifier(oids.OID_ORGANIZATION), Utf8String("O1")]
+                        ),
+                        Sequence(
+                            [ObjectIdentifier(oids.OID_COMMON_NAME), Utf8String("CN1")]
+                        ),
+                    ]
+                )
+            ]
+        )
+        decoded, rest = decode(multi_rdn.encode())
+        assert rest == b""
+        name = parse_name(decoded)
+        assert name.organization == "O1"
+        assert name.common_name == "CN1"
+
+    def test_generalized_time_validity_parses(
+        self, root_ca, keystore
+    ):
+        """Roots often use GeneralizedTime; the parser must accept it."""
+        import datetime as dtm
+
+        from repro.asn1.types import GeneralizedTime, Sequence
+        from repro.x509.model import Validity
+        from repro.x509.parse import _parse_validity
+
+        seq = Sequence(
+            [
+                GeneralizedTime(dtm.datetime(2050, 1, 1, tzinfo=dtm.timezone.utc)),
+                GeneralizedTime(dtm.datetime(2060, 1, 1, tzinfo=dtm.timezone.utc)),
+            ]
+        )
+        from repro.asn1.types import decode
+
+        decoded, _ = decode(seq.encode())
+        validity = _parse_validity(decoded)
+        assert isinstance(validity, Validity)
+        assert validity.not_before.year == 2050
+
+    def test_teletex_name_attribute(self):
+        from repro.asn1 import oids
+        from repro.asn1.types import (
+            ObjectIdentifier,
+            Sequence,
+            Set,
+            TeletexString,
+            decode,
+        )
+        from repro.x509.parse import parse_name
+
+        name_seq = Sequence(
+            [
+                Set(
+                    [
+                        Sequence(
+                            [
+                                ObjectIdentifier(oids.OID_ORGANIZATION),
+                                TeletexString("Ol\xe9 Corp"),
+                            ]
+                        )
+                    ]
+                )
+            ]
+        )
+        decoded, _ = decode(name_seq.encode())
+        assert parse_name(decoded).organization == "Ol\xe9 Corp"

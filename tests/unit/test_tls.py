@@ -1,0 +1,211 @@
+"""Unit tests for the TLS codec, server and probe."""
+
+import random
+
+import pytest
+
+from repro.netsim import Network
+from repro.tls import codec
+from repro.tls.codec import (
+    Alert,
+    Certificate as CertificateMessage,
+    ClientHello,
+    HandshakeMessage,
+    Record,
+    ServerHello,
+    TlsError,
+)
+from repro.tls.probe import ProbeClient
+from repro.tls.server import TlsCertServer
+from repro.x509 import Name
+from repro.x509.model import SubjectPublicKeyInfo
+
+
+@pytest.fixture(scope="module")
+def site_chain(intermediate_ca, keystore):
+    key = keystore.key("tls-site", 512)
+    leaf = intermediate_ca.issue(
+        Name.build(common_name="probe-target.example"),
+        SubjectPublicKeyInfo(key.n, key.e),
+        dns_names=["probe-target.example"],
+    )
+    return [leaf, intermediate_ca.certificate]
+
+
+def _rand32(seed=1):
+    return random.Random(seed).getrandbits(256).to_bytes(32, "big")
+
+
+class TestRecordCodec:
+    def test_round_trip(self):
+        record = Record(codec.CONTENT_HANDSHAKE, (3, 1), b"payload")
+        records, rest = codec.decode_records(record.encode())
+        assert rest == b""
+        assert records == [record]
+
+    def test_partial_record_buffered(self):
+        record = Record(codec.CONTENT_HANDSHAKE, (3, 1), b"payload").encode()
+        records, rest = codec.decode_records(record[:6])
+        assert records == []
+        assert rest == record[:6]
+
+    def test_multiple_records(self):
+        one = Record(codec.CONTENT_HANDSHAKE, (3, 1), b"a").encode()
+        two = Record(codec.CONTENT_ALERT, (3, 1), b"\x02\x28").encode()
+        records, rest = codec.decode_records(one + two)
+        assert len(records) == 2
+        assert rest == b""
+
+    def test_unknown_content_type_rejected(self):
+        with pytest.raises(TlsError):
+            codec.decode_records(b"\x63\x03\x01\x00\x00")
+
+    def test_oversize_payload_rejected(self):
+        with pytest.raises(TlsError):
+            Record(codec.CONTENT_HANDSHAKE, (3, 1), b"x" * 0x4001).encode()
+
+
+class TestClientHello:
+    def test_round_trip_with_sni(self):
+        hello = ClientHello(client_random=_rand32(), server_name="qq.com")
+        decoded = ClientHello.from_body(hello.to_handshake().body)
+        assert decoded.server_name == "qq.com"
+        assert decoded.client_random == hello.client_random
+        assert decoded.cipher_suites == codec.DEFAULT_CIPHER_SUITES
+
+    def test_round_trip_without_sni(self):
+        hello = ClientHello(client_random=_rand32())
+        decoded = ClientHello.from_body(hello.to_handshake().body)
+        assert decoded.server_name is None
+
+    def test_bad_random_length(self):
+        with pytest.raises(TlsError):
+            ClientHello(client_random=b"short")
+
+    def test_truncated_body(self):
+        hello = ClientHello(client_random=_rand32(), server_name="x.example")
+        body = hello.to_handshake().body
+        with pytest.raises(TlsError):
+            ClientHello.from_body(body[:30])
+
+
+class TestServerHelloAndCertificate:
+    def test_server_hello_round_trip(self):
+        hello = ServerHello(server_random=_rand32(2), cipher_suite=0x002F)
+        decoded = ServerHello.from_body(hello.to_handshake().body)
+        assert decoded == hello
+
+    def test_certificate_round_trip(self, site_chain):
+        message = CertificateMessage(tuple(c.encode() for c in site_chain))
+        decoded = CertificateMessage.from_body(message.to_handshake().body)
+        assert decoded == message
+
+    def test_empty_certificate_message(self):
+        message = CertificateMessage(())
+        decoded = CertificateMessage.from_body(message.to_handshake().body)
+        assert decoded.der_chain == ()
+
+    def test_handshake_framing_round_trip(self):
+        message = HandshakeMessage(codec.HS_SERVER_HELLO_DONE, b"")
+        messages, rest = codec.decode_handshakes(message.encode())
+        assert messages == [message]
+        assert rest == b""
+
+    def test_alert_round_trip(self):
+        alert = Alert(2, codec.ALERT_HANDSHAKE_FAILURE)
+        records, _ = codec.decode_records(alert.encode_record())
+        assert Alert.from_payload(records[0].payload) == alert
+
+
+class TestProbeEndToEnd:
+    def build_network(self, chain):
+        net = Network()
+        client_host = net.add_host("client.example")
+        server_host = net.add_host("probe-target.example")
+        server = TlsCertServer(chain)
+        server_host.listen(443, server.factory)
+        return net, client_host, server
+
+    def test_probe_receives_chain(self, site_chain):
+        net, client_host, server = self.build_network(site_chain)
+        probe = ProbeClient(client_host)
+        result = probe.probe("probe-target.example")
+        assert result.ok
+        assert [c.encode() for c in result.chain] == [
+            c.encode() for c in site_chain
+        ]
+        assert result.leaf.subject.common_name == "probe-target.example"
+        assert result.server_hello is not None
+        assert server.handshakes_served == 1
+
+    def test_probe_chain_bytes_exact(self, site_chain):
+        net, client_host, _ = self.build_network(site_chain)
+        result = ProbeClient(client_host).probe("probe-target.example")
+        assert result.der_chain == tuple(c.encode() for c in site_chain)
+
+    def test_probe_connection_refused(self, site_chain):
+        net = Network()
+        client_host = net.add_host("client.example")
+        result = ProbeClient(client_host).probe("missing.example")
+        assert not result.ok
+        assert "connect" in result.error
+
+    def test_probe_sni_selects_chain(self, site_chain, root_ca, keystore):
+        other_key = keystore.key("other-site", 512)
+        other_leaf = root_ca.issue(
+            Name.build(common_name="other.example"),
+            SubjectPublicKeyInfo(other_key.n, other_key.e),
+            dns_names=["other.example"],
+        )
+        net = Network()
+        client_host = net.add_host("client.example")
+        server_host = net.add_host("probe-target.example")
+        server = TlsCertServer(
+            site_chain, sni_chains={"other.example": [other_leaf]}
+        )
+        server_host.listen(443, server.factory)
+
+        probe = ProbeClient(client_host)
+        default = probe.probe("probe-target.example")
+        assert default.leaf.subject.common_name == "probe-target.example"
+
+        # Connect to the same host but ask (via SNI) for the other name.
+        sock = client_host.connect("probe-target.example", 443)
+        hello = ClientHello(client_random=_rand32(3), server_name="other.example")
+        sock.send(codec.encode_handshake_record(hello))
+        records, _ = codec.decode_records(sock.recv())
+        messages, _ = codec.decode_handshakes(records[0].payload)
+        certs = [
+            codec.Certificate.from_body(m.body)
+            for m in messages
+            if m.msg_type == codec.HS_CERTIFICATE
+        ]
+        assert certs[0].der_chain == (other_leaf.encode(),)
+
+    def test_server_rejects_garbage(self, site_chain):
+        net, client_host, _ = self.build_network(site_chain)
+        sock = client_host.connect("probe-target.example", 443)
+        sock.send(b"\x63garbage-that-is-not-tls")
+        records, _ = codec.decode_records(sock.recv())
+        assert records[0].content_type == codec.CONTENT_ALERT
+
+    def test_large_chain_spans_records(self, intermediate_ca, root_ca, keystore):
+        # Enough certificates to exceed one 2^14-byte record.
+        chain = []
+        for i in range(40):
+            key = keystore.key("bulk", 1024)
+            chain.append(
+                intermediate_ca.issue(
+                    Name.build(common_name=f"bulk{i}.example", organization="X" * 60),
+                    SubjectPublicKeyInfo(key.n, key.e),
+                    dns_names=[f"bulk{i}.example"],
+                )
+            )
+        assert sum(len(c.encode()) for c in chain) > 0x4000
+        net = Network()
+        client_host = net.add_host("client.example")
+        server_host = net.add_host("probe-target.example")
+        server_host.listen(443, TlsCertServer(chain).factory)
+        result = ProbeClient(client_host).probe("probe-target.example")
+        assert result.ok
+        assert len(result.chain) == 40

@@ -1,0 +1,322 @@
+"""Unit tests for the X.509 model, codec, issuance and validation."""
+
+import datetime as dt
+
+import pytest
+
+from repro.asn1 import oids
+from repro.crypto.keystore import KeyStore
+from repro.x509 import (
+    CertificateAuthority,
+    Name,
+    RootStore,
+    SelfSignedParams,
+    X509Error,
+    parse_certificate,
+    pem_decode,
+    pem_decode_all,
+    pem_encode,
+    validate_chain,
+    verify_certificate_signature,
+)
+from repro.x509.model import SubjectPublicKeyInfo, Validity
+from repro.x509.pem import PemError
+
+
+@pytest.fixture(scope="module")
+def site_cert(intermediate_ca, keystore):
+    key = keystore.key("site", 512)
+    return intermediate_ca.issue(
+        Name.build(common_name="tlsresearch.byu.edu", organization="BYU"),
+        SubjectPublicKeyInfo(key.n, key.e),
+        dns_names=["tlsresearch.byu.edu", "www.tlsresearch.byu.edu"],
+    )
+
+
+class TestName:
+    def test_build_and_accessors(self):
+        name = Name.build(
+            common_name="example.com", organization="Example Corp", country="US"
+        )
+        assert name.common_name == "example.com"
+        assert name.organization == "Example Corp"
+        assert name.country == "US"
+        assert name.organizational_unit is None
+
+    def test_rfc4514_rendering(self):
+        name = Name.build(common_name="a", organization="b")
+        assert name.rfc4514() == "O=b, CN=a"
+
+    def test_empty_name_is_null_issuer(self):
+        name = Name()
+        assert name.is_empty
+        assert name.rfc4514() == ""
+        assert name.organization is None
+
+    def test_encode_decode_round_trip(self):
+        from repro.asn1.types import decode
+        from repro.x509.parse import parse_name
+
+        name = Name.build(common_name="x", organization="y", country="US")
+        decoded, rest = decode(name.encode())
+        assert rest == b""
+        assert parse_name(decoded) == name
+
+
+class TestIssuance:
+    def test_self_signed_root_verifies_itself(self, root_ca):
+        assert verify_certificate_signature(root_ca.certificate, root_ca.certificate)
+
+    def test_root_is_ca(self, root_ca):
+        assert root_ca.certificate.is_ca
+
+    def test_leaf_is_not_ca(self, site_cert):
+        assert not site_cert.is_ca
+
+    def test_issued_cert_fields(self, site_cert, intermediate_ca):
+        assert site_cert.subject.common_name == "tlsresearch.byu.edu"
+        assert site_cert.issuer == intermediate_ca.name
+        assert site_cert.public_key_bits == 512
+        assert site_cert.signature_algorithm == "sha256WithRSAEncryption"
+        assert site_cert.serial_number > 0
+
+    def test_dns_names(self, site_cert):
+        assert site_cert.dns_names == [
+            "tlsresearch.byu.edu",
+            "www.tlsresearch.byu.edu",
+        ]
+
+    def test_issue_with_md5(self, root_ca, keystore):
+        key = keystore.key("md5-leaf", 512)
+        cert = root_ca.issue(
+            Name.build(common_name="weak.example"),
+            SubjectPublicKeyInfo(key.n, key.e),
+            hash_name="md5",
+        )
+        assert cert.signature_algorithm == "md5WithRSAEncryption"
+        assert verify_certificate_signature(cert, root_ca.certificate)
+
+    def test_serial_numbers_unique(self, root_ca, keystore):
+        key = keystore.key("serial-test", 512)
+        spki = SubjectPublicKeyInfo(key.n, key.e)
+        serials = {
+            root_ca.issue(Name.build(common_name=f"s{i}.example"), spki).serial_number
+            for i in range(10)
+        }
+        assert len(serials) == 10
+
+
+class TestParse:
+    def test_round_trip_preserves_bytes(self, site_cert):
+        parsed = parse_certificate(site_cert.encode())
+        assert parsed.encode() == site_cert.encode()
+        assert parsed.fingerprint() == site_cert.fingerprint()
+
+    def test_parsed_fields_match(self, site_cert):
+        parsed = parse_certificate(site_cert.encode())
+        assert parsed.subject == site_cert.subject
+        assert parsed.issuer == site_cert.issuer
+        assert parsed.serial_number == site_cert.serial_number
+        assert parsed.public_key_bits == site_cert.public_key_bits
+        assert parsed.signature == site_cert.signature
+        assert parsed.tbs.validity == site_cert.tbs.validity
+
+    def test_parsed_signature_still_verifies(self, site_cert, intermediate_ca):
+        parsed = parse_certificate(site_cert.encode())
+        assert verify_certificate_signature(parsed, intermediate_ca.certificate)
+
+    def test_truncated_rejected(self, site_cert):
+        with pytest.raises(X509Error):
+            parse_certificate(site_cert.encode()[:40])
+
+    def test_trailing_bytes_rejected(self, site_cert):
+        with pytest.raises(X509Error, match="trailing"):
+            parse_certificate(site_cert.encode() + b"\x00")
+
+    def test_garbage_rejected(self):
+        with pytest.raises(X509Error):
+            parse_certificate(b"not a certificate")
+
+    def test_non_sequence_rejected(self):
+        from repro.asn1.types import Integer
+
+        with pytest.raises(X509Error, match="expected Sequence"):
+            parse_certificate(Integer(5).encode())
+
+
+class TestPem:
+    def test_round_trip(self, site_cert):
+        pem = pem_encode(site_cert.encode())
+        assert pem.startswith("-----BEGIN CERTIFICATE-----")
+        assert pem_decode(pem) == site_cert.encode()
+
+    def test_concatenated_chain(self, site_cert, root_ca):
+        blob = pem_encode(site_cert.encode()) + pem_encode(root_ca.certificate.encode())
+        decoded = pem_decode_all(blob)
+        assert decoded == [site_cert.encode(), root_ca.certificate.encode()]
+
+    def test_lines_are_wrapped(self, site_cert):
+        pem = pem_encode(site_cert.encode())
+        for line in pem.splitlines():
+            assert len(line) <= 64
+
+    def test_unterminated_rejected(self):
+        with pytest.raises(PemError, match="unterminated"):
+            pem_decode_all("-----BEGIN CERTIFICATE-----\nYWJj\n")
+
+    def test_end_without_begin_rejected(self):
+        with pytest.raises(PemError):
+            pem_decode_all("-----END CERTIFICATE-----\n")
+
+    def test_bad_base64_rejected(self):
+        text = "-----BEGIN CERTIFICATE-----\n!!!\n-----END CERTIFICATE-----\n"
+        with pytest.raises(PemError, match="base64"):
+            pem_decode_all(text)
+
+    def test_decode_one_rejects_many(self, site_cert):
+        blob = pem_encode(site_cert.encode()) * 2
+        with pytest.raises(PemError, match="exactly one"):
+            pem_decode(blob)
+
+
+class TestHostnameMatching:
+    def test_exact_match(self, site_cert):
+        assert site_cert.matches_hostname("tlsresearch.byu.edu")
+
+    def test_mismatch(self, site_cert):
+        assert not site_cert.matches_hostname("evil.example")
+
+    def test_wildcard(self, root_ca, keystore):
+        key = keystore.key("wild", 512)
+        cert = root_ca.issue(
+            Name.build(common_name="*.example.com"),
+            SubjectPublicKeyInfo(key.n, key.e),
+        )
+        assert cert.matches_hostname("www.example.com")
+        assert not cert.matches_hostname("example.com")
+        assert not cert.matches_hostname("a.b.example.com")
+
+
+class TestChainValidation:
+    def test_valid_chain(self, site_cert, intermediate_ca, root_ca, now):
+        store = RootStore([root_ca.certificate])
+        result = validate_chain(
+            [site_cert, intermediate_ca.certificate],
+            store,
+            hostname="tlsresearch.byu.edu",
+            at_time=now,
+        )
+        assert result.valid
+        assert result.trust_root.fingerprint() == root_ca.certificate.fingerprint()
+        assert not result.trusted_via_injected_root
+
+    def test_untrusted_root_rejected(self, site_cert, intermediate_ca, now):
+        result = validate_chain(
+            [site_cert, intermediate_ca.certificate], RootStore(), at_time=now
+        )
+        assert not result.valid
+        assert "no trusted root" in result.reason
+
+    def test_injected_root_flagged(self, site_cert, intermediate_ca, root_ca, now):
+        store = RootStore()
+        store.inject(root_ca.certificate)
+        result = validate_chain(
+            [site_cert, intermediate_ca.certificate], store, at_time=now
+        )
+        assert result.valid
+        assert result.trusted_via_injected_root
+
+    def test_hostname_mismatch_fails(self, site_cert, intermediate_ca, root_ca, now):
+        store = RootStore([root_ca.certificate])
+        result = validate_chain(
+            [site_cert, intermediate_ca.certificate],
+            store,
+            hostname="other.example",
+            at_time=now,
+        )
+        assert not result.valid
+        assert "hostname" in result.reason
+
+    def test_expired_cert_fails(self, site_cert, intermediate_ca, root_ca):
+        store = RootStore([root_ca.certificate])
+        result = validate_chain(
+            [site_cert, intermediate_ca.certificate],
+            store,
+            at_time=dt.datetime(2030, 1, 1, tzinfo=dt.timezone.utc),
+        )
+        assert not result.valid
+        assert "validity" in result.reason
+
+    def test_broken_chain_order_fails(self, site_cert, root_ca, now):
+        # Missing intermediate: leaf's issuer is not in the store.
+        store = RootStore([root_ca.certificate])
+        result = validate_chain([site_cert], store, at_time=now)
+        assert not result.valid
+
+    def test_empty_chain(self, root_ca):
+        assert not validate_chain([], RootStore([root_ca.certificate]))
+
+    def test_intermediate_without_ca_flag_fails(
+        self, root_ca, keystore, now
+    ):
+        # Issue a "CA" without the CA bit, then use it to sign a leaf.
+        bad_int_key = keystore.key("bad-intermediate", 512)
+        bad_int_cert = root_ca.issue(
+            Name.build(common_name="Bad Intermediate"),
+            SubjectPublicKeyInfo(bad_int_key.n, bad_int_key.e),
+            is_ca=False,
+        )
+        bad_ca = CertificateAuthority(bad_int_cert, bad_int_key)
+        leaf_key = keystore.key("bad-leaf", 512)
+        leaf = bad_ca.issue(
+            Name.build(common_name="victim.example"),
+            SubjectPublicKeyInfo(leaf_key.n, leaf_key.e),
+        )
+        store = RootStore([root_ca.certificate])
+        result = validate_chain([leaf, bad_int_cert], store, at_time=now)
+        assert not result.valid
+        assert any("CA flag" in error for error in result.errors)
+
+    def test_tampered_leaf_signature_fails(
+        self, site_cert, intermediate_ca, root_ca, now
+    ):
+        from repro.x509.model import Certificate
+
+        tampered = Certificate(
+            tbs=site_cert.tbs,
+            signature_oid=site_cert.signature_oid,
+            signature=bytes(64),
+        )
+        store = RootStore([root_ca.certificate])
+        result = validate_chain(
+            [tampered, intermediate_ca.certificate], store, at_time=now
+        )
+        assert not result.valid
+        assert any("signature" in error for error in result.errors)
+
+
+class TestRootStore:
+    def test_copy_is_independent(self, root_ca, keystore):
+        store = RootStore([root_ca.certificate])
+        clone = store.copy()
+        extra_key = keystore.key("extra-root", 512)
+        extra = CertificateAuthority.self_signed(
+            SelfSignedParams(subject=Name.build(common_name="Extra"), key=extra_key)
+        )
+        clone.inject(extra.certificate)
+        assert not store.contains(extra.certificate)
+        assert clone.contains(extra.certificate)
+        assert clone.injected_count == 1
+        assert store.injected_count == 0
+
+    def test_remove(self, root_ca):
+        store = RootStore([root_ca.certificate])
+        store.remove(root_ca.certificate)
+        assert len(store) == 0
+
+    def test_find_issuer_roots(self, site_cert, intermediate_ca, root_ca):
+        store = RootStore([root_ca.certificate])
+        assert store.find_issuer_roots(intermediate_ca.certificate) == [
+            root_ca.certificate
+        ]
+        assert store.find_issuer_roots(site_cert) == []

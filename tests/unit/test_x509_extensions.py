@@ -1,0 +1,138 @@
+"""Tests for keyUsage / SKI / AKI extensions and DNS-override routing."""
+
+import pytest
+
+from repro.netsim import Network, Protocol
+from repro.x509 import Name
+from repro.x509.model import (
+    KEY_USAGE_BITS,
+    SubjectPublicKeyInfo,
+    key_usage_extension,
+)
+from repro.x509.parse import parse_certificate
+
+
+@pytest.fixture(scope="module")
+def leaf(intermediate_ca, keystore):
+    key = keystore.key("ext-site", 512)
+    return intermediate_ca.issue(
+        Name.build(common_name="ext.example"),
+        SubjectPublicKeyInfo(key.n, key.e),
+        dns_names=["ext.example"],
+    )
+
+
+class TestKeyUsage:
+    def test_leaf_key_usage(self, leaf):
+        assert leaf.key_usage == ("digitalSignature", "keyEncipherment")
+
+    def test_ca_key_usage(self, root_ca, intermediate_ca):
+        assert intermediate_ca.certificate.key_usage == ("keyCertSign", "cRLSign")
+
+    def test_key_usage_survives_parse(self, leaf):
+        parsed = parse_certificate(leaf.encode())
+        assert parsed.key_usage == leaf.key_usage
+
+    def test_all_flags_round_trip(self):
+        from repro.asn1.types import BitString, decode
+
+        for index, name in enumerate(KEY_USAGE_BITS):
+            ext = key_usage_extension((name,))
+            bits, _ = decode(ext.value)
+            assert isinstance(bits, BitString)
+            # Named-bit lists drop trailing zeros: total bits == index+1.
+            assert len(bits.data) * 8 - bits.unused_bits == index + 1
+
+    def test_unknown_flag_rejected(self):
+        with pytest.raises(ValueError, match="unknown key usage"):
+            key_usage_extension(("flyingSignature",))
+
+    def test_empty_usage(self):
+        ext = key_usage_extension(())
+        from repro.asn1.types import BitString, decode
+
+        bits, _ = decode(ext.value)
+        assert bits == BitString(b"", 0)
+
+
+class TestKeyIdentifiers:
+    def test_ski_present_and_20_bytes(self, leaf):
+        assert leaf.subject_key_identifier is not None
+        assert len(leaf.subject_key_identifier) == 20
+
+    def test_aki_matches_issuer_ski(self, leaf, intermediate_ca):
+        assert (
+            leaf.authority_key_identifier
+            == intermediate_ca.certificate.subject_key_identifier
+        )
+
+    def test_identifiers_survive_parse(self, leaf):
+        parsed = parse_certificate(leaf.encode())
+        assert parsed.subject_key_identifier == leaf.subject_key_identifier
+        assert parsed.authority_key_identifier == leaf.authority_key_identifier
+
+    def test_same_key_same_ski(self, leaf, intermediate_ca, keystore):
+        key = keystore.key("ext-site", 512)
+        other = intermediate_ca.issue(
+            Name.build(common_name="other.example"),
+            SubjectPublicKeyInfo(key.n, key.e),
+        )
+        assert other.subject_key_identifier == leaf.subject_key_identifier
+
+    def test_absent_on_legacy_certs(self, keystore):
+        """Certificates without the extensions read as None, not crash."""
+        from repro.x509.ca import CertificateAuthority, SelfSignedParams
+
+        legacy = CertificateAuthority.self_signed(
+            SelfSignedParams(
+                subject=Name.build(common_name="Legacy Root"),
+                key=keystore.key("legacy-root", 512),
+            )
+        ).certificate
+        assert legacy.subject_key_identifier is None
+        assert legacy.authority_key_identifier is None
+        assert legacy.key_usage == ()
+
+
+class Echo(Protocol):
+    def data_received(self, sock, data):
+        sock.send(b"from:" + sock.label.encode())
+
+
+class TestDnsOverrides:
+    def test_override_redirects_connection(self):
+        net = Network()
+        client = net.add_host("victim.example")
+        net.add_host("bank.example").listen(80, Echo)
+        net.add_host("attacker.example").listen(80, Echo)
+
+        sock = client.connect("bank.example", 80)
+        sock.send(b"x")
+        assert b"bank.example" in sock.recv()
+
+        client.dns_overrides["bank.example"] = "attacker.example"
+        sock = client.connect("bank.example", 80)
+        sock.send(b"x")
+        assert b"attacker.example" in sock.recv()
+
+    def test_other_clients_unaffected(self):
+        net = Network()
+        victim = net.add_host("victim.example")
+        clean = net.add_host("clean.example")
+        net.add_host("bank.example").listen(80, Echo)
+        net.add_host("attacker.example").listen(80, Echo)
+        victim.dns_overrides["bank.example"] = "attacker.example"
+
+        sock = clean.connect("bank.example", 80)
+        sock.send(b"x")
+        assert b"bank.example" in sock.recv()
+
+    def test_override_to_missing_host_refused(self):
+        from repro.netsim import ConnectionRefused
+
+        net = Network()
+        client = net.add_host("victim.example")
+        net.add_host("bank.example").listen(80, Echo)
+        client.dns_overrides["bank.example"] = "gone.example"
+        with pytest.raises(ConnectionRefused):
+            client.connect("bank.example", 80)
