@@ -1,0 +1,44 @@
+"""N3 — appliance security audit throughput.
+
+Times the full adversarial battery over the entire product catalog —
+the Waked et al. style fleet audit — and emits the wall time and
+products-audited-per-second as JSON, alongside the grade histogram so
+regressions in posture modelling show up next to regressions in speed.
+"""
+
+import json
+import time
+
+from conftest import BENCH_SEED, emit
+
+from repro.audit import ADVERSARIAL_SCENARIOS, audit_catalog
+
+
+def run_battery():
+    start = time.perf_counter()
+    report = audit_catalog(seed=BENCH_SEED, workers=1)
+    return report, time.perf_counter() - start
+
+
+def test_appliance_audit(benchmark, output_dir):
+    report, wall_time = benchmark.pedantic(run_battery, rounds=1, iterations=1)
+
+    products = len(report.scorecards)
+    timing = {
+        "seed": BENCH_SEED,
+        "products_audited": products,
+        "adversarial_scenarios": len(ADVERSARIAL_SCENARIOS),
+        "probes_run": products * (len(ADVERSARIAL_SCENARIOS) + 1) * 2,
+        "battery_wall_time_s": round(wall_time, 3),
+        "products_per_second": round(products / wall_time, 3),
+        "grades": report.grade_histogram(),
+    }
+    emit(output_dir, "appliance_audit", json.dumps(timing, indent=2))
+
+    assert products >= 40  # the whole catalog, not a subset
+    assert len(ADVERSARIAL_SCENARIOS) >= 8
+    assert timing["products_per_second"] > 0
+    # The two §5.2 lab products must reproduce the paper's asymmetry.
+    cards = report.by_key()
+    assert cards["bitdefender"].grade == "A"
+    assert cards["kurupira"].grade == "F"

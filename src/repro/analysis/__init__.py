@@ -17,6 +17,7 @@ from repro.analysis.classifier import IssuerClassifier
 from repro.analysis.malware import MalwareCensus, OddityReport, ip_dispersion_oddities, malware_census
 from repro.analysis.negligence import NegligenceReport, analyze_negligence
 from repro.analysis.tables import (
+    audit_grade_table,
     classification_table,
     country_breakdown,
     heatmap_series,
@@ -26,6 +27,7 @@ from repro.analysis.tables import (
 
 __all__ = [
     "IssuerClassifier",
+    "audit_grade_table",
     "MalwareCensus",
     "NegligenceReport",
     "OddityReport",

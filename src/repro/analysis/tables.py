@@ -4,8 +4,10 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass
+from typing import Sequence
 
 from repro.analysis.classifier import IssuerClassifier
+from repro.audit.scorecard import ProductScorecard
 from repro.measure.database import ReportDatabase
 from repro.proxy.profile import ProxyCategory
 
@@ -162,6 +164,44 @@ def host_type_table(database: ReportDatabase) -> list[HostTypeRow]:
         if host_type not in order:
             rows.append(HostTypeRow(host_type, total, proxied))
     return rows
+
+
+@dataclass(frozen=True)
+class AuditGradeRow:
+    """One row of the appliance-audit grade table (Waked et al. style)."""
+
+    rank: int
+    product_key: str
+    category: str
+    grade: str
+    score_percent: float
+    blocked: int
+    passed_through: int
+    masked: int
+    errors: int
+    functional: bool
+
+
+def audit_grade_table(scorecards: Sequence[ProductScorecard]) -> list[AuditGradeRow]:
+    """Rank scorecards best-first into the aggregate grade table."""
+    ordered = sorted(
+        scorecards, key=lambda card: (-card.fraction, card.product_key)
+    )
+    return [
+        AuditGradeRow(
+            rank=rank + 1,
+            product_key=card.product_key,
+            category=card.category,
+            grade=card.grade,
+            score_percent=100.0 * card.fraction,
+            blocked=card.blocked,
+            passed_through=card.passed_through,
+            masked=card.masked,
+            errors=card.errors,
+            functional=card.functional,
+        )
+        for rank, card in enumerate(ordered)
+    ]
 
 
 def heatmap_series(database: ReportDatabase) -> dict[str, float]:

@@ -1,0 +1,69 @@
+"""Appliance security audit: adversarial upstream battery + scorecards.
+
+The paper spot-checked two products against one forged upstream
+certificate (§5.2).  This subsystem systematises that experiment the
+way Waked et al. (NDSS 2018) did for enterprise interception
+appliances: every :class:`~repro.proxy.profile.ProxyProfile` in the
+product catalog is driven through a deterministic battery of
+adversarial upstream scenarios over netsim, and graded A–F on whether
+it BLOCKs, PASSes through, or MASKs each attack.
+
+* :mod:`repro.audit.scenarios` — the scenario registry: expired leaf,
+  self-signed, wrong hostname, untrusted CA, weak RSA key, MD5
+  signature, protocol downgrade, revoked leaf (plus a genuine-origin
+  control), each a transform of the origin's chain or TLS parameters.
+* :mod:`repro.audit.harness` — wires origin, product and victim per
+  scenario, probes warm-then-attacked, and classifies the outcome.
+* :mod:`repro.audit.scorecard` — turns outcomes into letter-graded
+  scorecards with per-check evidence, and the catalog-wide report.
+
+Entry points: ``audit_catalog(seed, workers)`` (batch API) and the
+``repro audit`` CLI subcommand.
+"""
+
+from repro.audit.harness import AuditHarness, audit_catalog
+from repro.audit.scenarios import (
+    ADVERSARIAL_SCENARIOS,
+    AUDIT_HOSTNAME,
+    AuditPki,
+    AuditScenario,
+    OriginSetup,
+    SCENARIOS,
+    scenario_by_key,
+)
+from repro.audit.scorecard import (
+    AuditReport,
+    CheckResult,
+    OUTCOME_BLOCK,
+    OUTCOME_ERROR,
+    OUTCOME_INTERCEPT,
+    OUTCOME_MASK,
+    OUTCOME_PASS,
+    ProductScorecard,
+    ScenarioObservation,
+    build_scorecard,
+    letter_grade,
+)
+
+__all__ = [
+    "ADVERSARIAL_SCENARIOS",
+    "AUDIT_HOSTNAME",
+    "AuditHarness",
+    "AuditPki",
+    "AuditReport",
+    "AuditScenario",
+    "CheckResult",
+    "OUTCOME_BLOCK",
+    "OUTCOME_ERROR",
+    "OUTCOME_INTERCEPT",
+    "OUTCOME_MASK",
+    "OUTCOME_PASS",
+    "OriginSetup",
+    "ProductScorecard",
+    "SCENARIOS",
+    "ScenarioObservation",
+    "audit_catalog",
+    "build_scorecard",
+    "letter_grade",
+    "scenario_by_key",
+]

@@ -1,0 +1,188 @@
+"""Wiring that runs one product through the adversarial battery.
+
+For every (product, scenario) pair the harness stands up a fresh
+netsim world: the audited origin, a victim whose connections the
+product intercepts, and a gateway the product originates its upstream
+leg from.  Two probes run per scenario — a warm-up against the genuine
+origin, then the attacked one — so products that cache validation
+verdicts expose their time-of-check/time-of-use hole on exactly the
+same flow every non-caching product handles correctly.
+
+The expensive state (RSA keys, the audit PKI, each product's signing
+CA) lives in one :class:`AuditHarness` and is shared across the whole
+catalog, which is what makes ``audit_catalog`` cheap enough to run as
+a benchmark: scenario chains are minted once per seed, and a fleet of
+worker threads can drain the product list against the same harness.
+"""
+
+from __future__ import annotations
+
+import random
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.audit.scenarios import (
+    AUDIT_HOSTNAME,
+    AuditPki,
+    AuditScenario,
+    BASELINE_KEY,
+    OriginSetup,
+    SCENARIOS,
+)
+from repro.audit.scorecard import (
+    AuditReport,
+    OUTCOME_BLOCK,
+    OUTCOME_ERROR,
+    OUTCOME_INTERCEPT,
+    OUTCOME_MASK,
+    OUTCOME_PASS,
+    ProductScorecard,
+    ScenarioObservation,
+    build_scorecard,
+)
+from repro.crypto.keystore import KeyStore
+from repro.data.products import catalog
+from repro.netsim.network import Network
+from repro.tls import codec
+from repro.proxy.engine import TlsProxyEngine
+from repro.proxy.forger import SubstituteCertForger
+from repro.proxy.profile import ProxyProfile
+from repro.tls.probe import ProbeClient, ProbeResult
+from repro.tls.server import TlsCertServer
+from repro.util import stable_hash
+
+
+class AuditHarness:
+    """Shared state for auditing many products under one seed."""
+
+    def __init__(
+        self,
+        seed: int = 42,
+        keystore: KeyStore | None = None,
+        pki_key_bits: int = 1024,
+    ) -> None:
+        self.seed = seed
+        self.keystore = keystore or KeyStore(seed=seed)
+        self.pki = AuditPki(self.keystore, seed=seed, key_bits=pki_key_bits)
+        self.forger = SubstituteCertForger(self.keystore, seed=seed)
+        # Scenario chains are deterministic per seed; mint them once.
+        self._setups: dict[str, OriginSetup] = {
+            scenario.key: scenario.build(self.pki, AUDIT_HOSTNAME)
+            for scenario in SCENARIOS
+        }
+        self._baseline = self._setups[BASELINE_KEY]
+
+    # -- single product ---------------------------------------------------
+
+    def audit_product(self, profile: ProxyProfile) -> ProductScorecard:
+        """Run ``profile`` through the full battery and grade it."""
+        observations = [
+            self.run_scenario(profile, scenario) for scenario in SCENARIOS
+        ]
+        return build_scorecard(profile.key, profile.category.value, observations)
+
+    def run_scenario(
+        self, profile: ProxyProfile, scenario: AuditScenario
+    ) -> ScenarioObservation:
+        setup = self._setups[scenario.key]
+        network = Network()
+        origin = network.add_host(AUDIT_HOSTNAME, ip="203.0.113.77")
+        victim = network.add_host("victim.audit.example")
+        gateway = network.add_host("gateway.audit.example")
+        engine = TlsProxyEngine(
+            profile,
+            self.forger,
+            upstream_host=gateway,
+            upstream_trust=self.pki.proxy_store(),
+            revoked_serials=setup.revoked_serials,
+            rng=random.Random(stable_hash(self.seed, profile.key, scenario.key)),
+        )
+        victim.add_interceptor(engine)
+        probe_rng = random.Random(
+            stable_hash(self.seed, "probe", profile.key, scenario.key)
+        )
+        # Warm-up: the origin is healthy; validation caches fill here.
+        origin.listen(443, TlsCertServer(list(self._baseline.chain)).factory)
+        ProbeClient(victim, rng=probe_rng).probe(AUDIT_HOSTNAME, 443)
+        # The attack begins: swap in the scenario's origin.
+        origin.stop_listening(443)
+        origin.listen(
+            443,
+            TlsCertServer(
+                list(setup.chain),
+                cipher_suite=setup.cipher_suite,
+                max_version=setup.max_version,
+            ).factory,
+        )
+        result = ProbeClient(victim, rng=probe_rng).probe(AUDIT_HOSTNAME, 443)
+        return self._classify(scenario, setup, result)
+
+    @staticmethod
+    def _classify(
+        scenario: AuditScenario, setup: OriginSetup, result: ProbeResult
+    ) -> ScenarioObservation:
+        if result.ok:
+            leaf = result.leaf
+            assert leaf is not None
+            if leaf.fingerprint() == setup.chain[0].fingerprint():
+                outcome = OUTCOME_PASS
+                evidence = (
+                    "attacked chain relayed verbatim; the client's own "
+                    "validation is left to warn"
+                )
+            elif scenario.defect is None:
+                outcome = OUTCOME_INTERCEPT
+                evidence = "genuine origin intercepted and re-signed as usual"
+            else:
+                outcome = OUTCOME_MASK
+                evidence = (
+                    "attack hidden behind a trusted substitute "
+                    f"(issuer {leaf.issuer.rfc4514() or '<empty>'!r})"
+                )
+        elif f"desc={codec.ALERT_BAD_CERTIFICATE}" in result.error:
+            # Only the engine's deliberate verdict counts as a block;
+            # a handshake_failure alert means the battery's upstream
+            # leg fell over, which must not earn the product marks.
+            outcome = OUTCOME_BLOCK
+            evidence = f"connection refused with a fatal alert ({result.error})"
+        else:
+            outcome = OUTCOME_ERROR
+            evidence = f"probe failed: {result.error}"
+        return ScenarioObservation(
+            scenario=scenario.key, outcome=outcome, evidence=evidence
+        )
+
+
+def audit_catalog(
+    seed: int = 42,
+    workers: int = 1,
+    products: list[str] | None = None,
+    pki_key_bits: int = 1024,
+) -> AuditReport:
+    """Grade every catalog product (or the named subset) under ``seed``.
+
+    ``workers`` > 1 fans products out over a thread pool sharing one
+    harness; every certificate byte is derived deterministically from
+    the seed, so scorecards are identical regardless of scheduling.
+    The per-product signing CAs are warmed serially first so threads
+    do not race to regenerate the same expensive RSA keys.
+    """
+    specs = catalog()
+    if products:
+        by_key = {spec.key: spec for spec in specs}
+        unknown = [key for key in products if key not in by_key]
+        if unknown:
+            raise KeyError(f"unknown product keys: {', '.join(sorted(unknown))}")
+        specs = [by_key[key] for key in products]
+    harness = AuditHarness(seed=seed, pki_key_bits=pki_key_bits)
+    profiles = [spec.profile for spec in specs]
+    for profile in profiles:
+        harness.forger.authority_for(
+            profile,
+            profile.issuer_for_bucket(0) if profile.issuer_variants else None,
+        )
+    if workers > 1:
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            scorecards = list(pool.map(harness.audit_product, profiles))
+    else:
+        scorecards = [harness.audit_product(profile) for profile in profiles]
+    return AuditReport(seed=seed, scorecards=tuple(scorecards))

@@ -1,0 +1,204 @@
+"""Grading of battery outcomes into per-product scorecards.
+
+The grading follows the Waked et al. style: every adversarial scenario
+is one check, each check earns points by how the product reacted, and
+the total maps onto an A–F letter grade with per-check evidence.
+
+* ``BLOCK``  — the proxy refused the connection: full marks.
+* ``PASS``   — the proxy relayed the attacked chain untouched, leaving
+  the browser to warn: half marks (the user still has a chance).
+* ``MASK``   — the proxy replaced the attacked chain with its own
+  trusted substitute, hiding the attack entirely: zero.
+* ``ERROR``  — the battery could not complete the probe: zero, with
+  the failure recorded as evidence.
+
+The baseline (genuine origin) scenario is a control, not a check: a
+product that fails to intercept a healthy origin is marked
+non-functional instead of graded down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.audit.scenarios import ADVERSARIAL_SCENARIOS, SCENARIOS, scenario_by_key
+
+OUTCOME_BLOCK = "BLOCK"
+OUTCOME_MASK = "MASK"
+OUTCOME_PASS = "PASS"
+OUTCOME_INTERCEPT = "INTERCEPT"
+OUTCOME_ERROR = "ERROR"
+
+_POINTS = {
+    OUTCOME_BLOCK: 1.0,
+    OUTCOME_PASS: 0.5,
+    OUTCOME_MASK: 0.0,
+    OUTCOME_ERROR: 0.0,
+}
+
+# Letter-grade floors over the score fraction, best first.
+GRADE_FLOORS: tuple[tuple[float, str], ...] = (
+    (0.90, "A"),
+    (0.70, "B"),
+    (0.50, "C"),
+    (0.30, "D"),
+)
+
+
+def letter_grade(fraction: float) -> str:
+    for floor, letter in GRADE_FLOORS:
+        if fraction >= floor:
+            return letter
+    return "F"
+
+
+@dataclass(frozen=True)
+class ScenarioObservation:
+    """What the harness saw one product do under one scenario."""
+
+    scenario: str
+    outcome: str
+    evidence: str
+
+
+@dataclass(frozen=True)
+class CheckResult:
+    """One graded row of a scorecard."""
+
+    scenario: str
+    title: str
+    defect: str | None
+    outcome: str
+    points: float
+    max_points: float
+    evidence: str
+
+
+@dataclass(frozen=True)
+class ProductScorecard:
+    """A product's full battery result."""
+
+    product_key: str
+    category: str
+    functional: bool  # intercepted the genuine-origin control
+    checks: tuple[CheckResult, ...]
+
+    @property
+    def score(self) -> float:
+        return sum(check.points for check in self.checks)
+
+    @property
+    def max_score(self) -> float:
+        return sum(check.max_points for check in self.checks)
+
+    @property
+    def fraction(self) -> float:
+        return self.score / self.max_score if self.max_score else 0.0
+
+    @property
+    def grade(self) -> str:
+        return letter_grade(self.fraction)
+
+    def outcome_count(self, outcome: str) -> int:
+        return sum(1 for check in self.checks if check.outcome == outcome)
+
+    @property
+    def blocked(self) -> int:
+        return self.outcome_count(OUTCOME_BLOCK)
+
+    @property
+    def masked(self) -> int:
+        return self.outcome_count(OUTCOME_MASK)
+
+    @property
+    def passed_through(self) -> int:
+        return self.outcome_count(OUTCOME_PASS)
+
+    @property
+    def errors(self) -> int:
+        return self.outcome_count(OUTCOME_ERROR)
+
+    def to_dict(self) -> dict:
+        return {
+            "product": self.product_key,
+            "category": self.category,
+            "grade": self.grade,
+            "score": self.score,
+            "max_score": self.max_score,
+            "functional": self.functional,
+            "checks": [
+                {
+                    "scenario": check.scenario,
+                    "defect": check.defect,
+                    "outcome": check.outcome,
+                    "points": check.points,
+                    "max_points": check.max_points,
+                    "evidence": check.evidence,
+                }
+                for check in self.checks
+            ],
+        }
+
+
+def build_scorecard(
+    product_key: str,
+    category: str,
+    observations: list[ScenarioObservation],
+) -> ProductScorecard:
+    """Grade one product's observations into a scorecard."""
+    scenarios = scenario_by_key()
+    functional = True
+    checks: list[CheckResult] = []
+    for observation in observations:
+        scenario = scenarios[observation.scenario]
+        if scenario.defect is None:
+            functional = observation.outcome == OUTCOME_INTERCEPT
+            continue
+        points = _POINTS.get(observation.outcome, 0.0)
+        checks.append(
+            CheckResult(
+                scenario=scenario.key,
+                title=scenario.title,
+                defect=scenario.defect,
+                outcome=observation.outcome,
+                points=points,
+                max_points=1.0,
+                evidence=observation.evidence,
+            )
+        )
+    return ProductScorecard(
+        product_key=product_key,
+        category=category,
+        functional=functional,
+        checks=tuple(checks),
+    )
+
+
+@dataclass(frozen=True)
+class AuditReport:
+    """The catalog-wide battery result."""
+
+    seed: int
+    scorecards: tuple[ProductScorecard, ...]
+
+    def by_key(self) -> dict[str, ProductScorecard]:
+        return {card.product_key: card for card in self.scorecards}
+
+    def grade_histogram(self) -> dict[str, int]:
+        histogram = {letter: 0 for _, letter in GRADE_FLOORS}
+        histogram["F"] = 0
+        for card in self.scorecards:
+            histogram[card.grade] += 1
+        return histogram
+
+    @property
+    def scenario_count(self) -> int:
+        return len(ADVERSARIAL_SCENARIOS)
+
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "scenarios": [scenario.key for scenario in SCENARIOS],
+            "products": [card.to_dict() for card in self.scorecards],
+            "grades": self.grade_histogram(),
+        }

@@ -8,6 +8,8 @@
 * ``scan`` — the Table 1 policy-file scan and probe-site selection.
 * ``ablation`` — the §7 mitigation ablation matrix.
 * ``whitelist`` — the §6.3 whitelist experiment (this paper vs Huang).
+* ``audit`` — the appliance security audit: every catalog product vs
+  the adversarial upstream battery, graded A–F (Waked et al. style).
 """
 
 from __future__ import annotations
@@ -69,6 +71,32 @@ def build_parser() -> argparse.ArgumentParser:
     )
     whitelist.add_argument("--sessions", type=int, default=200_000)
     whitelist.add_argument("--seed", type=int, default=42)
+
+    audit = sub.add_parser(
+        "audit",
+        help="adversarial upstream battery: grade every product's TLS posture",
+    )
+    audit.add_argument("--seed", type=int, default=42)
+    audit.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="thread-pool width for the product fan-out (default 1)",
+    )
+    audit.add_argument(
+        "--product",
+        action="append",
+        metavar="KEY",
+        help="audit only this catalog product (repeatable)",
+    )
+    audit.add_argument(
+        "--detail",
+        action="store_true",
+        help="print every product's per-check scorecard, not just the table",
+    )
+    audit.add_argument(
+        "--export", metavar="PATH", help="write the full report as JSON"
+    )
     return parser
 
 
@@ -185,6 +213,42 @@ def _run_whitelist(args) -> int:
     return 0
 
 
+def _run_audit(args) -> int:
+    import json
+
+    from repro.analysis.tables import audit_grade_table
+    from repro.audit import ADVERSARIAL_SCENARIOS, audit_catalog
+    from repro.reporting import render_audit_grade_table, render_scorecard
+
+    try:
+        report = audit_catalog(
+            seed=args.seed, workers=args.workers, products=args.product or None
+        )
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    print(
+        f"appliance security audit: {len(report.scorecards)} products x "
+        f"{len(ADVERSARIAL_SCENARIOS)} adversarial scenarios (seed {args.seed})"
+    )
+    print()
+    print(render_audit_grade_table(audit_grade_table(report.scorecards)))
+    histogram = report.grade_histogram()
+    print(
+        "\ngrades: "
+        + "  ".join(f"{letter}: {count}" for letter, count in histogram.items())
+    )
+    if args.detail:
+        for card in report.scorecards:
+            print()
+            print(render_scorecard(card))
+    if args.export:
+        with open(args.export, "w", encoding="utf-8") as handle:
+            json.dump(report.to_dict(), handle, indent=2)
+        print(f"\naudit report exported to {args.export}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "study1":
@@ -197,6 +261,8 @@ def main(argv: list[str] | None = None) -> int:
         return _run_ablation()
     if args.command == "whitelist":
         return _run_whitelist(args)
+    if args.command == "audit":
+        return _run_audit(args)
     return 2
 
 

@@ -89,6 +89,7 @@ def _firewall(
     forged: ForgedUpstreamPolicy = ForgedUpstreamPolicy.BLOCK,
     bias: dict[str, float] | None = None,
     cn: str | None = None,
+    posture: dict[str, object] | None = None,
 ) -> ProductSpec:
     return ProductSpec(
         profile=ProxyProfile(
@@ -98,6 +99,7 @@ def _firewall(
             leaf_key_bits=leaf_bits,
             hash_name=hash_name,
             forged_upstream=forged,
+            **(posture or {}),
         ),
         study1_weight=w1,
         study2_weight=w2,
@@ -126,6 +128,10 @@ def _malware(
             reuses_leaf_key=reuses_key,
             # Malware does not care whether upstream is genuine.
             forged_upstream=ForgedUpstreamPolicy.MASK,
+            # ... and does not so much as look: no validation at all.
+            validates_hostname=False,
+            validates_expiry=False,
+            validates_chain_of_trust=False,
         ),
         study1_weight=w1,
         study2_weight=w2,
@@ -155,6 +161,12 @@ def build_catalog() -> list[ProductSpec]:
                 hash_name="sha1",
                 forged_upstream=ForgedUpstreamPolicy.BLOCK,
                 whitelist=popular_whitelist,
+                # §5.2's good citizen: the strictest upstream posture in
+                # the catalog (it blocked the authors' forged cert).
+                min_upstream_key_bits=1024,
+                rejects_deprecated_hashes=True,
+                min_tls_version=(3, 1),
+                checks_revocation=True,
             ),
             study1_weight=4788,
             study2_weight=20000,
@@ -168,6 +180,7 @@ def build_catalog() -> list[ProductSpec]:
             5000,
             leaf_bits=2048,
             bias={"BR": 40.0, "PT": 6.0, "*": 0.15},
+            posture={"min_tls_version": (3, 1)},
         )
     )
     specs.append(_malware("sendori", "Sendori Inc", 966, 600, leaf_bits=2048))
@@ -181,6 +194,9 @@ def build_catalog() -> list[ProductSpec]:
                 hash_name="sha1",
                 forged_upstream=ForgedUpstreamPolicy.BLOCK,
                 whitelist=popular_whitelist,
+                min_upstream_key_bits=1024,
+                rejects_deprecated_hashes=True,
+                min_tls_version=(3, 1),
             ),
             study1_weight=927,
             study2_weight=4500,
@@ -202,9 +218,29 @@ def build_catalog() -> list[ProductSpec]:
             country_bias={"CN": 2.0, "UA": 2.0, "RU": 2.0, "EG": 2.0, "PK": 2.0},
         )
     )
-    specs.append(_firewall("kaspersky", "Kaspersky Lab ZAO", 589, 3000))
     specs.append(
-        _firewall("fortinet", "Fortinet", 310, 800, leaf_bits=2048, cn="FortiGate CA")
+        _firewall(
+            "kaspersky",
+            "Kaspersky Lab ZAO",
+            589,
+            3000,
+            posture={"min_upstream_key_bits": 1024, "min_tls_version": (3, 1)},
+        )
+    )
+    specs.append(
+        _firewall(
+            "fortinet",
+            "Fortinet",
+            310,
+            800,
+            leaf_bits=2048,
+            cn="FortiGate CA",
+            posture={
+                "min_upstream_key_bits": 1024,
+                "min_tls_version": (3, 1),
+                "checks_revocation": True,
+            },
+        )
     )
     # Kurupira — the negligent parental filter of §5.2: masks forged
     # upstream certificates, enabling an invisible MitM.  §5.2 calls it
@@ -227,6 +263,15 @@ def build_catalog() -> list[ProductSpec]:
             country_bias={"BR": 12.0, "*": 0.4},
         )
     )
+    # Organization gateways that relay upstream problems to the user's
+    # browser rather than deciding themselves (every defect they notice
+    # is passed through; the rest are masked like anyone else's).
+    _relay_posture = {
+        "min_upstream_key_bits": 1024,
+        "rejects_deprecated_hashes": True,
+        "min_tls_version": (3, 1),
+        "checks_revocation": True,
+    }
     specs.append(
         _firewall(
             "posco",
@@ -235,11 +280,19 @@ def build_catalog() -> list[ProductSpec]:
             600,
             category=ProxyCategory.ORGANIZATION,
             bias={"KR": 200.0, "*": 0.02},
+            forged=ForgedUpstreamPolicy.PASS_THROUGH,
+            posture=_relay_posture,
         )
     )
     specs.append(
         _firewall(
-            "qustodio", "Qustodio", 109, 120, category=ProxyCategory.PARENTAL_CONTROL
+            "qustodio",
+            "Qustodio",
+            109,
+            120,
+            category=ProxyCategory.PARENTAL_CONTROL,
+            # Parental filter that never looks at validity windows.
+            posture={"validates_expiry": False},
         )
     )
     specs.append(_malware("webmakerplus", "WebMakerPlus Ltd", 95, 60, leaf_bits=2048))
@@ -251,6 +304,8 @@ def build_catalog() -> list[ProductSpec]:
             200,
             category=ProxyCategory.ORGANIZATION,
             bias={"US": 30.0, "*": 0.05},
+            forged=ForgedUpstreamPolicy.PASS_THROUGH,
+            posture=_relay_posture,
         )
     )
     specs.append(
@@ -261,6 +316,7 @@ def build_catalog() -> list[ProductSpec]:
             200,
             category=ProxyCategory.PERSONAL_FIREWALL,
             bias={"FR": 40.0, "*": 0.1},
+            posture={"min_tls_version": (3, 1)},
         )
     )
     specs.append(
@@ -298,6 +354,10 @@ def build_catalog() -> list[ProductSpec]:
             42,
             80,
             category=ProxyCategory.PARENTAL_CONTROL,
+            # Validates on first contact, then trusts its per-host cache
+            # — the time-of-check/time-of-use hole Waked et al. found in
+            # real appliances; the audit battery's warm-up exposes it.
+            posture={"caches_validation": True},
         )
     )
     specs.append(
@@ -398,6 +458,7 @@ def build_catalog() -> list[ProductSpec]:
                 category=ProxyCategory.TELECOM,
                 leaf_key_bits=2048,
                 hash_name="sha1",
+                min_tls_version=(3, 1),
             ),
             study1_weight=0,
             study2_weight=375,
@@ -475,6 +536,8 @@ def build_catalog() -> list[ProductSpec]:
                 category=ProxyCategory.BUSINESS_FIREWALL,
                 leaf_key_bits=2048,
                 hash_name="sha1",
+                min_upstream_key_bits=1024,
+                min_tls_version=(3, 1),
             ),
             study1_weight=69,
             study2_weight=1231,
@@ -493,6 +556,8 @@ def build_catalog() -> list[ProductSpec]:
                 category=ProxyCategory.PERSONAL_FIREWALL,
                 leaf_key_bits=2048,
                 hash_name="sha1",
+                # The long tail of home firewalls skips hostname checks.
+                validates_hostname=False,
             ),
             study1_weight=11,
             study2_weight=536,
@@ -549,6 +614,7 @@ def build_catalog() -> list[ProductSpec]:
                 category=ProxyCategory.SCHOOL,
                 leaf_key_bits=2048,
                 hash_name="sha1",
+                caches_validation=True,
             ),
             study1_weight=32,
             study2_weight=482,
@@ -645,6 +711,13 @@ def build_catalog() -> list[ProductSpec]:
             12,
             leaf_bits=2432,
             category=ProxyCategory.UNKNOWN,
+            # Overachieves upstream too: the only 2048-bit key floor.
+            posture={
+                "min_upstream_key_bits": 2048,
+                "rejects_deprecated_hashes": True,
+                "min_tls_version": (3, 1),
+                "checks_revocation": True,
+            },
         )
     )
     # Five signed with SHA-256 (ahead of their time).
@@ -656,6 +729,11 @@ def build_catalog() -> list[ProductSpec]:
             10,
             hash_name="sha256",
             category=ProxyCategory.UNKNOWN,
+            posture={
+                "min_upstream_key_bits": 1024,
+                "rejects_deprecated_hashes": True,
+                "min_tls_version": (3, 1),
+            },
         )
     )
     # MD5 signatures beyond IopFail's (23 total MD5, 21 of them IopFail).
@@ -668,6 +746,7 @@ def build_catalog() -> list[ProductSpec]:
             leaf_bits=1024,
             hash_name="md5",
             category=ProxyCategory.UNKNOWN,
+            posture={"validates_hostname": False},
         )
     )
     # Subject rewrites: wildcarded IP subnets (the 51 mismatching

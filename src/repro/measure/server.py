@@ -63,6 +63,7 @@ class ReportingServer:
     def _ingest_report(self, request: HttpRequest, remote: Host | None) -> HttpResponse:
         hostname = request.headers.get("x-probed-host", "")
         if not hostname or hostname not in self.expected_leaves:
+            self.database.failures.report_failed += 1
             return HttpResponse(400, body=b"unknown probed host")
         try:
             der_chain = pem_decode_all(request.body.decode("ascii", errors="replace"))

@@ -19,7 +19,7 @@ product install time — Figure 2(c) of the paper).
   that performs the full MitM on real sockets.
 """
 
-from repro.proxy.engine import TlsProxyEngine
+from repro.proxy.engine import TlsProxyEngine, UpstreamObservation
 from repro.proxy.forger import ForgedCertificate, SubstituteCertForger
 from repro.proxy.profile import (
     ForgedUpstreamPolicy,
@@ -36,4 +36,5 @@ __all__ = [
     "SubjectRewrite",
     "SubstituteCertForger",
     "TlsProxyEngine",
+    "UpstreamObservation",
 ]

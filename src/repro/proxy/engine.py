@@ -11,7 +11,9 @@ the paper's choice of low-profile probe targets.
 from __future__ import annotations
 
 import random
+from dataclasses import dataclass
 
+from repro.crypto.hashes import hash_by_signature_oid
 from repro.netsim.network import (
     ConnectionRefused,
     ConnectionReset,
@@ -21,7 +23,15 @@ from repro.netsim.network import (
     StreamSocket,
 )
 from repro.proxy.forger import SubstituteCertForger
-from repro.proxy.profile import ForgedUpstreamPolicy, ProxyProfile
+from repro.proxy.profile import (
+    DEFECT_DEPRECATED_HASH,
+    DEFECT_PROTOCOL_DOWNGRADE,
+    DEFECT_REVOKED,
+    DEFECT_WEAK_KEY,
+    DEPRECATED_HASHES,
+    ForgedUpstreamPolicy,
+    ProxyProfile,
+)
 from repro.tls import codec
 from repro.tls.codec import (
     Alert,
@@ -31,11 +41,26 @@ from repro.tls.codec import (
     Record,
     ServerHello,
     TlsError,
+    version_name,
 )
 from repro.x509.model import Certificate
 from repro.x509.parse import X509Error, parse_certificate
 from repro.x509.store import RootStore
-from repro.x509.verify import validate_chain
+from repro.x509.verify import ChainDefect, collect_chain_defects
+
+
+@dataclass(frozen=True)
+class UpstreamObservation:
+    """Everything the proxy learned from its origin-facing handshake."""
+
+    chain: tuple[Certificate, ...]
+    raw: tuple[bytes, ...]  # DER exactly as received, for pass-through
+    version: tuple[int, int]  # version the origin negotiated
+    cipher_suite: int | None
+
+    @property
+    def leaf(self) -> Certificate:
+        return self.chain[0]
 
 
 class TlsProxyEngine(Interceptor):
@@ -56,6 +81,7 @@ class TlsProxyEngine(Interceptor):
         client_bucket: int = 0,
         rng: random.Random | None = None,
         upstream_via_interceptors: bool = False,
+        revoked_serials: frozenset[int] = frozenset(),
     ) -> None:
         self.profile = profile
         self.forger = forger
@@ -66,7 +92,13 @@ class TlsProxyEngine(Interceptor):
         # host's own interceptors — how one middlebox ends up behind
         # another (the §5.2 chained-attack experiment).
         self.upstream_via_interceptors = upstream_via_interceptors
+        # The revocation data visible to this proxy (a CRL snapshot);
+        # consulted only when the profile ``checks_revocation``.
+        self.revoked_serials = revoked_serials
         self._rng = rng or random.Random(0xBEEF)
+        # Per-hostname verdicts reused when the profile caches
+        # validation instead of re-checking every connection.
+        self._validation_cache: dict[str, tuple[ChainDefect, ...]] = {}
         # Decision counters, inspected by tests and experiments.
         self.intercepted = 0
         self.whitelisted = 0
@@ -74,6 +106,83 @@ class TlsProxyEngine(Interceptor):
         self.masked_forged_upstream = 0
         self.passed_through_forged_upstream = 0
         self.upstream_failures = 0
+        self.validation_cache_hits = 0
+
+    def noticed_upstream_defects(
+        self, observation: UpstreamObservation, hostname: str
+    ) -> tuple[ChainDefect, ...]:
+        """The upstream defects this product's posture actually catches.
+
+        Chain problems are filtered through the profile's validation
+        knobs; key-strength, signature-hash, protocol-version and
+        revocation checks are applied here because they need the
+        observed connection, not just the chain.
+        """
+        profile = self.profile
+        noticed = [
+            defect
+            for defect in collect_chain_defects(
+                list(observation.chain), self.upstream_trust, hostname=hostname
+            )
+            if profile.notices_defect(defect.code)
+        ]
+        leaf = observation.leaf
+        if (
+            profile.min_upstream_key_bits
+            and leaf.public_key_bits < profile.min_upstream_key_bits
+        ):
+            noticed.append(
+                ChainDefect(
+                    DEFECT_WEAK_KEY,
+                    f"{leaf.public_key_bits}-bit upstream key below the "
+                    f"product's {profile.min_upstream_key_bits}-bit floor",
+                )
+            )
+        if profile.rejects_deprecated_hashes and self._hash_deprecated(leaf):
+            noticed.append(
+                ChainDefect(
+                    DEFECT_DEPRECATED_HASH,
+                    f"upstream leaf signed with {leaf.signature_algorithm}",
+                )
+            )
+        if profile.notices_defect(DEFECT_PROTOCOL_DOWNGRADE):
+            # A product that enforces a protocol floor also vets the
+            # negotiated suite: NULL/export/RC4-MD5 is a downgrade even
+            # on a modern version.
+            if observation.version < profile.min_tls_version:
+                noticed.append(
+                    ChainDefect(
+                        DEFECT_PROTOCOL_DOWNGRADE,
+                        f"origin negotiated {version_name(observation.version)}, "
+                        f"below {version_name(profile.min_tls_version)}",
+                    )
+                )
+            elif observation.cipher_suite in codec.WEAK_CIPHER_SUITES:
+                noticed.append(
+                    ChainDefect(
+                        DEFECT_PROTOCOL_DOWNGRADE,
+                        "origin negotiated weak cipher suite "
+                        f"{observation.cipher_suite:#06x}",
+                    )
+                )
+        if (
+            profile.checks_revocation
+            and leaf.serial_number in self.revoked_serials
+        ):
+            noticed.append(
+                ChainDefect(
+                    DEFECT_REVOKED,
+                    f"upstream leaf serial {leaf.serial_number:#x} is revoked",
+                )
+            )
+        return tuple(noticed)
+
+    @staticmethod
+    def _hash_deprecated(leaf: Certificate) -> bool:
+        try:
+            return hash_by_signature_oid(leaf.signature_oid).name in DEPRECATED_HASHES
+        except KeyError:
+            return True  # unknown algorithm: a vigilant product balks
 
     # -- Interceptor interface ---------------------------------------------
 
@@ -147,17 +256,27 @@ class _MitmConnection(Protocol):
             self._start_relay(sock, hello)
             return
 
-        upstream = self._fetch_upstream_chain(hello)
-        if upstream is None:
+        observation = self._fetch_upstream_chain(hello)
+        if observation is None or not observation.chain:
             engine.upstream_failures += 1
             self._fatal(sock, codec.ALERT_HANDSHAKE_FAILURE)
             return
-        upstream_chain, upstream_raw = upstream
 
-        verdict = validate_chain(
-            list(upstream_chain), engine.upstream_trust, hostname=target
-        )
-        if not verdict.valid:
+        defects: tuple | None = None
+        if profile.caches_validation:
+            cached = engine._validation_cache.get(target)
+            if cached is not None:
+                # Verdict reuse: whatever the origin presents now, the
+                # product trusts its earlier conclusion — and skips the
+                # (expensive) re-validation entirely, like the real
+                # appliances Waked et al. caught doing this.
+                engine.validation_cache_hits += 1
+                defects = cached
+        if defects is None:
+            defects = engine.noticed_upstream_defects(observation, target)
+            if profile.caches_validation:
+                engine._validation_cache[target] = defects
+        if defects:
             policy = profile.forged_upstream
             if policy is ForgedUpstreamPolicy.BLOCK:
                 engine.blocked_forged_upstream += 1
@@ -166,13 +285,13 @@ class _MitmConnection(Protocol):
             if policy is ForgedUpstreamPolicy.PASS_THROUGH:
                 engine.passed_through_forged_upstream += 1
                 # Relay the upstream DER verbatim, as captured.
-                self._serve_chain(sock, hello, list(upstream_raw))
+                self._serve_chain(sock, hello, list(observation.raw))
                 return
             engine.masked_forged_upstream += 1  # MASK falls through to forge
 
         forged = engine.forger.forge(
             profile,
-            upstream_chain[0],
+            observation.leaf,
             target,
             site_ip=self._site_ip(),
             client_bucket=engine.client_bucket,
@@ -188,7 +307,7 @@ class _MitmConnection(Protocol):
 
     def _fetch_upstream_chain(
         self, hello: ClientHello
-    ) -> tuple[tuple[Certificate, ...], tuple[bytes, ...]] | None:
+    ) -> UpstreamObservation | None:
         """Run the proxy's own partial handshake against the origin."""
         engine = self.engine
         try:
@@ -222,14 +341,28 @@ class _MitmConnection(Protocol):
                 r.payload for r in records if r.content_type == codec.CONTENT_HANDSHAKE
             )
             messages, _ = codec.decode_handshakes(handshake_stream)
+            server_hello: ServerHello | None = None
+            der_chain: tuple[bytes, ...] | None = None
             for message in messages:
-                if message.msg_type == codec.HS_CERTIFICATE:
+                if message.msg_type == codec.HS_SERVER_HELLO:
+                    server_hello = ServerHello.from_body(message.body)
+                elif message.msg_type == codec.HS_CERTIFICATE:
                     der_chain = CertificateMessage.from_body(message.body).der_chain
-                    parsed = tuple(parse_certificate(der) for der in der_chain)
-                    return parsed, der_chain
+            if der_chain is None:
+                return None
+            parsed = tuple(parse_certificate(der) for der in der_chain)
+            return UpstreamObservation(
+                chain=parsed,
+                raw=der_chain,
+                version=(
+                    server_hello.version if server_hello else hello.version
+                ),
+                cipher_suite=(
+                    server_hello.cipher_suite if server_hello else None
+                ),
+            )
         except (TlsError, X509Error):
             return None
-        return None
 
     def _serve_chain(
         self, sock: StreamSocket, hello: ClientHello, der_chain: list[bytes]

@@ -13,6 +13,26 @@ import enum
 from dataclasses import dataclass, field
 
 from repro.x509.model import Name
+from repro.x509.verify import (
+    CHAIN_OF_TRUST_DEFECTS,
+    DEFECT_EXPIRED,
+    DEFECT_HOSTNAME,
+)
+
+# Defect codes for upstream problems that lie outside the chain checks
+# in :mod:`repro.x509.verify` — the proxy notices these (or not) on the
+# origin-facing leg of the interception.
+DEFECT_WEAK_KEY = "weak-key"
+DEFECT_DEPRECATED_HASH = "deprecated-hash"
+DEFECT_PROTOCOL_DOWNGRADE = "protocol-downgrade"
+DEFECT_REVOKED = "revoked"
+
+# Signature hashes a vigilant 2014-era appliance refuses upstream.
+DEPRECATED_HASHES = frozenset({"md5"})
+
+# Lowest wire version in the simulation; a profile whose
+# ``min_tls_version`` is this value accepts any negotiated version.
+SSL_3_0 = (3, 0)
 
 
 class ProxyCategory(str, enum.Enum):
@@ -84,6 +104,46 @@ class ProxyProfile:
     # in its substitute certificates.  None = does not disclose (every
     # product the paper measured).
     disclosure_identity: str | None = None
+    # -- Upstream security posture (Waked et al. style) ----------------
+    # Which defects in the *origin's* TLS offering the product actually
+    # notices before deciding per ``forged_upstream``.  Defaults mirror
+    # the historical engine behaviour: full chain validation, and no
+    # checks beyond it.  A defect the product does not notice is forged
+    # over — an invisible MASK, whatever the configured policy says.
+    validates_hostname: bool = True
+    validates_expiry: bool = True
+    validates_chain_of_trust: bool = True
+    min_upstream_key_bits: int = 0  # 0 = does not check key strength
+    rejects_deprecated_hashes: bool = False
+    min_tls_version: tuple[int, int] = SSL_3_0  # accepts any version
+    checks_revocation: bool = False
+    # Appliances that cache the upstream validation verdict per host
+    # reuse it for later connections — the time-of-check/time-of-use
+    # hole the audit battery's warm-then-attack probes expose.
+    caches_validation: bool = False
+
+    def notices_defect(self, code: str) -> bool:
+        """Whether this product's posture catches the given defect code.
+
+        Threshold checks (key size, protocol version) answer whether
+        the product checks *at all*; the engine applies the thresholds
+        against the observed connection.
+        """
+        if code == DEFECT_HOSTNAME:
+            return self.validates_hostname
+        if code == DEFECT_EXPIRED:
+            return self.validates_expiry
+        if code in CHAIN_OF_TRUST_DEFECTS:
+            return self.validates_chain_of_trust
+        if code == DEFECT_WEAK_KEY:
+            return self.min_upstream_key_bits > 0
+        if code == DEFECT_DEPRECATED_HASH:
+            return self.rejects_deprecated_hashes
+        if code == DEFECT_PROTOCOL_DOWNGRADE:
+            return self.min_tls_version > SSL_3_0
+        if code == DEFECT_REVOKED:
+            return self.checks_revocation
+        return True
 
     def intercepts(self, hostname: str, port: int) -> bool:
         """Whether this product would MitM a connection to hostname:port."""

@@ -1,19 +1,23 @@
 """Rendering of paper-style tables and the Figure 7 heat map."""
 
 from repro.reporting.render import (
+    render_audit_grade_table,
     render_classification_table,
     render_country_table,
     render_heatmap,
     render_host_type_table,
     render_issuer_table,
+    render_scorecard,
     render_table,
 )
 
 __all__ = [
+    "render_audit_grade_table",
     "render_classification_table",
     "render_country_table",
     "render_heatmap",
     "render_host_type_table",
     "render_issuer_table",
+    "render_scorecard",
     "render_table",
 ]

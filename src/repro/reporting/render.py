@@ -7,11 +7,13 @@ the paper's table layouts so the two are visually comparable.
 from __future__ import annotations
 
 from repro.analysis.tables import (
+    AuditGradeRow,
     ClassificationRow,
     CountryBreakdown,
     HostTypeRow,
     IssuerRow,
 )
+from repro.audit.scorecard import ProductScorecard
 
 
 def render_table(headers: list[str], rows: list[list[str]]) -> str:
@@ -82,6 +84,56 @@ def render_host_type_table(rows: list[HostTypeRow]) -> str:
     return render_table(
         ["Website Type", "Connections", "Proxied", "Percent Proxied"], body
     )
+
+
+def render_audit_grade_table(rows: list[AuditGradeRow]) -> str:
+    """Aggregate audit grades, best first (Waked et al. Table 9 style)."""
+    body = []
+    for row in rows:
+        body.append(
+            [
+                str(row.rank),
+                row.product_key,
+                row.category,
+                row.grade,
+                f"{row.score_percent:.0f}%",
+                str(row.blocked),
+                str(row.passed_through),
+                str(row.masked),
+                str(row.errors),
+                "yes" if row.functional else "NO",
+            ]
+        )
+    return render_table(
+        [
+            "Rank",
+            "Product",
+            "Category",
+            "Grade",
+            "Score",
+            "Blocked",
+            "Passed",
+            "Masked",
+            "Errors",
+            "Functional",
+        ],
+        body,
+    )
+
+
+def render_scorecard(card: ProductScorecard) -> str:
+    """One product's full scorecard with per-check evidence."""
+    header = (
+        f"{card.product_key} ({card.category}) — grade {card.grade} "
+        f"({card.score:.1f}/{card.max_score:.0f} points"
+        f"{'' if card.functional else ', NOT functional on genuine origins'})"
+    )
+    body = [
+        [check.title, check.defect or "-", check.outcome, f"{check.points:.1f}", check.evidence]
+        for check in card.checks
+    ]
+    table = render_table(["Check", "Defect", "Outcome", "Points", "Evidence"], body)
+    return f"{header}\n{table}"
 
 
 # Figure 7's palette, coarsened to ASCII: low rate → '.', high → '#'.

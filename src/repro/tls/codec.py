@@ -24,11 +24,39 @@ HS_CERTIFICATE = 11
 HS_SERVER_HELLO_DONE = 14
 
 # Protocol versions (major, minor).
+SSL_3_0 = (3, 0)
 TLS_1_0 = (3, 1)
+TLS_1_1 = (3, 2)
 TLS_1_2 = (3, 3)
+
+VERSION_NAMES = {
+    SSL_3_0: "SSLv3",
+    TLS_1_0: "TLSv1.0",
+    TLS_1_1: "TLSv1.1",
+    TLS_1_2: "TLSv1.2",
+}
+
+
+def version_name(version: tuple[int, int]) -> str:
+    """Human-readable protocol version, e.g. ``TLSv1.2``."""
+    return VERSION_NAMES.get(version, f"({version[0]},{version[1]})")
 
 # Extension types.
 EXT_SERVER_NAME = 0
+
+# Cipher suites a 2014-era client should refuse: NULL, export-grade
+# and RC4/MD5 constructions (values from the TLS registry).  The audit
+# battery's downgraded origins negotiate these.
+WEAK_CIPHER_SUITES = frozenset(
+    {
+        0x0000,  # TLS_NULL_WITH_NULL_NULL
+        0x0001,  # TLS_RSA_WITH_NULL_MD5
+        0x0002,  # TLS_RSA_WITH_NULL_SHA
+        0x0003,  # TLS_RSA_EXPORT_WITH_RC4_40_MD5
+        0x0004,  # TLS_RSA_WITH_RC4_128_MD5
+        0x0008,  # TLS_RSA_EXPORT_WITH_DES40_CBC_SHA
+    }
+)
 
 # A realistic cipher suite offer (values from the TLS registry).
 DEFAULT_CIPHER_SUITES = (

@@ -38,12 +38,17 @@ class TlsCertServer(Protocol):
         sni_chains: dict[str, list[Certificate]] | None = None,
         cipher_suite: int = 0x002F,
         rng: random.Random | None = None,
+        max_version: tuple[int, int] = codec.TLS_1_2,
     ) -> None:
         if not chain:
             raise ValueError("server needs at least one certificate")
         self.chain = chain
         self.sni_chains = sni_chains or {}
         self.cipher_suite = cipher_suite
+        # Highest protocol version this origin speaks; older (or
+        # downgraded) servers clamp the client's offer to it, which is
+        # how the audit battery models protocol-downgrade origins.
+        self.max_version = max_version
         self._rng = rng or random.Random(0x5EED)
         self._buffer = b""
         self.handshakes_served = 0
@@ -51,7 +56,8 @@ class TlsCertServer(Protocol):
     def factory(self) -> "TlsCertServer":
         """Return a fresh per-connection protocol sharing this config."""
         clone = TlsCertServer(
-            self.chain, self.sni_chains, self.cipher_suite, self._rng
+            self.chain, self.sni_chains, self.cipher_suite, self._rng,
+            self.max_version,
         )
         clone._parent = self  # type: ignore[attr-defined]
         return clone
@@ -91,11 +97,12 @@ class TlsCertServer(Protocol):
                 self._answer_client_hello(sock, ClientHello.from_body(message.body))
 
     def _answer_client_hello(self, sock: StreamSocket, hello: ClientHello) -> None:
+        version = min(hello.version, self.max_version)
         server_random = self._rng.getrandbits(256).to_bytes(32, "big")
         server_hello = ServerHello(
             server_random=server_random,
             cipher_suite=self.cipher_suite,
-            version=hello.version,
+            version=version,
         )
         chain = self.chain_for(hello.server_name)
         certificate = CertificateMessage(tuple(c.encode() for c in chain))
@@ -108,7 +115,7 @@ class TlsCertServer(Protocol):
         # Flight may exceed one record's 2^14 limit with long chains.
         for start in range(0, len(payload), 0x4000):
             record = Record(
-                codec.CONTENT_HANDSHAKE, hello.version, payload[start : start + 0x4000]
+                codec.CONTENT_HANDSHAKE, version, payload[start : start + 0x4000]
             )
             sock.send(record.encode())
         self.handshakes_served += 1

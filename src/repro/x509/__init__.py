@@ -31,7 +31,9 @@ from repro.x509.parse import X509Error, parse_certificate, parse_name
 from repro.x509.pem import pem_decode, pem_decode_all, pem_encode
 from repro.x509.store import RootStore
 from repro.x509.verify import (
+    ChainDefect,
     ChainValidationResult,
+    collect_chain_defects,
     validate_chain,
     verify_certificate_signature,
 )
@@ -39,6 +41,7 @@ from repro.x509.verify import (
 __all__ = [
     "Certificate",
     "CertificateAuthority",
+    "ChainDefect",
     "ChainValidationResult",
     "Extension",
     "Name",
@@ -48,6 +51,7 @@ __all__ = [
     "TbsCertificate",
     "Validity",
     "X509Error",
+    "collect_chain_defects",
     "parse_certificate",
     "parse_name",
     "pem_decode",

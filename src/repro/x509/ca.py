@@ -37,7 +37,12 @@ _DEFAULT_NOT_AFTER = _dt.datetime(2016, 1, 1, tzinfo=_dt.timezone.utc)
 
 @dataclass(frozen=True)
 class SelfSignedParams:
-    """Knobs for creating a self-signed (root) certificate."""
+    """Knobs for creating a self-signed certificate.
+
+    Usually a root (``is_ca=True``), but the audit battery also mints
+    self-signed *leaves* — the classic misconfigured-or-attacked origin
+    — by setting ``is_ca=False`` and naming the host in ``dns_names``.
+    """
 
     subject: Name
     key: RsaKeyPair
@@ -45,6 +50,8 @@ class SelfSignedParams:
     not_before: _dt.datetime = _DEFAULT_NOT_BEFORE
     not_after: _dt.datetime = _DEFAULT_NOT_AFTER
     serial_number: int | None = None
+    is_ca: bool = True
+    dns_names: tuple[str, ...] = ()
 
 
 class CertificateAuthority:
@@ -76,6 +83,9 @@ class CertificateAuthority:
         if serial is None:
             serial = random.Random(params.key.n & 0xFFFFFFF).getrandbits(63) | 1
         hash_alg = hash_by_name(params.hash_name)
+        extensions: list[Extension] = [basic_constraints_extension(ca=params.is_ca)]
+        if params.dns_names:
+            extensions.append(subject_alt_name_extension(list(params.dns_names)))
         tbs = TbsCertificate(
             serial_number=serial,
             signature_oid=hash_alg.signature_oid,
@@ -83,7 +93,7 @@ class CertificateAuthority:
             validity=Validity(params.not_before, params.not_after),
             subject=params.subject,
             public_key=SubjectPublicKeyInfo(params.key.n, params.key.e),
-            extensions=(basic_constraints_extension(ca=True),),
+            extensions=tuple(extensions),
         )
         certificate = _sign_tbs(tbs, params.key, hash_alg)
         return cls(certificate, params.key)

@@ -19,6 +19,41 @@ from repro.x509.model import Certificate
 from repro.x509.store import RootStore
 
 
+# Stable defect codes for the individual checks a client (or a proxy
+# auditing its upstream) performs.  The audit subsystem keys product
+# posture on these, so they are part of the public API.
+DEFECT_EMPTY_CHAIN = "empty-chain"
+DEFECT_HOSTNAME = "hostname-mismatch"
+DEFECT_EXPIRED = "validity-window"
+DEFECT_BAD_CA_FLAG = "bad-ca-flag"
+DEFECT_CHAIN_BREAK = "chain-break"
+DEFECT_BAD_SIGNATURE = "bad-signature"
+DEFECT_UNTRUSTED_ROOT = "untrusted-root"
+
+# Every defect code that concerns the chain of trust itself (as opposed
+# to naming or freshness).
+CHAIN_OF_TRUST_DEFECTS = frozenset(
+    {
+        DEFECT_EMPTY_CHAIN,
+        DEFECT_BAD_CA_FLAG,
+        DEFECT_CHAIN_BREAK,
+        DEFECT_BAD_SIGNATURE,
+        DEFECT_UNTRUSTED_ROOT,
+    }
+)
+
+
+@dataclass(frozen=True)
+class ChainDefect:
+    """One concrete problem found in a presented chain."""
+
+    code: str
+    detail: str
+
+    def __str__(self) -> str:
+        return f"{self.code}: {self.detail}"
+
+
 @dataclass(frozen=True)
 class ChainValidationResult:
     """Outcome of validating a presented chain against a root store."""
@@ -65,40 +100,21 @@ def validate_chain(
 ) -> ChainValidationResult:
     """Validate a presented certificate chain (leaf first).
 
-    Checks, in order: non-emptiness, hostname match on the leaf,
-    validity windows, issuer/subject chaining, CA flags on
-    intermediates, each link's signature, and finally that the chain
-    terminates at (a certificate signed by) a root-store member.
+    Checks: non-emptiness, hostname match on the leaf, validity
+    windows, issuer/subject chaining, CA flags on intermediates, each
+    link's signature, and that the chain terminates at (a certificate
+    signed by) a root-store member.  The checks themselves live in
+    :func:`collect_chain_defects`; this wraps them in the all-or-
+    nothing verdict a browser renders, plus which root anchored trust.
     """
-    if not chain:
-        return ChainValidationResult(False, "empty chain")
     at_time = at_time or _dt.datetime(2014, 6, 1, tzinfo=_dt.timezone.utc)
-    errors: list[str] = []
+    defects = collect_chain_defects(chain, store, hostname=hostname, at_time=at_time)
+    if defects:
+        return ChainValidationResult(
+            False, str(defects[0]), errors=tuple(str(d) for d in defects)
+        )
 
-    leaf = chain[0]
-    if hostname is not None and not leaf.matches_hostname(hostname):
-        errors.append(f"hostname mismatch: cert is for {leaf.subject.common_name!r}")
-
-    for index, certificate in enumerate(chain):
-        if not certificate.validity.contains(at_time):
-            errors.append(f"certificate {index} outside validity window")
-        if index > 0 and not certificate.is_ca:
-            errors.append(f"certificate {index} used as CA without CA flag")
-
-    for index in range(len(chain) - 1):
-        child, parent = chain[index], chain[index + 1]
-        if child.issuer != parent.subject:
-            errors.append(
-                f"chain break at {index}: issuer {child.issuer} != "
-                f"subject {parent.subject}"
-            )
-        elif not verify_certificate_signature(child, parent):
-            errors.append(f"bad signature on certificate {index}")
-
-    if errors:
-        return ChainValidationResult(False, errors[0], errors=tuple(errors))
-
-    # Anchor the top of the chain in the root store.
+    # No defects: the chain anchors; recover which root vouched.
     top = chain[-1]
     if store.contains(top):
         return ChainValidationResult(
@@ -108,17 +124,95 @@ def validate_chain(
             trusted_via_injected_root=store.is_injected(top),
         )
     for root in store.find_issuer_roots(top):
-        if verify_certificate_signature(top, root):
-            if not root.validity.contains(at_time):
-                continue
+        if verify_certificate_signature(top, root) and root.validity.contains(
+            at_time
+        ):
             return ChainValidationResult(
                 True,
                 "chain signed by trusted root",
                 trust_root=root,
                 trusted_via_injected_root=store.is_injected(root),
             )
+    # Unreachable unless the store changed between the two passes.
     return ChainValidationResult(
-        False,
-        "no trusted root found",
-        errors=("no trusted root found",),
+        False, "no trusted root found", errors=("no trusted root found",)
     )
+
+
+def collect_chain_defects(
+    chain: list[Certificate],
+    store: RootStore,
+    hostname: str | None = None,
+    at_time: _dt.datetime | None = None,
+) -> tuple[ChainDefect, ...]:
+    """Run every chain check and report *all* failures, coded.
+
+    Unlike :func:`validate_chain` — which mirrors a browser and stops
+    caring once the chain is known bad — this keeps going so callers
+    can reason per-defect.  A proxy that skips hostname verification
+    but does anchor chains, for example, needs to know *which* checks
+    failed, not merely that one did.  The chain is valid iff the result
+    is empty.
+    """
+    if not chain:
+        return (ChainDefect(DEFECT_EMPTY_CHAIN, "no certificates presented"),)
+    at_time = at_time or _dt.datetime(2014, 6, 1, tzinfo=_dt.timezone.utc)
+    defects: list[ChainDefect] = []
+
+    leaf = chain[0]
+    if hostname is not None and not leaf.matches_hostname(hostname):
+        defects.append(
+            ChainDefect(
+                DEFECT_HOSTNAME,
+                f"certificate is for {leaf.subject.common_name!r}, "
+                f"not {hostname!r}",
+            )
+        )
+
+    for index, certificate in enumerate(chain):
+        if not certificate.validity.contains(at_time):
+            defects.append(
+                ChainDefect(
+                    DEFECT_EXPIRED, f"certificate {index} outside validity window"
+                )
+            )
+        if index > 0 and not certificate.is_ca:
+            defects.append(
+                ChainDefect(
+                    DEFECT_BAD_CA_FLAG,
+                    f"certificate {index} used as CA without CA flag",
+                )
+            )
+
+    for index in range(len(chain) - 1):
+        child, parent = chain[index], chain[index + 1]
+        if child.issuer != parent.subject:
+            defects.append(
+                ChainDefect(
+                    DEFECT_CHAIN_BREAK,
+                    f"chain break at {index}: issuer {child.issuer} != "
+                    f"subject {parent.subject}",
+                )
+            )
+        elif not verify_certificate_signature(child, parent):
+            defects.append(
+                ChainDefect(
+                    DEFECT_BAD_SIGNATURE, f"bad signature on certificate {index}"
+                )
+            )
+
+    top = chain[-1]
+    if not store.contains(top):
+        anchored = any(
+            verify_certificate_signature(top, root)
+            and root.validity.contains(at_time)
+            for root in store.find_issuer_roots(top)
+        )
+        if not anchored:
+            defects.append(
+                ChainDefect(
+                    DEFECT_UNTRUSTED_ROOT,
+                    f"no trusted root found for issuer {top.issuer}",
+                )
+            )
+    return tuple(defects)

@@ -1,0 +1,104 @@
+"""Property tests for CombinedPolicyHttpServer protocol sniffing.
+
+The §3.1 arrangement serves Flash policy requests and HTTP on one
+port, deciding by the first bytes.  The sniffing decision must be
+invariant under TCP segmentation: however the client's bytes are
+split — byte-at-a-time included — the same delegate must answer with
+the same response.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.httpmin.codec import HttpRequest, HttpResponse
+from repro.httpmin.server import HttpServer
+from repro.measure.server import CombinedPolicyHttpServer
+from repro.netsim.network import StreamSocket
+from repro.policy.model import PolicyFile
+from repro.policy.server import POLICY_REQUEST
+
+_AD_BODY = b"sniffed-http-ok"
+
+
+def make_connection() -> tuple[StreamSocket, StreamSocket]:
+    """A client socket wired to a fresh combined-server connection."""
+    http = HttpServer()
+    http.route("GET", "/ad", lambda request, remote: HttpResponse(200, body=_AD_BODY))
+    combined = CombinedPolicyHttpServer(PolicyFile.permissive("443"), http)
+    client, server = StreamSocket.pair("client", "server")
+    server.protocol = combined.factory()
+    return client, server
+
+
+def feed_in_chunks(client: StreamSocket, payload: bytes, cuts: list[int]) -> bytes:
+    """Send ``payload`` split at ``cuts``; return everything received."""
+    offsets = sorted({cut % (len(payload) + 1) for cut in cuts})
+    pieces = []
+    previous = 0
+    for offset in [*offsets, len(payload)]:
+        if offset > previous:
+            pieces.append(payload[previous:offset])
+            previous = offset
+    received = b""
+    for piece in pieces:
+        if client.closed:
+            break
+        client.send(piece)
+        received += client.recv()
+    received += client.recv()
+    return received
+
+
+http_request_bytes = st.sampled_from(
+    [
+        HttpRequest("GET", "/ad").encode(),
+        HttpRequest("GET", "/ad", headers={"X-Extra": "1"}).encode(),
+    ]
+)
+cut_lists = st.lists(st.integers(min_value=0, max_value=400), max_size=8)
+
+
+class TestPolicySniffingProperties:
+    @given(cuts=cut_lists)
+    @settings(max_examples=150)
+    def test_policy_request_any_split(self, cuts):
+        client, _ = make_connection()
+        reply = feed_in_chunks(client, POLICY_REQUEST, cuts)
+        assert reply.endswith(b"\x00")
+        assert b"<cross-domain-policy>" in reply
+
+    @given(payload=http_request_bytes, cuts=cut_lists)
+    @settings(max_examples=150)
+    def test_http_request_any_split(self, payload, cuts):
+        client, _ = make_connection()
+        reply = feed_in_chunks(client, payload, cuts)
+        response, _ = HttpResponse.try_decode(reply)
+        assert response is not None
+        assert response.status == 200
+        assert response.body == _AD_BODY
+
+    def test_policy_request_byte_at_a_time(self):
+        client, _ = make_connection()
+        reply = feed_in_chunks(
+            client, POLICY_REQUEST, list(range(len(POLICY_REQUEST)))
+        )
+        assert b"<cross-domain-policy>" in reply
+
+    def test_http_request_byte_at_a_time(self):
+        payload = HttpRequest("GET", "/ad").encode()
+        client, _ = make_connection()
+        reply = feed_in_chunks(client, payload, list(range(len(payload))))
+        response, _ = HttpResponse.try_decode(reply)
+        assert response is not None and response.status == 200
+
+    @given(prefix_len=st.integers(min_value=1, max_value=len(POLICY_REQUEST) - 1))
+    @settings(max_examples=30)
+    def test_policy_prefix_keeps_server_waiting(self, prefix_len):
+        """Any strict prefix of the policy request is ambiguous: the
+        sniffer must buffer silently, then answer once completed."""
+        client, _ = make_connection()
+        client.send(POLICY_REQUEST[:prefix_len])
+        assert client.recv() == b""
+        assert not client.closed
+        client.send(POLICY_REQUEST[prefix_len:])
+        assert b"<cross-domain-policy>" in client.recv()

@@ -1,0 +1,200 @@
+"""Unit tests for the appliance security audit subsystem."""
+
+import json
+
+import pytest
+
+from repro.audit import (
+    ADVERSARIAL_SCENARIOS,
+    AuditHarness,
+    OUTCOME_BLOCK,
+    OUTCOME_INTERCEPT,
+    OUTCOME_MASK,
+    OUTCOME_PASS,
+    SCENARIOS,
+    audit_catalog,
+    build_scorecard,
+    letter_grade,
+    scenario_by_key,
+)
+from repro.audit.scorecard import ScenarioObservation
+from repro.analysis.tables import audit_grade_table
+from repro.proxy import ForgedUpstreamPolicy, ProxyCategory, ProxyProfile
+from repro.reporting import render_audit_grade_table, render_scorecard
+from repro.x509 import Name
+
+
+@pytest.fixture(scope="module")
+def harness():
+    return AuditHarness(seed=17, pki_key_bits=512)
+
+
+def make_profile(**overrides):
+    """A fully vigilant product: notices every scenario's defect."""
+    defaults = dict(
+        key="audit-test-product",
+        issuer=Name.build(common_name="Audit Test CA", organization="AuditTest"),
+        category=ProxyCategory.BUSINESS_FIREWALL,
+        leaf_key_bits=512,
+        ca_key_bits=512,
+        hash_name="sha1",
+        forged_upstream=ForgedUpstreamPolicy.BLOCK,
+        min_upstream_key_bits=1024,
+        rejects_deprecated_hashes=True,
+        min_tls_version=(3, 1),
+        checks_revocation=True,
+    )
+    defaults.update(overrides)
+    return ProxyProfile(**defaults)
+
+
+class TestScenarioRegistry:
+    def test_at_least_eight_adversarial_scenarios(self):
+        assert len(ADVERSARIAL_SCENARIOS) >= 8
+
+    def test_keys_are_unique(self):
+        keys = [scenario.key for scenario in SCENARIOS]
+        assert len(keys) == len(set(keys))
+
+    def test_exactly_one_control(self):
+        controls = [s for s in SCENARIOS if s.defect is None]
+        assert len(controls) == 1
+        assert controls[0].key == "baseline"
+
+
+# What a vigilant product's policy should produce, per scenario kind.
+_EXPECTED = {
+    ForgedUpstreamPolicy.BLOCK: OUTCOME_BLOCK,
+    ForgedUpstreamPolicy.MASK: OUTCOME_MASK,
+    ForgedUpstreamPolicy.PASS_THROUGH: OUTCOME_PASS,
+}
+
+
+class TestScenarioPolicyMatrix:
+    """Every scenario × every ForgedUpstreamPolicy."""
+
+    @pytest.mark.parametrize("policy", list(ForgedUpstreamPolicy))
+    @pytest.mark.parametrize("scenario", SCENARIOS, ids=lambda s: s.key)
+    def test_vigilant_product_outcome(self, harness, scenario, policy):
+        profile = make_profile(
+            key=f"matrix-{policy.value}", forged_upstream=policy
+        )
+        observation = harness.run_scenario(profile, scenario)
+        if scenario.defect is None:
+            assert observation.outcome == OUTCOME_INTERCEPT
+        else:
+            assert observation.outcome == _EXPECTED[policy], observation.evidence
+
+
+class TestPostureDivergence:
+    def test_unnoticed_defect_is_masked_despite_block_policy(self, harness):
+        """A product that skips expiry checks forges over an expired
+        origin even though its policy would block noticed forgeries."""
+        profile = make_profile(key="no-expiry", validates_expiry=False)
+        scenario = scenario_by_key()["expired-leaf"]
+        observation = harness.run_scenario(profile, scenario)
+        assert observation.outcome == OUTCOME_MASK
+
+    def test_threshold_knobs_gate_weak_key(self, harness):
+        scenario = scenario_by_key()["weak-key"]
+        lax = make_profile(key="lax-key", min_upstream_key_bits=0)
+        assert harness.run_scenario(lax, scenario).outcome == OUTCOME_MASK
+        strict = make_profile(key="strict-key", min_upstream_key_bits=1024)
+        assert harness.run_scenario(strict, scenario).outcome == OUTCOME_BLOCK
+
+    def test_caching_product_reuses_warm_verdict(self, harness):
+        """caches_validation: the warm-up verdict masks later attacks."""
+        cacher = make_profile(key="cacher", caches_validation=True)
+        for scenario in ADVERSARIAL_SCENARIOS:
+            observation = harness.run_scenario(cacher, scenario)
+            assert observation.outcome == OUTCOME_MASK, scenario.key
+
+    def test_downgrade_accepted_below_floor(self, harness):
+        tolerant = make_profile(key="sslv3-ok", min_tls_version=(3, 0))
+        for key in ("version-downgrade", "weak-cipher"):
+            scenario = scenario_by_key()[key]
+            assert harness.run_scenario(tolerant, scenario).outcome == OUTCOME_MASK
+
+
+class TestScorecard:
+    def test_letter_grade_boundaries(self):
+        assert letter_grade(1.0) == "A"
+        assert letter_grade(0.9) == "A"
+        assert letter_grade(0.75) == "B"
+        assert letter_grade(0.5) == "C"
+        assert letter_grade(0.375) == "D"
+        assert letter_grade(0.0) == "F"
+
+    def test_build_scorecard_points(self):
+        observations = [
+            ScenarioObservation("baseline", OUTCOME_INTERCEPT, "ok"),
+        ] + [
+            ScenarioObservation(s.key, OUTCOME_BLOCK, "blocked")
+            for s in ADVERSARIAL_SCENARIOS
+        ]
+        card = build_scorecard("perfect", "Test", observations)
+        assert card.functional
+        assert card.grade == "A"
+        assert card.score == card.max_score == len(ADVERSARIAL_SCENARIOS)
+
+    def test_broken_product_flagged_nonfunctional(self):
+        observations = [
+            ScenarioObservation("baseline", OUTCOME_BLOCK, "refused everything"),
+        ] + [
+            ScenarioObservation(s.key, OUTCOME_BLOCK, "blocked")
+            for s in ADVERSARIAL_SCENARIOS
+        ]
+        card = build_scorecard("deadbolt", "Test", observations)
+        assert not card.functional
+
+    def test_pass_through_earns_half_marks(self):
+        observations = [
+            ScenarioObservation("baseline", OUTCOME_INTERCEPT, "ok"),
+        ] + [
+            ScenarioObservation(s.key, OUTCOME_PASS, "relayed")
+            for s in ADVERSARIAL_SCENARIOS
+        ]
+        card = build_scorecard("relay", "Test", observations)
+        assert card.fraction == pytest.approx(0.5)
+        assert card.grade == "C"
+
+
+class TestCatalogAudit:
+    SUBSET = ["bitdefender", "kurupira", "contentwatch", "posco"]
+
+    def test_same_seed_identical_scorecards(self):
+        first = audit_catalog(seed=23, products=self.SUBSET, pki_key_bits=512)
+        second = audit_catalog(seed=23, products=self.SUBSET, pki_key_bits=512)
+        assert json.dumps(first.to_dict()) == json.dumps(second.to_dict())
+
+    def test_workers_do_not_change_results(self):
+        serial = audit_catalog(seed=23, products=self.SUBSET, pki_key_bits=512)
+        threaded = audit_catalog(
+            seed=23, products=self.SUBSET, pki_key_bits=512, workers=4
+        )
+        assert json.dumps(serial.to_dict()) == json.dumps(threaded.to_dict())
+
+    def test_known_product_archetypes(self):
+        report = audit_catalog(seed=23, products=self.SUBSET, pki_key_bits=512)
+        cards = report.by_key()
+        assert cards["bitdefender"].grade == "A"  # blocked the §5.2 forgery
+        assert cards["kurupira"].grade == "F"  # masked it
+        assert cards["kurupira"].masked == len(ADVERSARIAL_SCENARIOS)
+        assert cards["contentwatch"].masked == len(ADVERSARIAL_SCENARIOS)  # TOCTOU
+        assert cards["posco"].passed_through == len(ADVERSARIAL_SCENARIOS)
+        assert all(card.functional for card in report.scorecards)
+
+    def test_unknown_product_rejected(self):
+        with pytest.raises(KeyError):
+            audit_catalog(seed=23, products=["no-such-product"], pki_key_bits=512)
+
+    def test_grade_table_and_rendering(self):
+        report = audit_catalog(seed=23, products=self.SUBSET, pki_key_bits=512)
+        rows = audit_grade_table(report.scorecards)
+        assert [row.rank for row in rows] == [1, 2, 3, 4]
+        assert rows[0].product_key == "bitdefender"
+        text = render_audit_grade_table(rows)
+        assert "bitdefender" in text and "Grade" in text
+        detail = render_scorecard(report.by_key()["kurupira"])
+        assert "grade F" in detail
+        assert "MASK" in detail
