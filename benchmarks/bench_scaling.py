@@ -1,0 +1,433 @@
+"""N4 — process-sharding & crypto/DER hot-path scaling benchmark.
+
+Measures the three levers this repo pulls to run "as fast as the
+hardware allows":
+
+* **fast-mode study scaling** — wall time and measurement throughput
+  of a fast study at ``workers`` ∈ {1, 2, 4} country shards;
+* **audit battery scaling** — full-catalog adversarial battery wall
+  time at ``workers`` ∈ {1, 2, 4} (process executor beyond 1);
+* **hot-path micro-optimisations** — the exact per-operation costs
+  removed by CRT-constant caching, the DigestInfo prefix cache and
+  certificate DER/fingerprint memoisation, measured against faithful
+  copies of the pre-optimisation code, plus an end-to-end single
+  process legacy-vs-optimised study comparison.
+
+Results land in ``benchmarks/output/BENCH_scaling.json`` (machine
+readable) and a human-readable text twin.  Process-pool speedups are
+bounded by the cores the host grants — ``hardware.cpu_count`` is
+recorded alongside so the numbers can be read in context.
+
+Run standalone (``PYTHONPATH=src python benchmarks/bench_scaling.py``)
+or through pytest like the other benches.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import random
+import time
+from contextlib import contextmanager
+
+import numpy as np
+
+from repro.crypto.hashes import hash_by_name
+from repro.crypto.keystore import KeyStore
+from repro.crypto import rsa
+from repro.data import products as product_data
+from repro.measure.records import CertSummary, MeasurementRecord
+from repro.study import StudyConfig, StudyRunner
+from repro.util import stable_hash
+from repro.x509.ca import CertificateAuthority, SelfSignedParams
+from repro.x509.model import Name
+
+try:  # pytest run (conftest on path) or standalone script
+    from conftest import BENCH_SEED, OUTPUT_DIR, bench_scale, emit
+except ImportError:  # pragma: no cover - standalone fallback
+    import pathlib
+    import sys
+
+    sys.path.insert(0, str(pathlib.Path(__file__).parent))
+    from conftest import BENCH_SEED, OUTPUT_DIR, bench_scale, emit
+
+WORKER_COUNTS = (1, 2, 4)
+
+
+# -- faithful copies of the pre-optimisation hot paths -----------------
+
+
+def _legacy_crt_power(message: int, key) -> int:
+    """The seed's ``_crt_power``: CRT constants recomputed per call."""
+    dp = key.d % (key.p - 1)
+    dq = key.d % (key.q - 1)
+    q_inv = pow(key.q, -1, key.p)
+    m1 = pow(message % key.p, dp, key.p)
+    m2 = pow(message % key.q, dq, key.q)
+    h = (q_inv * (m1 - m2)) % key.p
+    return m2 + h * key.q
+
+
+def _legacy_digest_info(hash_alg, data: bytes) -> bytes:
+    """The seed's ``_digest_info``: full DER built per signature."""
+    from repro.asn1.types import Null, ObjectIdentifier, OctetString, Sequence
+
+    algorithm = Sequence([ObjectIdentifier(hash_alg.digest_oid), Null()])
+    return Sequence([algorithm, OctetString(hash_alg.digest(data))]).encode()
+
+
+def _legacy_encode(certificate) -> bytes:
+    if certificate.raw:
+        return certificate.raw
+    return certificate.to_asn1().encode()
+
+
+def _legacy_fingerprint(certificate) -> str:
+    return hashlib.sha256(_legacy_encode(certificate)).hexdigest()
+
+
+@contextmanager
+def deoptimised():
+    """Swap the memoised/cached hot paths for their seed-era copies."""
+    from repro.x509.model import Certificate
+
+    saved = (
+        rsa._crt_power,
+        rsa._digest_info,
+        Certificate.encode,
+        Certificate.fingerprint,
+    )
+    rsa._crt_power = _legacy_crt_power
+    rsa._digest_info = _legacy_digest_info
+    Certificate.encode = _legacy_encode
+    Certificate.fingerprint = _legacy_fingerprint
+    try:
+        yield
+    finally:
+        (
+            rsa._crt_power,
+            rsa._digest_info,
+            Certificate.encode,
+            Certificate.fingerprint,
+        ) = saved
+
+
+class LegacyFastRunner(StudyRunner):
+    """The seed's scalar (pre-sharding, pre-vectorisation) fast mode."""
+
+    def _run_fast(self, result) -> None:
+        config = self.config
+        population = result.population
+        database = result.database
+        np_rng = np.random.default_rng(stable_hash(config.seed, "fast"))
+        rng = random.Random(stable_hash(config.seed, "fast-records"))
+
+        n_sessions = self.total_sessions()
+        plans = population.plans
+        weights = np.array([plan.measurement_weight for plan in plans])
+        session_counts = np_rng.multinomial(n_sessions, weights / weights.sum())
+
+        site_success = {
+            site.hostname: self.site_success_probability(site) for site in self.sites
+        }
+        for plan, n_country in zip(plans, session_counts):
+            if n_country == 0:
+                continue
+            database.failures.sessions_started += int(n_country)
+            result.sessions_run += int(n_country)
+            n_proxied = int(np_rng.binomial(n_country, plan.proxy_rate))
+            n_clean = int(n_country) - n_proxied
+            for site in self.sites:
+                count = int(np_rng.binomial(n_clean, site_success[site.hostname]))
+                database.add_matched_bulk(
+                    plan.code, site.host_type, site.hostname, count
+                )
+            if n_proxied:
+                self._legacy_proxied_sessions(
+                    result, plan.code, n_proxied, np_rng, rng, site_success
+                )
+
+    def _legacy_proxied_sessions(
+        self, result, country, n_proxied, np_rng, rng, site_success
+    ) -> None:
+        population = result.population
+        specs = product_data.catalog()
+        shares = np.array(
+            [population.expected_product_share(spec.key, country) for spec in specs]
+        )
+        if shares.sum() == 0:
+            return
+        product_counts = np_rng.multinomial(n_proxied, shares / shares.sum())
+        plan = population.plan(country)
+        campaign = self.campaign_for(country)
+        for spec, count in zip(specs, product_counts):
+            for _ in range(int(count)):
+                client_index = rng.randrange(plan.pool_size)
+                ip = population.client_ip(country, client_index, spec.key)
+                bucket = client_index % product_data.NUM_CLIENT_BUCKETS
+                for site in self.sites:
+                    if rng.random() >= site_success[site.hostname]:
+                        continue
+                    self._legacy_record(
+                        result, spec, country, campaign, ip, bucket, site
+                    )
+
+    def _legacy_record(self, result, spec, country, campaign, ip, bucket, site):
+        database = result.database
+        profile = spec.profile
+        if profile.is_whitelisted(site.hostname):
+            database.add_matched_bulk(country, site.host_type, site.hostname, 1)
+            return
+        upstream_leaf = self.pki.leaf_for(site.hostname)
+        forged = self.forger.forge(
+            profile,
+            upstream_leaf,
+            site.hostname,
+            site_ip=self.site_ips[site.hostname],
+            client_bucket=bucket,
+        )
+        database.add_mismatch(
+            MeasurementRecord(
+                study=self.config.study,
+                campaign=campaign,
+                client_ip=ip,
+                country=country,
+                hostname=site.hostname,
+                host_type=site.host_type,
+                mismatch=True,
+                leaf=CertSummary.from_certificate(forged.leaf),
+                chain=tuple(CertSummary.from_certificate(c) for c in forged.ca_chain),
+                via="fast",
+                product_key=spec.key,
+            )
+        )
+
+
+# -- micro benchmarks ---------------------------------------------------
+
+
+def _ops_per_second(fn, *, min_ops: int = 20, min_seconds: float = 0.4) -> float:
+    ops = 0
+    start = time.perf_counter()
+    while ops < min_ops or time.perf_counter() - start < min_seconds:
+        fn()
+        ops += 1
+    return ops / (time.perf_counter() - start)
+
+
+def bench_hotpath() -> dict:
+    key = KeyStore(seed=BENCH_SEED).key("bench-scaling", 1024)
+    alg = hash_by_name("sha256")
+    payload = b"scaling-bench-tbs" * 20
+
+    sign_now = _ops_per_second(lambda: rsa.pkcs1_sign(key, alg, payload))
+    with deoptimised():
+        sign_before = _ops_per_second(lambda: rsa.pkcs1_sign(key, alg, payload))
+
+    ca = CertificateAuthority.self_signed(
+        SelfSignedParams(
+            subject=Name.build(common_name="Scaling Bench CA"),
+            key=KeyStore(seed=BENCH_SEED).key("bench-scaling-ca", 512),
+        )
+    )
+    cert = ca.certificate
+    fingerprint_now = _ops_per_second(cert.fingerprint, min_ops=1000)
+    fingerprint_before = _ops_per_second(
+        lambda: _legacy_fingerprint(cert), min_ops=1000
+    )
+
+    digest_now = _ops_per_second(
+        lambda: rsa._digest_info(alg, payload), min_ops=1000
+    )
+    digest_before = _ops_per_second(
+        lambda: _legacy_digest_info(alg, payload), min_ops=1000
+    )
+
+    return {
+        "pkcs1_sign_1024_ops_per_s": {
+            "optimised": round(sign_now, 1),
+            "seed_baseline": round(sign_before, 1),
+            "speedup": round(sign_now / sign_before, 3),
+        },
+        "certificate_fingerprint_ops_per_s": {
+            "optimised": round(fingerprint_now, 1),
+            "seed_baseline": round(fingerprint_before, 1),
+            "speedup": round(fingerprint_now / fingerprint_before, 3),
+        },
+        "digest_info_ops_per_s": {
+            "optimised": round(digest_now, 1),
+            "seed_baseline": round(digest_before, 1),
+            "speedup": round(digest_now / digest_before, 3),
+        },
+    }
+
+
+# -- end-to-end sections ------------------------------------------------
+
+
+def _timed_run(runner, repeats: int = 1) -> tuple[float, int]:
+    """Best-of-``repeats`` wall time (warm passes are short and noisy)."""
+    best = float("inf")
+    measurements = 0
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = runner.run()
+        best = min(best, time.perf_counter() - start)
+        measurements = result.database.total_measurements
+    return best, measurements
+
+
+def bench_study(scale: float) -> dict:
+    per_workers = {}
+    warm_runner = None
+    for workers in WORKER_COUNTS:
+        config = StudyConfig(
+            study=1, seed=BENCH_SEED, scale=scale, mode="fast", workers=workers
+        )
+        runner = StudyRunner(config)
+        start = time.perf_counter()
+        result = runner.run()
+        wall = time.perf_counter() - start
+        if workers == 1:
+            warm_runner = runner
+        per_workers[str(workers)] = {
+            "wall_time_s": round(wall, 3),
+            "measurements": result.database.total_measurements,
+            "throughput_per_s": round(result.database.total_measurements / wall, 1),
+            "aggregate_signature": result.database.aggregate_signature(),
+        }
+
+    # Single-process legacy baseline: the seed's scalar loop plus the
+    # uncached crypto/DER paths, on identical inputs.  Cold runs pay
+    # the (shared, untouched-by-this-comparison) RSA key generation;
+    # the warm second run of each runner measures the steady-state
+    # measurement machinery itself — the regime paper-scale runs live
+    # in once the per-product CAs exist.
+    legacy_runner = LegacyFastRunner(
+        StudyConfig(study=1, seed=BENCH_SEED, scale=scale, mode="fast")
+    )
+    with deoptimised():
+        legacy_cold_wall, legacy_meas = _timed_run(legacy_runner)
+        legacy_warm_wall, legacy_warm_meas = _timed_run(legacy_runner, repeats=3)
+    warm_wall, warm_meas = _timed_run(warm_runner, repeats=3)
+
+    optimised = per_workers["1"]
+    signatures = {entry["aggregate_signature"] for entry in per_workers.values()}
+    steady_optimised = warm_meas / warm_wall
+    steady_legacy = legacy_warm_meas / legacy_warm_wall
+    return {
+        "workers": per_workers,
+        "deterministic_across_workers": len(signatures) == 1,
+        "single_process_baseline_cold": {
+            "wall_time_s": round(legacy_cold_wall, 3),
+            "measurements": legacy_meas,
+            "throughput_per_s": round(legacy_meas / legacy_cold_wall, 1),
+        },
+        "single_process_speedup_cold": round(
+            optimised["throughput_per_s"] / (legacy_meas / legacy_cold_wall), 3
+        ),
+        "steady_state": {
+            "optimised_throughput_per_s": round(steady_optimised, 1),
+            "baseline_throughput_per_s": round(steady_legacy, 1),
+            "optimised_wall_time_s": round(warm_wall, 3),
+            "baseline_wall_time_s": round(legacy_warm_wall, 3),
+        },
+        "single_process_speedup": round(steady_optimised / steady_legacy, 3),
+    }
+
+
+def bench_audit() -> dict:
+    from repro.audit import audit_catalog
+
+    per_workers = {}
+    reports = {}
+    for workers in WORKER_COUNTS:
+        executor = "process" if workers > 1 else "thread"
+        start = time.perf_counter()
+        report = audit_catalog(seed=BENCH_SEED, workers=workers, executor=executor)
+        wall = time.perf_counter() - start
+        reports[workers] = report
+        per_workers[str(workers)] = {
+            "executor": executor,
+            "wall_time_s": round(wall, 3),
+            "products_per_second": round(len(report.scorecards) / wall, 3),
+        }
+    grades = {w: r.grade_histogram() for w, r in reports.items()}
+    return {
+        "workers": per_workers,
+        "speedup_4_workers_vs_1": round(
+            per_workers["1"]["wall_time_s"] / per_workers["4"]["wall_time_s"], 3
+        ),
+        "deterministic_across_workers": all(
+            reports[w].scorecards == reports[1].scorecards for w in WORKER_COUNTS
+        ),
+        "grades": grades[1],
+    }
+
+
+def _burn(_):
+    x = 0
+    for i in range(5_000_000):
+        x += i
+    return x
+
+
+def _measured_parallelism(workers: int = 4) -> float:
+    """How many units of fixed CPU work the host really runs at once.
+
+    CPU quotas (containers) often grant less than ``os.cpu_count()``
+    suggests; the process-pool speedups below are bounded by this
+    number, so it is recorded next to them.
+    """
+    from concurrent.futures import ProcessPoolExecutor
+
+    start = time.perf_counter()
+    _burn(0)
+    unit = time.perf_counter() - start
+    start = time.perf_counter()
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        list(pool.map(_burn, range(workers)))
+    wall = time.perf_counter() - start
+    return workers * unit / wall
+
+
+def run_scaling(scale: float) -> dict:
+    return {
+        "seed": BENCH_SEED,
+        "scale": scale,
+        "hardware": {
+            "cpu_count": os.cpu_count(),
+            "schedulable_cpus": len(os.sched_getaffinity(0))
+            if hasattr(os, "sched_getaffinity")
+            else os.cpu_count(),
+            "measured_parallelism_4_procs": round(_measured_parallelism(4), 2),
+        },
+        "hotpath": bench_hotpath(),
+        "study_fast_mode": bench_study(scale),
+        "audit_battery": bench_audit(),
+    }
+
+
+def _emit_results(output_dir, results: dict) -> None:
+    payload = json.dumps(results, indent=2)
+    (output_dir / "BENCH_scaling.json").write_text(payload + "\n", encoding="utf-8")
+    emit(output_dir, "scaling", payload)
+
+
+def test_scaling(output_dir):
+    results = run_scaling(bench_scale())
+    _emit_results(output_dir, results)
+
+    assert results["study_fast_mode"]["deterministic_across_workers"]
+    assert results["audit_battery"]["deterministic_across_workers"]
+    # The memoisation work must be a clear win on any hardware.  (The
+    # CRT sign speedup is real but small — recorded, not asserted.)
+    assert results["hotpath"]["certificate_fingerprint_ops_per_s"]["speedup"] > 1.0
+    assert results["study_fast_mode"]["single_process_speedup"] > 1.5
+
+
+if __name__ == "__main__":
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    scaling_results = run_scaling(bench_scale())
+    _emit_results(OUTPUT_DIR, scaling_results)

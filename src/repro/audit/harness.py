@@ -18,7 +18,7 @@ worker threads can drain the product list against the same harness.
 from __future__ import annotations
 
 import random
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 
 from repro.audit.scenarios import (
     AUDIT_HOSTNAME,
@@ -40,7 +40,7 @@ from repro.audit.scorecard import (
     build_scorecard,
 )
 from repro.crypto.keystore import KeyStore
-from repro.data.products import catalog
+from repro.data.products import catalog, catalog_by_key
 from repro.netsim.network import Network
 from repro.tls import codec
 from repro.proxy.engine import TlsProxyEngine
@@ -72,6 +72,15 @@ class AuditHarness:
         self._baseline = self._setups[BASELINE_KEY]
 
     # -- single product ---------------------------------------------------
+
+    def warm_product(self, profile: ProxyProfile) -> None:
+        """Pre-generate every signing CA ``profile`` can use.
+
+        Aggregate profiles rotate issuer variants per client bucket;
+        warming only the bucket-0 variant leaves worker threads racing
+        to generate the remaining variant CA keys mid-battery.
+        """
+        self.forger.warm(profile)
 
     def audit_product(self, profile: ProxyProfile) -> ProductScorecard:
         """Run ``profile`` through the full battery and grade it."""
@@ -157,15 +166,24 @@ def audit_catalog(
     workers: int = 1,
     products: list[str] | None = None,
     pki_key_bits: int = 1024,
+    executor: str = "thread",
 ) -> AuditReport:
     """Grade every catalog product (or the named subset) under ``seed``.
 
-    ``workers`` > 1 fans products out over a thread pool sharing one
-    harness; every certificate byte is derived deterministically from
-    the seed, so scorecards are identical regardless of scheduling.
-    The per-product signing CAs are warmed serially first so threads
-    do not race to regenerate the same expensive RSA keys.
+    ``workers`` > 1 fans products out over a pool; every certificate
+    byte is derived deterministically from the seed and scorecards are
+    returned in catalog order, so the report is identical regardless
+    of worker count, executor kind or scheduling.
+
+    ``executor`` picks the pool: ``"thread"`` shares one harness (the
+    per-product signing CAs — *all* issuer variants — are warmed
+    serially first so threads do not race to regenerate the same
+    expensive RSA keys), while ``"process"`` sidesteps the GIL the
+    battery is otherwise bound by: each worker process rebuilds the
+    harness once from the seed and audits its share of the catalog.
     """
+    if executor not in ("thread", "process"):
+        raise ValueError("executor must be 'thread' or 'process'")
     specs = catalog()
     if products:
         by_key = {spec.key: spec for spec in specs}
@@ -173,16 +191,49 @@ def audit_catalog(
         if unknown:
             raise KeyError(f"unknown product keys: {', '.join(sorted(unknown))}")
         specs = [by_key[key] for key in products]
+    if workers > 1 and executor == "process":
+        with ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_init_audit_worker,
+            initargs=(seed, pki_key_bits),
+        ) as pool:
+            scorecards = list(
+                pool.map(_audit_product_task, [spec.key for spec in specs])
+            )
+        return AuditReport(seed=seed, scorecards=tuple(scorecards))
     harness = AuditHarness(seed=seed, pki_key_bits=pki_key_bits)
     profiles = [spec.profile for spec in specs]
-    for profile in profiles:
-        harness.forger.authority_for(
-            profile,
-            profile.issuer_for_bucket(0) if profile.issuer_variants else None,
-        )
     if workers > 1:
+        # Threads share the harness: warm every signing CA (all issuer
+        # variants, not just bucket 0) serially first so the pool never
+        # races to regenerate the same expensive RSA keys mid-battery.
+        # Today's battery forges only bucket 0, so the extra variants
+        # are insurance for bucket-varying batteries at the cost of
+        # some up-front keygen on this (GIL-bound anyway) path; the
+        # serial and process paths stay lazy and pay nothing.
+        for profile in profiles:
+            harness.warm_product(profile)
         with ThreadPoolExecutor(max_workers=workers) as pool:
             scorecards = list(pool.map(harness.audit_product, profiles))
     else:
         scorecards = [harness.audit_product(profile) for profile in profiles]
     return AuditReport(seed=seed, scorecards=tuple(scorecards))
+
+
+# Per-process worker state for the process-pool backend.  The harness
+# is deterministic per seed, so rebuilding it in every worker yields
+# the exact certificates the shared-thread harness mints; scorecards
+# come back in catalog order via ``pool.map``.
+_AUDIT_WORKER: AuditHarness | None = None
+
+
+def _init_audit_worker(seed: int, pki_key_bits: int) -> None:
+    global _AUDIT_WORKER
+    _AUDIT_WORKER = AuditHarness(seed=seed, pki_key_bits=pki_key_bits)
+
+
+def _audit_product_task(product_key: str) -> ProductScorecard:
+    harness = _AUDIT_WORKER
+    assert harness is not None, "worker initialised without a harness"
+    spec = catalog_by_key()[product_key]
+    return harness.audit_product(spec.profile)

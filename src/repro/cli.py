@@ -58,6 +58,13 @@ def build_parser() -> argparse.ArgumentParser:
             "--mode", choices=("fast", "wire"), default="fast"
         )
         study_parser.add_argument(
+            "--workers",
+            type=int,
+            default=1,
+            help="process-pool width for fast-mode country shards; results "
+            "are identical for any value (default 1)",
+        )
+        study_parser.add_argument(
             "--export", metavar="PATH", help="write the report database as JSONL"
         )
 
@@ -81,7 +88,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers",
         type=int,
         default=1,
-        help="thread-pool width for the product fan-out (default 1)",
+        help="pool width for the product fan-out (default 1)",
+    )
+    audit.add_argument(
+        "--executor",
+        choices=("thread", "process"),
+        default="thread",
+        help="pool kind for --workers > 1: 'process' sidesteps the GIL "
+        "the RSA-bound battery saturates (default thread)",
     )
     audit.add_argument(
         "--product",
@@ -101,12 +115,20 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _run_study(study: int, args) -> int:
-    config = StudyConfig(
-        study=study, seed=args.seed, scale=args.scale, mode=args.mode
-    )
+    try:
+        config = StudyConfig(
+            study=study,
+            seed=args.seed,
+            scale=args.scale,
+            mode=args.mode,
+            workers=args.workers,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     print(
         f"running study {study} ({args.mode} mode, scale {args.scale}, "
-        f"seed {args.seed}) ..."
+        f"seed {args.seed}, workers {args.workers}) ..."
     )
     result = StudyRunner(config).run()
     db = result.database
@@ -222,7 +244,10 @@ def _run_audit(args) -> int:
 
     try:
         report = audit_catalog(
-            seed=args.seed, workers=args.workers, products=args.product or None
+            seed=args.seed,
+            workers=args.workers,
+            products=args.product or None,
+            executor=args.executor,
         )
     except KeyError as exc:
         print(f"error: {exc.args[0]}", file=sys.stderr)

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
+from functools import cached_property
 
 from repro.asn1.types import Null, ObjectIdentifier, OctetString, Sequence
 from repro.crypto.hashes import HashAlgorithm
@@ -56,6 +57,23 @@ class RsaKeyPair:
     def bits(self) -> int:
         return self.n.bit_length()
 
+    # CRT constants are fixed by (d, p, q); one key signs every
+    # substitute certificate of its product, so they are computed once
+    # per key instead of once per signature.  ``cached_property``
+    # stores them on the instance without thawing the dataclass.
+
+    @cached_property
+    def dp(self) -> int:
+        return self.d % (self.p - 1)
+
+    @cached_property
+    def dq(self) -> int:
+        return self.d % (self.q - 1)
+
+    @cached_property
+    def q_inv(self) -> int:
+        return pow(self.q, -1, self.p)
+
 
 def generate_rsa_key(bits: int, rng: random.Random) -> RsaKeyPair:
     """Generate an RSA key pair with an exactly ``bits``-bit modulus."""
@@ -77,10 +95,27 @@ def generate_rsa_key(bits: int, rng: random.Random) -> RsaKeyPair:
         return RsaKeyPair(n=n, e=e, d=d, p=p, q=q)
 
 
+# DigestInfo DER for a given algorithm differs only in the trailing
+# digest bytes (the digest length is fixed per algorithm), so the
+# constant prefix is built once and signatures just append the digest.
+_DIGEST_INFO_PREFIXES: dict[str, bytes] = {}
+
+
+def _digest_info_prefix(hash_alg: HashAlgorithm) -> bytes:
+    prefix = _DIGEST_INFO_PREFIXES.get(hash_alg.name)
+    if prefix is None:
+        algorithm = Sequence([ObjectIdentifier(hash_alg.digest_oid), Null()])
+        placeholder = bytes(hash_alg.digest_size)
+        encoded = Sequence([algorithm, OctetString(placeholder)]).encode()
+        assert encoded.endswith(placeholder)
+        prefix = encoded[: len(encoded) - hash_alg.digest_size]
+        _DIGEST_INFO_PREFIXES[hash_alg.name] = prefix
+    return prefix
+
+
 def _digest_info(hash_alg: HashAlgorithm, data: bytes) -> bytes:
     """DER DigestInfo ::= SEQUENCE { AlgorithmIdentifier, OCTET STRING }."""
-    algorithm = Sequence([ObjectIdentifier(hash_alg.digest_oid), Null()])
-    return Sequence([algorithm, OctetString(hash_alg.digest(data))]).encode()
+    return _digest_info_prefix(hash_alg) + hash_alg.digest(data)
 
 
 def _pkcs1_pad(digest_info: bytes, key_bytes: int) -> bytes:
@@ -110,12 +145,9 @@ def pkcs1_sign(key: RsaKeyPair, hash_alg: HashAlgorithm, data: bytes) -> bytes:
 
 def _crt_power(message: int, key: RsaKeyPair) -> int:
     """m^d mod n via the Chinese Remainder Theorem."""
-    dp = key.d % (key.p - 1)
-    dq = key.d % (key.q - 1)
-    q_inv = pow(key.q, -1, key.p)
-    m1 = pow(message % key.p, dp, key.p)
-    m2 = pow(message % key.q, dq, key.q)
-    h = (q_inv * (m1 - m2)) % key.p
+    m1 = pow(message % key.p, key.dp, key.p)
+    m2 = pow(message % key.q, key.dq, key.q)
+    h = (key.q_inv * (m1 - m2)) % key.p
     return m2 + h * key.q
 
 

@@ -809,8 +809,14 @@ def catalog() -> list[ProductSpec]:
     return _CATALOG
 
 
+_CATALOG_BY_KEY: dict[str, ProductSpec] | None = None
+
+
 def catalog_by_key() -> dict[str, ProductSpec]:
-    return {spec.key: spec for spec in catalog()}
+    global _CATALOG_BY_KEY
+    if _CATALOG_BY_KEY is None:
+        _CATALOG_BY_KEY = {spec.key: spec for spec in catalog()}
+    return _CATALOG_BY_KEY
 
 
 def known_issuer_categories() -> dict[str, ProxyCategory]:

@@ -8,6 +8,7 @@ reservoir of matched records for inspection.
 
 from __future__ import annotations
 
+import hashlib
 from collections import Counter
 from dataclasses import dataclass, field
 
@@ -110,6 +111,34 @@ class ReportDatabase:
 
     def distinct_proxied_ips(self) -> int:
         return len({record.client_ip for record in self.records})
+
+    def aggregate_signature(self) -> str:
+        """Order-insensitive digest of everything the analysis reads.
+
+        Two databases with the same signature hold the same matched
+        counters, the same mismatch multiset (down to certificate
+        fingerprints) and the same failure totals — the equality the
+        worker-count determinism guarantees are stated in terms of.
+        """
+        digest = hashlib.blake2s()
+        for key, count in sorted(self.matched_counts.items()):
+            digest.update(repr((key, count)).encode("utf-8"))
+        mismatch_keys = sorted(
+            (
+                record.country or "??",
+                record.hostname,
+                record.client_ip,
+                record.campaign,
+                record.leaf.fingerprint,
+                record.leaf.serial_number,
+                tuple(c.fingerprint for c in record.chain),
+            )
+            for record in self.records
+        )
+        for key in mismatch_keys:
+            digest.update(repr(key).encode("utf-8"))
+        digest.update(repr(sorted(vars(self.failures).items())).encode("utf-8"))
+        return digest.hexdigest()
 
     def merge(self, other: "ReportDatabase") -> None:
         """Fold another database into this one (campaign shards)."""

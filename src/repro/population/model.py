@@ -87,6 +87,8 @@ class ClientPopulation:
                 )
             )
         self._plan_by_code = {plan.code: plan for plan in self._plans}
+        self._plan_index = {plan.code: i for i, plan in enumerate(self._plans)}
+        self._spec_index = {spec.key: i for i, spec in enumerate(self._specs)}
         self._country_cum_weights = np.cumsum(
             [plan.measurement_weight for plan in self._plans]
         )
@@ -139,13 +141,22 @@ class ClientPopulation:
 
     def expected_product_share(self, product_key: str, country: str) -> float:
         """P(product | proxied, country) from the fitted table."""
-        col = [p.code for p in self._plans].index(country)
-        column = self._fitted[:, col]
+        return float(
+            self.product_share_vector(country)[self._spec_index[product_key]]
+        )
+
+    def product_share_vector(self, country: str) -> np.ndarray:
+        """P(product | proxied, country) for all products, catalog order.
+
+        The fast-mode inner loop asks for every product of every
+        country shard; answering with one normalised column avoids the
+        per-product index scans the scalar accessor would repeat.
+        """
+        column = self._fitted[:, self._plan_index[country]]
         total = column.sum()
         if total == 0:
-            return 0.0
-        row = [s.key for s in self._specs].index(product_key)
-        return float(self._fitted[row, col] / total)
+            return np.zeros(len(self._specs))
+        return column / total
 
     # -- sampling -------------------------------------------------------------
 
@@ -189,6 +200,12 @@ class ClientPopulation:
             product_key=product_key,
             client_bucket=client_index % product_data.NUM_CLIENT_BUCKETS,
         )
+
+    def client_ip(
+        self, country: str, client_index: int, product_key: str | None
+    ) -> str:
+        """The IP of client ``client_index`` in ``country`` (egress-aware)."""
+        return self._client_ip(self._plan_by_code[country], client_index, product_key)
 
     def _client_ip(
         self, plan: CountryPlan, client_index: int, product_key: str | None

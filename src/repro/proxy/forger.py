@@ -68,6 +68,23 @@ class SubstituteCertForger:
             self._cas[cache_key] = ca
         return ca
 
+    def warm(self, profile: ProxyProfile) -> None:
+        """Pre-generate every signing CA ``profile`` can reach.
+
+        Aggregate profiles rotate issuer names per client bucket, so a
+        battery (or a worker fleet) that only warms bucket 0 still
+        pays — or races over — the variant CA key generation on first
+        use.  Issuer-copying profiles mint CAs keyed on upstream
+        issuers and cannot be warmed ahead of time.
+        """
+        if profile.copies_upstream_issuer:
+            return
+        if profile.issuer_variants:
+            for issuer in profile.issuer_variants:
+                self.authority_for(profile, issuer)
+        else:
+            self.authority_for(profile)
+
     # -- leaf keys ---------------------------------------------------------
 
     def _leaf_key(self, label: str, bits: int) -> tuple[int, int]:

@@ -11,11 +11,20 @@ whether bytes actually cross the simulated network:
   traffic is aggregated per (country, site) and substitute
   certificates are generated without the socket dance.  Reaches the
   paper's 12.3M-measurement scale.
+
+Fast mode is *sharded by country*: the global session multinomial is
+drawn once, then every country plan becomes an independent shard whose
+randomness is seeded by ``stable_hash(seed, plan.code)``.  Shards run
+inline (``workers=1``) or on a :class:`ProcessPoolExecutor`
+(``workers>1``) and are folded back through
+:meth:`ReportDatabase.merge` in fixed plan order, so the resulting
+database is byte-identical for any worker count.
 """
 
 from __future__ import annotations
 
 import random
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -55,6 +64,9 @@ class StudyConfig:
     scale: float = 0.01  # fraction of the paper's measurement volume
     mode: str = "fast"  # "fast" or "wire"
     matched_sample_limit: int = 500
+    # Process-pool width for fast-mode country shards.  1 = run the
+    # shards inline; results are identical either way.
+    workers: int = 1
 
     def __post_init__(self) -> None:
         if self.study not in (1, 2):
@@ -63,6 +75,10 @@ class StudyConfig:
             raise ValueError("mode must be 'fast' or 'wire'")
         if not 0 < self.scale <= 1.0:
             raise ValueError("scale must be in (0, 1]")
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
+        if self.workers > 1 and self.mode == "wire":
+            raise ValueError("workers > 1 applies to fast mode only")
 
 
 @dataclass
@@ -97,6 +113,14 @@ class StudyRunner:
             for index, site in enumerate(self.sites)
         }
         self._catalog = product_data.catalog_by_key()
+        self._specs = product_data.catalog()
+        # (product, site, bucket) → (leaf summary, chain summaries).
+        self._fast_summary_cache: dict[tuple, tuple] = {}
+        # Per-site completion probabilities, in site order (fast mode
+        # draws them as one vector per shard).
+        self._site_probs = np.array(
+            [self.site_success_probability(site) for site in self.sites]
+        )
 
     # -- shared knobs ---------------------------------------------------------
 
@@ -256,104 +280,225 @@ class StudyRunner:
     # -- fast mode -----------------------------------------------------------------
 
     def _run_fast(self, result: StudyResult) -> None:
+        """Country-sharded fast mode (inline or process-pooled).
+
+        The session multinomial is drawn once from the global stream;
+        everything after that is per-shard randomness seeded by
+        ``stable_hash(seed, plan.code)``, so shard results do not
+        depend on execution order or worker count.  Shards merge back
+        in fixed plan order.
+        """
         config = self.config
         population = result.population
-        database = result.database
         np_rng = np.random.default_rng(stable_hash(config.seed, "fast"))
-        rng = random.Random(stable_hash(config.seed, "fast-records"))
 
         n_sessions = self.total_sessions()
         plans = population.plans
         weights = np.array([plan.measurement_weight for plan in plans])
         session_counts = np_rng.multinomial(n_sessions, weights / weights.sum())
+        shards = [
+            (plan.code, int(count))
+            for plan, count in zip(plans, session_counts)
+            if count
+        ]
+        if config.workers > 1 and len(shards) > 1:
+            outcomes = self._run_fast_sharded(shards)
+        else:
+            outcomes = [
+                self._run_fast_shard(population, code, count)
+                for code, count in shards
+            ]
+        for outcome in outcomes:
+            result.database.merge(outcome.database)
+            result.sessions_run += outcome.sessions_run
+        result.notes["fast_workers"] = config.workers
+        result.notes["fast_shards"] = len(shards)
 
-        site_success = {
-            site.hostname: self.site_success_probability(site) for site in self.sites
-        }
-        for plan, n_country in zip(plans, session_counts):
-            if n_country == 0:
-                continue
-            database.failures.sessions_started += int(n_country)
-            result.sessions_run += int(n_country)
-            n_proxied = int(np_rng.binomial(n_country, plan.proxy_rate))
-            n_clean = int(n_country) - n_proxied
-            # Matched majority: aggregate counters per site.
-            for site in self.sites:
-                count = int(np_rng.binomial(n_clean, site_success[site.hostname]))
-                database.add_matched_bulk(
-                    plan.code, site.host_type, site.hostname, count
-                )
-            if n_proxied:
-                self._fast_proxied_sessions(
-                    result, plan.code, n_proxied, np_rng, rng, site_success
-                )
+    def _run_fast_sharded(self, shards: list[tuple[str, int]]) -> list["FastShardOutcome"]:
+        """Fan country shards out over worker processes.
+
+        Each worker rebuilds the runner from the (picklable) config —
+        every certificate byte is derived from the seed, so the shard
+        databases are identical to inline execution.  Forge-counter
+        deltas fold back into this runner's forger so ``run()`` notes
+        stay meaningful; cache hits are per-process, hence lower than
+        a single shared cache would score.
+        """
+        config = self.config
+        workers = min(config.workers, len(shards))
+        with ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_init_fast_worker,
+            initargs=(config,),
+        ) as pool:
+            outcomes = list(pool.map(_run_fast_shard_task, shards))
+        for outcome in outcomes:
+            self.forger.certificates_forged += outcome.certificates_forged
+            self.forger.cache_hits += outcome.cache_hits
+        return outcomes
+
+    def _run_fast_shard(
+        self, population: ClientPopulation, code: str, n_country: int
+    ) -> "FastShardOutcome":
+        """Run one country's sessions into a fresh shard database."""
+        config = self.config
+        plan = population.plan(code)
+        database = ReportDatabase(matched_sample_limit=config.matched_sample_limit)
+        np_rng = np.random.default_rng(stable_hash(config.seed, plan.code))
+        forged_before = self.forger.certificates_forged
+        hits_before = self.forger.cache_hits
+        database.failures.sessions_started += n_country
+        n_proxied = int(np_rng.binomial(n_country, plan.proxy_rate))
+        n_clean = n_country - n_proxied
+        # Matched majority: one vectorised draw across all sites.
+        for site, count in zip(
+            self.sites, np_rng.binomial(n_clean, self._site_probs)
+        ):
+            database.add_matched_bulk(
+                plan.code, site.host_type, site.hostname, int(count)
+            )
+        if n_proxied:
+            self._fast_proxied_sessions(database, population, plan, n_proxied, np_rng)
+        return FastShardOutcome(
+            code=code,
+            database=database,
+            sessions_run=n_country,
+            certificates_forged=self.forger.certificates_forged - forged_before,
+            cache_hits=self.forger.cache_hits - hits_before,
+        )
 
     def _fast_proxied_sessions(
         self,
-        result: StudyResult,
-        country: str,
+        database: ReportDatabase,
+        population: ClientPopulation,
+        plan,
         n_proxied: int,
         np_rng,
-        rng,
-        site_success: dict[str, float],
     ) -> None:
-        population = result.population
-        specs = product_data.catalog()
-        shares = np.array(
-            [population.expected_product_share(spec.key, country) for spec in specs]
-        )
+        """Vectorised proxied-session sampling for one country shard.
+
+        Client slots are drawn as one numpy batch per product and
+        grouped by bucket; a single Bernoulli matrix per product then
+        decides every (session, site) completion at once, so each
+        (product, site, bucket) cell realises its binomial count while
+        per-session independence across sites — which the
+        distinct-IP/dispersion analyses read — is preserved.
+        Certificates and summaries are shared per cell, so the
+        per-measurement Python work collapses to one record
+        construction.
+        """
+        shares = population.product_share_vector(plan.code)
         if shares.sum() == 0:
             return
         product_counts = np_rng.multinomial(n_proxied, shares / shares.sum())
-        plan = population.plan(country)
-        campaign = self.campaign_for(country)
-        for spec, count in zip(specs, product_counts):
-            for _ in range(int(count)):
-                client_index = rng.randrange(plan.pool_size)
-                ip = population._client_ip(plan, client_index, spec.key)
-                bucket = client_index % product_data.NUM_CLIENT_BUCKETS
-                for site in self.sites:
-                    if rng.random() >= site_success[site.hostname]:
-                        continue
-                    self._record_proxied_measurement(
-                        result, spec, country, campaign, ip, bucket, site
+        campaign = self.campaign_for(plan.code)
+        n_buckets = product_data.NUM_CLIENT_BUCKETS
+        for spec, count in zip(self._specs, product_counts):
+            count = int(count)
+            if not count:
+                continue
+            profile = spec.profile
+            client_indices = np_rng.integers(0, plan.pool_size, size=count)
+            buckets = client_indices % n_buckets
+            # Stable sort groups each bucket's sessions contiguously in
+            # (random) draw order.
+            order = np.argsort(buckets, kind="stable")
+            grouped = client_indices[order]
+            bounds = np.searchsorted(buckets[order], np.arange(n_buckets + 1))
+            # Every (session, site) completion in one draw.
+            completions = (
+                np_rng.random((count, len(self.sites))) < self._site_probs
+            )[order]
+            for site_index, site in enumerate(self.sites):
+                column = completions[:, site_index]
+                if profile.is_whitelisted(site.hostname):
+                    # The proxy relays untouched: the client sees the
+                    # real chain — only the aggregate count matters.
+                    database.add_matched_bulk(
+                        plan.code, site.host_type, site.hostname, int(column.sum())
                     )
+                    continue
+                for bucket in range(n_buckets):
+                    segment = slice(int(bounds[bucket]), int(bounds[bucket + 1]))
+                    members = grouped[segment][column[segment]]
+                    if not members.size:
+                        continue
+                    leaf, chain = self._fast_summaries(spec, site, bucket)
+                    for client_index in members:
+                        database.add_mismatch(
+                            MeasurementRecord(
+                                study=self.config.study,
+                                campaign=campaign,
+                                client_ip=population.client_ip(
+                                    plan.code, int(client_index), spec.key
+                                ),
+                                country=plan.code,
+                                hostname=site.hostname,
+                                host_type=site.host_type,
+                                mismatch=True,
+                                leaf=leaf,
+                                chain=chain,
+                                via="fast",
+                                product_key=spec.key,
+                            )
+                        )
 
-    def _record_proxied_measurement(
-        self,
-        result: StudyResult,
-        spec,
-        country: str,
-        campaign: str,
-        ip: str,
-        bucket: int,
-        site: ProbeSite,
-    ) -> None:
-        database = result.database
-        profile = spec.profile
-        if profile.is_whitelisted(site.hostname):
-            # The proxy relays untouched: the client sees the real chain.
-            database.add_matched_bulk(country, site.host_type, site.hostname, 1)
-            return
-        upstream_leaf = self.pki.leaf_for(site.hostname)
+    def _fast_summaries(
+        self, spec, site: ProbeSite, bucket: int
+    ) -> tuple[CertSummary, tuple[CertSummary, ...]]:
+        """Forge (or fetch) the (product, site, bucket) substitute chain
+        and its analysis summaries — computed once per cell, not per
+        measurement."""
+        cache_key = (spec.key, site.hostname, bucket)
+        cached = self._fast_summary_cache.get(cache_key)
+        if cached is not None:
+            return cached
         forged = self.forger.forge(
-            profile,
-            upstream_leaf,
+            spec.profile,
+            self.pki.leaf_for(site.hostname),
             site.hostname,
             site_ip=self.site_ips[site.hostname],
             client_bucket=bucket,
         )
-        record = MeasurementRecord(
-            study=self.config.study,
-            campaign=campaign,
-            client_ip=ip,
-            country=country,
-            hostname=site.hostname,
-            host_type=site.host_type,
-            mismatch=True,
-            leaf=CertSummary.from_certificate(forged.leaf),
-            chain=tuple(CertSummary.from_certificate(c) for c in forged.ca_chain),
-            via="fast",
-            product_key=spec.key,
+        summaries = (
+            CertSummary.from_certificate(forged.leaf),
+            tuple(CertSummary.from_certificate(c) for c in forged.ca_chain),
         )
-        database.add_mismatch(record)
+        self._fast_summary_cache[cache_key] = summaries
+        return summaries
+
+
+@dataclass
+class FastShardOutcome:
+    """One country shard's results plus forge-counter deltas."""
+
+    code: str
+    database: ReportDatabase
+    sessions_run: int
+    certificates_forged: int
+    cache_hits: int
+
+
+# Per-process worker state for the fast-mode shard pool.  Workers are
+# initialised once from the picklable StudyConfig and reused for every
+# shard they pull, so PKI and CA key generation amortise per process.
+_FAST_WORKER: StudyRunner | None = None
+
+
+def _init_fast_worker(config: StudyConfig) -> None:
+    global _FAST_WORKER
+    runner = StudyRunner(config)
+    runner._fast_population = ClientPopulation(
+        config.study,
+        seed=config.seed,
+        scale=config.scale,
+        measurements_per_session=runner.measurements_per_session(),
+    )
+    _FAST_WORKER = runner
+
+
+def _run_fast_shard_task(shard: tuple[str, int]) -> FastShardOutcome:
+    code, n_country = shard
+    runner = _FAST_WORKER
+    assert runner is not None, "worker initialised without a runner"
+    return runner._run_fast_shard(runner._fast_population, code, n_country)

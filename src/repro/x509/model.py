@@ -10,7 +10,9 @@ basicConstraints / subjectAltName extensions.
 from __future__ import annotations
 
 import datetime as _dt
+import hashlib
 from dataclasses import dataclass, field
+from functools import cached_property
 
 from repro.asn1 import oids
 from repro.asn1.types import (
@@ -238,8 +240,6 @@ def key_usage_extension(usages: tuple[str, ...], critical: bool = True) -> Exten
 
 def _key_identifier(public_key: "SubjectPublicKeyInfo") -> bytes:
     """RFC 5280 method 1: SHA-1 of the subjectPublicKey BIT STRING body."""
-    import hashlib
-
     rsa_key = Sequence(
         [Integer(public_key.n), Integer(public_key.e)]
     ).encode()
@@ -421,17 +421,29 @@ class Certificate:
             ]
         )
 
-    def encode(self) -> bytes:
-        """DER bytes; prefers the captured raw encoding when present."""
+    # The DER and its SHA-256 are immutable once the certificate
+    # exists, and the forge cache, audit classifier and reporting
+    # server all ask for them repeatedly — memoise both on the
+    # instance (``cached_property`` writes straight into ``__dict__``,
+    # which the frozen dataclass permits).
+
+    @cached_property
+    def _der(self) -> bytes:
         if self.raw:
             return self.raw
         return self.to_asn1().encode()
 
+    @cached_property
+    def _sha256_hex(self) -> str:
+        return hashlib.sha256(self._der).hexdigest()
+
+    def encode(self) -> bytes:
+        """DER bytes; prefers the captured raw encoding when present."""
+        return self._der
+
     def fingerprint(self) -> str:
         """SHA-256 fingerprint of the DER encoding (hex)."""
-        import hashlib
-
-        return hashlib.sha256(self.encode()).hexdigest()
+        return self._sha256_hex
 
     def matches_hostname(self, hostname: str) -> bool:
         """RFC 6125-lite host matching over SAN (preferred) then CN."""

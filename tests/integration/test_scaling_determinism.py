@@ -1,0 +1,160 @@
+"""Scaling regression tests: sharded/pooled execution must be invisible.
+
+The perf work (process-sharded fast studies, process-pool audit
+backend, crypto/DER memoisation) is only acceptable if it changes
+nothing observable: same seed → byte-identical forged chains and
+identical report aggregates, for any worker count and executor kind.
+"""
+
+import pytest
+
+from repro.audit import audit_catalog
+from repro.crypto.keystore import KeyStore
+from repro.data import products as product_data
+from repro.proxy.forger import SubstituteCertForger
+from repro.study import StudyConfig, StudyRunner
+from repro.study.webpki import build_web_pki
+from repro.data import sites as site_data
+
+SEED = 1337
+SCALE = 0.002
+
+AUDIT_SUBSET = ["bitdefender", "kurupira", "other-business-fw"]
+
+
+@pytest.fixture(scope="module")
+def run_w1():
+    return StudyRunner(
+        StudyConfig(study=1, seed=SEED, scale=SCALE, mode="fast", workers=1)
+    ).run()
+
+
+@pytest.fixture(scope="module")
+def run_w4():
+    return StudyRunner(
+        StudyConfig(study=1, seed=SEED, scale=SCALE, mode="fast", workers=4)
+    ).run()
+
+
+class TestStudyWorkerDeterminism:
+    def test_aggregate_signature_identical(self, run_w1, run_w4):
+        assert (
+            run_w1.database.aggregate_signature()
+            == run_w4.database.aggregate_signature()
+        )
+
+    def test_matched_counters_identical(self, run_w1, run_w4):
+        assert run_w1.database.matched_counts == run_w4.database.matched_counts
+
+    def test_mismatch_records_identical_in_order(self, run_w1, run_w4):
+        """Shards merge in fixed plan order, so even the record *list*
+        (not just the multiset) must match byte for byte."""
+        a = [
+            (r.country, r.hostname, r.client_ip, r.leaf, r.chain)
+            for r in run_w1.database.records
+        ]
+        b = [
+            (r.country, r.hostname, r.client_ip, r.leaf, r.chain)
+            for r in run_w4.database.records
+        ]
+        assert a == b
+        assert len(a) > 0
+
+    def test_failure_counters_and_sessions_identical(self, run_w1, run_w4):
+        assert vars(run_w1.database.failures) == vars(run_w4.database.failures)
+        assert run_w1.sessions_run == run_w4.sessions_run
+
+
+class TestForgeEquivalence:
+    def test_independent_forgers_emit_identical_der(self):
+        """Two forgers built from the same seed must mint substitute
+        chains that agree on every byte — the property that makes
+        worker processes interchangeable with the parent."""
+        sites = site_data.study1_probe_sites()[:3]
+        chains = []
+        for _ in range(2):
+            keystore = KeyStore(seed=SEED)
+            forger = SubstituteCertForger(keystore, seed=SEED)
+            pki = build_web_pki(keystore, sites, seed=SEED)
+            specs = [
+                spec
+                for spec in product_data.catalog()
+                if spec.key in ("bitdefender", "kurupira", "other-business-fw")
+            ]
+            minted = []
+            for spec in specs:
+                for site in sites:
+                    for bucket in (0, 3):
+                        forged = forger.forge(
+                            spec.profile,
+                            pki.leaf_for(site.hostname),
+                            site.hostname,
+                            client_bucket=bucket,
+                        )
+                        minted.append(tuple(c.encode() for c in forged.chain))
+            chains.append(minted)
+        assert chains[0] == chains[1]
+
+    def test_fast_records_match_direct_forge(self, run_w1):
+        """Every fast-mode mismatch record must carry exactly the
+        fingerprint a fresh forge of the same (product, host, bucket)
+        produces — wire mode calls the same forge path, so this pins
+        wire ≡ fast ≡ sharded."""
+        runner = StudyRunner(
+            StudyConfig(study=1, seed=SEED, scale=SCALE, mode="fast")
+        )
+        catalog = product_data.catalog_by_key()
+        checked = 0
+        for record in run_w1.database.records:
+            if checked >= 10:
+                break
+            spec = catalog[record.product_key]
+            if spec.egress_plan is not None:
+                # Egress IPs collapse the client pool; the bucket is
+                # not recoverable from the IP for these products.
+                continue
+            bucket = _bucket_of(run_w1, record)
+            forged = runner.forger.forge(
+                spec.profile,
+                runner.pki.leaf_for(record.hostname),
+                record.hostname,
+                site_ip=runner.site_ips[record.hostname],
+                client_bucket=bucket,
+            )
+            assert forged.leaf.fingerprint() == record.leaf.fingerprint
+            assert forged.leaf.serial_number == record.leaf.serial_number
+            checked += 1
+        assert checked > 0
+
+
+def _bucket_of(result, record):
+    from repro.geoip.database import ip_to_int
+
+    plan = result.population.plan(record.country)
+    index = ip_to_int(record.client_ip) - plan.block_start
+    return index % product_data.NUM_CLIENT_BUCKETS
+
+
+class TestAuditExecutorDeterminism:
+    @pytest.fixture(scope="class")
+    def serial_report(self):
+        return audit_catalog(seed=SEED, products=AUDIT_SUBSET, workers=1, pki_key_bits=512)
+
+    def test_thread_pool_matches_serial(self, serial_report):
+        threaded = audit_catalog(
+            seed=SEED, products=AUDIT_SUBSET, workers=2, executor="thread", pki_key_bits=512
+        )
+        assert threaded.scorecards == serial_report.scorecards
+
+    def test_process_pool_matches_serial(self, serial_report):
+        pooled = audit_catalog(
+            seed=SEED, products=AUDIT_SUBSET, workers=2, executor="process", pki_key_bits=512
+        )
+        assert pooled.scorecards == serial_report.scorecards
+
+    def test_scorecards_in_catalog_order(self, serial_report):
+        assert [c.product_key for c in serial_report.scorecards] == AUDIT_SUBSET
+
+    def test_unknown_executor_rejected(self):
+        with pytest.raises(ValueError):
+            audit_catalog(seed=SEED, products=AUDIT_SUBSET, executor="fiber")

@@ -198,3 +198,26 @@ class TestCatalogAudit:
         detail = render_scorecard(report.by_key()["kurupira"])
         assert "grade F" in detail
         assert "MASK" in detail
+
+
+class TestCatalogWarmup:
+    def test_warm_product_covers_every_issuer_variant(self, harness):
+        """The pre-battery warm-up must mint the CA of *every* issuer
+        variant, not just bucket 0 — otherwise worker threads race to
+        generate the remaining variant keys mid-battery."""
+        from repro.data.products import catalog
+
+        spec = next(s for s in catalog() if s.profile.issuer_variants)
+        profile = spec.profile
+        harness.warm_product(profile)
+        for issuer in profile.all_issuers():
+            cache_key = f"{profile.key}|{issuer.rfc4514()}"
+            assert cache_key in harness.forger._cas
+
+    def test_warm_product_plain_profile(self, harness):
+        from repro.data.products import catalog
+
+        spec = next(s for s in catalog() if not s.profile.issuer_variants)
+        harness.warm_product(spec.profile)
+        cache_key = f"{spec.profile.key}|{spec.profile.issuer.rfc4514()}"
+        assert cache_key in harness.forger._cas

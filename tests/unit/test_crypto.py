@@ -156,3 +156,52 @@ class TestKeyStore:
         store = KeyStore()
         store.preload(["p1", "p2", "p3"], 512)
         assert len(store) == 3
+
+
+class TestCrtConstants:
+    """The CRT constants are precomputed per key, not per signature."""
+
+    def test_constants_match_definitions(self):
+        key = KeyStore(seed=3).key("crt", 512)
+        assert key.dp == key.d % (key.p - 1)
+        assert key.dq == key.d % (key.q - 1)
+        assert (key.q_inv * key.q) % key.p == 1
+
+    def test_constants_cached_on_instance(self):
+        key = KeyStore(seed=3).key("crt-cache", 512)
+        assert key.dp is key.dp  # same int object: cached, not recomputed
+        assert key.q_inv is key.q_inv
+
+    def test_sign_uses_cached_constants(self):
+        """A signature must equal the textbook m^d mod n result."""
+        key = KeyStore(seed=4).key("crt-sign", 512)
+        alg = hash_by_name("sha256")
+        signature = pkcs1_sign(key, alg, b"payload")
+        value = int.from_bytes(signature, "big")
+        key_bytes = (key.n.bit_length() + 7) // 8
+        recovered = pow(value, key.e, key.n).to_bytes(key_bytes, "big")
+        from repro.crypto.rsa import _digest_info, _pkcs1_pad
+
+        assert recovered == _pkcs1_pad(_digest_info(alg, b"payload"), key_bytes)
+
+
+class TestDigestInfoPrefix:
+    """DigestInfo DER is a constant prefix plus the digest bytes."""
+
+    def test_prefix_matches_full_der_construction(self):
+        from repro.asn1.types import Null, ObjectIdentifier, OctetString, Sequence
+        from repro.crypto.rsa import _digest_info
+
+        for alg in HASH_ALGORITHMS.values():
+            algorithm = Sequence([ObjectIdentifier(alg.digest_oid), Null()])
+            expected = Sequence(
+                [algorithm, OctetString(alg.digest(b"abc"))]
+            ).encode()
+            assert _digest_info(alg, b"abc") == expected
+
+    def test_prefix_cached_per_algorithm(self):
+        from repro.crypto.rsa import _DIGEST_INFO_PREFIXES, _digest_info
+
+        _digest_info(hash_by_name("sha1"), b"x")
+        _digest_info(hash_by_name("sha1"), b"y")
+        assert "sha1" in _DIGEST_INFO_PREFIXES

@@ -320,3 +320,38 @@ class TestRootStore:
             root_ca.certificate
         ]
         assert store.find_issuer_roots(site_cert) == []
+
+
+class TestCertificateMemoisation:
+    """encode()/fingerprint() are memoised on the frozen dataclass."""
+
+    def test_encode_returns_raw_and_is_cached(self, root_ca):
+        cert = root_ca.certificate
+        assert cert.encode() == cert.raw
+        assert cert.encode() is cert.encode()  # same object, no re-encode
+
+    def test_fingerprint_matches_fresh_hash(self, root_ca):
+        import hashlib
+
+        cert = root_ca.certificate
+        fresh = hashlib.sha256(cert.to_asn1().encode()).hexdigest()
+        assert cert.fingerprint() == fresh
+        assert cert.fingerprint() is cert.fingerprint()
+
+    def test_memo_survives_pickling(self, root_ca):
+        import pickle
+
+        cert = root_ca.certificate
+        fingerprint = cert.fingerprint()
+        clone = pickle.loads(pickle.dumps(cert))
+        assert clone == cert
+        assert clone.fingerprint() == fingerprint
+        assert clone.encode() == cert.encode()
+
+    def test_rawless_certificate_encodes_consistently(self, root_ca):
+        from dataclasses import replace
+
+        cert = root_ca.certificate
+        bare = replace(cert, raw=b"")
+        assert bare.encode() == cert.encode()
+        assert bare.fingerprint() == cert.fingerprint()
