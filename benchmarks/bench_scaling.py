@@ -1,10 +1,13 @@
 """N4 — process-sharding & crypto/DER hot-path scaling benchmark.
 
-Measures the three levers this repo pulls to run "as fast as the
+Measures the four levers this repo pulls to run "as fast as the
 hardware allows":
 
 * **fast-mode study scaling** — wall time and measurement throughput
-  of a fast study at ``workers`` ∈ {1, 2, 4} country shards;
+  of a fast study at ``workers`` ∈ {1, 2, 4} work-stolen sub-shards;
+* **key-vault amortisation** — cold (generate + persist) vs warm
+  (disk-load) key material, and warm-vault 4-worker vs 1-worker study
+  wall time, with RSA generation counts asserted to hit zero;
 * **audit battery scaling** — full-catalog adversarial battery wall
   time at ``workers`` ∈ {1, 2, 4} (process executor beyond 1);
 * **hot-path micro-optimisations** — the exact per-operation costs
@@ -15,8 +18,9 @@ hardware allows":
 
 Results land in ``benchmarks/output/BENCH_scaling.json`` (machine
 readable) and a human-readable text twin.  Process-pool speedups are
-bounded by the cores the host grants — ``hardware.cpu_count`` is
-recorded alongside so the numbers can be read in context.
+bounded by the cores the host grants — ``hardware.cpu_count`` and a
+``hardware.hardware_bound`` flag (with a stderr warning) are recorded
+alongside so the numbers can be read in context.
 
 Run standalone (``PYTHONPATH=src python benchmarks/bench_scaling.py``)
 or through pytest like the other benches.
@@ -28,6 +32,9 @@ import hashlib
 import json
 import os
 import random
+import shutil
+import sys
+import tempfile
 import time
 from contextlib import contextmanager
 
@@ -366,6 +373,76 @@ def bench_audit() -> dict:
     }
 
 
+def bench_vault(scale: float) -> dict:
+    """Vault-cold vs vault-warm: keygen amortisation across runs/workers.
+
+    Cold = empty vault, the parent pays every RSA generation exactly
+    once (and persists it).  Warm = a second, fresh runner against the
+    same vault: every key loads from disk, generation count must be 0.
+    """
+    tmp = tempfile.mkdtemp(prefix="bench-scaling-vault-")
+    try:
+        vault_dir = os.path.join(tmp, "vault")
+
+        def runner_for(workers: int) -> StudyRunner:
+            return StudyRunner(
+                StudyConfig(
+                    study=1,
+                    seed=BENCH_SEED,
+                    scale=scale,
+                    mode="fast",
+                    workers=workers,
+                    vault=vault_dir,
+                )
+            )
+
+        # Cold keygen: the vault is empty, warm_keys generates it all.
+        start = time.perf_counter()
+        cold_runner = runner_for(1)
+        cold_runner.warm_keys()
+        cold_wall = time.perf_counter() - start
+        keys_generated_cold = cold_runner.keystore.keys_generated
+
+        # Warm load: a fresh runner against the now-full vault.
+        start = time.perf_counter()
+        warm_runner = runner_for(1)
+        warm_runner.warm_keys()
+        warm_wall = time.perf_counter() - start
+        keys_generated_warm = warm_runner.keystore.keys_generated
+
+        rows = {}
+        for workers, label in ((4, "cold"), (4, "warm"), (1, "warm_w1")):
+            if label == "cold":
+                shutil.rmtree(vault_dir, ignore_errors=True)
+            runner = runner_for(workers)
+            start = time.perf_counter()
+            result = runner.run()
+            wall = time.perf_counter() - start
+            rows[label] = {
+                "workers": workers,
+                "wall_time_s": round(wall, 3),
+                "measurements": result.database.total_measurements,
+                "aggregate_signature": result.database.aggregate_signature(),
+                "parent_keys_generated": result.notes["keys_generated"],
+                "worker_keys_generated": result.notes.get("worker_keys_generated"),
+            }
+        return {
+            "warm_keys_cold_s": round(cold_wall, 3),
+            "warm_keys_warm_s": round(warm_wall, 4),
+            "vault_load_speedup": round(cold_wall / warm_wall, 1),
+            "keys_generated_cold": keys_generated_cold,
+            "keys_generated_warm": keys_generated_warm,
+            "vault_entries": len(warm_runner.keystore.vault),
+            "study_runs": rows,
+            "deterministic_across_cold_warm_and_workers": len(
+                {row["aggregate_signature"] for row in rows.values()}
+            )
+            == 1,
+        }
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+
+
 def _burn(_):
     x = 0
     for i in range(5_000_000):
@@ -393,6 +470,19 @@ def _measured_parallelism(workers: int = 4) -> float:
 
 
 def run_scaling(scale: float) -> dict:
+    workers = WORKER_COUNTS[-1]
+    measured = round(_measured_parallelism(workers), 2)
+    # The host grants fewer cores than the pool asks for: process-pool
+    # rows then *cannot* beat workers=1 and must be read as bounded by
+    # hardware, not by the scheduler or the vault.
+    hardware_bound = measured < workers - 0.5
+    if hardware_bound:
+        print(
+            f"warning: measured parallelism {measured} < {workers} workers — "
+            "process-pool rows are hardware-bound on this host "
+            "(CPU quota/core count), not scheduler-bound",
+            file=sys.stderr,
+        )
     return {
         "seed": BENCH_SEED,
         "scale": scale,
@@ -401,10 +491,12 @@ def run_scaling(scale: float) -> dict:
             "schedulable_cpus": len(os.sched_getaffinity(0))
             if hasattr(os, "sched_getaffinity")
             else os.cpu_count(),
-            "measured_parallelism_4_procs": round(_measured_parallelism(4), 2),
+            "measured_parallelism_4_procs": measured,
+            "hardware_bound": hardware_bound,
         },
         "hotpath": bench_hotpath(),
         "study_fast_mode": bench_study(scale),
+        "key_vault": bench_vault(scale),
         "audit_battery": bench_audit(),
     }
 
@@ -425,6 +517,27 @@ def test_scaling(output_dir):
     # CRT sign speedup is real but small — recorded, not asserted.)
     assert results["hotpath"]["certificate_fingerprint_ops_per_s"]["speedup"] > 1.0
     assert results["study_fast_mode"]["single_process_speedup"] > 1.5
+
+    # The vault must be invisible to the data and fatal to the keygen
+    # bill: warm runs generate zero keys, and vault on/off (plus
+    # cold/warm and any worker count) agree on every byte.
+    vault = results["key_vault"]
+    assert vault["keys_generated_warm"] == 0
+    assert vault["study_runs"]["warm"]["parent_keys_generated"] == 0
+    assert vault["study_runs"]["warm"]["worker_keys_generated"] == 0
+    assert vault["deterministic_across_cold_warm_and_workers"]
+    assert (
+        vault["study_runs"]["warm"]["aggregate_signature"]
+        == results["study_fast_mode"]["workers"]["1"]["aggregate_signature"]
+    )
+    # On hardware that actually grants the cores, a warm-vault 4-worker
+    # run must beat single-process; on a quota-bound host the explicit
+    # hardware_bound flag is the accepted explanation instead.
+    if not results["hardware"]["hardware_bound"]:
+        assert (
+            vault["study_runs"]["warm"]["wall_time_s"]
+            < results["study_fast_mode"]["workers"]["1"]["wall_time_s"]
+        )
 
 
 if __name__ == "__main__":

@@ -10,6 +10,8 @@
 * ``whitelist`` — the §6.3 whitelist experiment (this paper vs Huang).
 * ``audit`` — the appliance security audit: every catalog product vs
   the adversarial upstream battery, graded A–F (Waked et al. style).
+* ``keys`` — warm or inspect the persistent key-material vault that
+  studies and audits share via ``--vault`` (or ``REPRO_KEY_VAULT``).
 """
 
 from __future__ import annotations
@@ -65,6 +67,13 @@ def build_parser() -> argparse.ArgumentParser:
             "are identical for any value (default 1)",
         )
         study_parser.add_argument(
+            "--vault",
+            metavar="DIR",
+            help="persistent key-vault directory: RSA key material is "
+            "loaded from (and written back to) disk, so workers and "
+            "repeat runs skip key generation entirely",
+        )
+        study_parser.add_argument(
             "--export", metavar="PATH", help="write the report database as JSONL"
         )
 
@@ -109,8 +118,38 @@ def build_parser() -> argparse.ArgumentParser:
         help="print every product's per-check scorecard, not just the table",
     )
     audit.add_argument(
+        "--vault",
+        metavar="DIR",
+        help="persistent key-vault directory shared by workers and runs",
+    )
+    audit.add_argument(
         "--export", metavar="PATH", help="write the full report as JSON"
     )
+
+    keys = sub.add_parser(
+        "keys", help="manage the persistent RSA key-material vault"
+    )
+    keys_sub = keys.add_subparsers(dest="keys_command", required=True)
+    warm = keys_sub.add_parser(
+        "warm",
+        help="pre-generate every study/audit RSA key into the vault so "
+        "later runs (and their worker processes) only ever load",
+    )
+    warm.add_argument("--vault", metavar="DIR", required=True)
+    warm.add_argument("--seed", type=int, default=42)
+    warm.add_argument(
+        "--audit-key-bits",
+        type=int,
+        default=1024,
+        help="PKI key size the audit battery will be run with (default 1024)",
+    )
+    warm.add_argument(
+        "--skip-audit",
+        action="store_true",
+        help="warm only the study keys, not the audit battery's",
+    )
+    stats = keys_sub.add_parser("stats", help="print vault entry count")
+    stats.add_argument("--vault", metavar="DIR", required=True)
     return parser
 
 
@@ -122,6 +161,7 @@ def _run_study(study: int, args) -> int:
             scale=args.scale,
             mode=args.mode,
             workers=args.workers,
+            vault=args.vault,
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -248,6 +288,7 @@ def _run_audit(args) -> int:
             workers=args.workers,
             products=args.product or None,
             executor=args.executor,
+            vault=args.vault,
         )
     except KeyError as exc:
         print(f"error: {exc.args[0]}", file=sys.stderr)
@@ -274,6 +315,53 @@ def _run_audit(args) -> int:
     return 0
 
 
+def _run_keys(args) -> int:
+    import time
+
+    from repro.crypto.vault import KeyVault
+
+    vault = KeyVault(args.vault)
+    if args.keys_command == "stats":
+        print(f"vault {vault.path}: {len(vault)} entries")
+        return 0
+
+    start = time.perf_counter()
+    generated = 0
+    loaded = 0
+    for study in (1, 2):
+        runner = StudyRunner(
+            StudyConfig(study=study, seed=args.seed, vault=args.vault)
+        )
+        runner.warm_keys()
+        generated += runner.keystore.keys_generated
+        loaded += runner.keystore.vault_hits
+        print(
+            f"study {study}: {runner.keystore.keys_generated} generated, "
+            f"{runner.keystore.vault_hits} loaded"
+        )
+    if not args.skip_audit:
+        from repro.audit.harness import AuditHarness
+        from repro.data.products import catalog
+
+        harness = AuditHarness(
+            seed=args.seed, pki_key_bits=args.audit_key_bits, vault=args.vault
+        )
+        for spec in catalog():
+            harness.warm_product(spec.profile)
+        generated += harness.keystore.keys_generated
+        loaded += harness.keystore.vault_hits
+        print(
+            f"audit:   {harness.keystore.keys_generated} generated, "
+            f"{harness.keystore.vault_hits} loaded"
+        )
+    wall = time.perf_counter() - start
+    print(
+        f"vault {vault.path}: {len(vault)} entries "
+        f"({generated} generated, {loaded} loaded, {wall:.1f}s)"
+    )
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "study1":
@@ -288,6 +376,8 @@ def main(argv: list[str] | None = None) -> int:
         return _run_whitelist(args)
     if args.command == "audit":
         return _run_audit(args)
+    if args.command == "keys":
+        return _run_keys(args)
     return 2
 
 

@@ -16,8 +16,9 @@ has one CA key, and the IopFail malware famously shipped a single
 """
 
 from repro.crypto.hashes import HASH_ALGORITHMS, HashAlgorithm, hash_by_name
-from repro.crypto.keystore import KeyStore
+from repro.crypto.keystore import KeyStore, shared_keystore
 from repro.crypto.primes import generate_prime, is_probable_prime
+from repro.crypto.vault import KeyVault, open_vault
 from repro.crypto.rsa import (
     CryptoError,
     RsaKeyPair,
@@ -32,6 +33,9 @@ __all__ = [
     "HASH_ALGORITHMS",
     "HashAlgorithm",
     "KeyStore",
+    "KeyVault",
+    "open_vault",
+    "shared_keystore",
     "RsaKeyPair",
     "RsaPublicKey",
     "generate_prime",

@@ -7,6 +7,13 @@ product has one CA key it uses forever, and leaf keys are reused per
 (product, size) slot.  Keys are derived deterministically from the
 store seed and the slot label, so two stores with the same seed hold
 identical keys.
+
+A store can additionally be backed by a disk-persistent
+:class:`~repro.crypto.vault.KeyVault`: the vault is consulted before
+any generation, and freshly generated material is written back, so a
+warmed vault turns every later ``key()`` call — in this process, in a
+worker process, or in next week's run — into a microsecond JSON load
+instead of a Miller–Rabin search.
 """
 
 from __future__ import annotations
@@ -15,23 +22,50 @@ import random
 import zlib
 
 from repro.crypto.rsa import RsaKeyPair, generate_rsa_key
+from repro.crypto.vault import KeyVault, open_vault
 
 
 class KeyStore:
-    """Cache of deterministically generated RSA keys, keyed by slot label."""
+    """Cache of deterministically generated RSA keys, keyed by slot label.
 
-    def __init__(self, seed: int = 0) -> None:
+    ``vault`` may be a :class:`KeyVault`, a directory path, or ``None``
+    (which falls back to the ``REPRO_KEY_VAULT`` environment variable).
+    ``keys_generated`` counts actual ``generate_rsa_key`` calls —
+    vault and in-memory hits leave it untouched, which is what the
+    warm-vault determinism tests assert on.
+    """
+
+    def __init__(self, seed: int = 0, vault=None) -> None:
         self._seed = seed
         self._cache: dict[tuple[str, int], RsaKeyPair] = {}
+        self._vault: KeyVault | None = open_vault(vault)
+        self.keys_generated = 0
+        self.vault_hits = 0
+
+    @property
+    def vault(self) -> KeyVault | None:
+        return self._vault
 
     def key(self, label: str, bits: int) -> RsaKeyPair:
         """Return the key for ``(label, bits)``, generating it on first use."""
         slot = (label, bits)
         pair = self._cache.get(slot)
         if pair is None:
-            rng = random.Random(self._derive_seed(label, bits))
-            pair = generate_rsa_key(bits, rng)
+            pair = self._load_or_generate(label, bits)
             self._cache[slot] = pair
+        return pair
+
+    def _load_or_generate(self, label: str, bits: int) -> RsaKeyPair:
+        if self._vault is not None:
+            pair = self._vault.load(self._seed, label, bits)
+            if pair is not None:
+                self.vault_hits += 1
+                return pair
+        rng = random.Random(self._derive_seed(label, bits))
+        pair = generate_rsa_key(bits, rng)
+        self.keys_generated += 1
+        if self._vault is not None:
+            self._vault.store(self._seed, label, bits, pair)
         return pair
 
     def _derive_seed(self, label: str, bits: int) -> int:
@@ -47,20 +81,17 @@ class KeyStore:
             self.key(label, bits)
 
 
-_SHARED: KeyStore | None = None
+_SHARED: dict[int, KeyStore] = {}
 
 
 def shared_keystore(seed: int = 0) -> KeyStore:
-    """Process-wide store used by default so key generation amortises.
+    """Process-wide stores, memoised per seed, so keygen amortises.
 
-    The first caller fixes the seed; later callers asking for a
-    different seed get a fresh private store instead, keeping
-    determinism explicit.
+    Every caller asking for the same seed gets the same store — the
+    second subsystem to need seed-7 keys reuses the first one's pool
+    instead of paying generation again behind a fresh private store.
     """
-    global _SHARED
-    if _SHARED is None:
-        _SHARED = KeyStore(seed)
-        return _SHARED
-    if seed == _SHARED._seed:
-        return _SHARED
-    return KeyStore(seed)
+    store = _SHARED.get(seed)
+    if store is None:
+        store = _SHARED[seed] = KeyStore(seed)
+    return store

@@ -74,6 +74,24 @@ class RsaKeyPair:
     def q_inv(self) -> int:
         return pow(self.q, -1, self.p)
 
+    @classmethod
+    def with_cached_crt(
+        cls, *, n: int, e: int, d: int, p: int, q: int,
+        dp: int, dq: int, q_inv: int,
+    ) -> "RsaKeyPair":
+        """Rebuild a key pair with its CRT constants pre-installed.
+
+        Deserialisers (the key vault) carry ``dp``/``dq``/``q_inv``
+        alongside the key so a loaded key signs at full speed without
+        recomputing the modular inverse.  ``cached_property`` reads the
+        instance ``__dict__`` first, which is also how it writes its
+        own cache — seeding it here bypasses the frozen-dataclass
+        ``__setattr__`` exactly the way the property itself does.
+        """
+        pair = cls(n=n, e=e, d=d, p=p, q=q)
+        pair.__dict__.update(dp=dp, dq=dq, q_inv=q_inv)
+        return pair
+
 
 def generate_rsa_key(bits: int, rng: random.Random) -> RsaKeyPair:
     """Generate an RSA key pair with an exactly ``bits``-bit modulus."""

@@ -7,7 +7,21 @@ measurement sessions (wire or fast mode) and hand back a
 :class:`StudyResult` whose database feeds the analysis layer.
 """
 
-from repro.study.runner import StudyConfig, StudyResult, StudyRunner
+from repro.study.runner import (
+    StudyConfig,
+    StudyResult,
+    StudyRunner,
+    SubShard,
+    plan_subshards,
+)
 from repro.study.webpki import WebPki, build_web_pki
 
-__all__ = ["StudyConfig", "StudyResult", "StudyRunner", "WebPki", "build_web_pki"]
+__all__ = [
+    "StudyConfig",
+    "StudyResult",
+    "StudyRunner",
+    "SubShard",
+    "WebPki",
+    "build_web_pki",
+    "plan_subshards",
+]

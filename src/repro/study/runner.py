@@ -12,13 +12,27 @@ whether bytes actually cross the simulated network:
   certificates are generated without the socket dance.  Reaches the
   paper's 12.3M-measurement scale.
 
-Fast mode is *sharded by country*: the global session multinomial is
-drawn once, then every country plan becomes an independent shard whose
-randomness is seeded by ``stable_hash(seed, plan.code)``.  Shards run
-inline (``workers=1``) or on a :class:`ProcessPoolExecutor`
-(``workers>1``) and are folded back through
-:meth:`ReportDatabase.merge` in fixed plan order, so the resulting
-database is byte-identical for any worker count.
+Fast mode is *sharded by country, work-stolen by sub-shard*: the
+global session multinomial is drawn once, then every country plan
+becomes one or more independent sub-shards.  Countries whose session
+count exceeds ``StudyConfig.subshard_sessions`` split into fixed
+sub-shards (each seeded ``stable_hash(seed, country, sub)``; unsplit
+countries keep the historical ``stable_hash(seed, country)`` stream),
+so the work units a pool schedules are roughly even instead of
+mirroring the paper's heavily skewed country sizes.  Sub-shards run
+inline (``workers=1``) or are submitted largest-first to one shared
+:class:`ProcessPoolExecutor` queue that idle workers pull from —
+work-stealing in effect, so a straggler country no longer serialises
+the run.  Results are folded back through
+:meth:`ReportDatabase.merge` in fixed (plan order, sub index) order,
+so the resulting database is byte-identical for any worker count.
+
+With a key vault attached (``StudyConfig.vault``) the parent warms
+every RSA key a fast run can touch *once* before the pool spins up;
+worker processes then load key material from disk in microseconds
+instead of regenerating their shard's CA keys from scratch — the
+difference between ``workers=N`` being N-times faster and N-times
+slower.
 """
 
 from __future__ import annotations
@@ -67,6 +81,15 @@ class StudyConfig:
     # Process-pool width for fast-mode country shards.  1 = run the
     # shards inline; results are identical either way.
     workers: int = 1
+    # Countries above this session count split into even sub-shards so
+    # the pool's work units are comparable in size.  The split plan
+    # depends only on (counts, this knob), never on worker count.
+    subshard_sessions: int = 25_000
+    # Directory of a persistent key vault (repro.crypto.vault); None
+    # disables disk persistence (the REPRO_KEY_VAULT environment
+    # variable still applies).  A plain string keeps the config
+    # picklable for worker initialisation.
+    vault: str | None = None
 
     def __post_init__(self) -> None:
         if self.study not in (1, 2):
@@ -79,6 +102,8 @@ class StudyConfig:
             raise ValueError("workers must be >= 1")
         if self.workers > 1 and self.mode == "wire":
             raise ValueError("workers > 1 applies to fast mode only")
+        if self.subshard_sessions < 1:
+            raise ValueError("subshard_sessions must be >= 1")
 
 
 @dataclass
@@ -100,7 +125,7 @@ class StudyRunner:
 
     def __init__(self, config: StudyConfig) -> None:
         self.config = config
-        self.keystore = KeyStore(seed=config.seed)
+        self.keystore = KeyStore(seed=config.seed, vault=config.vault)
         self.forger = SubstituteCertForger(self.keystore, seed=config.seed)
         self.sites = (
             site_data.study1_probe_sites()
@@ -121,6 +146,33 @@ class StudyRunner:
         self._site_probs = np.array(
             [self.site_success_probability(site) for site in self.sites]
         )
+        # RSA generations observed inside worker processes (set by
+        # sharded runs; None for inline execution).
+        self._worker_keys_generated: int | None = None
+
+    def warm_keys(self) -> None:
+        """Touch every RSA key a fast run can need.
+
+        The web-PKI keys were already generated (or vault-loaded) when
+        this runner was built; this adds every product's signing-CA
+        keys, including issuer variants and — for issuer-copying
+        profiles — the CAs minted per upstream intermediate.  With a
+        vault attached the material persists, so worker processes and
+        later runs load it instead of re-running Miller–Rabin.
+        """
+        upstream_issuers = {
+            self.pki.leaf_for(site.hostname).issuer.rfc4514(): self.pki.leaf_for(
+                site.hostname
+            ).issuer
+            for site in self.sites
+        }
+        for spec in self._specs:
+            profile = spec.profile
+            if profile.copies_upstream_issuer:
+                for issuer in upstream_issuers.values():
+                    self.forger.authority_for(profile, issuer)
+            else:
+                self.forger.warm(profile)
 
     # -- shared knobs ---------------------------------------------------------
 
@@ -280,13 +332,15 @@ class StudyRunner:
     # -- fast mode -----------------------------------------------------------------
 
     def _run_fast(self, result: StudyResult) -> None:
-        """Country-sharded fast mode (inline or process-pooled).
+        """Sub-sharded fast mode (inline or work-stealing pool).
 
         The session multinomial is drawn once from the global stream;
-        everything after that is per-shard randomness seeded by
-        ``stable_hash(seed, plan.code)``, so shard results do not
-        depend on execution order or worker count.  Shards merge back
-        in fixed plan order.
+        every country plan then splits into a deterministic sub-shard
+        plan (a function of its count and ``subshard_sessions`` only),
+        and each sub-shard runs on its own seeded randomness.  Neither
+        the split nor the seeding depends on worker count or execution
+        order, and outcomes merge back in fixed (plan, sub) order — so
+        the database is byte-identical for any ``workers`` value.
         """
         config = self.config
         population = result.population
@@ -296,57 +350,84 @@ class StudyRunner:
         plans = population.plans
         weights = np.array([plan.measurement_weight for plan in plans])
         session_counts = np_rng.multinomial(n_sessions, weights / weights.sum())
-        shards = [
-            (plan.code, int(count))
+        subshards = [
+            shard
             for plan, count in zip(plans, session_counts)
             if count
+            for shard in plan_subshards(plan.code, int(count), config.subshard_sessions)
         ]
-        if config.workers > 1 and len(shards) > 1:
-            outcomes = self._run_fast_sharded(shards)
+        if config.workers > 1 and len(subshards) > 1:
+            outcomes = self._run_fast_sharded(subshards)
         else:
             outcomes = [
-                self._run_fast_shard(population, code, count)
-                for code, count in shards
+                self._run_fast_shard(population, shard) for shard in subshards
             ]
         for outcome in outcomes:
             result.database.merge(outcome.database)
             result.sessions_run += outcome.sessions_run
         result.notes["fast_workers"] = config.workers
-        result.notes["fast_shards"] = len(shards)
+        result.notes["fast_shards"] = len({shard.code for shard in subshards})
+        result.notes["fast_subshards"] = len(subshards)
+        result.notes["keys_generated"] = self.keystore.keys_generated
+        if self._worker_keys_generated is not None:
+            result.notes["worker_keys_generated"] = self._worker_keys_generated
 
-    def _run_fast_sharded(self, shards: list[tuple[str, int]]) -> list["FastShardOutcome"]:
-        """Fan country shards out over worker processes.
+    def _run_fast_sharded(self, subshards: list["SubShard"]) -> list["FastShardOutcome"]:
+        """Drain the sub-shard queue over worker processes.
+
+        Sub-shards are submitted to one shared executor queue in
+        largest-first (LPT) order, and whichever worker goes idle pulls
+        the next one — work-stealing, so a skewed country no longer
+        pins the whole run to one process.  Results are reassembled in
+        the fixed (plan, sub) order regardless of completion order.
 
         Each worker rebuilds the runner from the (picklable) config —
         every certificate byte is derived from the seed, so the shard
-        databases are identical to inline execution.  Forge-counter
-        deltas fold back into this runner's forger so ``run()`` notes
-        stay meaningful; cache hits are per-process, hence lower than
-        a single shared cache would score.
+        databases are identical to inline execution.  With a vault
+        configured, the parent warms every key first so workers load
+        material from disk instead of regenerating it (their
+        ``keys_generated`` deltas come back in the outcomes, which the
+        warm-vault tests pin to zero).  Forge-counter deltas fold back
+        into this runner's forger so ``run()`` notes stay meaningful;
+        cache hits are per-process, hence lower than a single shared
+        cache would score.
         """
         config = self.config
-        workers = min(config.workers, len(shards))
+        if self.keystore.vault is not None:
+            self.warm_keys()
+        workers = min(config.workers, len(subshards))
+        queue_order = sorted(
+            range(len(subshards)),
+            key=lambda i: (-subshards[i].sessions, i),
+        )
         with ProcessPoolExecutor(
             max_workers=workers,
             initializer=_init_fast_worker,
             initargs=(config,),
         ) as pool:
-            outcomes = list(pool.map(_run_fast_shard_task, shards))
+            futures = {
+                index: pool.submit(_run_fast_shard_task, subshards[index])
+                for index in queue_order
+            }
+            outcomes = [futures[index].result() for index in range(len(subshards))]
         for outcome in outcomes:
             self.forger.certificates_forged += outcome.certificates_forged
             self.forger.cache_hits += outcome.cache_hits
+        self._worker_keys_generated = sum(o.keys_generated for o in outcomes)
         return outcomes
 
     def _run_fast_shard(
-        self, population: ClientPopulation, code: str, n_country: int
+        self, population: ClientPopulation, shard: "SubShard"
     ) -> "FastShardOutcome":
-        """Run one country's sessions into a fresh shard database."""
+        """Run one sub-shard's sessions into a fresh shard database."""
         config = self.config
-        plan = population.plan(code)
+        plan = population.plan(shard.code)
+        n_country = shard.sessions
         database = ReportDatabase(matched_sample_limit=config.matched_sample_limit)
-        np_rng = np.random.default_rng(stable_hash(config.seed, plan.code))
+        np_rng = np.random.default_rng(stable_hash(*shard.seed_parts(config.seed)))
         forged_before = self.forger.certificates_forged
         hits_before = self.forger.cache_hits
+        keys_before = self.keystore.keys_generated
         database.failures.sessions_started += n_country
         n_proxied = int(np_rng.binomial(n_country, plan.proxy_rate))
         n_clean = n_country - n_proxied
@@ -360,11 +441,12 @@ class StudyRunner:
         if n_proxied:
             self._fast_proxied_sessions(database, population, plan, n_proxied, np_rng)
         return FastShardOutcome(
-            code=code,
+            code=shard.code,
             database=database,
             sessions_run=n_country,
             certificates_forged=self.forger.certificates_forged - forged_before,
             cache_hits=self.forger.cache_hits - hits_before,
+            keys_generated=self.keystore.keys_generated - keys_before,
         )
 
     def _fast_proxied_sessions(
@@ -468,15 +550,58 @@ class StudyRunner:
         return summaries
 
 
+@dataclass(frozen=True)
+class SubShard:
+    """One schedulable unit of fast-mode work: a slice of a country.
+
+    ``n_subs == 1`` means the country was not split; its randomness
+    then comes from the historical ``stable_hash(seed, code)`` stream,
+    so small-scale runs are unchanged by the sub-shard machinery.
+    """
+
+    code: str
+    sub: int
+    n_subs: int
+    sessions: int
+
+    def seed_parts(self, seed: int) -> tuple:
+        if self.n_subs == 1:
+            return (seed, self.code)
+        return (seed, self.code, self.sub)
+
+
+def plan_subshards(code: str, count: int, target: int) -> list[SubShard]:
+    """Split one country's ``count`` sessions into near-even sub-shards.
+
+    The plan is a pure function of ``(count, target)`` — it never sees
+    the worker count — so every execution strategy schedules exactly
+    the same units with exactly the same per-unit seeds.
+    """
+    n_subs = max(1, -(-count // target))
+    if n_subs == 1:
+        return [SubShard(code=code, sub=0, n_subs=1, sessions=count)]
+    base, remainder = divmod(count, n_subs)
+    return [
+        SubShard(
+            code=code,
+            sub=sub,
+            n_subs=n_subs,
+            sessions=base + (1 if sub < remainder else 0),
+        )
+        for sub in range(n_subs)
+    ]
+
+
 @dataclass
 class FastShardOutcome:
-    """One country shard's results plus forge-counter deltas."""
+    """One sub-shard's results plus forge/keygen counter deltas."""
 
     code: str
     database: ReportDatabase
     sessions_run: int
     certificates_forged: int
     cache_hits: int
+    keys_generated: int = 0
 
 
 # Per-process worker state for the fast-mode shard pool.  Workers are
@@ -497,8 +622,7 @@ def _init_fast_worker(config: StudyConfig) -> None:
     _FAST_WORKER = runner
 
 
-def _run_fast_shard_task(shard: tuple[str, int]) -> FastShardOutcome:
-    code, n_country = shard
+def _run_fast_shard_task(shard: SubShard) -> FastShardOutcome:
     runner = _FAST_WORKER
     assert runner is not None, "worker initialised without a runner"
-    return runner._run_fast_shard(runner._fast_population, code, n_country)
+    return runner._run_fast_shard(runner._fast_population, shard)

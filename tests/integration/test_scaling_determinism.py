@@ -12,7 +12,7 @@ from repro.audit import audit_catalog
 from repro.crypto.keystore import KeyStore
 from repro.data import products as product_data
 from repro.proxy.forger import SubstituteCertForger
-from repro.study import StudyConfig, StudyRunner
+from repro.study import StudyConfig, StudyRunner, plan_subshards
 from repro.study.webpki import build_web_pki
 from repro.data import sites as site_data
 
@@ -133,6 +133,124 @@ def _bucket_of(result, record):
     plan = result.population.plan(record.country)
     index = ip_to_int(record.client_ip) - plan.block_start
     return index % product_data.NUM_CLIENT_BUCKETS
+
+
+class TestWorkStealingSubShards:
+    """Skew-splitting must be invisible to the database contents."""
+
+    def test_split_plan_is_even_and_exact(self):
+        shards = plan_subshards("BR", 100_001, 25_000)
+        assert [s.sessions for s in shards] == [20_001, 20_000, 20_000, 20_000, 20_000]
+        assert sum(s.sessions for s in shards) == 100_001
+        assert [s.sub for s in shards] == list(range(5))
+        assert all(s.n_subs == 5 for s in shards)
+
+    def test_small_countries_keep_historical_seed_stream(self):
+        (shard,) = plan_subshards("LU", 123, 25_000)
+        assert shard.seed_parts(SEED) == (SEED, "LU")
+        split = plan_subshards("BR", 50_001, 25_000)
+        assert split[1].seed_parts(SEED) == (SEED, "BR", 1)
+
+    def test_plan_ignores_worker_count(self):
+        # The plan is a pure function of (count, target): recomputing
+        # it can never disagree with what another process computed.
+        assert plan_subshards("US", 77_777, 10_000) == plan_subshards(
+            "US", 77_777, 10_000
+        )
+
+    def test_subsharded_runs_identical_across_workers(self, warm_vault):
+        """Force splits at tiny scale: workers ∈ {1, 4} over a
+        work-stealing queue must still merge to the same database."""
+        results = {
+            workers: StudyRunner(
+                StudyConfig(
+                    study=1,
+                    seed=SEED,
+                    scale=SCALE,
+                    mode="fast",
+                    workers=workers,
+                    subshard_sessions=50,
+                    vault=warm_vault,
+                )
+            ).run()
+            for workers in (1, 4)
+        }
+        assert results[1].notes["fast_subshards"] > results[1].notes["fast_shards"]
+        assert (
+            results[1].database.aggregate_signature()
+            == results[4].database.aggregate_signature()
+        )
+        assert results[1].sessions_run == results[4].sessions_run
+
+
+@pytest.fixture(scope="module")
+def warm_vault(tmp_path_factory):
+    """A vault warmed by one cold sharded run (parent generates once)."""
+    path = str(tmp_path_factory.mktemp("key-vault"))
+    StudyRunner(
+        StudyConfig(study=1, seed=SEED, scale=SCALE, mode="fast", workers=2, vault=path)
+    ).run()
+    return path
+
+
+class TestVaultDeterminism:
+    """Acceptance: warm vault → zero per-worker keygen, same bytes."""
+
+    @pytest.fixture(scope="class")
+    def vault_runs(self, warm_vault):
+        return {
+            workers: StudyRunner(
+                StudyConfig(
+                    study=1,
+                    seed=SEED,
+                    scale=SCALE,
+                    mode="fast",
+                    workers=workers,
+                    vault=warm_vault,
+                )
+            ).run()
+            for workers in (1, 2, 4)
+        }
+
+    def test_signature_identical_across_workers_and_vault_on_off(
+        self, vault_runs, run_w1
+    ):
+        signatures = {
+            run.database.aggregate_signature() for run in vault_runs.values()
+        }
+        signatures.add(run_w1.database.aggregate_signature())  # vault off
+        assert len(signatures) == 1
+
+    def test_warm_vault_generates_zero_keys(self, vault_runs):
+        inline = vault_runs[1]
+        assert inline.notes["keys_generated"] == 0
+        for workers in (2, 4):
+            sharded = vault_runs[workers]
+            # Parent loaded everything from disk...
+            assert sharded.notes["keys_generated"] == 0
+            # ...and so did every worker process.
+            assert sharded.notes["worker_keys_generated"] == 0
+
+    def test_vaultless_run_does_generate(self, run_w1):
+        assert run_w1.notes["keys_generated"] > 0
+
+    def test_audit_vault_matches_vaultless(self, warm_vault, serial_audit):
+        vaulted = audit_catalog(
+            seed=SEED,
+            products=AUDIT_SUBSET,
+            workers=2,
+            executor="process",
+            pki_key_bits=512,
+            vault=warm_vault,
+        )
+        assert vaulted.scorecards == serial_audit.scorecards
+
+
+@pytest.fixture(scope="module")
+def serial_audit():
+    return audit_catalog(
+        seed=SEED, products=AUDIT_SUBSET, workers=1, pki_key_bits=512
+    )
 
 
 class TestAuditExecutorDeterminism:

@@ -1,0 +1,78 @@
+"""Concurrent-writer safety of the persistent key vault.
+
+Two worker processes warming the same vault directory race on every
+slot: both may generate, both may write, and their atomic renames may
+interleave in any order.  Because a slot's bytes are a pure function
+of (seed, label, bits), every interleaving must converge on the same
+on-disk material — the property that lets a shard pool share one vault
+without any locking.
+"""
+
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+
+from repro.crypto.keystore import KeyStore
+from repro.crypto.vault import KeyVault
+
+SEED = 2024
+LABELS = [f"race-{i}" for i in range(6)]
+BITS = 512
+
+
+def _warm_vault(path: str) -> list[tuple[int, int, int]]:
+    store = KeyStore(seed=SEED, vault=path)
+    return [
+        (pair.n, pair.d, pair.q_inv)
+        for pair in (store.key(label, BITS) for label in LABELS)
+    ]
+
+
+class TestConcurrentWriters:
+    def test_two_processes_warming_the_same_vault(self, tmp_path):
+        vault_dir = str(tmp_path / "shared-vault")
+        with ProcessPoolExecutor(max_workers=2) as pool:
+            first, second = pool.map(_warm_vault, [vault_dir, vault_dir])
+        # Both racers saw identical key material...
+        assert first == second
+        vault = KeyVault(vault_dir)
+        # ...exactly one complete entry per slot survived the race...
+        assert len(vault) == len(LABELS)
+        assert not list(vault.path.glob("**/*.tmp"))
+        # ...and a later reader loads every key without regenerating.
+        reader = KeyStore(seed=SEED, vault=vault_dir)
+        loaded = [
+            (pair.n, pair.d, pair.q_inv)
+            for pair in (reader.key(label, BITS) for label in LABELS)
+        ]
+        assert loaded == first
+        assert reader.keys_generated == 0
+        assert reader.vault_hits == len(LABELS)
+
+    def test_two_threads_storing_the_same_slot(self, tmp_path):
+        """Same-process writers must not collide on the temp file:
+        the unique name is per (pid, thread), not just per pid."""
+        vault = KeyVault(tmp_path / "thread-vault")
+        pair = KeyStore(seed=SEED).key("thread-race", BITS)
+
+        def racer(_):
+            for _ in range(20):
+                vault.store(SEED, "thread-race", BITS, pair)
+            return True
+
+        with ThreadPoolExecutor(max_workers=2) as pool:
+            assert all(pool.map(racer, range(2)))
+        loaded = vault.load(SEED, "thread-race", BITS)
+        assert loaded is not None and loaded.n == pair.n
+        assert not list(vault.path.glob("**/*.tmp"))
+
+    def test_interleaved_store_load_cycle(self, tmp_path):
+        """A reader polling mid-warm sees either a miss or a full key,
+        never a partial entry."""
+        vault = KeyVault(tmp_path / "poll-vault")
+        store = KeyStore(seed=SEED, vault=vault)
+        for label in LABELS:
+            before = vault.load(SEED, label, BITS)
+            assert before is None
+            pair = store.key(label, BITS)
+            after = vault.load(SEED, label, BITS)
+            assert after is not None
+            assert (after.n, after.d) == (pair.n, pair.d)

@@ -160,15 +160,20 @@ class TestEngineEdgeCases:
 
 
 class TestSharedKeystore:
-    def test_first_caller_fixes_seed(self):
+    def test_memoised_per_seed(self):
+        """Every seed gets exactly one process-wide store — mismatched
+        -seed callers amortise keygen too, instead of the old
+        first-caller-wins behaviour handing them throwaway stores."""
         import repro.crypto.keystore as keystore_module
 
-        keystore_module._SHARED = None
+        keystore_module._SHARED.clear()
         first = shared_keystore(seed=5)
         assert shared_keystore(seed=5) is first
         other = shared_keystore(seed=6)
         assert other is not first
-        keystore_module._SHARED = None
+        assert shared_keystore(seed=6) is other
+        assert shared_keystore(seed=5) is first
+        keystore_module._SHARED.clear()
 
 
 class TestKeywords:
