@@ -28,7 +28,9 @@ def test_appliance_audit(benchmark, output_dir):
         "seed": BENCH_SEED,
         "products_audited": products,
         "adversarial_scenarios": len(ADVERSARIAL_SCENARIOS),
-        "probes_run": products * (len(ADVERSARIAL_SCENARIOS) + 1) * 2,
+        # Two probes per scenario (warm-up + attack) plus the control,
+        # and one client-leg mimicry probe per product.
+        "probes_run": products * ((len(ADVERSARIAL_SCENARIOS) + 1) * 2 + 1),
         "battery_wall_time_s": round(wall_time, 3),
         "products_per_second": round(products / wall_time, 3),
         "grades": report.grade_histogram(),

@@ -19,6 +19,7 @@ from repro.analysis.negligence import NegligenceReport, analyze_negligence
 from repro.analysis.tables import (
     audit_grade_table,
     classification_table,
+    client_leg_table,
     country_breakdown,
     heatmap_series,
     host_type_table,
@@ -33,6 +34,7 @@ __all__ = [
     "OddityReport",
     "analyze_negligence",
     "classification_table",
+    "client_leg_table",
     "country_breakdown",
     "heatmap_series",
     "host_type_table",

@@ -10,6 +10,7 @@ from repro.analysis.classifier import IssuerClassifier
 from repro.audit.scorecard import ProductScorecard
 from repro.measure.database import ReportDatabase
 from repro.proxy.profile import ProxyCategory
+from repro.tls.codec import version_name
 
 # Fixed row order of Tables 5 and 6.
 CATEGORY_ORDER: tuple[ProxyCategory, ...] = (
@@ -180,6 +181,8 @@ class AuditGradeRow:
     masked: int
     errors: int
     functional: bool
+    client_score: float = 0.0
+    client_max_score: float = 0.0
 
 
 def audit_grade_table(scorecards: Sequence[ProductScorecard]) -> list[AuditGradeRow]:
@@ -199,9 +202,77 @@ def audit_grade_table(scorecards: Sequence[ProductScorecard]) -> list[AuditGrade
             masked=card.masked,
             errors=card.errors,
             functional=card.functional,
+            client_score=card.client_score,
+            client_max_score=card.client_max_score,
         )
         for rank, card in enumerate(ordered)
     ]
+
+
+@dataclass(frozen=True)
+class ClientLegRow:
+    """One row of the per-product client-leg divergence table."""
+
+    product_key: str
+    browser: str
+    mimicry: str  # "match" or the diverging fingerprint dimensions
+    observed_ja3: str
+    key_bits: str
+    hash_name: str
+    version_echo: str
+    points: float
+    max_points: float
+
+
+def client_leg_table(scorecards: Sequence[ProductScorecard]) -> list[ClientLegRow]:
+    """The per-product client-leg divergence table, catalog order."""
+    rows: list[ClientLegRow] = []
+    for card in scorecards:
+        observation = card.client_leg
+        if observation is None:
+            continue
+        if observation.error:
+            rows.append(
+                ClientLegRow(
+                    product_key=card.product_key,
+                    browser=observation.browser,
+                    mimicry="error",
+                    observed_ja3="-",
+                    key_bits="-",
+                    hash_name="-",
+                    version_echo="-",
+                    points=card.client_score,
+                    max_points=card.client_max_score,
+                )
+            )
+            continue
+        if observation.divergent_fields:
+            mimicry = "diverges: " + ", ".join(observation.divergent_fields)
+        else:
+            mimicry = "match"
+        echoed = observation.echoed_version
+        offered = observation.offered_version
+        version_echo = (
+            "echoed"
+            if echoed == offered
+            else "downgraded "
+            f"{version_name(offered)} -> "
+            f"{version_name(echoed) if echoed else 'nothing'}"
+        )
+        rows.append(
+            ClientLegRow(
+                product_key=card.product_key,
+                browser=observation.browser,
+                mimicry=mimicry,
+                observed_ja3=observation.observed_ja3 or "-",
+                key_bits=str(observation.substitute_key_bits or "-"),
+                hash_name=observation.substitute_hash or "unknown",
+                version_echo=version_echo,
+                points=card.client_score,
+                max_points=card.client_max_score,
+            )
+        )
+    return rows
 
 
 def heatmap_series(database: ReportDatabase) -> dict[str, float]:

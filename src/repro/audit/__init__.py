@@ -34,13 +34,20 @@ from repro.audit.scenarios import (
 from repro.audit.scorecard import (
     AuditReport,
     CheckResult,
+    ClientLegObservation,
+    MIMICRY_KEY,
     OUTCOME_BLOCK,
+    OUTCOME_DIVERGENT,
+    OUTCOME_DOWNGRADED,
     OUTCOME_ERROR,
     OUTCOME_INTERCEPT,
     OUTCOME_MASK,
+    OUTCOME_OK,
     OUTCOME_PASS,
+    OUTCOME_WEAK,
     ProductScorecard,
     ScenarioObservation,
+    build_client_checks,
     build_scorecard,
     letter_grade,
 )
@@ -53,16 +60,23 @@ __all__ = [
     "AuditReport",
     "AuditScenario",
     "CheckResult",
+    "ClientLegObservation",
+    "MIMICRY_KEY",
     "OUTCOME_BLOCK",
+    "OUTCOME_DIVERGENT",
+    "OUTCOME_DOWNGRADED",
     "OUTCOME_ERROR",
     "OUTCOME_INTERCEPT",
     "OUTCOME_MASK",
+    "OUTCOME_OK",
     "OUTCOME_PASS",
+    "OUTCOME_WEAK",
     "OriginSetup",
     "ProductScorecard",
     "SCENARIOS",
     "ScenarioObservation",
     "audit_catalog",
+    "build_client_checks",
     "build_scorecard",
     "letter_grade",
     "scenario_by_key",

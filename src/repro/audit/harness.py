@@ -30,6 +30,7 @@ from repro.audit.scenarios import (
 )
 from repro.audit.scorecard import (
     AuditReport,
+    ClientLegObservation,
     OUTCOME_BLOCK,
     OUTCOME_ERROR,
     OUTCOME_INTERCEPT,
@@ -39,14 +40,21 @@ from repro.audit.scorecard import (
     ScenarioObservation,
     build_scorecard,
 )
+from repro.crypto.hashes import hash_by_signature_oid
 from repro.crypto.keystore import KeyStore
 from repro.crypto.vault import open_vault
 from repro.data.products import catalog, catalog_by_key
-from repro.netsim.network import Network
+from repro.netsim.network import Host, Network
 from repro.tls import codec
 from repro.proxy.engine import TlsProxyEngine
 from repro.proxy.forger import SubstituteCertForger
 from repro.proxy.profile import ProxyProfile
+from repro.tls.fingerprint import (
+    DEFAULT_BROWSER,
+    browser_profile,
+    fingerprint_client_hello,
+    fingerprint_divergence,
+)
 from repro.tls.probe import ProbeClient, ProbeResult
 from repro.tls.server import TlsCertServer
 from repro.util import stable_hash
@@ -61,8 +69,10 @@ class AuditHarness:
         keystore: KeyStore | None = None,
         pki_key_bits: int = 1024,
         vault: str | None = None,
+        browser: str = DEFAULT_BROWSER,
     ) -> None:
         self.seed = seed
+        self.browser = browser_profile(browser)
         self.keystore = keystore or KeyStore(seed=seed, vault=vault)
         self.pki = AuditPki(self.keystore, seed=seed, key_bits=pki_key_bits)
         self.forger = SubstituteCertForger(self.keystore, seed=seed)
@@ -85,16 +95,88 @@ class AuditHarness:
         self.forger.warm(profile)
 
     def audit_product(self, profile: ProxyProfile) -> ProductScorecard:
-        """Run ``profile`` through the full battery and grade it."""
+        """Run ``profile`` through the full battery and grade it.
+
+        The grade covers both legs: the adversarial upstream scenarios
+        plus the client-leg mimicry/substitute checks.
+        """
         observations = [
             self.run_scenario(profile, scenario) for scenario in SCENARIOS
         ]
-        return build_scorecard(profile.key, profile.category.value, observations)
+        return build_scorecard(
+            profile.key,
+            profile.category.value,
+            observations,
+            client_leg=self.run_mimicry(profile),
+        )
 
-    def run_scenario(
-        self, profile: ProxyProfile, scenario: AuditScenario
-    ) -> ScenarioObservation:
-        setup = self._setups[scenario.key]
+    def run_mimicry(self, profile: ProxyProfile) -> ClientLegObservation:
+        """Probe ``profile`` with a browser hello against a genuine origin.
+
+        Compares the fingerprint of the upstream ClientHello the proxy
+        actually sent with the probing browser's, and inspects the
+        substitute handshake served back (key size, signature hash,
+        echoed version) — the de Carné de Carnavalet & van Oorschot /
+        Waked et al. client-leg methodology.
+        """
+        network, origin, victim, engine = self._make_rig(profile, "mimicry")
+        probe = ProbeClient(
+            victim, rng=self._probe_rng(profile, "mimicry"), browser=self.browser
+        )
+        result = probe.probe(AUDIT_HOSTNAME, 443)
+        expected = self.browser.fingerprint()
+        upstream_hello = engine.last_upstream_hello
+        if not result.ok or upstream_hello is None:
+            return ClientLegObservation(
+                browser=self.browser.key,
+                expected_ja3=expected.digest(),
+                observed_ja3=None,
+                divergent_fields=(),
+                substitute_key_bits=None,
+                substitute_hash=None,
+                offered_version=self.browser.version,
+                echoed_version=None,
+                error=result.error or "no upstream hello observed",
+            )
+        observed = fingerprint_client_hello(upstream_hello)
+        leaf = result.leaf
+        if leaf is None or result.server_hello is None:
+            return ClientLegObservation(
+                browser=self.browser.key,
+                expected_ja3=expected.digest(),
+                observed_ja3=observed.digest(),
+                divergent_fields=fingerprint_divergence(expected, observed),
+                substitute_key_bits=None,
+                substitute_hash=None,
+                offered_version=self.browser.version,
+                echoed_version=None,
+                error="substitute flight missing ServerHello or Certificate",
+            )
+        try:
+            substitute_hash = hash_by_signature_oid(leaf.signature_oid).name
+        except KeyError:
+            substitute_hash = None
+        return ClientLegObservation(
+            browser=self.browser.key,
+            expected_ja3=expected.digest(),
+            observed_ja3=observed.digest(),
+            divergent_fields=fingerprint_divergence(expected, observed),
+            substitute_key_bits=leaf.public_key_bits,
+            substitute_hash=substitute_hash,
+            offered_version=self.browser.version,
+            echoed_version=result.server_hello.version,
+        )
+
+    def _make_rig(
+        self,
+        profile: ProxyProfile,
+        scenario_key: str,
+        revoked_serials: frozenset[int] = frozenset(),
+    ) -> tuple[Network, Host, Host, TlsProxyEngine]:
+        """One test-rig world: origin serving the healthy baseline,
+        victim behind ``profile``'s engine, gateway for the upstream
+        leg.  Both battery legs build their topology here so they can
+        never drift apart."""
         network = Network()
         origin = network.add_host(AUDIT_HOSTNAME, ip="203.0.113.77")
         victim = network.add_host("victim.audit.example")
@@ -104,15 +186,27 @@ class AuditHarness:
             self.forger,
             upstream_host=gateway,
             upstream_trust=self.pki.proxy_store(),
-            revoked_serials=setup.revoked_serials,
-            rng=random.Random(stable_hash(self.seed, profile.key, scenario.key)),
+            revoked_serials=revoked_serials,
+            rng=random.Random(stable_hash(self.seed, profile.key, scenario_key)),
         )
         victim.add_interceptor(engine)
-        probe_rng = random.Random(
-            stable_hash(self.seed, "probe", profile.key, scenario.key)
-        )
-        # Warm-up: the origin is healthy; validation caches fill here.
         origin.listen(443, TlsCertServer(list(self._baseline.chain)).factory)
+        return network, origin, victim, engine
+
+    def _probe_rng(self, profile: ProxyProfile, scenario_key: str) -> random.Random:
+        return random.Random(
+            stable_hash(self.seed, "probe", profile.key, scenario_key)
+        )
+
+    def run_scenario(
+        self, profile: ProxyProfile, scenario: AuditScenario
+    ) -> ScenarioObservation:
+        setup = self._setups[scenario.key]
+        network, origin, victim, engine = self._make_rig(
+            profile, scenario.key, revoked_serials=setup.revoked_serials
+        )
+        probe_rng = self._probe_rng(profile, scenario.key)
+        # Warm-up: the origin is healthy; validation caches fill here.
         ProbeClient(victim, rng=probe_rng).probe(AUDIT_HOSTNAME, 443)
         # The attack begins: swap in the scenario's origin.
         origin.stop_listening(443)
@@ -170,6 +264,7 @@ def audit_catalog(
     pki_key_bits: int = 1024,
     executor: str = "thread",
     vault: str | None = None,
+    browser: str = DEFAULT_BROWSER,
 ) -> AuditReport:
     """Grade every catalog product (or the named subset) under ``seed``.
 
@@ -191,6 +286,9 @@ def audit_catalog(
     each worker's harness rebuild loads its RSA material from disk in
     microseconds instead of regenerating it, which is what lets the
     battery's wall time actually shrink with worker count.
+
+    ``browser`` picks the 2014-era profile the client-leg mimicry
+    probe impersonates (:data:`repro.tls.fingerprint.BROWSER_PROFILES`).
     """
     if executor not in ("thread", "process"):
         raise ValueError("executor must be 'thread' or 'process'")
@@ -214,13 +312,15 @@ def audit_catalog(
         with ProcessPoolExecutor(
             max_workers=workers,
             initializer=_init_audit_worker,
-            initargs=(seed, pki_key_bits, vault),
+            initargs=(seed, pki_key_bits, vault, browser),
         ) as pool:
             scorecards = list(
                 pool.map(_audit_product_task, [spec.key for spec in specs])
             )
         return AuditReport(seed=seed, scorecards=tuple(scorecards))
-    harness = AuditHarness(seed=seed, pki_key_bits=pki_key_bits, vault=vault)
+    harness = AuditHarness(
+        seed=seed, pki_key_bits=pki_key_bits, vault=vault, browser=browser
+    )
     profiles = [spec.profile for spec in specs]
     if workers > 1:
         # Threads share the harness: warm every signing CA (all issuer
@@ -246,9 +346,16 @@ def audit_catalog(
 _AUDIT_WORKER: AuditHarness | None = None
 
 
-def _init_audit_worker(seed: int, pki_key_bits: int, vault: str | None = None) -> None:
+def _init_audit_worker(
+    seed: int,
+    pki_key_bits: int,
+    vault: str | None = None,
+    browser: str = DEFAULT_BROWSER,
+) -> None:
     global _AUDIT_WORKER
-    _AUDIT_WORKER = AuditHarness(seed=seed, pki_key_bits=pki_key_bits, vault=vault)
+    _AUDIT_WORKER = AuditHarness(
+        seed=seed, pki_key_bits=pki_key_bits, vault=vault, browser=browser
+    )
 
 
 def _audit_product_task(product_key: str) -> ProductScorecard:

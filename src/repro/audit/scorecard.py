@@ -22,6 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.audit.scenarios import ADVERSARIAL_SCENARIOS, SCENARIOS, scenario_by_key
+from repro.tls.codec import version_name
 
 OUTCOME_BLOCK = "BLOCK"
 OUTCOME_MASK = "MASK"
@@ -29,12 +30,24 @@ OUTCOME_PASS = "PASS"
 OUTCOME_INTERCEPT = "INTERCEPT"
 OUTCOME_ERROR = "ERROR"
 
+# Client-leg check outcomes (mimicry + substitute handshake).
+OUTCOME_OK = "OK"
+OUTCOME_DIVERGENT = "DIVERGENT"
+OUTCOME_WEAK = "WEAK"
+OUTCOME_DOWNGRADED = "DOWNGRADED"
+
 _POINTS = {
     OUTCOME_BLOCK: 1.0,
     OUTCOME_PASS: 0.5,
     OUTCOME_MASK: 0.0,
     OUTCOME_ERROR: 0.0,
 }
+
+# Client-leg check keys; "mimicry" is the headline scenario.
+MIMICRY_KEY = "mimicry"
+SUBSTITUTE_KEY_KEY = "substitute-key"
+SUBSTITUTE_HASH_KEY = "substitute-hash"
+VERSION_ECHO_KEY = "version-echo"
 
 # Letter-grade floors over the score fraction, best first.
 GRADE_FLOORS: tuple[tuple[float, str], ...] = (
@@ -75,6 +88,145 @@ class CheckResult:
 
 
 @dataclass(frozen=True)
+class ClientLegObservation:
+    """What the harness saw on one product's *client-facing* leg.
+
+    Collected by probing the product with a browser-profile
+    ClientHello against a genuine origin: does the upstream hello the
+    proxy emits fingerprint like the browser it fronts, and how does
+    the substitute handshake it serves back compare with what the
+    browser offered?
+    """
+
+    browser: str  # registry key of the probing browser profile
+    expected_ja3: str  # the browser hello's fingerprint digest
+    observed_ja3: str | None  # the proxy's upstream hello digest
+    divergent_fields: tuple[str, ...]  # fingerprint dimensions that differ
+    substitute_key_bits: int | None  # public key size of the served leaf
+    substitute_hash: str | None  # signature hash of the served leaf
+    offered_version: tuple[int, int]  # what the browser hello offered
+    echoed_version: tuple[int, int] | None  # what the substitute leg served
+    error: str = ""  # non-empty when the probe could not complete
+
+
+def build_client_checks(
+    observation: ClientLegObservation,
+) -> tuple[CheckResult, ...]:
+    """Grade a client-leg observation into scorecard checks.
+
+    * ``mimicry`` — full marks only when the upstream hello's
+      fingerprint matches the probing browser's on every dimension.
+    * ``substitute-key`` — 2048-bit substitutes pass, 1024-bit earn
+      half (the paper's 61% downgrade finding), anything below fails.
+    * ``substitute-hash`` — SHA-2 passes, SHA-1 earns half in the 2014
+      frame, MD5 (IopFail's choice) fails.
+    * ``version-echo`` — the substitute leg must serve the version the
+      client offered; serving lower is a client-visible downgrade.
+    """
+    if observation.error:
+        evidence = f"client-leg probe failed: {observation.error}"
+        return tuple(
+            CheckResult(key, title, defect, OUTCOME_ERROR, 0.0, 1.0, evidence)
+            for key, title, defect in (
+                (MIMICRY_KEY, "ClientHello mimicry", "fingerprint-divergence"),
+                (SUBSTITUTE_KEY_KEY, "Substitute key strength", "weak-key"),
+                (SUBSTITUTE_HASH_KEY, "Substitute signature hash", "deprecated-hash"),
+                (VERSION_ECHO_KEY, "Version echo", "protocol-downgrade"),
+            )
+        )
+    checks = []
+    if not observation.divergent_fields:
+        checks.append(
+            CheckResult(
+                MIMICRY_KEY,
+                "ClientHello mimicry",
+                "fingerprint-divergence",
+                OUTCOME_OK,
+                1.0,
+                1.0,
+                f"upstream hello fingerprints as the {observation.browser} "
+                f"profile ({observation.expected_ja3})",
+            )
+        )
+    else:
+        checks.append(
+            CheckResult(
+                MIMICRY_KEY,
+                "ClientHello mimicry",
+                "fingerprint-divergence",
+                OUTCOME_DIVERGENT,
+                0.0,
+                1.0,
+                "upstream hello diverges from the "
+                f"{observation.browser} profile on "
+                f"{', '.join(observation.divergent_fields)} "
+                f"({observation.expected_ja3} != {observation.observed_ja3})",
+            )
+        )
+    bits = observation.substitute_key_bits or 0
+    key_points = 1.0 if bits >= 2048 else 0.5 if bits >= 1024 else 0.0
+    checks.append(
+        CheckResult(
+            SUBSTITUTE_KEY_KEY,
+            "Substitute key strength",
+            "weak-key",
+            OUTCOME_OK if key_points == 1.0 else OUTCOME_WEAK,
+            key_points,
+            1.0,
+            f"substitute leaf carries a {bits}-bit key",
+        )
+    )
+    hash_name = observation.substitute_hash or "unknown"
+    hash_points = (
+        1.0
+        if hash_name in ("sha256", "sha384", "sha512")
+        else 0.5
+        if hash_name == "sha1"
+        else 0.0
+    )
+    checks.append(
+        CheckResult(
+            SUBSTITUTE_HASH_KEY,
+            "Substitute signature hash",
+            "deprecated-hash",
+            OUTCOME_OK if hash_points == 1.0 else OUTCOME_WEAK,
+            hash_points,
+            1.0,
+            f"substitute leaf signed with {hash_name}",
+        )
+    )
+    echoed = observation.echoed_version
+    if echoed == observation.offered_version:
+        checks.append(
+            CheckResult(
+                VERSION_ECHO_KEY,
+                "Version echo",
+                "protocol-downgrade",
+                OUTCOME_OK,
+                1.0,
+                1.0,
+                "substitute leg echoes the offered version "
+                f"{version_name(echoed)}",
+            )
+        )
+    else:
+        checks.append(
+            CheckResult(
+                VERSION_ECHO_KEY,
+                "Version echo",
+                "protocol-downgrade",
+                OUTCOME_DOWNGRADED,
+                0.0,
+                1.0,
+                f"client offered {version_name(observation.offered_version)}, "
+                "substitute leg served "
+                f"{version_name(echoed) if echoed else 'nothing'}",
+            )
+        )
+    return tuple(checks)
+
+
+@dataclass(frozen=True)
 class ProductScorecard:
     """A product's full battery result."""
 
@@ -82,14 +234,30 @@ class ProductScorecard:
     category: str
     functional: bool  # intercepted the genuine-origin control
     checks: tuple[CheckResult, ...]
+    # Client-leg grading (mimicry + substitute handshake); empty when
+    # the battery ran upstream-only.
+    client_checks: tuple[CheckResult, ...] = ()
+    client_leg: ClientLegObservation | None = None
+
+    @property
+    def all_checks(self) -> tuple[CheckResult, ...]:
+        return self.checks + self.client_checks
 
     @property
     def score(self) -> float:
-        return sum(check.points for check in self.checks)
+        return sum(check.points for check in self.all_checks)
 
     @property
     def max_score(self) -> float:
-        return sum(check.max_points for check in self.checks)
+        return sum(check.max_points for check in self.all_checks)
+
+    @property
+    def client_score(self) -> float:
+        return sum(check.points for check in self.client_checks)
+
+    @property
+    def client_max_score(self) -> float:
+        return sum(check.max_points for check in self.client_checks)
 
     @property
     def fraction(self) -> float:
@@ -119,33 +287,66 @@ class ProductScorecard:
         return self.outcome_count(OUTCOME_ERROR)
 
     def to_dict(self) -> dict:
-        return {
+        data = {
             "product": self.product_key,
             "category": self.category,
             "grade": self.grade,
             "score": self.score,
             "max_score": self.max_score,
             "functional": self.functional,
-            "checks": [
-                {
-                    "scenario": check.scenario,
-                    "defect": check.defect,
-                    "outcome": check.outcome,
-                    "points": check.points,
-                    "max_points": check.max_points,
-                    "evidence": check.evidence,
-                }
-                for check in self.checks
-            ],
+            "checks": [_check_dict(check) for check in self.checks],
         }
+        if self.client_checks:
+            observation = self.client_leg
+            data["client_leg"] = {
+                "browser": observation.browser if observation else None,
+                "expected_ja3": observation.expected_ja3 if observation else None,
+                "observed_ja3": observation.observed_ja3 if observation else None,
+                "divergent_fields": (
+                    list(observation.divergent_fields) if observation else []
+                ),
+                "substitute_key_bits": (
+                    observation.substitute_key_bits if observation else None
+                ),
+                "substitute_hash": (
+                    observation.substitute_hash if observation else None
+                ),
+                "offered_version": (
+                    list(observation.offered_version) if observation else None
+                ),
+                "echoed_version": (
+                    list(observation.echoed_version)
+                    if observation and observation.echoed_version
+                    else None
+                ),
+                "error": observation.error if observation else "",
+                "checks": [_check_dict(check) for check in self.client_checks],
+            }
+        return data
+
+
+def _check_dict(check: CheckResult) -> dict:
+    return {
+        "scenario": check.scenario,
+        "defect": check.defect,
+        "outcome": check.outcome,
+        "points": check.points,
+        "max_points": check.max_points,
+        "evidence": check.evidence,
+    }
 
 
 def build_scorecard(
     product_key: str,
     category: str,
     observations: list[ScenarioObservation],
+    client_leg: ClientLegObservation | None = None,
 ) -> ProductScorecard:
-    """Grade one product's observations into a scorecard."""
+    """Grade one product's observations into a scorecard.
+
+    ``client_leg`` folds the mimicry/substitute-handshake checks into
+    the same A–F grade; omit it for an upstream-only battery.
+    """
     scenarios = scenario_by_key()
     functional = True
     checks: list[CheckResult] = []
@@ -171,6 +372,10 @@ def build_scorecard(
         category=category,
         functional=functional,
         checks=tuple(checks),
+        client_checks=(
+            build_client_checks(client_leg) if client_leg is not None else ()
+        ),
+        client_leg=client_leg,
     )
 
 
@@ -196,9 +401,15 @@ class AuditReport:
         return len(ADVERSARIAL_SCENARIOS)
 
     def to_dict(self) -> dict:
+        client_keys: list[str] = []
+        for card in self.scorecards:
+            if card.client_checks:
+                client_keys = [check.scenario for check in card.client_checks]
+                break
         return {
             "seed": self.seed,
             "scenarios": [scenario.key for scenario in SCENARIOS],
+            "client_leg_scenarios": client_keys,
             "products": [card.to_dict() for card in self.scorecards],
             "grades": self.grade_histogram(),
         }

@@ -112,6 +112,15 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="KEY",
         help="audit only this catalog product (repeatable)",
     )
+    from repro.tls.fingerprint import BROWSER_PROFILES, DEFAULT_BROWSER
+
+    audit.add_argument(
+        "--browser",
+        choices=sorted(BROWSER_PROFILES),
+        default=DEFAULT_BROWSER,
+        help="2014-era browser profile the client-leg mimicry probe "
+        f"impersonates (default {DEFAULT_BROWSER})",
+    )
     audit.add_argument(
         "--detail",
         action="store_true",
@@ -278,9 +287,13 @@ def _run_whitelist(args) -> int:
 def _run_audit(args) -> int:
     import json
 
-    from repro.analysis.tables import audit_grade_table
+    from repro.analysis.tables import audit_grade_table, client_leg_table
     from repro.audit import ADVERSARIAL_SCENARIOS, audit_catalog
-    from repro.reporting import render_audit_grade_table, render_scorecard
+    from repro.reporting import (
+        render_audit_grade_table,
+        render_client_leg_table,
+        render_scorecard,
+    )
 
     try:
         report = audit_catalog(
@@ -289,16 +302,21 @@ def _run_audit(args) -> int:
             products=args.product or None,
             executor=args.executor,
             vault=args.vault,
+            browser=args.browser,
         )
     except KeyError as exc:
         print(f"error: {exc.args[0]}", file=sys.stderr)
         return 2
     print(
         f"appliance security audit: {len(report.scorecards)} products x "
-        f"{len(ADVERSARIAL_SCENARIOS)} adversarial scenarios (seed {args.seed})"
+        f"{len(ADVERSARIAL_SCENARIOS)} adversarial scenarios "
+        f"+ client-leg checks vs {args.browser} (seed {args.seed})"
     )
     print()
     print(render_audit_grade_table(audit_grade_table(report.scorecards)))
+    print(f"\n== Client leg: ClientHello mimicry vs {args.browser}, "
+          "substitute handshake ==")
+    print(render_client_leg_table(client_leg_table(report.scorecards)))
     histogram = report.grade_histogram()
     print(
         "\ngrades: "

@@ -22,6 +22,13 @@ from repro.proxy.profile import (
     ProxyCategory,
     ProxyProfile,
     SubjectRewrite,
+    UpstreamHelloPolicy,
+)
+from repro.tls.codec import (
+    EXT_EC_POINT_FORMATS,
+    EXT_SERVER_NAME,
+    EXT_SIGNATURE_ALGORITHMS,
+    EXT_SUPPORTED_GROUPS,
 )
 from repro.x509.model import Name
 
@@ -167,6 +174,10 @@ def build_catalog() -> list[ProductSpec]:
                 rejects_deprecated_hashes=True,
                 min_tls_version=(3, 1),
                 checks_revocation=True,
+                # ... and the only consumer AV that replays the
+                # browser's ClientHello upstream instead of speaking
+                # with its own stack (fingerprint-indistinguishable).
+                upstream_hello=UpstreamHelloPolicy.MIMIC,
             ),
             study1_weight=4788,
             study2_weight=20000,
@@ -197,6 +208,7 @@ def build_catalog() -> list[ProductSpec]:
                 min_upstream_key_bits=1024,
                 rejects_deprecated_hashes=True,
                 min_tls_version=(3, 1),
+                upstream_hello=UpstreamHelloPolicy.MIMIC,
             ),
             study1_weight=927,
             study2_weight=4500,
@@ -239,6 +251,15 @@ def build_catalog() -> list[ProductSpec]:
                 "min_upstream_key_bits": 1024,
                 "min_tls_version": (3, 1),
                 "checks_revocation": True,
+                # An appliance stack rich enough to carry ECC
+                # extensions upstream — still its *own* fingerprint,
+                # not the browser's.
+                "own_extension_types": (
+                    EXT_SERVER_NAME,
+                    EXT_SUPPORTED_GROUPS,
+                    EXT_EC_POINT_FORMATS,
+                    EXT_SIGNATURE_ALGORITHMS,
+                ),
             },
         )
     )
@@ -733,6 +754,8 @@ def build_catalog() -> list[ProductSpec]:
                 "min_upstream_key_bits": 1024,
                 "rejects_deprecated_hashes": True,
                 "min_tls_version": (3, 1),
+                # Ahead of its time on the client leg too.
+                "upstream_hello": UpstreamHelloPolicy.MIMIC,
             },
         )
     )
@@ -746,7 +769,12 @@ def build_catalog() -> list[ProductSpec]:
             leaf_bits=1024,
             hash_name="md5",
             category=ProxyCategory.UNKNOWN,
-            posture={"validates_hostname": False},
+            # A legacy stack through and through: the substitute leg
+            # never speaks above TLS 1.0, whatever the client offers.
+            posture={
+                "validates_hostname": False,
+                "substitute_tls_version": (3, 1),
+            },
         )
     )
     # Subject rewrites: wildcarded IP subnets (the 51 mismatching

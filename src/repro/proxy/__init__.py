@@ -26,6 +26,7 @@ from repro.proxy.profile import (
     ProxyCategory,
     ProxyProfile,
     SubjectRewrite,
+    UpstreamHelloPolicy,
 )
 
 __all__ = [
@@ -36,5 +37,6 @@ __all__ = [
     "SubjectRewrite",
     "SubstituteCertForger",
     "TlsProxyEngine",
+    "UpstreamHelloPolicy",
     "UpstreamObservation",
 ]

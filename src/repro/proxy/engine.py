@@ -31,8 +31,10 @@ from repro.proxy.profile import (
     DEPRECATED_HASHES,
     ForgedUpstreamPolicy,
     ProxyProfile,
+    UpstreamHelloPolicy,
 )
 from repro.tls import codec
+from repro.tls.fingerprint import build_own_stack_extensions
 from repro.tls.codec import (
     Alert,
     Certificate as CertificateMessage,
@@ -107,6 +109,10 @@ class TlsProxyEngine(Interceptor):
         self.passed_through_forged_upstream = 0
         self.upstream_failures = 0
         self.validation_cache_hits = 0
+        # The ClientHello this engine most recently sent on its
+        # origin-facing leg — what a fingerprinting origin (or the
+        # audit harness) observes instead of the browser's hello.
+        self.last_upstream_hello: ClientHello | None = None
 
     def noticed_upstream_defects(
         self, observation: UpstreamObservation, hostname: str
@@ -177,6 +183,47 @@ class TlsProxyEngine(Interceptor):
             )
         return tuple(noticed)
 
+    def upstream_client_hello(self, client_hello: ClientHello) -> ClientHello:
+        """The hello this product offers the origin for ``client_hello``.
+
+        MIMIC replays the client's offer (fresh random, no session
+        resumption); OWN_STACK substitutes the product's fixed suite,
+        extension set and version — the fingerprint divergence the
+        mimicry audit measures.
+        """
+        client_random = self._rng.getrandbits(256).to_bytes(32, "big")
+        if self.profile.upstream_hello is UpstreamHelloPolicy.MIMIC:
+            return ClientHello(
+                client_random=client_random,
+                server_name=client_hello.server_name,
+                version=client_hello.version,
+                cipher_suites=client_hello.cipher_suites,
+                compression_methods=client_hello.compression_methods,
+                extensions=client_hello.extensions,
+            )
+        profile = self.profile
+        # ``server_name`` reflects what is actually on the wire: a
+        # stack whose extension set has no SNI slot sends no name
+        # (and must not have one synthesised by ClientHello).
+        server_name = (
+            client_hello.server_name
+            if codec.EXT_SERVER_NAME in profile.own_extension_types
+            else None
+        )
+        return ClientHello(
+            client_random=client_random,
+            server_name=server_name,
+            # The stack's own version, capped by the client's offer —
+            # a proxy cannot sensibly negotiate above what the flow it
+            # fronts asked for, and this keeps the historical
+            # echo-the-client behaviour for pre-1.2 clients.
+            version=min(client_hello.version, profile.own_tls_version),
+            cipher_suites=profile.own_cipher_suites,
+            extensions=build_own_stack_extensions(
+                profile.own_extension_types, server_name
+            ),
+        )
+
     @staticmethod
     def _hash_deprecated(leaf: Certificate) -> bool:
         try:
@@ -210,6 +257,13 @@ class _MitmConnection(Protocol):
         self.hostname = hostname
         self.port = port
         self._buffer = b""
+        # Raw bytes already consumed from ``_buffer`` as complete
+        # records, kept only until the relay decision: a whitelisted
+        # connection replays them verbatim upstream.
+        self._consumed = b""
+        # Handshake-message reassembly across record boundaries
+        # (RFC 5246 §6.2.1): one message may span several records.
+        self._handshake = b""
         self._relay: StreamSocket | None = None  # pass-through upstream leg
         self._done = False
 
@@ -225,20 +279,38 @@ class _MitmConnection(Protocol):
         except TlsError:
             self._fatal(sock, codec.ALERT_HANDSHAKE_FAILURE)
             return
+        # Trim the buffer to the unparsed tail: without this every
+        # chunk re-decodes (and re-processes) all prior records —
+        # quadratic on split delivery.  The consumed bytes only matter
+        # until the relay decision (a whitelisted connection replays
+        # them verbatim); afterwards they would grow without bound.
+        if not self._done:
+            self._consumed += self._buffer[: len(self._buffer) - len(rest)]
+        self._buffer = rest
         for record in records:
             if record.content_type != codec.CONTENT_HANDSHAKE:
                 continue
-            try:
-                messages, _ = codec.decode_handshakes(record.payload)
-            except TlsError:
-                self._fatal(sock, codec.ALERT_HANDSHAKE_FAILURE)
-                return
+            # Reassemble the handshake stream: a message may span
+            # record boundaries, so an isolated per-record parse would
+            # drop (or fatal on) a fragmented ClientHello.
+            self._handshake += record.payload
+            messages, self._handshake = codec.decode_handshakes(self._handshake)
             for message in messages:
                 if message.msg_type == codec.HS_CLIENT_HELLO and not self._done:
-                    hello = ClientHello.from_body(message.body)
+                    try:
+                        hello = ClientHello.from_body(message.body)
+                    except TlsError:
+                        self._fatal(sock, codec.ALERT_HANDSHAKE_FAILURE)
+                        return
                     self._handle_client_hello(sock, hello)
-                    if self._relay is None:
-                        self._done = True
+                    if self._relay is not None:
+                        # Everything received so far (later records of
+                        # this chunk included) was already replayed
+                        # upstream verbatim; stop interpreting it.
+                        return
+                    self._done = True
+                    # The hello is answered; the replay copy is dead.
+                    self._consumed = b""
 
     def connection_lost(self, sock: StreamSocket) -> None:
         if self._relay is not None and not self._relay.closed:
@@ -322,13 +394,12 @@ class _MitmConnection(Protocol):
         except ConnectionRefused:
             return None
         try:
-            upstream_hello = ClientHello(
-                client_random=engine._rng.getrandbits(256).to_bytes(32, "big"),
-                server_name=hello.server_name,
-                version=hello.version,
-            )
+            upstream_hello = engine.upstream_client_hello(hello)
+            engine.last_upstream_hello = upstream_hello
             upstream.send(
-                codec.encode_handshake_record(upstream_hello, version=hello.version)
+                codec.encode_handshake_record(
+                    upstream_hello, version=upstream_hello.version
+                )
             )
             raw = upstream.recv()
         except ConnectionReset:
@@ -367,10 +438,17 @@ class _MitmConnection(Protocol):
     def _serve_chain(
         self, sock: StreamSocket, hello: ClientHello, der_chain: list[bytes]
     ) -> None:
+        profile = self.engine.profile
+        version = hello.version
+        if profile.substitute_tls_version is not None:
+            # The substitute leg speaks the product's stack, capped by
+            # what the client offered — a product pinned below the
+            # client's offer serves a visible version downgrade.
+            version = min(version, profile.substitute_tls_version)
         server_hello = ServerHello(
             server_random=self.engine._rng.getrandbits(256).to_bytes(32, "big"),
-            cipher_suite=0x002F,
-            version=hello.version,
+            cipher_suite=profile.substitute_cipher_suite,
+            version=version,
         )
         payload = (
             server_hello.to_handshake().encode()
@@ -379,7 +457,7 @@ class _MitmConnection(Protocol):
         )
         for start in range(0, len(payload), 0x4000):
             record = Record(
-                codec.CONTENT_HANDSHAKE, hello.version, payload[start : start + 0x4000]
+                codec.CONTENT_HANDSHAKE, version, payload[start : start + 0x4000]
             )
             sock.send(record.encode())
 
@@ -392,11 +470,12 @@ class _MitmConnection(Protocol):
         except ConnectionRefused:
             self._fatal(sock, codec.ALERT_HANDSHAKE_FAILURE)
             return
-        # Replay everything buffered so far (the ClientHello) verbatim.
-        self._relay.send(self._buffer)
-        reply = self._relay.recv()
-        if reply:
-            sock.send(reply)
+        # Replay everything received so far — records already consumed
+        # plus any buffered tail — verbatim.
+        self._relay.send(self._consumed + self._buffer)
+        self._consumed = b""
+        self._buffer = b""
+        self._drain_relay(sock)
 
     def _pump_relay(self, sock: StreamSocket, data: bytes) -> None:
         relay = self._relay
@@ -408,8 +487,21 @@ class _MitmConnection(Protocol):
         except ConnectionReset:
             sock.close()
             return
-        reply = relay.recv()
-        if reply:
+        self._drain_relay(sock)
+
+    def _drain_relay(self, sock: StreamSocket) -> None:
+        """Forward everything the upstream leg has buffered.
+
+        A single ``recv()`` per pump strands any reply that arrives
+        without a matching client write; drain until empty instead.
+        """
+        relay = self._relay
+        if relay is None:
+            return
+        while True:
+            reply = relay.recv()
+            if not reply:
+                return
             sock.send(reply)
 
     def _fatal(self, sock: StreamSocket, description: int) -> None:

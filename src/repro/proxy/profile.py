@@ -12,6 +12,7 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass, field
 
+from repro.tls.codec import DEFAULT_CIPHER_SUITES, EXT_SERVER_NAME, TLS_1_2
 from repro.x509.model import Name
 from repro.x509.verify import (
     CHAIN_OF_TRUST_DEFECTS,
@@ -68,6 +69,23 @@ class ForgedUpstreamPolicy(str, enum.Enum):
     PASS_THROUGH = "pass-through"
 
 
+class UpstreamHelloPolicy(str, enum.Enum):
+    """What ClientHello the proxy sends on its origin-facing leg.
+
+    * ``MIMIC`` — replay the intercepted client's offer byte-for-byte
+      (fresh random, same version/suites/compression/extensions), so a
+      fingerprinting origin cannot tell the proxy from the browser.
+    * ``OWN_STACK`` — speak with the product's own TLS stack: a fixed
+      cipher-suite and extension set whose fingerprint diverges from
+      whatever browser sits behind it — the de Carné de Carnavalet &
+      van Oorschot detection signal, and what every stack the engine
+      historically modelled did.
+    """
+
+    MIMIC = "mimic"
+    OWN_STACK = "own_stack"
+
+
 class SubjectRewrite(str, enum.Enum):
     """How a proxy mangles the substitute certificate's subject (§5.2)."""
 
@@ -121,6 +139,24 @@ class ProxyProfile:
     # reuse it for later connections — the time-of-check/time-of-use
     # hole the audit battery's warm-then-attack probes expose.
     caches_validation: bool = False
+    # -- Client-leg posture (mimicry + substitute handshake) ------------
+    # How the origin-facing ClientHello is built.  OWN_STACK with the
+    # defaults below reproduces the engine's historical wire bytes
+    # (DEFAULT_CIPHER_SUITES, SNI-only, client's version capped at
+    # ``own_tls_version`` — TLS 1.2, i.e. a straight echo).
+    upstream_hello: UpstreamHelloPolicy = UpstreamHelloPolicy.OWN_STACK
+    own_cipher_suites: tuple[int, ...] = DEFAULT_CIPHER_SUITES
+    own_extension_types: tuple[int, ...] = (EXT_SERVER_NAME,)
+    own_tls_version: tuple[int, int] = TLS_1_2
+    # The client-facing substitute handshake.  ``substitute_tls_version``
+    # None = echo whatever version the client offered (transparent); a
+    # fixed value caps the echoed version — the substitute-leg version
+    # downgrade Waked et al. graded appliances down for.  The key size
+    # and signature hash of the substitute certificate itself are the
+    # existing ``leaf_key_bits`` / ``hash_name`` knobs; the forger
+    # honours those, ``_serve_chain`` honours these.
+    substitute_tls_version: tuple[int, int] | None = None
+    substitute_cipher_suite: int = 0x002F
 
     def notices_defect(self, code: str) -> bool:
         """Whether this product's posture catches the given defect code.

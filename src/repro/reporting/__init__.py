@@ -3,6 +3,7 @@
 from repro.reporting.render import (
     render_audit_grade_table,
     render_classification_table,
+    render_client_leg_table,
     render_country_table,
     render_heatmap,
     render_host_type_table,
@@ -14,6 +15,7 @@ from repro.reporting.render import (
 __all__ = [
     "render_audit_grade_table",
     "render_classification_table",
+    "render_client_leg_table",
     "render_country_table",
     "render_heatmap",
     "render_host_type_table",

@@ -9,6 +9,7 @@ from __future__ import annotations
 from repro.analysis.tables import (
     AuditGradeRow,
     ClassificationRow,
+    ClientLegRow,
     CountryBreakdown,
     HostTypeRow,
     IssuerRow,
@@ -101,6 +102,11 @@ def render_audit_grade_table(rows: list[AuditGradeRow]) -> str:
                 str(row.passed_through),
                 str(row.masked),
                 str(row.errors),
+                (
+                    f"{row.client_score:.1f}/{row.client_max_score:.0f}"
+                    if row.client_max_score
+                    else "-"
+                ),
                 "yes" if row.functional else "NO",
             ]
         )
@@ -115,7 +121,36 @@ def render_audit_grade_table(rows: list[AuditGradeRow]) -> str:
             "Passed",
             "Masked",
             "Errors",
+            "ClientLeg",
             "Functional",
+        ],
+        body,
+    )
+
+
+def render_client_leg_table(rows: list[ClientLegRow]) -> str:
+    """Per-product client-leg divergence table (mimicry + substitute)."""
+    body = [
+        [
+            row.product_key,
+            row.browser,
+            row.mimicry,
+            row.key_bits,
+            row.hash_name,
+            row.version_echo,
+            f"{row.points:.1f}/{row.max_points:.0f}",
+        ]
+        for row in rows
+    ]
+    return render_table(
+        [
+            "Product",
+            "Browser",
+            "Mimicry",
+            "KeyBits",
+            "Hash",
+            "VersionEcho",
+            "Points",
         ],
         body,
     )
@@ -130,7 +165,7 @@ def render_scorecard(card: ProductScorecard) -> str:
     )
     body = [
         [check.title, check.defect or "-", check.outcome, f"{check.points:.1f}", check.evidence]
-        for check in card.checks
+        for check in card.all_checks
     ]
     table = render_table(["Check", "Defect", "Outcome", "Points", "Evidence"], body)
     return f"{header}\n{table}"

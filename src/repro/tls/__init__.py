@@ -25,11 +25,21 @@ from repro.tls.codec import (
     decode_records,
     encode_handshake_record,
 )
+from repro.tls.fingerprint import (
+    BROWSER_PROFILES,
+    BrowserProfile,
+    TlsFingerprint,
+    browser_profile,
+    fingerprint_client_hello,
+    fingerprint_divergence,
+)
 from repro.tls.probe import ProbeClient, ProbeResult
 from repro.tls.server import TlsCertServer
 
 __all__ = [
     "Alert",
+    "BROWSER_PROFILES",
+    "BrowserProfile",
     "CertificateMessage",
     "ClientHello",
     "HandshakeMessage",
@@ -39,7 +49,11 @@ __all__ = [
     "ServerHello",
     "TlsCertServer",
     "TlsError",
+    "TlsFingerprint",
+    "browser_profile",
     "decode_handshake",
     "decode_records",
     "encode_handshake_record",
+    "fingerprint_client_hello",
+    "fingerprint_divergence",
 ]

@@ -13,9 +13,25 @@ import struct
 from dataclasses import dataclass, field
 
 # Record content types.
-CONTENT_HANDSHAKE = 22
+CONTENT_CHANGE_CIPHER_SPEC = 20
 CONTENT_ALERT = 21
+CONTENT_HANDSHAKE = 22
 CONTENT_APPLICATION_DATA = 23
+CONTENT_HEARTBEAT = 24
+
+# Every content type a TLS 1.0–1.2 peer can legitimately put on the
+# wire.  Types in this set that a consumer does not handle (CCS,
+# heartbeat) are skipped, not fatal; anything outside it cannot be a
+# TLS record header at all and aborts the connection.
+KNOWN_CONTENT_TYPES = frozenset(
+    {
+        CONTENT_CHANGE_CIPHER_SPEC,
+        CONTENT_ALERT,
+        CONTENT_HANDSHAKE,
+        CONTENT_APPLICATION_DATA,
+        CONTENT_HEARTBEAT,
+    }
+)
 
 # Handshake message types.
 HS_CLIENT_HELLO = 1
@@ -43,6 +59,43 @@ def version_name(version: tuple[int, int]) -> str:
 
 # Extension types.
 EXT_SERVER_NAME = 0
+EXT_STATUS_REQUEST = 5
+EXT_SUPPORTED_GROUPS = 10  # "elliptic_curves" in the 2014-era RFCs
+EXT_EC_POINT_FORMATS = 11
+EXT_SIGNATURE_ALGORITHMS = 13
+EXT_HEARTBEAT = 15
+EXT_ALPN = 16
+EXT_PADDING = 21
+EXT_SESSION_TICKET = 35
+EXT_NEXT_PROTOCOL_NEGOTIATION = 13172
+EXT_CHANNEL_ID = 30032
+EXT_RENEGOTIATION_INFO = 0xFF01
+
+
+def encode_sni_extension_body(server_name: str) -> bytes:
+    """The server_name extension body for one host_name entry."""
+    name_bytes = server_name.encode("ascii")
+    entry = b"\x00" + _encode_vector(name_bytes, 2)  # host_name(0)
+    return _encode_vector(entry, 2)
+
+
+def parse_sni_extension_body(ext_body: bytes) -> str | None:
+    """Best-effort host_name from a server_name extension body.
+
+    Malformed SNI must not kill the parse: the hello is preserved
+    verbatim either way, so a mangled extension simply yields no name.
+    """
+    try:
+        sni = _Reader(ext_body)
+        entries = _Reader(sni.take_vector(2))
+        while entries.remaining >= 3:
+            name_type = entries.take_int(1)
+            name = entries.take_vector(2)
+            if name_type == 0:
+                return name.decode("ascii", errors="replace")
+    except TlsError:
+        pass
+    return None
 
 # Cipher suites a 2014-era client should refuse: NULL, export-grade
 # and RC4/MD5 constructions (values from the TLS registry).  The audit
@@ -101,11 +154,10 @@ def decode_records(data: bytes) -> tuple[list[Record], bytes]:
     offset = 0
     while len(data) - offset >= 5:
         content_type, major, minor, length = struct.unpack_from(">BBBH", data, offset)
-        if content_type not in (
-            CONTENT_HANDSHAKE,
-            CONTENT_ALERT,
-            CONTENT_APPLICATION_DATA,
-        ):
+        if content_type not in KNOWN_CONTENT_TYPES:
+            # A realistic peer may interleave ChangeCipherSpec or
+            # heartbeats (handled above by inclusion); a header byte
+            # outside the TLS range means the stream is not TLS.
             raise TlsError(f"unknown record content type {content_type}")
         if len(data) - offset - 5 < length:
             break  # incomplete record; caller buffers
@@ -185,17 +237,51 @@ class _Reader:
 
 @dataclass(frozen=True)
 class ClientHello:
-    """ClientHello with optional SNI — all the probe ever sends."""
+    """A ClientHello, preserved losslessly through parse → re-encode.
+
+    ``extensions`` is the full extension list — ``(type, raw body)``
+    pairs in wire order, unknown types included verbatim.  ``None``
+    means the hello carries no extensions block at all (distinct from
+    an empty block, which old SSLv3 stacks never sent but some 2014
+    clients did).  Constructing with ``server_name`` and no explicit
+    extension list synthesises the SNI extension, which is all the
+    probe's historical hello ever carried.
+
+    Losslessness is what makes ClientHello *fingerprintable*: a proxy
+    that replays the client's offer upstream must reproduce every
+    extension byte, and :mod:`repro.tls.fingerprint` must see exactly
+    what was on the wire.
+    """
 
     client_random: bytes
     server_name: str | None = None
     version: tuple[int, int] = TLS_1_2
     cipher_suites: tuple[int, ...] = DEFAULT_CIPHER_SUITES
     session_id: bytes = b""
+    compression_methods: tuple[int, ...] = (0,)
+    extensions: tuple[tuple[int, bytes], ...] | None = None
 
     def __post_init__(self) -> None:
         if len(self.client_random) != 32:
             raise TlsError("client_random must be 32 bytes")
+        if self.extensions is None and self.server_name is not None:
+            object.__setattr__(
+                self,
+                "extensions",
+                ((EXT_SERVER_NAME, encode_sni_extension_body(self.server_name)),),
+            )
+
+    @property
+    def extension_types(self) -> tuple[int, ...]:
+        """Extension types in wire order (empty when no block)."""
+        return tuple(ext_type for ext_type, _ in (self.extensions or ()))
+
+    def extension_body(self, ext_type: int) -> bytes | None:
+        """The raw body of the first extension of ``ext_type``, if any."""
+        for candidate, body in self.extensions or ():
+            if candidate == ext_type:
+                return body
+        return None
 
     def to_handshake(self) -> HandshakeMessage:
         body = bytes(self.version)
@@ -203,17 +289,13 @@ class ClientHello:
         body += _encode_vector(self.session_id, 1)
         suites = b"".join(struct.pack(">H", s) for s in self.cipher_suites)
         body += _encode_vector(suites, 2)
-        body += _encode_vector(b"\x00", 1)  # null compression only
-        extensions = b""
-        if self.server_name is not None:
-            name_bytes = self.server_name.encode("ascii")
-            entry = b"\x00" + _encode_vector(name_bytes, 2)  # host_name(0)
-            sni_body = _encode_vector(entry, 2)
-            extensions += struct.pack(">H", EXT_SERVER_NAME) + _encode_vector(
-                sni_body, 2
+        body += _encode_vector(bytes(self.compression_methods), 1)
+        if self.extensions is not None:
+            encoded = b"".join(
+                struct.pack(">H", ext_type) + _encode_vector(ext_body, 2)
+                for ext_type, ext_body in self.extensions
             )
-        if extensions:
-            body += _encode_vector(extensions, 2)
+            body += _encode_vector(encoded, 2)
         return HandshakeMessage(HS_CLIENT_HELLO, body)
 
     @classmethod
@@ -229,28 +311,27 @@ class ClientHello:
             struct.unpack(">H", suites_raw[i : i + 2])[0]
             for i in range(0, len(suites_raw), 2)
         )
-        reader.take_vector(1)  # compression methods
+        compression = tuple(reader.take_vector(1))
+        extensions: tuple[tuple[int, bytes], ...] | None = None
         server_name = None
         if reader.remaining >= 2:
-            extensions = _Reader(reader.take_vector(2))
-            while extensions.remaining >= 4:
-                ext_type = extensions.take_int(2)
-                ext_body = extensions.take_vector(2)
-                if ext_type == EXT_SERVER_NAME and ext_body:
-                    sni = _Reader(ext_body)
-                    entries = _Reader(sni.take_vector(2))
-                    while entries.remaining >= 3:
-                        name_type = entries.take_int(1)
-                        name = entries.take_vector(2)
-                        if name_type == 0:
-                            server_name = name.decode("ascii", errors="replace")
-                            break
+            parsed: list[tuple[int, bytes]] = []
+            ext_reader = _Reader(reader.take_vector(2))
+            while ext_reader.remaining >= 4:
+                ext_type = ext_reader.take_int(2)
+                ext_body = ext_reader.take_vector(2)
+                parsed.append((ext_type, ext_body))
+                if ext_type == EXT_SERVER_NAME and server_name is None:
+                    server_name = parse_sni_extension_body(ext_body)
+            extensions = tuple(parsed)
         return cls(
             client_random=client_random,
             server_name=server_name,
             version=version,  # type: ignore[arg-type]
             cipher_suites=suites,
             session_id=session_id,
+            compression_methods=compression,
+            extensions=extensions,
         )
 
 

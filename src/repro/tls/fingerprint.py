@@ -1,0 +1,317 @@
+"""ClientHello fingerprinting and 2014-era browser profiles.
+
+A TLS interception product terminates the browser's handshake and
+opens its own upstream connection — so the origin no longer sees the
+browser's ClientHello, it sees the *proxy stack's*.  De Carné de
+Carnavalet & van Oorschot (2020) showed that the mismatch between the
+two is a reliable server-side interception signal, and Waked et al.
+(2018) graded appliances on how badly their client-facing substitute
+leg degrades what the browser offered.
+
+This module provides both halves of that methodology:
+
+* :class:`TlsFingerprint` — a JA3-style fingerprint of one hello:
+  offered version, cipher-suite list, extension-type list, and the
+  supported-groups / EC point-format lists when present, each in wire
+  order.  ``ja3_string()`` is the canonical comma/dash form and
+  ``digest()`` its stable hex digest.
+* :data:`BROWSER_PROFILES` — a registry of synthetic 2014-era browser
+  ClientHello templates (Chrome, Firefox, IE, Safari) the audit
+  battery probes with.  They are deliberately *synthetic*: distinct,
+  deterministic, plausible for the paper's measurement window — not
+  bit-archaeology of specific builds.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+from dataclasses import dataclass
+
+from repro.tls import codec
+from repro.tls.codec import ClientHello, TlsError
+
+
+def _uint16_list(raw: bytes) -> tuple[int, ...]:
+    if len(raw) % 2:
+        raise TlsError("odd uint16 vector length")
+    return tuple(
+        struct.unpack(">H", raw[i : i + 2])[0] for i in range(0, len(raw), 2)
+    )
+
+
+def encode_groups_body(groups: tuple[int, ...]) -> bytes:
+    """The supported_groups (elliptic_curves) extension body."""
+    packed = b"".join(struct.pack(">H", group) for group in groups)
+    return len(packed).to_bytes(2, "big") + packed
+
+
+def encode_point_formats_body(formats: tuple[int, ...]) -> bytes:
+    """The ec_point_formats extension body."""
+    return len(formats).to_bytes(1, "big") + bytes(formats)
+
+
+def encode_signature_algorithms_body(pairs: tuple[tuple[int, int], ...]) -> bytes:
+    """The signature_algorithms body: (hash, signature) byte pairs."""
+    packed = b"".join(bytes(pair) for pair in pairs)
+    return len(packed).to_bytes(2, "big") + packed
+
+
+def parse_groups_body(body: bytes) -> tuple[int, ...]:
+    """Best-effort supported-groups ids from an extension body."""
+    try:
+        if len(body) < 2:
+            return ()
+        length = int.from_bytes(body[:2], "big")
+        return _uint16_list(body[2 : 2 + min(length, len(body) - 2)])
+    except TlsError:
+        return ()
+
+
+def parse_point_formats_body(body: bytes) -> tuple[int, ...]:
+    """Best-effort EC point-format ids from an extension body."""
+    if not body:
+        return ()
+    length = body[0]
+    return tuple(body[1 : 1 + length])
+
+
+@dataclass(frozen=True)
+class TlsFingerprint:
+    """A JA3-style fingerprint of one ClientHello."""
+
+    version: int  # (major << 8) | minor, e.g. 771 for TLS 1.2
+    cipher_suites: tuple[int, ...]
+    extension_types: tuple[int, ...]
+    groups: tuple[int, ...]
+    point_formats: tuple[int, ...]
+
+    def ja3_string(self) -> str:
+        """The canonical ``ver,ciphers,extensions,groups,formats`` form."""
+        return ",".join(
+            [
+                str(self.version),
+                "-".join(str(s) for s in self.cipher_suites),
+                "-".join(str(t) for t in self.extension_types),
+                "-".join(str(g) for g in self.groups),
+                "-".join(str(f) for f in self.point_formats),
+            ]
+        )
+
+    def digest(self) -> str:
+        """Stable hex digest of the JA3 string (JA3 uses MD5; so do we)."""
+        return hashlib.md5(self.ja3_string().encode("ascii")).hexdigest()
+
+    # The dimensions two fingerprints can disagree on, in report order.
+    FIELDS = ("version", "cipher_suites", "extension_types", "groups", "point_formats")
+
+
+def fingerprint_client_hello(hello: ClientHello) -> TlsFingerprint:
+    """Fingerprint a hello exactly as a server-side observer would."""
+    groups_body = hello.extension_body(codec.EXT_SUPPORTED_GROUPS)
+    formats_body = hello.extension_body(codec.EXT_EC_POINT_FORMATS)
+    return TlsFingerprint(
+        version=(hello.version[0] << 8) | hello.version[1],
+        cipher_suites=tuple(hello.cipher_suites),
+        extension_types=hello.extension_types,
+        groups=parse_groups_body(groups_body) if groups_body else (),
+        point_formats=parse_point_formats_body(formats_body) if formats_body else (),
+    )
+
+
+def fingerprint_divergence(
+    expected: TlsFingerprint, observed: TlsFingerprint
+) -> tuple[str, ...]:
+    """The fingerprint dimensions on which ``observed`` differs."""
+    return tuple(
+        name
+        for name in TlsFingerprint.FIELDS
+        if getattr(expected, name) != getattr(observed, name)
+    )
+
+
+# Extension bodies below use a placeholder where the real body depends
+# on the probed hostname; ``BrowserProfile.client_hello`` fills it in.
+_SNI_PLACEHOLDER = b""
+
+# Common 2014-era parameter blocks.
+_P256_P384_P521 = (23, 24, 25)
+_UNCOMPRESSED_ONLY = (0,)
+_SHA2_ERA_SIGALGS = ((4, 1), (5, 1), (6, 1), (2, 1))  # sha256/384/512/sha1 + RSA
+
+
+@dataclass(frozen=True)
+class BrowserProfile:
+    """A synthetic browser ClientHello template."""
+
+    key: str  # registry key, e.g. "chrome"
+    name: str  # display name, e.g. "Chrome 33 (2014)"
+    version: tuple[int, int]
+    cipher_suites: tuple[int, ...]
+    # (type, body) in wire order; an EXT_SERVER_NAME entry's body is a
+    # placeholder replaced with the probed hostname at build time.
+    extensions: tuple[tuple[int, bytes], ...]
+    compression_methods: tuple[int, ...] = (0,)
+
+    def client_hello(self, client_random: bytes, server_name: str) -> ClientHello:
+        """Instantiate the template against one hostname."""
+        materialised = tuple(
+            (ext_type, codec.encode_sni_extension_body(server_name))
+            if ext_type == codec.EXT_SERVER_NAME
+            else (ext_type, body)
+            for ext_type, body in self.extensions
+        )
+        return ClientHello(
+            client_random=client_random,
+            server_name=server_name,
+            version=self.version,
+            cipher_suites=self.cipher_suites,
+            compression_methods=self.compression_methods,
+            extensions=materialised,
+        )
+
+    def fingerprint(self) -> TlsFingerprint:
+        """The fingerprint any hostname instantiation produces."""
+        return fingerprint_client_hello(
+            self.client_hello(bytes(32), "fingerprint.invalid")
+        )
+
+
+BROWSER_PROFILES: dict[str, BrowserProfile] = {
+    profile.key: profile
+    for profile in (
+        BrowserProfile(
+            key="chrome",
+            name="Chrome 33 (2014)",
+            version=codec.TLS_1_2,
+            cipher_suites=(
+                0xC02B, 0xC02F, 0x009E, 0xC00A, 0xC014, 0x0039,
+                0xC009, 0xC013, 0x0033, 0x009C, 0x0035, 0x002F,
+                0x000A,
+            ),
+            extensions=(
+                (codec.EXT_RENEGOTIATION_INFO, b"\x00"),
+                (codec.EXT_SERVER_NAME, _SNI_PLACEHOLDER),
+                (codec.EXT_SESSION_TICKET, b""),
+                (codec.EXT_SIGNATURE_ALGORITHMS,
+                 encode_signature_algorithms_body(_SHA2_ERA_SIGALGS)),
+                (codec.EXT_STATUS_REQUEST, b"\x01\x00\x00\x00\x00"),
+                (codec.EXT_NEXT_PROTOCOL_NEGOTIATION, b""),
+                (codec.EXT_ALPN, b"\x00\x0c\x02h2\x08http/1.1"),
+                (codec.EXT_CHANNEL_ID, b""),
+                (codec.EXT_EC_POINT_FORMATS,
+                 encode_point_formats_body(_UNCOMPRESSED_ONLY)),
+                (codec.EXT_SUPPORTED_GROUPS, encode_groups_body(_P256_P384_P521)),
+            ),
+        ),
+        BrowserProfile(
+            key="firefox",
+            name="Firefox 27 (2014)",
+            version=codec.TLS_1_2,
+            cipher_suites=(
+                0xC02B, 0xC02F, 0xC00A, 0xC009, 0xC013, 0xC014,
+                0x0033, 0x0039, 0x002F, 0x0035, 0x000A,
+            ),
+            extensions=(
+                (codec.EXT_SERVER_NAME, _SNI_PLACEHOLDER),
+                (codec.EXT_RENEGOTIATION_INFO, b"\x00"),
+                (codec.EXT_SUPPORTED_GROUPS, encode_groups_body(_P256_P384_P521)),
+                (codec.EXT_EC_POINT_FORMATS,
+                 encode_point_formats_body(_UNCOMPRESSED_ONLY)),
+                (codec.EXT_SESSION_TICKET, b""),
+                (codec.EXT_NEXT_PROTOCOL_NEGOTIATION, b""),
+                (codec.EXT_ALPN, b"\x00\x09\x08http/1.1"),
+                (codec.EXT_STATUS_REQUEST, b"\x01\x00\x00\x00\x00"),
+                (codec.EXT_SIGNATURE_ALGORITHMS,
+                 encode_signature_algorithms_body(_SHA2_ERA_SIGALGS)),
+            ),
+        ),
+        BrowserProfile(
+            key="ie",
+            name="Internet Explorer 11 (2014)",
+            version=codec.TLS_1_2,
+            cipher_suites=(
+                0xC028, 0xC027, 0xC014, 0xC013, 0x0035, 0x002F,
+                0xC02C, 0xC02B, 0xC024, 0xC023, 0xC00A, 0xC009,
+                0x0039, 0x0033, 0x009D, 0x009C, 0x003D, 0x003C,
+                0x000A,
+            ),
+            extensions=(
+                (codec.EXT_SERVER_NAME, _SNI_PLACEHOLDER),
+                (codec.EXT_STATUS_REQUEST, b"\x01\x00\x00\x00\x00"),
+                (codec.EXT_SUPPORTED_GROUPS, encode_groups_body(_P256_P384_P521)),
+                (codec.EXT_EC_POINT_FORMATS,
+                 encode_point_formats_body(_UNCOMPRESSED_ONLY)),
+                (codec.EXT_SIGNATURE_ALGORITHMS,
+                 encode_signature_algorithms_body(_SHA2_ERA_SIGALGS)),
+                (codec.EXT_SESSION_TICKET, b""),
+                (codec.EXT_RENEGOTIATION_INFO, b"\x00"),
+            ),
+        ),
+        BrowserProfile(
+            key="safari",
+            name="Safari 7 (2014)",
+            version=codec.TLS_1_2,
+            cipher_suites=(
+                0xC024, 0xC023, 0xC00A, 0xC009, 0xC028, 0xC027,
+                0xC014, 0xC013, 0x003D, 0x003C, 0x0035, 0x002F,
+                0x000A,
+            ),
+            extensions=(
+                (codec.EXT_SERVER_NAME, _SNI_PLACEHOLDER),
+                (codec.EXT_SUPPORTED_GROUPS, encode_groups_body(_P256_P384_P521)),
+                (codec.EXT_EC_POINT_FORMATS,
+                 encode_point_formats_body(_UNCOMPRESSED_ONLY)),
+                (codec.EXT_SIGNATURE_ALGORITHMS,
+                 encode_signature_algorithms_body(_SHA2_ERA_SIGALGS)),
+            ),
+        ),
+    )
+}
+
+DEFAULT_BROWSER = "chrome"
+
+
+def browser_profile(key: str) -> BrowserProfile:
+    """Look up a registry profile, with a helpful error."""
+    try:
+        return BROWSER_PROFILES[key]
+    except KeyError:
+        known = ", ".join(sorted(BROWSER_PROFILES))
+        raise KeyError(f"unknown browser profile {key!r} (known: {known})") from None
+
+
+def build_own_stack_extensions(
+    extension_types: tuple[int, ...], server_name: str | None
+) -> tuple[tuple[int, bytes], ...] | None:
+    """Materialise a fixed product stack's extension list.
+
+    Products that speak with their own TLS stack upstream send the
+    same extension *types* every time; bodies are canned (groups,
+    point formats, signature algorithms) or empty, except SNI which
+    names the actual target.  Returns ``None`` — no extensions block
+    on the wire — when nothing applies: both for an explicitly empty
+    ``extension_types`` (a pre-extension stack) and for an SNI-only
+    stack with no server name.  Callers building a ClientHello from a
+    ``None`` result must not also pass ``server_name`` (which would
+    synthesise an SNI extension the stack does not send).
+    """
+    built: list[tuple[int, bytes]] = []
+    for ext_type in extension_types:
+        if ext_type == codec.EXT_SERVER_NAME:
+            if server_name is None:
+                continue
+            built.append((ext_type, codec.encode_sni_extension_body(server_name)))
+        elif ext_type == codec.EXT_SUPPORTED_GROUPS:
+            built.append((ext_type, encode_groups_body(_P256_P384_P521)))
+        elif ext_type == codec.EXT_EC_POINT_FORMATS:
+            built.append((ext_type, encode_point_formats_body(_UNCOMPRESSED_ONLY)))
+        elif ext_type == codec.EXT_SIGNATURE_ALGORITHMS:
+            built.append(
+                (ext_type, encode_signature_algorithms_body(_SHA2_ERA_SIGALGS))
+            )
+        elif ext_type == codec.EXT_RENEGOTIATION_INFO:
+            built.append((ext_type, b"\x00"))
+        else:
+            built.append((ext_type, b""))
+    return tuple(built) if built else None

@@ -10,12 +10,16 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.netsim.network import ConnectionRefused, ConnectionReset, Host
 from repro.tls import codec
 from repro.tls.codec import Alert, ClientHello, ServerHello, TlsError
 from repro.x509.model import Certificate
 from repro.x509.parse import X509Error, parse_certificate
+
+if TYPE_CHECKING:
+    from repro.tls.fingerprint import BrowserProfile
 
 
 @dataclass(frozen=True)
@@ -36,10 +40,22 @@ class ProbeResult:
 
 
 class ProbeClient:
-    """Performs partial TLS handshakes from a client host."""
+    """Performs partial TLS handshakes from a client host.
 
-    def __init__(self, host: Host, rng: random.Random | None = None) -> None:
+    ``browser`` makes the probe impersonate one of the 2014-era
+    browser profiles (:data:`repro.tls.fingerprint.BROWSER_PROFILES`)
+    instead of the tool's plain SNI-only hello — what the mimicry
+    audit probes with.
+    """
+
+    def __init__(
+        self,
+        host: Host,
+        rng: random.Random | None = None,
+        browser: "BrowserProfile | None" = None,
+    ) -> None:
         self.host = host
+        self.browser = browser
         self._rng = rng or random.Random(0xFACADE)
 
     def probe(self, hostname: str, port: int = 443) -> ProbeResult:
@@ -55,7 +71,10 @@ class ProbeClient:
 
     def _handshake(self, sock, hostname: str, port: int) -> ProbeResult:
         client_random = self._rng.getrandbits(256).to_bytes(32, "big")
-        hello = ClientHello(client_random=client_random, server_name=hostname)
+        if self.browser is not None:
+            hello = self.browser.client_hello(client_random, hostname)
+        else:
+            hello = ClientHello(client_random=client_random, server_name=hostname)
         try:
             sock.send(codec.encode_handshake_record(hello, version=hello.version))
         except ConnectionReset as exc:

@@ -276,3 +276,44 @@ class TestAuditExecutorDeterminism:
     def test_unknown_executor_rejected(self):
         with pytest.raises(ValueError):
             audit_catalog(seed=SEED, products=AUDIT_SUBSET, executor="fiber")
+
+
+class TestFingerprintStability:
+    """ClientHello fingerprints must not depend on execution layout.
+
+    The mimicry grading compares JA3-style digests; if those drifted
+    with worker count, executor kind or seed, the client-leg section
+    would break the battery's byte-identical-report guarantee."""
+
+    def test_client_leg_identical_across_workers_and_executors(self, serial_audit):
+        for workers, executor in ((2, "thread"), (2, "process")):
+            report = audit_catalog(
+                seed=SEED,
+                products=AUDIT_SUBSET,
+                workers=workers,
+                executor=executor,
+                pki_key_bits=512,
+            )
+            for card, expected in zip(report.scorecards, serial_audit.scorecards):
+                assert card.client_leg == expected.client_leg
+                assert card.client_checks == expected.client_checks
+
+    def test_mimicry_scenario_present_for_every_product(self, serial_audit):
+        for card in serial_audit.scorecards:
+            assert "mimicry" in {check.scenario for check in card.client_checks}
+
+    def test_fingerprints_independent_of_seed(self, serial_audit):
+        """The observed upstream-hello fingerprint is a function of the
+        product's stack (and the probing browser), not of the run seed:
+        randoms and certificates differ across seeds, digests do not."""
+        other_seed = audit_catalog(
+            seed=SEED + 1, products=AUDIT_SUBSET, pki_key_bits=512
+        )
+        for card, expected in zip(other_seed.scorecards, serial_audit.scorecards):
+            assert card.client_leg is not None and expected.client_leg is not None
+            assert card.client_leg.observed_ja3 == expected.client_leg.observed_ja3
+            assert card.client_leg.expected_ja3 == expected.client_leg.expected_ja3
+            assert (
+                card.client_leg.divergent_fields
+                == expected.client_leg.divergent_fields
+            )

@@ -36,6 +36,44 @@ class TestTlsCodecProperties:
         decoded = ClientHello.from_body(hello.to_handshake().body)
         assert decoded == hello
 
+    extension_lists = st.one_of(
+        st.none(),
+        st.lists(
+            st.tuples(st.integers(0, 0xFFFF), st.binary(max_size=60)), max_size=8
+        ).map(tuple),
+    )
+
+    @given(
+        client_random=random32,
+        session_id=st.binary(max_size=32),
+        suites=st.lists(st.integers(0, 0xFFFF), min_size=1, max_size=20).map(tuple),
+        compression=st.lists(st.integers(0, 255), min_size=1, max_size=4).map(tuple),
+        extensions=extension_lists,
+        version=st.tuples(st.integers(2, 3), st.integers(0, 4)),
+    )
+    @settings(max_examples=300)
+    def test_client_hello_lossless_round_trip(
+        self, client_random, session_id, suites, compression, extensions, version
+    ):
+        """Full-fidelity: arbitrary extension lists (unknown types and
+        bodies included), compression methods and versions survive a
+        parse → re-encode cycle byte-for-byte."""
+        hello = ClientHello(
+            client_random=client_random,
+            version=version,
+            cipher_suites=suites,
+            session_id=session_id,
+            compression_methods=compression,
+            extensions=extensions,
+        )
+        body = hello.to_handshake().body
+        decoded = ClientHello.from_body(body)
+        assert decoded.to_handshake().body == body
+        assert decoded.cipher_suites == suites
+        assert decoded.compression_methods == compression
+        assert decoded.extensions == extensions
+        assert decoded.session_id == session_id
+
     @given(server_random=random32, cipher=st.integers(0, 0xFFFF), session=st.binary(max_size=32))
     @settings(max_examples=100)
     def test_server_hello_round_trip(self, server_random, cipher, session):

@@ -7,9 +7,13 @@ import pytest
 from repro.audit import (
     ADVERSARIAL_SCENARIOS,
     AuditHarness,
+    MIMICRY_KEY,
     OUTCOME_BLOCK,
+    OUTCOME_DIVERGENT,
+    OUTCOME_DOWNGRADED,
     OUTCOME_INTERCEPT,
     OUTCOME_MASK,
+    OUTCOME_OK,
     OUTCOME_PASS,
     SCENARIOS,
     audit_catalog,
@@ -18,9 +22,18 @@ from repro.audit import (
     scenario_by_key,
 )
 from repro.audit.scorecard import ScenarioObservation
-from repro.analysis.tables import audit_grade_table
-from repro.proxy import ForgedUpstreamPolicy, ProxyCategory, ProxyProfile
-from repro.reporting import render_audit_grade_table, render_scorecard
+from repro.analysis.tables import audit_grade_table, client_leg_table
+from repro.proxy import (
+    ForgedUpstreamPolicy,
+    ProxyCategory,
+    ProxyProfile,
+    UpstreamHelloPolicy,
+)
+from repro.reporting import (
+    render_audit_grade_table,
+    render_client_leg_table,
+    render_scorecard,
+)
 from repro.x509 import Name
 
 
@@ -198,6 +211,98 @@ class TestCatalogAudit:
         detail = render_scorecard(report.by_key()["kurupira"])
         assert "grade F" in detail
         assert "MASK" in detail
+
+
+class TestMimicry:
+    def test_mimic_product_fingerprints_as_browser(self, harness):
+        profile = make_profile(
+            key="mimic-product", upstream_hello=UpstreamHelloPolicy.MIMIC
+        )
+        observation = harness.run_mimicry(profile)
+        assert observation.error == ""
+        assert observation.observed_ja3 == observation.expected_ja3
+        assert observation.divergent_fields == ()
+
+    def test_own_stack_product_diverges(self, harness):
+        profile = make_profile(key="own-stack-product")
+        observation = harness.run_mimicry(profile)
+        assert observation.observed_ja3 != observation.expected_ja3
+        assert "cipher_suites" in observation.divergent_fields
+
+    def test_substitute_leg_observed(self, harness):
+        profile = make_profile(
+            key="downgrading-product",
+            leaf_key_bits=512,
+            hash_name="md5",
+            substitute_tls_version=(3, 1),
+        )
+        observation = harness.run_mimicry(profile)
+        assert observation.substitute_key_bits == 512
+        assert observation.substitute_hash == "md5"
+        assert observation.offered_version == (3, 3)
+        assert observation.echoed_version == (3, 1)
+
+    def test_client_checks_graded_into_scorecard(self, harness):
+        profile = make_profile(
+            key="graded-product", upstream_hello=UpstreamHelloPolicy.MIMIC
+        )
+        card = harness.audit_product(profile)
+        by_key = {check.scenario: check for check in card.client_checks}
+        assert by_key[MIMICRY_KEY].outcome == OUTCOME_OK
+        assert by_key[MIMICRY_KEY].points == 1.0
+        assert card.max_score == len(ADVERSARIAL_SCENARIOS) + 4
+        assert card.score == card.client_score + sum(
+            check.points for check in card.checks
+        )
+        assert "mimicry" in {
+            check["scenario"]
+            for check in card.to_dict()["client_leg"]["checks"]
+        }
+
+    def test_catalog_mimic_unpenalised_own_stack_graded_down(self):
+        report = audit_catalog(
+            seed=23,
+            products=["bitdefender", "kurupira", "md5-legacy"],
+            pki_key_bits=512,
+        )
+        cards = report.by_key()
+        bit_checks = {c.scenario: c for c in cards["bitdefender"].client_checks}
+        kur_checks = {c.scenario: c for c in cards["kurupira"].client_checks}
+        md5_checks = {c.scenario: c for c in cards["md5-legacy"].client_checks}
+        # The mimic product earns full mimicry marks; own-stack loses them.
+        assert bit_checks[MIMICRY_KEY].outcome == OUTCOME_OK
+        assert kur_checks[MIMICRY_KEY].outcome == OUTCOME_DIVERGENT
+        assert kur_checks[MIMICRY_KEY].points == 0.0
+        # md5-legacy is also graded down on every substitute dimension.
+        assert md5_checks["substitute-hash"].points == 0.0
+        assert md5_checks["version-echo"].outcome == OUTCOME_DOWNGRADED
+        assert report.to_dict()["client_leg_scenarios"][0] == "mimicry"
+
+    def test_browser_choice_changes_expectation_not_determinism(self):
+        for browser in ("chrome", "safari"):
+            first = audit_catalog(
+                seed=23, products=["kurupira"], pki_key_bits=512, browser=browser
+            )
+            second = audit_catalog(
+                seed=23, products=["kurupira"], pki_key_bits=512, browser=browser
+            )
+            assert first.scorecards == second.scorecards
+            card = first.scorecards[0]
+            assert card.client_leg is not None
+            assert card.client_leg.browser == browser
+
+    def test_client_leg_table_and_rendering(self):
+        report = audit_catalog(
+            seed=23, products=["bitdefender", "kurupira"], pki_key_bits=512
+        )
+        rows = client_leg_table(report.scorecards)
+        assert [row.product_key for row in rows] == ["bitdefender", "kurupira"]
+        assert rows[0].mimicry == "match"
+        assert rows[1].mimicry.startswith("diverges:")
+        text = render_client_leg_table(rows)
+        assert "Mimicry" in text and "kurupira" in text
+        grade_rows = audit_grade_table(report.scorecards)
+        assert "ClientLeg" in render_audit_grade_table(grade_rows)
 
 
 class TestCatalogWarmup:

@@ -1,0 +1,346 @@
+"""Regression tests for the wire-engine correctness fixes.
+
+Covers the three bugs fixed alongside the fingerprinting work: the
+MitM connection's record buffer never being trimmed (quadratic
+re-decoding on split delivery), ``decode_records`` aborting on
+ChangeCipherSpec, and the whitelisted relay dropping buffered upstream
+data by pumping a single ``recv()`` at a time.
+"""
+
+import pytest
+
+from repro.crypto.keystore import KeyStore
+from repro.netsim import Network
+from repro.netsim.network import Protocol
+from repro.proxy import ProxyCategory, ProxyProfile, SubstituteCertForger, TlsProxyEngine
+from repro.tls import codec
+from repro.tls.codec import ClientHello, Record, TlsError
+from repro.tls.probe import ProbeClient
+from repro.tls.server import TlsCertServer
+from repro.x509 import Name, RootStore
+from repro.x509.model import SubjectPublicKeyInfo
+
+
+@pytest.fixture(scope="module")
+def forger():
+    return SubstituteCertForger(KeyStore(seed=99), seed=99)
+
+
+@pytest.fixture(scope="module")
+def origin_chain(intermediate_ca, keystore):
+    key = keystore.key("wirefix-site", 512)
+    leaf = intermediate_ca.issue(
+        Name.build(common_name="wire.example", organization="WireFix"),
+        SubjectPublicKeyInfo(key.n, key.e),
+        dns_names=["wire.example"],
+    )
+    return [leaf, intermediate_ca.certificate]
+
+
+def make_profile(**overrides):
+    base = dict(
+        key="wirefix-product",
+        issuer=Name.build(common_name="WireFix CA", organization="WireFix"),
+        category=ProxyCategory.BUSINESS_PERSONAL_FIREWALL,
+        leaf_key_bits=1024,
+        hash_name="sha1",
+    )
+    base.update(overrides)
+    return ProxyProfile(**base)
+
+
+def proxied_world(profile, origin_chain, trust, forger):
+    network = Network()
+    client = network.add_host("victim.example")
+    origin = network.add_host("wire.example", ip="203.0.113.99")
+    origin.listen(443, TlsCertServer(origin_chain).factory)
+    engine = TlsProxyEngine(
+        profile, forger, upstream_host=client, upstream_trust=trust
+    )
+    client.add_interceptor(engine)
+    return network, client, engine
+
+
+class TestCcsTolerance:
+    def test_decode_records_tolerates_change_cipher_spec(self):
+        stream = (
+            Record(codec.CONTENT_CHANGE_CIPHER_SPEC, (3, 3), b"\x01").encode()
+            + Record(codec.CONTENT_HANDSHAKE, (3, 3), b"\x00" * 4).encode()
+        )
+        records, rest = codec.decode_records(stream)
+        assert rest == b""
+        assert [r.content_type for r in records] == [20, 22]
+
+    def test_decode_records_tolerates_heartbeat(self):
+        stream = Record(codec.CONTENT_HEARTBEAT, (3, 3), b"\x01\x00\x00").encode()
+        records, _ = codec.decode_records(stream)
+        assert records[0].content_type == codec.CONTENT_HEARTBEAT
+
+    def test_non_tls_garbage_still_aborts(self):
+        with pytest.raises(TlsError):
+            codec.decode_records(b"\x99\x99not tls at all")
+
+    def test_probe_survives_ccs_in_server_flight(
+        self, origin_chain
+    ):
+        """A realistic origin appends CCS after its certificate flight;
+        the probe must still extract the chain instead of dying."""
+
+        class CcsAppendingServer(TlsCertServer):
+            def _answer_client_hello(self, sock, hello):
+                super()._answer_client_hello(sock, hello)
+                sock.send(
+                    Record(
+                        codec.CONTENT_CHANGE_CIPHER_SPEC, (3, 3), b"\x01"
+                    ).encode()
+                )
+
+        network = Network()
+        client = network.add_host("client.example")
+        origin = network.add_host("wire.example")
+        origin.listen(443, CcsAppendingServer(origin_chain).factory)
+        result = ProbeClient(client).probe("wire.example", 443)
+        assert result.ok, result.error
+        assert result.der_chain[0] == origin_chain[0].encode()
+
+
+class TestUpstreamHelloVersion:
+    def test_own_stack_caps_at_client_offer(self, forger, origin_chain, root_ca):
+        """A pre-1.2 client must not be 'upgraded' upstream: the
+        own-stack version is a cap, not a floor."""
+        network, client, engine = proxied_world(
+            make_profile(), origin_chain, RootStore([root_ca.certificate]), forger
+        )
+        sock = client.connect("wire.example", 443)
+        hello = ClientHello(
+            client_random=bytes(32), server_name="wire.example", version=(3, 1)
+        )
+        sock.send(codec.encode_handshake_record(hello, version=(3, 1)))
+        assert engine.last_upstream_hello is not None
+        assert engine.last_upstream_hello.version == (3, 1)
+
+    def test_pre_extension_stack_sends_no_block_and_no_sni(
+        self, forger, origin_chain, root_ca
+    ):
+        """own_extension_types=() models a pre-extension stack: the
+        upstream hello must carry neither SNI nor an extensions block."""
+        network, client, engine = proxied_world(
+            make_profile(own_extension_types=()),
+            origin_chain,
+            RootStore([root_ca.certificate]),
+            forger,
+        )
+        sock = client.connect("wire.example", 443)
+        hello = ClientHello(client_random=bytes(32), server_name="wire.example")
+        sock.send(codec.encode_handshake_record(hello))
+        upstream = engine.last_upstream_hello
+        assert upstream is not None
+        assert upstream.extensions is None
+        assert upstream.server_name is None
+        # Lossless re-encode shows no trailing extensions block.
+        body = upstream.to_handshake().body
+        assert ClientHello.from_body(body).extensions is None
+
+
+class TestBufferTrim:
+    def test_split_client_hello_served_once(
+        self, forger, origin_chain, root_ca
+    ):
+        """A ClientHello delivered byte-by-byte must produce exactly one
+        served flight, and the connection buffer must not retain the
+        already-decoded records."""
+        network, client, engine = proxied_world(
+            make_profile(), origin_chain, RootStore([root_ca.certificate]), forger
+        )
+        sock = client.connect("wire.example", 443)
+        hello = ClientHello(client_random=bytes(32), server_name="wire.example")
+        wire = codec.encode_handshake_record(hello)
+        for index in range(len(wire)):
+            sock.send(wire[index : index + 1])
+        flight = sock.recv()
+        records, rest = codec.decode_records(flight)
+        assert rest == b""
+        assert engine.intercepted == 1
+        connection = sock.peer.protocol
+        assert connection._buffer == b""
+
+    def test_hello_fragmented_across_records_served(
+        self, forger, origin_chain, root_ca
+    ):
+        """One handshake message split over two TLS records (RFC 5246
+        §6.2.1) must reassemble and be served, not dropped."""
+        network, client, engine = proxied_world(
+            make_profile(), origin_chain, RootStore([root_ca.certificate]), forger
+        )
+        sock = client.connect("wire.example", 443)
+        hello = ClientHello(client_random=bytes(32), server_name="wire.example")
+        message = hello.to_handshake().encode()
+        middle = len(message) // 2
+        for part in (message[:middle], message[middle:]):
+            sock.send(Record(codec.CONTENT_HANDSHAKE, (3, 3), part).encode())
+        flight = sock.recv()
+        assert flight and not sock.closed
+        records, _ = codec.decode_records(flight)
+        assert records[0].content_type == codec.CONTENT_HANDSHAKE
+        assert engine.intercepted == 1
+
+    def test_intercepted_connection_drops_replay_copy(
+        self, forger, origin_chain, root_ca
+    ):
+        """Once the hello is answered (no relay), the raw replay bytes
+        must not be retained for the connection's lifetime."""
+        network, client, engine = proxied_world(
+            make_profile(), origin_chain, RootStore([root_ca.certificate]), forger
+        )
+        sock = client.connect("wire.example", 443)
+        hello = ClientHello(client_random=bytes(32), server_name="wire.example")
+        sock.send(codec.encode_handshake_record(hello))
+        connection = sock.peer.protocol
+        assert engine.intercepted == 1
+        assert connection._consumed == b""
+
+    def test_buffer_trimmed_between_chunks(
+        self, forger, origin_chain, root_ca
+    ):
+        """After each complete record the buffer holds only the unparsed
+        tail — the quadratic re-decode regression."""
+        network, client, engine = proxied_world(
+            make_profile(), origin_chain, RootStore([root_ca.certificate]), forger
+        )
+        sock = client.connect("wire.example", 443)
+        connection = sock.peer.protocol
+        hello = ClientHello(client_random=bytes(32), server_name="wire.example")
+        wire = codec.encode_handshake_record(hello)
+        sock.send(wire)
+        assert connection._buffer == b""
+        # A trailing half-record stays buffered; the decoded part does not.
+        extra = Record(codec.CONTENT_APPLICATION_DATA, (3, 3), b"xyz").encode()
+        sock.send(extra[:4])
+        assert connection._buffer == extra[:4]
+        sock.send(extra[4:])
+        assert connection._buffer == b""
+
+
+class _MultiSendOrigin(Protocol):
+    """An origin whose reply spans several sends, plus a CCS record.
+
+    Stands in for a real server flight crossing TCP segment
+    boundaries: the relay must forward every byte, not the first
+    ``recv()``'s worth.
+    """
+
+    def __init__(self, chunks):
+        self.chunks = chunks
+
+    def factory(self):
+        return _MultiSendOrigin(self.chunks)
+
+    def data_received(self, sock, data):
+        for chunk in self.chunks:
+            sock.send(chunk)
+
+
+class TestRelayDrain:
+    def test_whitelisted_relay_forwards_multi_record_reply(
+        self, forger, origin_chain, root_ca
+    ):
+        server = TlsCertServer(origin_chain)
+        flight_chunks = []
+
+        class RecordingSocket:
+            def send(self, data):
+                flight_chunks.append(data)
+
+        server._answer_client_hello(
+            RecordingSocket(), ClientHello(client_random=bytes(32))
+        )
+        ccs = Record(codec.CONTENT_CHANGE_CIPHER_SPEC, (3, 3), b"\x01").encode()
+        origin_protocol = _MultiSendOrigin([*flight_chunks, ccs])
+
+        network = Network()
+        client = network.add_host("victim.example")
+        origin = network.add_host("wire.example")
+        origin.listen(443, origin_protocol.factory)
+        profile = make_profile(whitelist=frozenset({"wire.example"}))
+        engine = TlsProxyEngine(
+            profile,
+            forger,
+            upstream_host=client,
+            upstream_trust=RootStore([root_ca.certificate]),
+        )
+        client.add_interceptor(engine)
+
+        sock = client.connect("wire.example", 443)
+        hello = ClientHello(client_random=bytes(32), server_name="wire.example")
+        sock.send(codec.encode_handshake_record(hello))
+        relayed = sock.recv()
+        assert relayed == b"".join([*flight_chunks, ccs])
+        assert engine.whitelisted == 1
+
+    def test_double_hello_chunk_starts_one_relay(
+        self, forger, origin_chain, root_ca
+    ):
+        """Two ClientHello records coalesced into one chunk must open
+        exactly one upstream relay (the second is replayed raw, not
+        re-interpreted into a second connection)."""
+        network = Network()
+        client = network.add_host("victim.example")
+        origin = network.add_host("wire.example")
+        origin.listen(443, TlsCertServer(origin_chain).factory)
+        profile = make_profile(whitelist=frozenset({"wire.example"}))
+        engine = TlsProxyEngine(
+            profile,
+            forger,
+            upstream_host=client,
+            upstream_trust=RootStore([root_ca.certificate]),
+        )
+        client.add_interceptor(engine)
+
+        sock = client.connect("wire.example", 443)
+        hello = ClientHello(client_random=bytes(32), server_name="wire.example")
+        wire = codec.encode_handshake_record(hello)
+        sock.send(wire + wire)
+        assert engine.whitelisted == 1
+        assert network.connections_opened == 2  # client leg + one relay
+
+    def test_split_client_hello_relayed_verbatim(
+        self, forger, origin_chain, root_ca
+    ):
+        """Split delivery + whitelist: the relay must replay the full
+        ClientHello (consumed records were trimmed from the buffer)."""
+        network = Network()
+        client = network.add_host("victim.example")
+        origin = network.add_host("wire.example")
+        origin.listen(443, TlsCertServer(origin_chain).factory)
+        profile = make_profile(whitelist=frozenset({"wire.example"}))
+        engine = TlsProxyEngine(
+            profile,
+            forger,
+            upstream_host=client,
+            upstream_trust=RootStore([root_ca.certificate]),
+        )
+        client.add_interceptor(engine)
+
+        sock = client.connect("wire.example", 443)
+        hello = ClientHello(client_random=bytes(32), server_name="wire.example")
+        wire = codec.encode_handshake_record(hello)
+        middle = len(wire) // 2
+        sock.send(wire[:middle])
+        assert sock.recv() == b""  # nothing to relay yet
+        sock.send(wire[middle:])
+        records, rest = codec.decode_records(sock.recv())
+        assert rest == b""
+        messages, _ = codec.decode_handshakes(
+            b"".join(
+                r.payload
+                for r in records
+                if r.content_type == codec.CONTENT_HANDSHAKE
+            )
+        )
+        ders = next(
+            codec.Certificate.from_body(m.body).der_chain
+            for m in messages
+            if m.msg_type == codec.HS_CERTIFICATE
+        )
+        assert ders[0] == origin_chain[0].encode()  # relayed, not forged
+        assert engine.whitelisted == 1

@@ -1,0 +1,99 @@
+"""Unit tests for ClientHello fingerprinting and browser profiles."""
+
+import pytest
+
+from repro.tls import codec
+from repro.tls.codec import ClientHello
+from repro.tls.fingerprint import (
+    BROWSER_PROFILES,
+    browser_profile,
+    build_own_stack_extensions,
+    encode_groups_body,
+    encode_point_formats_body,
+    fingerprint_client_hello,
+    fingerprint_divergence,
+    parse_groups_body,
+    parse_point_formats_body,
+)
+
+
+class TestFingerprint:
+    def test_ja3_string_layout(self):
+        hello = ClientHello(
+            client_random=bytes(32),
+            version=(3, 3),
+            cipher_suites=(0x002F, 0xC013),
+            extensions=(
+                (codec.EXT_SERVER_NAME, codec.encode_sni_extension_body("a.example")),
+                (codec.EXT_SUPPORTED_GROUPS, encode_groups_body((23, 24))),
+                (codec.EXT_EC_POINT_FORMATS, encode_point_formats_body((0,))),
+            ),
+        )
+        fp = fingerprint_client_hello(hello)
+        assert fp.ja3_string() == "771,47-49171,0-10-11,23-24,0"
+        assert len(fp.digest()) == 32
+
+    def test_fingerprint_ignores_randoms_and_sni_host(self):
+        profile = browser_profile("firefox")
+        a = profile.client_hello(bytes(32), "one.example")
+        b = profile.client_hello(bytes([7] * 32), "two.example")
+        assert fingerprint_client_hello(a) == fingerprint_client_hello(b)
+
+    def test_divergence_names_differing_dimensions(self):
+        chrome = browser_profile("chrome").fingerprint()
+        safari = browser_profile("safari").fingerprint()
+        diverging = fingerprint_divergence(chrome, safari)
+        assert "cipher_suites" in diverging
+        assert "version" not in diverging
+        assert fingerprint_divergence(chrome, chrome) == ()
+
+    def test_group_and_point_format_bodies_round_trip(self):
+        assert parse_groups_body(encode_groups_body((23, 24, 25))) == (23, 24, 25)
+        assert parse_point_formats_body(encode_point_formats_body((0, 1))) == (0, 1)
+        assert parse_groups_body(b"") == ()
+        assert parse_point_formats_body(b"") == ()
+
+
+class TestBrowserRegistry:
+    def test_four_profiles_with_distinct_fingerprints(self):
+        assert set(BROWSER_PROFILES) == {"chrome", "firefox", "ie", "safari"}
+        digests = {p.fingerprint().digest() for p in BROWSER_PROFILES.values()}
+        assert len(digests) == 4
+
+    def test_profiles_round_trip_losslessly(self):
+        for profile in BROWSER_PROFILES.values():
+            hello = profile.client_hello(bytes(32), "probe.example")
+            body = hello.to_handshake().body
+            decoded = ClientHello.from_body(body)
+            assert decoded == hello
+            assert decoded.to_handshake().body == body
+            assert decoded.server_name == "probe.example"
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(KeyError, match="unknown browser profile"):
+            browser_profile("netscape")
+
+
+class TestOwnStackExtensions:
+    def test_sni_only_default_matches_historical_shape(self):
+        exts = build_own_stack_extensions((codec.EXT_SERVER_NAME,), "x.example")
+        assert exts == (
+            (codec.EXT_SERVER_NAME, codec.encode_sni_extension_body("x.example")),
+        )
+
+    def test_no_server_name_yields_no_block(self):
+        assert build_own_stack_extensions((codec.EXT_SERVER_NAME,), None) is None
+
+    def test_explicit_empty_stack_sends_no_extension_block(self):
+        """A pre-extension stack (empty type list) yields None — no
+        extensions block on the wire, not an empty one."""
+        assert build_own_stack_extensions((), "x.example") is None
+
+    def test_canned_bodies_for_known_types(self):
+        exts = build_own_stack_extensions(
+            (codec.EXT_SUPPORTED_GROUPS, codec.EXT_EC_POINT_FORMATS, 0xABCD), None
+        )
+        assert exts is not None
+        by_type = dict(exts)
+        assert parse_groups_body(by_type[codec.EXT_SUPPORTED_GROUPS]) == (23, 24, 25)
+        assert by_type[0xABCD] == b""
