@@ -11,10 +11,19 @@ Reproduces §5 and §6 of the paper over a :class:`ReportDatabase`:
   signatures, falsified CA claims, subject modifications, shared keys.
 * :mod:`repro.analysis.malware` — the §6.4 malware census and the
   IP-dispersion oddities (kowsar, DSP, MYInternetS).
+* :mod:`repro.analysis.mimicry` — the mimicry-prevalence study:
+  per-country detectable-from-client-side rates, weighted by product
+  market share, from the audit harness's server-leg survey.
 """
 
 from repro.analysis.classifier import IssuerClassifier
 from repro.analysis.malware import MalwareCensus, OddityReport, ip_dispersion_oddities, malware_census
+from repro.analysis.mimicry import (
+    MimicryCountryRow,
+    MimicryPrevalence,
+    ProductVerdict,
+    mimicry_prevalence,
+)
 from repro.analysis.negligence import NegligenceReport, analyze_negligence
 from repro.analysis.tables import (
     audit_grade_table,
@@ -24,14 +33,18 @@ from repro.analysis.tables import (
     heatmap_series,
     host_type_table,
     issuer_organization_table,
+    server_leg_table,
 )
 
 __all__ = [
     "IssuerClassifier",
     "audit_grade_table",
     "MalwareCensus",
+    "MimicryCountryRow",
+    "MimicryPrevalence",
     "NegligenceReport",
     "OddityReport",
+    "ProductVerdict",
     "analyze_negligence",
     "classification_table",
     "client_leg_table",
@@ -41,4 +54,6 @@ __all__ = [
     "ip_dispersion_oddities",
     "issuer_organization_table",
     "malware_census",
+    "mimicry_prevalence",
+    "server_leg_table",
 ]

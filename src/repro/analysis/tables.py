@@ -183,6 +183,8 @@ class AuditGradeRow:
     functional: bool
     client_score: float = 0.0
     client_max_score: float = 0.0
+    server_score: float = 0.0
+    server_max_score: float = 0.0
 
 
 def audit_grade_table(scorecards: Sequence[ProductScorecard]) -> list[AuditGradeRow]:
@@ -204,9 +206,23 @@ def audit_grade_table(scorecards: Sequence[ProductScorecard]) -> list[AuditGrade
             functional=card.functional,
             client_score=card.client_score,
             client_max_score=card.client_max_score,
+            server_score=card.server_score,
+            server_max_score=card.server_max_score,
         )
         for rank, card in enumerate(ordered)
     ]
+
+
+def _version_echo_label(
+    offered: tuple[int, int], echoed: tuple[int, int] | None
+) -> str:
+    """The shared ``echoed`` / ``downgraded X -> Y`` table label."""
+    if echoed == offered:
+        return "echoed"
+    return (
+        f"downgraded {version_name(offered)} -> "
+        f"{version_name(echoed) if echoed else 'nothing'}"
+    )
 
 
 @dataclass(frozen=True)
@@ -250,14 +266,8 @@ def client_leg_table(scorecards: Sequence[ProductScorecard]) -> list[ClientLegRo
             mimicry = "diverges: " + ", ".join(observation.divergent_fields)
         else:
             mimicry = "match"
-        echoed = observation.echoed_version
-        offered = observation.offered_version
-        version_echo = (
-            "echoed"
-            if echoed == offered
-            else "downgraded "
-            f"{version_name(offered)} -> "
-            f"{version_name(echoed) if echoed else 'nothing'}"
+        version_echo = _version_echo_label(
+            observation.offered_version, observation.echoed_version
         )
         rows.append(
             ClientLegRow(
@@ -270,6 +280,73 @@ def client_leg_table(scorecards: Sequence[ProductScorecard]) -> list[ClientLegRo
                 version_echo=version_echo,
                 points=card.client_score,
                 max_points=card.client_max_score,
+            )
+        )
+    return rows
+
+
+@dataclass(frozen=True)
+class ServerLegRow:
+    """One row of the per-product server-leg divergence table."""
+
+    product_key: str
+    browser: str
+    server_hello: str  # "match" or the diverging JA3S dimensions
+    cipher: str
+    version_echo: str
+    compression: str
+    session: str
+    points: float
+    max_points: float
+
+
+def server_leg_table(scorecards: Sequence[ProductScorecard]) -> list[ServerLegRow]:
+    """The per-product server-leg divergence table, catalog order."""
+    rows: list[ServerLegRow] = []
+    for card in scorecards:
+        observation = card.server_leg
+        if observation is None:
+            continue
+        if observation.error:
+            rows.append(
+                ServerLegRow(
+                    product_key=card.product_key,
+                    browser=observation.browser,
+                    server_hello="error",
+                    cipher="-",
+                    version_echo="-",
+                    compression="-",
+                    session="-",
+                    points=card.server_score,
+                    max_points=card.server_max_score,
+                )
+            )
+            continue
+        if observation.divergent_fields:
+            server_hello = "diverges: " + ", ".join(observation.divergent_fields)
+        else:
+            server_hello = "match"
+        version_echo = _version_echo_label(
+            observation.offered_version, observation.echoed_version
+        )
+        chosen = observation.chosen_cipher
+        rows.append(
+            ServerLegRow(
+                product_key=card.product_key,
+                browser=observation.browser,
+                server_hello=server_hello,
+                cipher=f"{chosen:#06x}" if chosen is not None else "-",
+                version_echo=version_echo,
+                compression=(
+                    "null"
+                    if not observation.compression_method
+                    else str(observation.compression_method)
+                ),
+                # The observation records only the length: a granted id
+                # may be freshly minted or echoed, both resumable.
+                session=("granted" if observation.session_id_length else "none"),
+                points=card.server_score,
+                max_points=card.server_max_score,
             )
         )
     return rows

@@ -17,11 +17,20 @@ it BLOCKs, PASSes through, or MASKs each attack.
 * :mod:`repro.audit.scorecard` — turns outcomes into letter-graded
   scorecards with per-check evidence, and the catalog-wide report.
 
-Entry points: ``audit_catalog(seed, workers)`` (batch API) and the
-``repro audit`` CLI subcommand.
+Grading covers three observable surfaces per product: the adversarial
+upstream scenarios, the client-leg mimicry checks (upstream
+ClientHello fingerprint, substitute certificate), and the server-leg
+checks (the substitute ServerHello's chosen cipher, extension set,
+version echo, compression and session-id policy vs the probing
+browser's *expected* genuine-origin answer).
+
+Entry points: ``audit_catalog(seed, workers)`` (batch API),
+``mimicry_catalog(...)`` (the mimicry probe alone, feeding the
+mimicry-prevalence study) and the ``repro audit`` /
+``repro mimicry-prevalence`` CLI subcommands.
 """
 
-from repro.audit.harness import AuditHarness, audit_catalog
+from repro.audit.harness import AuditHarness, audit_catalog, mimicry_catalog
 from repro.audit.scenarios import (
     ADVERSARIAL_SCENARIOS,
     AUDIT_HOSTNAME,
@@ -36,6 +45,9 @@ from repro.audit.scorecard import (
     CheckResult,
     ClientLegObservation,
     MIMICRY_KEY,
+    MimicryEntry,
+    MimicryProbe,
+    MimicrySurvey,
     OUTCOME_BLOCK,
     OUTCOME_DIVERGENT,
     OUTCOME_DOWNGRADED,
@@ -47,8 +59,10 @@ from repro.audit.scorecard import (
     OUTCOME_WEAK,
     ProductScorecard,
     ScenarioObservation,
+    ServerLegObservation,
     build_client_checks,
     build_scorecard,
+    build_server_checks,
     letter_grade,
 )
 
@@ -62,6 +76,9 @@ __all__ = [
     "CheckResult",
     "ClientLegObservation",
     "MIMICRY_KEY",
+    "MimicryEntry",
+    "MimicryProbe",
+    "MimicrySurvey",
     "OUTCOME_BLOCK",
     "OUTCOME_DIVERGENT",
     "OUTCOME_DOWNGRADED",
@@ -75,9 +92,12 @@ __all__ = [
     "ProductScorecard",
     "SCENARIOS",
     "ScenarioObservation",
+    "ServerLegObservation",
     "audit_catalog",
     "build_client_checks",
     "build_scorecard",
+    "build_server_checks",
     "letter_grade",
+    "mimicry_catalog",
     "scenario_by_key",
 ]

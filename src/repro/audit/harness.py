@@ -31,6 +31,9 @@ from repro.audit.scenarios import (
 from repro.audit.scorecard import (
     AuditReport,
     ClientLegObservation,
+    MimicryEntry,
+    MimicryProbe,
+    MimicrySurvey,
     OUTCOME_BLOCK,
     OUTCOME_ERROR,
     OUTCOME_INTERCEPT,
@@ -38,6 +41,7 @@ from repro.audit.scorecard import (
     OUTCOME_PASS,
     ProductScorecard,
     ScenarioObservation,
+    ServerLegObservation,
     build_scorecard,
 )
 from repro.crypto.hashes import hash_by_signature_oid
@@ -54,6 +58,8 @@ from repro.tls.fingerprint import (
     browser_profile,
     fingerprint_client_hello,
     fingerprint_divergence,
+    fingerprint_server_hello,
+    server_fingerprint_divergence,
 )
 from repro.tls.probe import ProbeClient, ProbeResult
 from repro.tls.server import TlsCertServer
@@ -97,27 +103,35 @@ class AuditHarness:
     def audit_product(self, profile: ProxyProfile) -> ProductScorecard:
         """Run ``profile`` through the full battery and grade it.
 
-        The grade covers both legs: the adversarial upstream scenarios
-        plus the client-leg mimicry/substitute checks.
+        The grade covers all three observable surfaces: the
+        adversarial upstream scenarios, the client-leg
+        mimicry/substitute checks, and the server-leg substitute
+        ServerHello checks.
         """
         observations = [
             self.run_scenario(profile, scenario) for scenario in SCENARIOS
         ]
+        probe = self.run_mimicry(profile)
         return build_scorecard(
             profile.key,
             profile.category.value,
             observations,
-            client_leg=self.run_mimicry(profile),
+            client_leg=probe.client_leg,
+            server_leg=probe.server_leg,
         )
 
-    def run_mimicry(self, profile: ProxyProfile) -> ClientLegObservation:
+    def run_mimicry(self, profile: ProxyProfile) -> MimicryProbe:
         """Probe ``profile`` with a browser hello against a genuine origin.
 
-        Compares the fingerprint of the upstream ClientHello the proxy
-        actually sent with the probing browser's, and inspects the
-        substitute handshake served back (key size, signature hash,
-        echoed version) — the de Carné de Carnavalet & van Oorschot /
-        Waked et al. client-leg methodology.
+        One probe observes both legs.  Client leg: the fingerprint of
+        the upstream ClientHello the proxy actually sent vs the
+        probing browser's, plus the substitute certificate (key size,
+        signature hash) — the de Carné de Carnavalet & van Oorschot /
+        Waked et al. methodology.  Server leg: the substitute
+        ServerHello served back (chosen cipher, extension set, echoed
+        version, compression, session-id policy) vs the browser
+        profile's *expected* genuine-origin answer — the JA3S-style
+        dual.
         """
         network, origin, victim, engine = self._make_rig(profile, "mimicry")
         probe = ProbeClient(
@@ -127,44 +141,121 @@ class AuditHarness:
         expected = self.browser.fingerprint()
         upstream_hello = engine.last_upstream_hello
         if not result.ok or upstream_hello is None:
-            return ClientLegObservation(
-                browser=self.browser.key,
-                expected_ja3=expected.digest(),
-                observed_ja3=None,
-                divergent_fields=(),
-                substitute_key_bits=None,
-                substitute_hash=None,
-                offered_version=self.browser.version,
-                echoed_version=None,
-                error=result.error or "no upstream hello observed",
+            error = result.error or "no upstream hello observed"
+            return MimicryProbe(
+                client_leg=ClientLegObservation(
+                    browser=self.browser.key,
+                    expected_ja3=expected.digest(),
+                    observed_ja3=None,
+                    divergent_fields=(),
+                    substitute_key_bits=None,
+                    substitute_hash=None,
+                    offered_version=self.browser.version,
+                    echoed_version=None,
+                    error=error,
+                ),
+                server_leg=self._observe_server_leg(result.server_hello, error),
             )
         observed = fingerprint_client_hello(upstream_hello)
         leaf = result.leaf
         if leaf is None or result.server_hello is None:
-            return ClientLegObservation(
-                browser=self.browser.key,
-                expected_ja3=expected.digest(),
-                observed_ja3=observed.digest(),
-                divergent_fields=fingerprint_divergence(expected, observed),
-                substitute_key_bits=None,
-                substitute_hash=None,
-                offered_version=self.browser.version,
-                echoed_version=None,
-                error="substitute flight missing ServerHello or Certificate",
+            error = "substitute flight missing ServerHello or Certificate"
+            return MimicryProbe(
+                client_leg=ClientLegObservation(
+                    browser=self.browser.key,
+                    expected_ja3=expected.digest(),
+                    observed_ja3=observed.digest(),
+                    divergent_fields=fingerprint_divergence(expected, observed),
+                    substitute_key_bits=None,
+                    substitute_hash=None,
+                    offered_version=self.browser.version,
+                    echoed_version=None,
+                    error=error,
+                ),
+                server_leg=self._observe_server_leg(result.server_hello, error),
             )
         try:
             substitute_hash = hash_by_signature_oid(leaf.signature_oid).name
         except KeyError:
             substitute_hash = None
-        return ClientLegObservation(
-            browser=self.browser.key,
-            expected_ja3=expected.digest(),
-            observed_ja3=observed.digest(),
-            divergent_fields=fingerprint_divergence(expected, observed),
-            substitute_key_bits=leaf.public_key_bits,
-            substitute_hash=substitute_hash,
-            offered_version=self.browser.version,
-            echoed_version=result.server_hello.version,
+        return MimicryProbe(
+            client_leg=ClientLegObservation(
+                browser=self.browser.key,
+                expected_ja3=expected.digest(),
+                observed_ja3=observed.digest(),
+                divergent_fields=fingerprint_divergence(expected, observed),
+                substitute_key_bits=leaf.public_key_bits,
+                substitute_hash=substitute_hash,
+                offered_version=self.browser.version,
+                echoed_version=result.server_hello.version,
+            ),
+            server_leg=self._observe_server_leg(result.server_hello),
+        )
+
+    def _observe_server_leg(self, served, error: str = "") -> ServerLegObservation:
+        """Grade-ready view of the substitute ServerHello ``served``.
+
+        ``served`` is the wire-parsed hello the probe received — the
+        client's ground truth, not the engine's intent — so anything
+        the codec lost would be invisible here; the lossless
+        :class:`~repro.tls.codec.ServerHello` is what makes this
+        observation possible at all.  A hello that *was* captured is
+        graded even when the rest of the probe failed (e.g. a missing
+        Certificate message): the server leg was observable, and
+        zeroing it would misreport a mimicking stack as detectable.
+        ``error`` only applies when no hello arrived at all.
+        """
+        browser = self.browser
+        expected = browser.server_fingerprint()
+        if served is None:
+            return ServerLegObservation(
+                browser=browser.key,
+                expected_ja3s=expected.digest(),
+                observed_ja3s=None,
+                divergent_fields=(),
+                chosen_cipher=None,
+                cipher_rank=None,
+                expected_cipher=browser.expected_server_cipher,
+                extension_types=(),
+                expected_extension_types=browser.expected_server_extension_types,
+                offered_version=browser.version,
+                echoed_version=None,
+                compression_method=None,
+                session_id_length=None,
+                error=error or "substitute flight missing ServerHello",
+            )
+        observed = fingerprint_server_hello(served)
+        try:
+            cipher_rank: int | None = browser.cipher_suites.index(
+                served.cipher_suite
+            )
+        except ValueError:
+            cipher_rank = None
+        return ServerLegObservation(
+            browser=browser.key,
+            expected_ja3s=expected.digest(),
+            observed_ja3s=observed.digest(),
+            divergent_fields=server_fingerprint_divergence(expected, observed),
+            chosen_cipher=served.cipher_suite,
+            cipher_rank=cipher_rank,
+            expected_cipher=browser.expected_server_cipher,
+            extension_types=served.extension_types,
+            expected_extension_types=browser.expected_server_extension_types,
+            offered_version=browser.version,
+            echoed_version=served.version,
+            compression_method=served.compression_method,
+            session_id_length=len(served.session_id),
+            error="",
+        )
+
+    def survey_product(self, spec) -> MimicryEntry:
+        """One product's mimicry probe as a survey entry."""
+        probe = self.run_mimicry(spec.profile)
+        return MimicryEntry(
+            product_key=spec.key,
+            category=spec.profile.category.value,
+            client_leg=probe.client_leg,
+            server_leg=probe.server_leg,
         )
 
     def _make_rig(
@@ -290,8 +381,22 @@ def audit_catalog(
     ``browser`` picks the 2014-era profile the client-leg mimicry
     probe impersonates (:data:`repro.tls.fingerprint.BROWSER_PROFILES`).
     """
-    if executor not in ("thread", "process"):
-        raise ValueError("executor must be 'thread' or 'process'")
+    scorecards = _fan_out_catalog(
+        seed=seed,
+        workers=workers,
+        products=products,
+        pki_key_bits=pki_key_bits,
+        executor=executor,
+        vault=vault,
+        browser=browser,
+        serial_task=lambda harness, spec: harness.audit_product(spec.profile),
+        process_task=_audit_product_task,
+    )
+    return AuditReport(seed=seed, scorecards=tuple(scorecards))
+
+
+def _resolve_specs(products: list[str] | None):
+    """The catalog, or the named subset of it, in catalog order."""
     specs = catalog()
     if products:
         by_key = {spec.key: spec for spec in specs}
@@ -299,6 +404,31 @@ def audit_catalog(
         if unknown:
             raise KeyError(f"unknown product keys: {', '.join(sorted(unknown))}")
         specs = [by_key[key] for key in products]
+    return specs
+
+
+def _fan_out_catalog(
+    seed: int,
+    workers: int,
+    products: list[str] | None,
+    pki_key_bits: int,
+    executor: str,
+    vault: str | None,
+    browser: str,
+    serial_task,
+    process_task,
+) -> list:
+    """Shared orchestration for per-product catalog fan-outs.
+
+    ``serial_task(harness, spec)`` runs one product against a local
+    harness (serial and thread paths); ``process_task`` is its
+    module-level twin for the process pool, which rebuilds the
+    deterministic harness per worker via ``_init_audit_worker``.
+    Results come back in catalog order regardless of pool scheduling.
+    """
+    if executor not in ("thread", "process"):
+        raise ValueError("executor must be 'thread' or 'process'")
+    specs = _resolve_specs(products)
     if workers > 1 and executor == "process":
         # Gate the parent warm on the *resolved* vault — an explicit
         # path or the REPRO_KEY_VAULT fallback — so env-attached
@@ -314,14 +444,10 @@ def audit_catalog(
             initializer=_init_audit_worker,
             initargs=(seed, pki_key_bits, vault, browser),
         ) as pool:
-            scorecards = list(
-                pool.map(_audit_product_task, [spec.key for spec in specs])
-            )
-        return AuditReport(seed=seed, scorecards=tuple(scorecards))
+            return list(pool.map(process_task, [spec.key for spec in specs]))
     harness = AuditHarness(
         seed=seed, pki_key_bits=pki_key_bits, vault=vault, browser=browser
     )
-    profiles = [spec.profile for spec in specs]
     if workers > 1:
         # Threads share the harness: warm every signing CA (all issuer
         # variants, not just bucket 0) serially first so the pool never
@@ -330,13 +456,45 @@ def audit_catalog(
         # are insurance for bucket-varying batteries at the cost of
         # some up-front keygen on this (GIL-bound anyway) path; the
         # serial and process paths stay lazy and pay nothing.
-        for profile in profiles:
-            harness.warm_product(profile)
+        for spec in specs:
+            harness.warm_product(spec.profile)
         with ThreadPoolExecutor(max_workers=workers) as pool:
-            scorecards = list(pool.map(harness.audit_product, profiles))
-    else:
-        scorecards = [harness.audit_product(profile) for profile in profiles]
-    return AuditReport(seed=seed, scorecards=tuple(scorecards))
+            return list(
+                pool.map(lambda spec: serial_task(harness, spec), specs)
+            )
+    return [serial_task(harness, spec) for spec in specs]
+
+
+def mimicry_catalog(
+    seed: int = 42,
+    workers: int = 1,
+    products: list[str] | None = None,
+    pki_key_bits: int = 1024,
+    executor: str = "thread",
+    vault: str | None = None,
+    browser: str = DEFAULT_BROWSER,
+) -> MimicrySurvey:
+    """Run only the mimicry probe over the catalog (or a subset).
+
+    The mimicry-prevalence study needs both legs of every product's
+    mimicry observation but none of the adversarial scenarios, so this
+    is roughly an order of magnitude cheaper than ``audit_catalog``.
+    Sharding semantics are identical: entries come back in catalog
+    order and are byte-identical for any worker count or executor
+    kind, and a warm ``vault`` spares every worker its keygen.
+    """
+    entries = _fan_out_catalog(
+        seed=seed,
+        workers=workers,
+        products=products,
+        pki_key_bits=pki_key_bits,
+        executor=executor,
+        vault=vault,
+        browser=browser,
+        serial_task=lambda harness, spec: harness.survey_product(spec),
+        process_task=_survey_product_task,
+    )
+    return MimicrySurvey(seed=seed, browser=browser, entries=tuple(entries))
 
 
 # Per-process worker state for the process-pool backend.  The harness
@@ -363,3 +521,9 @@ def _audit_product_task(product_key: str) -> ProductScorecard:
     assert harness is not None, "worker initialised without a harness"
     spec = catalog_by_key()[product_key]
     return harness.audit_product(spec.profile)
+
+
+def _survey_product_task(product_key: str) -> MimicryEntry:
+    harness = _AUDIT_WORKER
+    assert harness is not None, "worker initialised without a harness"
+    return harness.survey_product(catalog_by_key()[product_key])

@@ -22,7 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.audit.scenarios import ADVERSARIAL_SCENARIOS, SCENARIOS, scenario_by_key
-from repro.tls.codec import version_name
+from repro.tls.codec import WEAK_CIPHER_SUITES, version_name
 
 OUTCOME_BLOCK = "BLOCK"
 OUTCOME_MASK = "MASK"
@@ -47,7 +47,15 @@ _POINTS = {
 MIMICRY_KEY = "mimicry"
 SUBSTITUTE_KEY_KEY = "substitute-key"
 SUBSTITUTE_HASH_KEY = "substitute-hash"
+
+# Server-leg check keys (the substitute ServerHello itself).  The
+# version-echo check lives here: what it grades is the version field
+# of the served ServerHello.
+SERVER_CIPHER_KEY = "server-cipher"
+SERVER_EXTENSIONS_KEY = "server-extensions"
 VERSION_ECHO_KEY = "version-echo"
+SERVER_COMPRESSION_KEY = "server-compression"
+SERVER_SESSION_KEY = "server-session"
 
 # Letter-grade floors over the score fraction, best first.
 GRADE_FLOORS: tuple[tuple[float, str], ...] = (
@@ -120,8 +128,10 @@ def build_client_checks(
       half (the paper's 61% downgrade finding), anything below fails.
     * ``substitute-hash`` — SHA-2 passes, SHA-1 earns half in the 2014
       frame, MD5 (IopFail's choice) fails.
-    * ``version-echo`` — the substitute leg must serve the version the
-      client offered; serving lower is a client-visible downgrade.
+
+    The version-echo check moved to the server-leg section
+    (:func:`build_server_checks`) alongside the other ServerHello
+    parameters it actually grades.
     """
     if observation.error:
         evidence = f"client-leg probe failed: {observation.error}"
@@ -131,7 +141,6 @@ def build_client_checks(
                 (MIMICRY_KEY, "ClientHello mimicry", "fingerprint-divergence"),
                 (SUBSTITUTE_KEY_KEY, "Substitute key strength", "weak-key"),
                 (SUBSTITUTE_HASH_KEY, "Substitute signature hash", "deprecated-hash"),
-                (VERSION_ECHO_KEY, "Version echo", "protocol-downgrade"),
             )
         )
     checks = []
@@ -195,6 +204,172 @@ def build_client_checks(
             f"substitute leaf signed with {hash_name}",
         )
     )
+    return tuple(checks)
+
+
+@dataclass(frozen=True)
+class ServerLegObservation:
+    """What the harness saw in one product's substitute *ServerHello*.
+
+    Collected on the same mimicry probe as the client leg, from the
+    hello the proxy served back to the browser: the version it echoed,
+    the cipher it substituted for the browser's offer, the extension
+    set it carried, its compression byte and its session-id policy —
+    graded against the :class:`~repro.tls.fingerprint.BrowserProfile`'s
+    *expected* genuine-origin answer.
+    """
+
+    browser: str  # registry key of the probing browser profile
+    expected_ja3s: str  # digest of the expected origin answer
+    observed_ja3s: str | None  # digest of the served substitute hello
+    divergent_fields: tuple[str, ...]  # JA3S dimensions that differ
+    chosen_cipher: int | None  # suite the substitute leg picked
+    cipher_rank: int | None  # 0-based rank in the browser's offer; None = unoffered
+    expected_cipher: int  # what a genuine origin answers this browser
+    extension_types: tuple[int, ...]  # served extension types, wire order
+    expected_extension_types: tuple[int, ...]
+    offered_version: tuple[int, int]  # what the browser hello offered
+    echoed_version: tuple[int, int] | None  # what the substitute leg served
+    compression_method: int | None  # served compression byte
+    session_id_length: int | None  # length of the served session id
+    error: str = ""  # non-empty when the probe could not complete
+
+
+def build_server_checks(
+    observation: ServerLegObservation,
+) -> tuple[CheckResult, ...]:
+    """Grade a server-leg observation into scorecard checks.
+
+    * ``server-cipher`` — the substituted suite vs the browser's
+      offered ordering: the genuine origin's expected answer earns
+      full marks, any other *offered* suite half (functional but a
+      visible divergence), an un-offered or registry-weak suite fails.
+    * ``server-extensions`` — the served extension set vs the
+      browser's expected origin answer; same set out of order earns
+      half, missing/extra types fail.
+    * ``version-echo`` — the substitute leg must serve the version the
+      client offered; serving lower is a client-visible downgrade.
+    * ``server-compression`` — a nonzero compression byte is a defect
+      outright (no sane post-CRIME origin negotiates compression).
+    * ``server-session`` — a genuine origin answers a new session with
+      a resumable session id; a substitute leg that never offers one
+      earns half.
+    """
+    if observation.error:
+        evidence = f"server-leg probe failed: {observation.error}"
+        return tuple(
+            CheckResult(key, title, defect, OUTCOME_ERROR, 0.0, 1.0, evidence)
+            for key, title, defect in (
+                (SERVER_CIPHER_KEY, "Substitute cipher choice", "cipher-divergence"),
+                (SERVER_EXTENSIONS_KEY, "Server extension set", "extension-divergence"),
+                (VERSION_ECHO_KEY, "Version echo", "protocol-downgrade"),
+                (SERVER_COMPRESSION_KEY, "Server compression", "server-compression"),
+                (SERVER_SESSION_KEY, "Session-id policy", "no-resumption"),
+            )
+        )
+    # An error-free observation always carries the served hello's
+    # fields (the harness grades a captured hello or takes the error
+    # branch above — there is no in-between).
+    checks = []
+    chosen = observation.chosen_cipher
+    assert chosen is not None
+    if chosen in WEAK_CIPHER_SUITES:
+        checks.append(
+            CheckResult(
+                SERVER_CIPHER_KEY,
+                "Substitute cipher choice",
+                "cipher-divergence",
+                OUTCOME_WEAK,
+                0.0,
+                1.0,
+                f"substitute leg chose registry-weak suite {chosen:#06x}",
+            )
+        )
+    elif observation.cipher_rank is None:
+        checks.append(
+            CheckResult(
+                SERVER_CIPHER_KEY,
+                "Substitute cipher choice",
+                "cipher-divergence",
+                OUTCOME_DIVERGENT,
+                0.0,
+                1.0,
+                f"substitute leg chose {chosen:#06x}, a suite the "
+                f"{observation.browser} profile never offered — no genuine "
+                "origin can answer that",
+            )
+        )
+    elif chosen == observation.expected_cipher:
+        checks.append(
+            CheckResult(
+                SERVER_CIPHER_KEY,
+                "Substitute cipher choice",
+                "cipher-divergence",
+                OUTCOME_OK,
+                1.0,
+                1.0,
+                f"substitute leg answers {chosen:#06x}, exactly what a "
+                f"genuine origin picks for the {observation.browser} offer",
+            )
+        )
+    else:
+        checks.append(
+            CheckResult(
+                SERVER_CIPHER_KEY,
+                "Substitute cipher choice",
+                "cipher-divergence",
+                OUTCOME_DIVERGENT,
+                0.5,
+                1.0,
+                f"substitute leg chose {chosen:#06x} (rank "
+                f"{observation.cipher_rank + 1} of the {observation.browser} "
+                f"offer); a genuine origin answers "
+                f"{observation.expected_cipher:#06x}",
+            )
+        )
+    served = observation.extension_types
+    expected = observation.expected_extension_types
+    if served == expected:
+        checks.append(
+            CheckResult(
+                SERVER_EXTENSIONS_KEY,
+                "Server extension set",
+                "extension-divergence",
+                OUTCOME_OK,
+                1.0,
+                1.0,
+                "served extension set matches the expected origin answer "
+                f"({'-'.join(str(t) for t in expected) or 'none'})",
+            )
+        )
+    elif set(served) == set(expected):
+        checks.append(
+            CheckResult(
+                SERVER_EXTENSIONS_KEY,
+                "Server extension set",
+                "extension-divergence",
+                OUTCOME_DIVERGENT,
+                0.5,
+                1.0,
+                "served extensions match the expected set but not its "
+                "order — a fingerprintable stack quirk",
+            )
+        )
+    else:
+        missing = [t for t in expected if t not in served]
+        extra = [t for t in served if t not in expected]
+        checks.append(
+            CheckResult(
+                SERVER_EXTENSIONS_KEY,
+                "Server extension set",
+                "extension-divergence",
+                OUTCOME_DIVERGENT,
+                0.0,
+                1.0,
+                "served extension set diverges from the expected origin "
+                f"answer (missing {missing or 'none'}, extra {extra or 'none'})",
+            )
+        )
     echoed = observation.echoed_version
     if echoed == observation.offered_version:
         checks.append(
@@ -223,6 +398,58 @@ def build_client_checks(
                 f"{version_name(echoed) if echoed else 'nothing'}",
             )
         )
+    compression = observation.compression_method or 0
+    if compression == 0:
+        checks.append(
+            CheckResult(
+                SERVER_COMPRESSION_KEY,
+                "Server compression",
+                "server-compression",
+                OUTCOME_OK,
+                1.0,
+                1.0,
+                "substitute leg negotiates null compression",
+            )
+        )
+    else:
+        checks.append(
+            CheckResult(
+                SERVER_COMPRESSION_KEY,
+                "Server compression",
+                "server-compression",
+                OUTCOME_WEAK,
+                0.0,
+                1.0,
+                f"substitute leg negotiates compression method {compression} "
+                "— a post-CRIME defect no 2014 origin exhibits",
+            )
+        )
+    if observation.session_id_length:
+        checks.append(
+            CheckResult(
+                SERVER_SESSION_KEY,
+                "Session-id policy",
+                "no-resumption",
+                OUTCOME_OK,
+                1.0,
+                1.0,
+                f"substitute leg grants a {observation.session_id_length}-byte "
+                "resumable session id, like a genuine origin",
+            )
+        )
+    else:
+        checks.append(
+            CheckResult(
+                SERVER_SESSION_KEY,
+                "Session-id policy",
+                "no-resumption",
+                OUTCOME_WEAK,
+                0.5,
+                1.0,
+                "substitute leg never offers session resumption "
+                "(empty session id)",
+            )
+        )
     return tuple(checks)
 
 
@@ -238,10 +465,14 @@ class ProductScorecard:
     # the battery ran upstream-only.
     client_checks: tuple[CheckResult, ...] = ()
     client_leg: ClientLegObservation | None = None
+    # Server-leg grading (the substitute ServerHello); empty when the
+    # battery ran upstream-only.
+    server_checks: tuple[CheckResult, ...] = ()
+    server_leg: ServerLegObservation | None = None
 
     @property
     def all_checks(self) -> tuple[CheckResult, ...]:
-        return self.checks + self.client_checks
+        return self.checks + self.client_checks + self.server_checks
 
     @property
     def score(self) -> float:
@@ -258,6 +489,14 @@ class ProductScorecard:
     @property
     def client_max_score(self) -> float:
         return sum(check.max_points for check in self.client_checks)
+
+    @property
+    def server_score(self) -> float:
+        return sum(check.points for check in self.server_checks)
+
+    @property
+    def server_max_score(self) -> float:
+        return sum(check.max_points for check in self.server_checks)
 
     @property
     def fraction(self) -> float:
@@ -322,6 +561,41 @@ class ProductScorecard:
                 "error": observation.error if observation else "",
                 "checks": [_check_dict(check) for check in self.client_checks],
             }
+        if self.server_checks:
+            server = self.server_leg
+            data["server_leg"] = {
+                "browser": server.browser if server else None,
+                "expected_ja3s": server.expected_ja3s if server else None,
+                "observed_ja3s": server.observed_ja3s if server else None,
+                "divergent_fields": (
+                    list(server.divergent_fields) if server else []
+                ),
+                "chosen_cipher": server.chosen_cipher if server else None,
+                "cipher_rank": server.cipher_rank if server else None,
+                "expected_cipher": server.expected_cipher if server else None,
+                "extension_types": (
+                    list(server.extension_types) if server else []
+                ),
+                "expected_extension_types": (
+                    list(server.expected_extension_types) if server else []
+                ),
+                "offered_version": (
+                    list(server.offered_version) if server else None
+                ),
+                "echoed_version": (
+                    list(server.echoed_version)
+                    if server and server.echoed_version
+                    else None
+                ),
+                "compression_method": (
+                    server.compression_method if server else None
+                ),
+                "session_id_length": (
+                    server.session_id_length if server else None
+                ),
+                "error": server.error if server else "",
+                "checks": [_check_dict(check) for check in self.server_checks],
+            }
         return data
 
 
@@ -341,11 +615,13 @@ def build_scorecard(
     category: str,
     observations: list[ScenarioObservation],
     client_leg: ClientLegObservation | None = None,
+    server_leg: ServerLegObservation | None = None,
 ) -> ProductScorecard:
     """Grade one product's observations into a scorecard.
 
-    ``client_leg`` folds the mimicry/substitute-handshake checks into
-    the same A–F grade; omit it for an upstream-only battery.
+    ``client_leg`` folds the mimicry/substitute-handshake checks and
+    ``server_leg`` the substitute-ServerHello checks into the same A–F
+    grade; omit both for an upstream-only battery.
     """
     scenarios = scenario_by_key()
     functional = True
@@ -376,6 +652,10 @@ def build_scorecard(
             build_client_checks(client_leg) if client_leg is not None else ()
         ),
         client_leg=client_leg,
+        server_checks=(
+            build_server_checks(server_leg) if server_leg is not None else ()
+        ),
+        server_leg=server_leg,
     )
 
 
@@ -402,14 +682,72 @@ class AuditReport:
 
     def to_dict(self) -> dict:
         client_keys: list[str] = []
+        server_keys: list[str] = []
         for card in self.scorecards:
-            if card.client_checks:
+            if card.client_checks and not client_keys:
                 client_keys = [check.scenario for check in card.client_checks]
+            if card.server_checks and not server_keys:
+                server_keys = [check.scenario for check in card.server_checks]
+            if client_keys and server_keys:
                 break
         return {
             "seed": self.seed,
             "scenarios": [scenario.key for scenario in SCENARIOS],
             "client_leg_scenarios": client_keys,
+            "server_leg_scenarios": server_keys,
             "products": [card.to_dict() for card in self.scorecards],
             "grades": self.grade_histogram(),
         }
+
+
+@dataclass(frozen=True)
+class MimicryProbe:
+    """Both legs of one mimicry probe against one product."""
+
+    client_leg: ClientLegObservation
+    server_leg: ServerLegObservation
+
+
+@dataclass(frozen=True)
+class MimicryEntry:
+    """One product's mimicry probe, as the prevalence study consumes it."""
+
+    product_key: str
+    category: str
+    client_leg: ClientLegObservation
+    server_leg: ServerLegObservation
+
+    @property
+    def detection_reasons(self) -> tuple[str, ...]:
+        """Why a client-side observer can spot this product.
+
+        The JA3S dimensions the substitute ServerHello diverges on,
+        plus ``compression`` for a nonzero compression byte; a probe
+        the product broke outright reports ``error`` (the client
+        certainly noticed *something*).  Session-id policy is excluded:
+        a resumption-less origin is unusual but not impossible.
+        """
+        server = self.server_leg
+        if server.error:
+            return ("error",)
+        reasons = list(server.divergent_fields)
+        if server.compression_method:
+            reasons.append("compression")
+        return tuple(reasons)
+
+    @property
+    def detectable(self) -> bool:
+        """Detectable from the substitute ServerHello alone."""
+        return bool(self.detection_reasons)
+
+
+@dataclass(frozen=True)
+class MimicrySurvey:
+    """The catalog-wide mimicry probe result, in catalog order."""
+
+    seed: int
+    browser: str
+    entries: tuple[MimicryEntry, ...]
+
+    def by_key(self) -> dict[str, MimicryEntry]:
+        return {entry.product_key: entry for entry in self.entries}

@@ -10,8 +10,12 @@
 * ``whitelist`` — the §6.3 whitelist experiment (this paper vs Huang).
 * ``audit`` — the appliance security audit: every catalog product vs
   the adversarial upstream battery, graded A–F (Waked et al. style).
-* ``keys`` — warm or inspect the persistent key-material vault that
-  studies and audits share via ``--vault`` (or ``REPRO_KEY_VAULT``).
+* ``mimicry-prevalence`` — the study-mode mimicry analysis: probe the
+  catalog's server legs and report per-country detectable-from-client-
+  side rates weighted by product market share.
+* ``keys`` — warm, inspect or garbage-collect the persistent
+  key-material vault that studies and audits share via ``--vault``
+  (or ``REPRO_KEY_VAULT``).
 """
 
 from __future__ import annotations
@@ -135,6 +139,58 @@ def build_parser() -> argparse.ArgumentParser:
         "--export", metavar="PATH", help="write the full report as JSON"
     )
 
+    prevalence = sub.add_parser(
+        "mimicry-prevalence",
+        help="study-mode mimicry analysis: per-country detectable-from-"
+        "client-side rates, weighted by product market share",
+    )
+    prevalence.add_argument("--seed", type=int, default=42)
+    prevalence.add_argument(
+        "--study",
+        type=int,
+        choices=(1, 2),
+        default=1,
+        help="which study's country calibration and market shares to "
+        "weight by (default 1)",
+    )
+    prevalence.add_argument(
+        "--browser",
+        choices=sorted(BROWSER_PROFILES),
+        default=DEFAULT_BROWSER,
+        help="2014-era browser whose expected origin answer the server "
+        f"legs are graded against (default {DEFAULT_BROWSER})",
+    )
+    prevalence.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="pool width for the product fan-out; output is identical "
+        "for any value (default 1)",
+    )
+    prevalence.add_argument(
+        "--executor",
+        choices=("thread", "process"),
+        default="thread",
+        help="pool kind for --workers > 1 (default thread)",
+    )
+    prevalence.add_argument(
+        "--product",
+        action="append",
+        metavar="KEY",
+        help="survey only this catalog product (repeatable)",
+    )
+    prevalence.add_argument(
+        "--top", type=int, default=20, help="country rows before Other (default 20)"
+    )
+    prevalence.add_argument(
+        "--vault",
+        metavar="DIR",
+        help="persistent key-vault directory shared by workers and runs",
+    )
+    prevalence.add_argument(
+        "--export", metavar="PATH", help="write the study result as JSON"
+    )
+
     keys = sub.add_parser(
         "keys", help="manage the persistent RSA key-material vault"
     )
@@ -159,6 +215,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
     stats = keys_sub.add_parser("stats", help="print vault entry count")
     stats.add_argument("--vault", metavar="DIR", required=True)
+    gc = keys_sub.add_parser(
+        "gc",
+        help="prune vault entries not addressed by the kept seeds — "
+        "keeps long-lived CI caches bounded",
+    )
+    gc.add_argument("--vault", metavar="DIR", required=True)
+    gc.add_argument(
+        "--keep-seeds",
+        metavar="SEED",
+        type=int,
+        nargs="+",
+        required=True,
+        help="seeds whose key material survives; everything else is removed",
+    )
     return parser
 
 
@@ -287,12 +357,17 @@ def _run_whitelist(args) -> int:
 def _run_audit(args) -> int:
     import json
 
-    from repro.analysis.tables import audit_grade_table, client_leg_table
+    from repro.analysis.tables import (
+        audit_grade_table,
+        client_leg_table,
+        server_leg_table,
+    )
     from repro.audit import ADVERSARIAL_SCENARIOS, audit_catalog
     from repro.reporting import (
         render_audit_grade_table,
         render_client_leg_table,
         render_scorecard,
+        render_server_leg_table,
     )
 
     try:
@@ -317,6 +392,9 @@ def _run_audit(args) -> int:
     print(f"\n== Client leg: ClientHello mimicry vs {args.browser}, "
           "substitute handshake ==")
     print(render_client_leg_table(client_leg_table(report.scorecards)))
+    print(f"\n== Server leg: substitute ServerHello vs the {args.browser} "
+          "origin expectation ==")
+    print(render_server_leg_table(server_leg_table(report.scorecards)))
     histogram = report.grade_histogram()
     print(
         "\ngrades: "
@@ -333,6 +411,55 @@ def _run_audit(args) -> int:
     return 0
 
 
+def _run_mimicry_prevalence(args) -> int:
+    import json
+
+    from repro.analysis.mimicry import mimicry_prevalence
+    from repro.audit import mimicry_catalog
+    from repro.reporting import render_mimicry_prevalence_table
+
+    try:
+        survey = mimicry_catalog(
+            seed=args.seed,
+            workers=args.workers,
+            products=args.product or None,
+            executor=args.executor,
+            vault=args.vault,
+            browser=args.browser,
+        )
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    prevalence = mimicry_prevalence(survey, study=args.study, top_n=args.top)
+    detectable = [v for v in prevalence.verdicts if v.detectable]
+    print(
+        f"mimicry prevalence: {len(survey.entries)} products probed with a "
+        f"{args.browser} hello (study {args.study} market shares, seed "
+        f"{args.seed}); {len(detectable)} serve a client-side detectable "
+        "substitute ServerHello"
+    )
+    print(
+        "\n== Detectable-from-client-side rate by country "
+        "(share of proxied connections) =="
+    )
+    print(render_mimicry_prevalence_table(prevalence))
+    hidden = [v for v in prevalence.verdicts if not v.detectable]
+    if hidden:
+        print(
+            "\nindistinguishable server legs: "
+            + ", ".join(v.product_key for v in hidden)
+        )
+    if detectable:
+        print("\ndetectable server legs (diverging dimensions):")
+        for verdict in detectable:
+            print(f"  {verdict.product_key}: {', '.join(verdict.reasons)}")
+    if args.export:
+        with open(args.export, "w", encoding="utf-8") as handle:
+            json.dump(prevalence.to_dict(), handle, indent=2)
+        print(f"\nmimicry-prevalence study exported to {args.export}")
+    return 0
+
+
 def _run_keys(args) -> int:
     import time
 
@@ -341,6 +468,14 @@ def _run_keys(args) -> int:
     vault = KeyVault(args.vault)
     if args.keys_command == "stats":
         print(f"vault {vault.path}: {len(vault)} entries")
+        return 0
+    if args.keys_command == "gc":
+        kept, removed = vault.gc(args.keep_seeds)
+        seeds = ", ".join(str(seed) for seed in args.keep_seeds)
+        print(
+            f"vault {vault.path}: kept {kept} entries (seeds {seeds}), "
+            f"removed {removed}"
+        )
         return 0
 
     start = time.perf_counter()
@@ -394,6 +529,8 @@ def main(argv: list[str] | None = None) -> int:
         return _run_whitelist(args)
     if args.command == "audit":
         return _run_audit(args)
+    if args.command == "mimicry-prevalence":
+        return _run_mimicry_prevalence(args)
     if args.command == "keys":
         return _run_keys(args)
     return 2

@@ -138,6 +138,56 @@ class KeyVault:
         os.replace(tmp, path)
         return not existed
 
+    # -- maintenance ------------------------------------------------------
+
+    def gc(self, keep_seeds) -> tuple[int, int]:
+        """Prune entries whose seed is not in ``keep_seeds``.
+
+        Long-lived CI caches accrete entries for every seed anyone
+        ever ran; this keeps the cache bounded by retiring the slots
+        no kept seed can ever address again — the address is a digest
+        of ``(format, seed, ...)``, so a foreign-seed or stale-format
+        entry is dead weight, never a hit.  Unreadable entries and
+        orphaned writer temp files are removed too (both are misses by
+        definition), and emptied fan-out directories are dropped.
+        Returns ``(kept, removed)``.
+        """
+        keep = {int(seed) for seed in keep_seeds}
+        kept = 0
+        removed = 0
+        if not self.path.is_dir():
+            return kept, removed
+        for entry in sorted(self.path.glob("*/*.json")):
+            try:
+                payload = json.loads(entry.read_text(encoding="utf-8"))
+                seed = payload["seed"]
+                current = payload["format"] == VAULT_FORMAT
+            except (OSError, ValueError, KeyError, TypeError):
+                seed, current = None, False
+            if current and isinstance(seed, int) and seed in keep:
+                kept += 1
+                continue
+            try:
+                entry.unlink()
+                removed += 1
+            except OSError:
+                pass  # a concurrent writer may have replaced it; skip
+        for leftover in sorted(self.path.glob("*/.*.tmp")):
+            # A crashed writer's temp file: never addressable, and it
+            # keeps the fan-out directory from being dropped.
+            try:
+                leftover.unlink()
+                removed += 1
+            except OSError:
+                pass
+        for child in sorted(self.path.iterdir()):
+            if child.is_dir():
+                try:
+                    child.rmdir()  # only succeeds when emptied
+                except OSError:
+                    pass
+        return kept, removed
+
     # -- introspection ----------------------------------------------------
 
     def __len__(self) -> int:

@@ -21,15 +21,18 @@ from repro.proxy.profile import (
     ForgedUpstreamPolicy,
     ProxyCategory,
     ProxyProfile,
+    ServerSessionPolicy,
     SubjectRewrite,
     UpstreamHelloPolicy,
 )
 from repro.tls.codec import (
     EXT_EC_POINT_FORMATS,
+    EXT_RENEGOTIATION_INFO,
     EXT_SERVER_NAME,
     EXT_SIGNATURE_ALGORITHMS,
     EXT_SUPPORTED_GROUPS,
 )
+from repro.tls.fingerprint import CANONICAL_SERVER_EXTENSION_TYPES
 from repro.x509.model import Name
 
 # Number of leaf-key pool slots per product ("installs").  Key-reusing
@@ -178,6 +181,13 @@ def build_catalog() -> list[ProductSpec]:
                 # browser's ClientHello upstream instead of speaking
                 # with its own stack (fingerprint-indistinguishable).
                 upstream_hello=UpstreamHelloPolicy.MIMIC,
+                # The server leg mimics a genuine origin's answer too:
+                # negotiate the client's first RSA suite (whatever the
+                # probing browser), the canonical extension echo, and
+                # fresh resumable session ids.
+                substitute_cipher_suite=None,
+                own_server_extension_types=CANONICAL_SERVER_EXTENSION_TYPES,
+                server_session_id=ServerSessionPolicy.FRESH,
             ),
             study1_weight=4788,
             study2_weight=20000,
@@ -209,6 +219,10 @@ def build_catalog() -> list[ProductSpec]:
                 rejects_deprecated_hashes=True,
                 min_tls_version=(3, 1),
                 upstream_hello=UpstreamHelloPolicy.MIMIC,
+                # Mimics on the server leg as well (see bitdefender).
+                substitute_cipher_suite=None,
+                own_server_extension_types=CANONICAL_SERVER_EXTENSION_TYPES,
+                server_session_id=ServerSessionPolicy.FRESH,
             ),
             study1_weight=927,
             study2_weight=4500,
@@ -260,6 +274,16 @@ def build_catalog() -> list[ProductSpec]:
                     EXT_EC_POINT_FORMATS,
                     EXT_SIGNATURE_ALGORITHMS,
                 ),
+                # The substitute leg is half-modern too: an ECDHE
+                # suite the browser offered (not the one a genuine
+                # origin answers) with a sparse extension echo and
+                # resumable sessions.
+                "substitute_cipher_suite": 0xC014,
+                "own_server_extension_types": (
+                    EXT_RENEGOTIATION_INFO,
+                    EXT_EC_POINT_FORMATS,
+                ),
+                "server_session_id": ServerSessionPolicy.FRESH,
             },
         )
     )
@@ -770,10 +794,14 @@ def build_catalog() -> list[ProductSpec]:
             hash_name="md5",
             category=ProxyCategory.UNKNOWN,
             # A legacy stack through and through: the substitute leg
-            # never speaks above TLS 1.0, whatever the client offers.
+            # never speaks above TLS 1.0 whatever the client offers,
+            # answers with RC4-MD5 no 2014 browser still offered, and
+            # negotiates DEFLATE compression post-CRIME.
             posture={
                 "validates_hostname": False,
                 "substitute_tls_version": (3, 1),
+                "substitute_cipher_suite": 0x0004,
+                "substitute_compression_method": 1,
             },
         )
     )

@@ -31,16 +31,20 @@ from repro.proxy.profile import (
     DEPRECATED_HASHES,
     ForgedUpstreamPolicy,
     ProxyProfile,
+    ServerSessionPolicy,
     UpstreamHelloPolicy,
 )
 from repro.tls import codec
-from repro.tls.fingerprint import build_own_stack_extensions
+from repro.tls.fingerprint import (
+    build_own_server_extensions,
+    build_own_stack_extensions,
+    negotiate_origin_cipher,
+)
 from repro.tls.codec import (
     Alert,
     Certificate as CertificateMessage,
     ClientHello,
     HandshakeMessage,
-    Record,
     ServerHello,
     TlsError,
     version_name,
@@ -113,6 +117,10 @@ class TlsProxyEngine(Interceptor):
         # origin-facing leg — what a fingerprinting origin (or the
         # audit harness) observes instead of the browser's hello.
         self.last_upstream_hello: ClientHello | None = None
+        # The substitute ServerHello this engine most recently served
+        # back to a client — the server-leg dual, and what a JA3S-style
+        # client-side observer fingerprints.
+        self.last_served_hello: ServerHello | None = None
 
     def noticed_upstream_defects(
         self, observation: UpstreamObservation, hostname: str
@@ -438,28 +446,43 @@ class _MitmConnection(Protocol):
     def _serve_chain(
         self, sock: StreamSocket, hello: ClientHello, der_chain: list[bytes]
     ) -> None:
-        profile = self.engine.profile
+        engine = self.engine
+        profile = engine.profile
         version = hello.version
         if profile.substitute_tls_version is not None:
             # The substitute leg speaks the product's stack, capped by
             # what the client offered — a product pinned below the
             # client's offer serves a visible version downgrade.
             version = min(version, profile.substitute_tls_version)
+        session_id = b""
+        if profile.server_session_id is ServerSessionPolicy.ECHO:
+            session_id = hello.session_id
+        elif profile.server_session_id is ServerSessionPolicy.FRESH:
+            session_id = engine._rng.getrandbits(256).to_bytes(32, "big")
+        cipher_suite = profile.substitute_cipher_suite
+        if cipher_suite is None:
+            cipher_suite = negotiate_origin_cipher(hello)
         server_hello = ServerHello(
-            server_random=self.engine._rng.getrandbits(256).to_bytes(32, "big"),
-            cipher_suite=profile.substitute_cipher_suite,
+            server_random=engine._rng.getrandbits(256).to_bytes(32, "big"),
+            cipher_suite=cipher_suite,
             version=version,
+            session_id=session_id,
+            compression_method=profile.substitute_compression_method,
+            extensions=build_own_server_extensions(
+                profile.own_server_extension_types, hello
+            ),
         )
-        payload = (
-            server_hello.to_handshake().encode()
-            + CertificateMessage(tuple(der_chain)).to_handshake().encode()
-            + HandshakeMessage(codec.HS_SERVER_HELLO_DONE, b"").encode()
-        )
-        for start in range(0, len(payload), 0x4000):
-            record = Record(
-                codec.CONTENT_HANDSHAKE, version, payload[start : start + 0x4000]
+        engine.last_served_hello = server_hello
+        sock.send(
+            codec.encode_server_flight(
+                server_hello,
+                [
+                    CertificateMessage(tuple(der_chain)),
+                    HandshakeMessage(codec.HS_SERVER_HELLO_DONE, b""),
+                ],
+                offered_version=hello.version,
             )
-            sock.send(record.encode())
+        )
 
     def _start_relay(self, sock: StreamSocket, hello: ClientHello) -> None:
         """Transparent pass-through for whitelisted destinations."""

@@ -69,6 +69,23 @@ class ForgedUpstreamPolicy(str, enum.Enum):
     PASS_THROUGH = "pass-through"
 
 
+class ServerSessionPolicy(str, enum.Enum):
+    """How the substitute ServerHello fills its session-id field.
+
+    * ``NONE`` — an empty session id: the substitute leg never offers
+      resumption.  The historical engine behaviour, and a client-side
+      tell (real 2014 origins hand out resumable sessions).
+    * ``ECHO`` — echo whatever session id the client offered (empty
+      offers stay empty — a resumption-indifferent stack).
+    * ``FRESH`` — mint a fresh 32-byte session id per connection, the
+      way a genuine resumption-capable origin answers a new session.
+    """
+
+    NONE = "none"
+    ECHO = "echo"
+    FRESH = "fresh"
+
+
 class UpstreamHelloPolicy(str, enum.Enum):
     """What ClientHello the proxy sends on its origin-facing leg.
 
@@ -156,7 +173,25 @@ class ProxyProfile:
     # existing ``leaf_key_bits`` / ``hash_name`` knobs; the forger
     # honours those, ``_serve_chain`` honours these.
     substitute_tls_version: tuple[int, int] | None = None
-    substitute_cipher_suite: int = 0x002F
+    # The suite the substitute ServerHello answers with.  A fixed value
+    # models a canned proxy stack; ``None`` negotiates like a genuine
+    # RSA-certificate origin (first RSA-authenticated suite in the
+    # client's preference order) — the server-leg mimic setting, and
+    # correct against *any* probing browser rather than one.
+    substitute_cipher_suite: int | None = 0x002F
+    # -- Server-leg posture (the substitute ServerHello itself) ---------
+    # Which extension types the substitute ServerHello carries (filtered
+    # at serve time against what the client offered, like any real
+    # server).  Empty — the historical engine shape — means no
+    # extensions block at all, a JA3S divergence from every 2014 origin
+    # that confirmed secure renegotiation.
+    own_server_extension_types: tuple[int, ...] = ()
+    # Session-id echo policy for the substitute leg.
+    server_session_id: ServerSessionPolicy = ServerSessionPolicy.NONE
+    # Compression method byte the substitute ServerHello advertises.
+    # Nonzero is a scorecard-visible defect: no sane 2014 origin
+    # negotiated TLS compression post-CRIME.
+    substitute_compression_method: int = 0
 
     def notices_defect(self, code: str) -> bool:
         """Whether this product's posture catches the given defect code.

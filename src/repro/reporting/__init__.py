@@ -8,7 +8,9 @@ from repro.reporting.render import (
     render_heatmap,
     render_host_type_table,
     render_issuer_table,
+    render_mimicry_prevalence_table,
     render_scorecard,
+    render_server_leg_table,
     render_table,
 )
 
@@ -20,6 +22,8 @@ __all__ = [
     "render_heatmap",
     "render_host_type_table",
     "render_issuer_table",
+    "render_mimicry_prevalence_table",
     "render_scorecard",
+    "render_server_leg_table",
     "render_table",
 ]

@@ -6,6 +6,7 @@ the paper's table layouts so the two are visually comparable.
 
 from __future__ import annotations
 
+from repro.analysis.mimicry import MimicryPrevalence
 from repro.analysis.tables import (
     AuditGradeRow,
     ClassificationRow,
@@ -13,6 +14,7 @@ from repro.analysis.tables import (
     CountryBreakdown,
     HostTypeRow,
     IssuerRow,
+    ServerLegRow,
 )
 from repro.audit.scorecard import ProductScorecard
 
@@ -107,6 +109,11 @@ def render_audit_grade_table(rows: list[AuditGradeRow]) -> str:
                     if row.client_max_score
                     else "-"
                 ),
+                (
+                    f"{row.server_score:.1f}/{row.server_max_score:.0f}"
+                    if row.server_max_score
+                    else "-"
+                ),
                 "yes" if row.functional else "NO",
             ]
         )
@@ -122,6 +129,7 @@ def render_audit_grade_table(rows: list[AuditGradeRow]) -> str:
             "Masked",
             "Errors",
             "ClientLeg",
+            "ServerLeg",
             "Functional",
         ],
         body,
@@ -153,6 +161,58 @@ def render_client_leg_table(rows: list[ClientLegRow]) -> str:
             "Points",
         ],
         body,
+    )
+
+
+def render_server_leg_table(rows: list[ServerLegRow]) -> str:
+    """Per-product server-leg divergence table (substitute ServerHello)."""
+    body = [
+        [
+            row.product_key,
+            row.browser,
+            row.server_hello,
+            row.cipher,
+            row.version_echo,
+            row.compression,
+            row.session,
+            f"{row.points:.1f}/{row.max_points:.0f}",
+        ]
+        for row in rows
+    ]
+    return render_table(
+        [
+            "Product",
+            "Browser",
+            "ServerHello",
+            "Cipher",
+            "VersionEcho",
+            "Compression",
+            "Session",
+            "Points",
+        ],
+        body,
+    )
+
+
+def render_mimicry_prevalence_table(prevalence: MimicryPrevalence) -> str:
+    """Per-country detectable-from-client-side rates (the new study)."""
+    body = []
+    for row in prevalence.rows:
+        body.append(
+            [
+                str(row.rank),
+                row.country,
+                f"{row.proxied:,}",
+                f"{row.detectable:,}",
+                f"{row.percent:.1f}%",
+            ]
+        )
+    for row in (prevalence.other, prevalence.total):
+        body.append(
+            ["", row.country, f"{row.proxied:,}", f"{row.detectable:,}", f"{row.percent:.1f}%"]
+        )
+    return render_table(
+        ["Rank", "Country", "Proxied", "Detectable", "Share"], body
     )
 
 

@@ -28,10 +28,13 @@ from repro.tls.codec import (
 from repro.tls.fingerprint import (
     BROWSER_PROFILES,
     BrowserProfile,
+    ServerFingerprint,
     TlsFingerprint,
     browser_profile,
     fingerprint_client_hello,
     fingerprint_divergence,
+    fingerprint_server_hello,
+    server_fingerprint_divergence,
 )
 from repro.tls.probe import ProbeClient, ProbeResult
 from repro.tls.server import TlsCertServer
@@ -46,6 +49,7 @@ __all__ = [
     "ProbeClient",
     "ProbeResult",
     "Record",
+    "ServerFingerprint",
     "ServerHello",
     "TlsCertServer",
     "TlsError",
@@ -56,4 +60,6 @@ __all__ = [
     "encode_handshake_record",
     "fingerprint_client_hello",
     "fingerprint_divergence",
+    "fingerprint_server_hello",
+    "server_fingerprint_divergence",
 ]

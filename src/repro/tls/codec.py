@@ -206,6 +206,39 @@ def encode_handshake_record(
     return Record(CONTENT_HANDSHAKE, version, message.encode()).encode()
 
 
+def encode_server_flight(
+    server_hello: "ServerHello",
+    messages: "list[Certificate | HandshakeMessage]",
+    offered_version: tuple[int, int],
+) -> bytes:
+    """Frame a ServerHello-led flight for the wire.
+
+    The ServerHello travels before negotiation completes, so its
+    record carries the record-layer version the client offered; the
+    records after it speak the version the ServerHello negotiated,
+    chunked at the 2^14 record limit (long chains exceed one record).
+    Both the genuine-origin server and the proxy's substitute leg
+    frame their flights here, so the two can never drift apart — the
+    server-leg fingerprint comparison depends on them agreeing on the
+    wire rules.
+    """
+    flight = encode_handshake_record(server_hello, version=offered_version)
+    payload = b"".join(
+        (
+            message if isinstance(message, HandshakeMessage)
+            else message.to_handshake()
+        ).encode()
+        for message in messages
+    )
+    for start in range(0, len(payload), 0x4000):
+        flight += Record(
+            CONTENT_HANDSHAKE,
+            server_hello.version,
+            payload[start : start + 0x4000],
+        ).encode()
+    return flight
+
+
 def _encode_vector(data: bytes, length_bytes: int) -> bytes:
     return len(data).to_bytes(length_bytes, "big") + data
 
@@ -216,6 +249,18 @@ class _Reader:
     def __init__(self, data: bytes) -> None:
         self.data = data
         self.offset = 0
+
+    def finish(self, what: str) -> None:
+        """Assert exhaustion: trailing garbage after a parse is fatal.
+
+        Every ``from_body`` parser calls this instead of silently
+        ignoring whatever follows the fields it understands — a parser
+        that discards trailing bytes cannot be lossless, and losing
+        bytes is how the original ``ServerHello`` codec dropped the
+        entire extensions block.
+        """
+        if self.remaining:
+            raise TlsError(f"{self.remaining} trailing bytes after {what}")
 
     def take(self, count: int) -> bytes:
         if self.offset + count > len(self.data):
@@ -314,16 +359,17 @@ class ClientHello:
         compression = tuple(reader.take_vector(1))
         extensions: tuple[tuple[int, bytes], ...] | None = None
         server_name = None
-        if reader.remaining >= 2:
-            parsed: list[tuple[int, bytes]] = []
+        if reader.remaining:
             ext_reader = _Reader(reader.take_vector(2))
-            while ext_reader.remaining >= 4:
+            parsed: list[tuple[int, bytes]] = []
+            while ext_reader.remaining:
                 ext_type = ext_reader.take_int(2)
                 ext_body = ext_reader.take_vector(2)
                 parsed.append((ext_type, ext_body))
                 if ext_type == EXT_SERVER_NAME and server_name is None:
                     server_name = parse_sni_extension_body(ext_body)
             extensions = tuple(parsed)
+        reader.finish("ClientHello body")
         return cls(
             client_random=client_random,
             server_name=server_name,
@@ -337,23 +383,58 @@ class ClientHello:
 
 @dataclass(frozen=True)
 class ServerHello:
-    """ServerHello with the single cipher suite the server picked."""
+    """A ServerHello, preserved losslessly through parse → re-encode.
+
+    Mirrors :class:`ClientHello`: ``extensions`` is the full extension
+    list — ``(type, raw body)`` pairs in wire order, unknown types
+    included verbatim — and ``None`` means no extensions block at all
+    (distinct from an empty block).  The compression byte the server
+    actually chose is preserved rather than assumed null, so a parsed
+    hello re-encodes to the exact wire bytes.
+
+    Losslessness is what makes the *server* leg fingerprintable: the
+    substitute ServerHello an interception product serves back to the
+    client carries the product's chosen cipher, version echo and
+    extension set — the JA3S-style dimensions
+    :mod:`repro.tls.fingerprint` grades against the origin's expected
+    response.
+    """
 
     server_random: bytes
     cipher_suite: int
     version: tuple[int, int] = TLS_1_2
     session_id: bytes = b""
+    compression_method: int = 0
+    extensions: tuple[tuple[int, bytes], ...] | None = None
 
     def __post_init__(self) -> None:
         if len(self.server_random) != 32:
             raise TlsError("server_random must be 32 bytes")
+
+    @property
+    def extension_types(self) -> tuple[int, ...]:
+        """Extension types in wire order (empty when no block)."""
+        return tuple(ext_type for ext_type, _ in (self.extensions or ()))
+
+    def extension_body(self, ext_type: int) -> bytes | None:
+        """The raw body of the first extension of ``ext_type``, if any."""
+        for candidate, body in self.extensions or ():
+            if candidate == ext_type:
+                return body
+        return None
 
     def to_handshake(self) -> HandshakeMessage:
         body = bytes(self.version)
         body += self.server_random
         body += _encode_vector(self.session_id, 1)
         body += struct.pack(">H", self.cipher_suite)
-        body += b"\x00"  # null compression
+        body += bytes([self.compression_method])
+        if self.extensions is not None:
+            encoded = b"".join(
+                struct.pack(">H", ext_type) + _encode_vector(ext_body, 2)
+                for ext_type, ext_body in self.extensions
+            )
+            body += _encode_vector(encoded, 2)
         return HandshakeMessage(HS_SERVER_HELLO, body)
 
     @classmethod
@@ -363,12 +444,22 @@ class ServerHello:
         server_random = reader.take(32)
         session_id = reader.take_vector(1)
         cipher_suite = reader.take_int(2)
-        reader.take(1)  # compression
+        compression_method = reader.take_int(1)
+        extensions: tuple[tuple[int, bytes], ...] | None = None
+        if reader.remaining:
+            ext_reader = _Reader(reader.take_vector(2))
+            parsed: list[tuple[int, bytes]] = []
+            while ext_reader.remaining:
+                parsed.append((ext_reader.take_int(2), ext_reader.take_vector(2)))
+            extensions = tuple(parsed)
+        reader.finish("ServerHello body")
         return cls(
             server_random=server_random,
             cipher_suite=cipher_suite,
             version=version,  # type: ignore[arg-type]
             session_id=session_id,
+            compression_method=compression_method,
+            extensions=extensions,
         )
 
 
@@ -386,6 +477,7 @@ class Certificate:
     def from_body(cls, body: bytes) -> "Certificate":
         reader = _Reader(body)
         entries = _Reader(reader.take_vector(3))
+        reader.finish("Certificate body")
         chain = []
         while entries.remaining:
             chain.append(entries.take_vector(3))

@@ -15,11 +15,17 @@ This module provides both halves of that methodology:
   supported-groups / EC point-format lists when present, each in wire
   order.  ``ja3_string()`` is the canonical comma/dash form and
   ``digest()`` its stable hex digest.
+* :class:`ServerFingerprint` — the JA3S-style dual for the *server*
+  leg: negotiated version, chosen cipher suite and extension-type
+  list of one ServerHello.  ``ja3s_string()`` / ``digest()`` mirror
+  the client forms.
 * :data:`BROWSER_PROFILES` — a registry of synthetic 2014-era browser
   ClientHello templates (Chrome, Firefox, IE, Safari) the audit
-  battery probes with.  They are deliberately *synthetic*: distinct,
-  deterministic, plausible for the paper's measurement window — not
-  bit-archaeology of specific builds.
+  battery probes with, each carrying the *expected* genuine-origin
+  server response (cipher choice and extension echo) its offer earns.
+  They are deliberately *synthetic*: distinct, deterministic,
+  plausible for the paper's measurement window — not bit-archaeology
+  of specific builds.
 """
 
 from __future__ import annotations
@@ -29,7 +35,7 @@ import struct
 from dataclasses import dataclass
 
 from repro.tls import codec
-from repro.tls.codec import ClientHello, TlsError
+from repro.tls.codec import ClientHello, ServerHello, TlsError
 
 
 def _uint16_list(raw: bytes) -> tuple[int, ...]:
@@ -130,6 +136,61 @@ def fingerprint_divergence(
     )
 
 
+@dataclass(frozen=True)
+class ServerFingerprint:
+    """A JA3S-style fingerprint of one ServerHello.
+
+    JA3S hashes what the *server* chose for a given client offer:
+    negotiated version, the single chosen cipher suite, and the
+    extension-type list in wire order.  A browser that knows what its
+    usual origin answers can spot an interception product from the
+    substitute ServerHello alone — the client-side dual of the JA3
+    detection signal.
+    """
+
+    version: int  # (major << 8) | minor, e.g. 771 for TLS 1.2
+    cipher_suite: int
+    extension_types: tuple[int, ...]
+
+    def ja3s_string(self) -> str:
+        """The canonical ``ver,cipher,extensions`` form."""
+        return ",".join(
+            [
+                str(self.version),
+                str(self.cipher_suite),
+                "-".join(str(t) for t in self.extension_types),
+            ]
+        )
+
+    def digest(self) -> str:
+        """Stable hex digest of the JA3S string (JA3S uses MD5; so do we)."""
+        return hashlib.md5(self.ja3s_string().encode("ascii")).hexdigest()
+
+    # The dimensions two server fingerprints can disagree on, in
+    # report order.
+    FIELDS = ("version", "cipher_suite", "extension_types")
+
+
+def fingerprint_server_hello(hello: ServerHello) -> ServerFingerprint:
+    """Fingerprint a ServerHello exactly as the client sees it."""
+    return ServerFingerprint(
+        version=(hello.version[0] << 8) | hello.version[1],
+        cipher_suite=hello.cipher_suite,
+        extension_types=hello.extension_types,
+    )
+
+
+def server_fingerprint_divergence(
+    expected: ServerFingerprint, observed: ServerFingerprint
+) -> tuple[str, ...]:
+    """The server-fingerprint dimensions on which ``observed`` differs."""
+    return tuple(
+        name
+        for name in ServerFingerprint.FIELDS
+        if getattr(expected, name) != getattr(observed, name)
+    )
+
+
 # Extension bodies below use a placeholder where the real body depends
 # on the probed hostname; ``BrowserProfile.client_hello`` fills it in.
 _SNI_PLACEHOLDER = b""
@@ -142,7 +203,16 @@ _SHA2_ERA_SIGALGS = ((4, 1), (5, 1), (6, 1), (2, 1))  # sha256/384/512/sha1 + RS
 
 @dataclass(frozen=True)
 class BrowserProfile:
-    """A synthetic browser ClientHello template."""
+    """A synthetic browser ClientHello template.
+
+    ``expected_server_cipher`` / ``expected_server_extension_types``
+    describe the *expected* server response: what a well-run 2014-era
+    RSA-certificate origin answers this browser's offer with — the
+    first RSA-compatible suite in the browser's preference order, and
+    the extensions such an origin echoes back.  The server-leg audit
+    grades each product's substitute ServerHello against this
+    expectation, and ``server_fingerprint()`` is its JA3S form.
+    """
 
     key: str  # registry key, e.g. "chrome"
     name: str  # display name, e.g. "Chrome 33 (2014)"
@@ -152,6 +222,9 @@ class BrowserProfile:
     # placeholder replaced with the probed hostname at build time.
     extensions: tuple[tuple[int, bytes], ...]
     compression_methods: tuple[int, ...] = (0,)
+    # The expected genuine-origin answer to this browser's offer.
+    expected_server_cipher: int = 0xC02F
+    expected_server_extension_types: tuple[int, ...] = ()
 
     def client_hello(self, client_random: bytes, server_name: str) -> ClientHello:
         """Instantiate the template against one hostname."""
@@ -176,6 +249,73 @@ class BrowserProfile:
             self.client_hello(bytes(32), "fingerprint.invalid")
         )
 
+    def server_fingerprint(self) -> ServerFingerprint:
+        """The JA3S fingerprint of the expected genuine-origin answer."""
+        return ServerFingerprint(
+            version=(self.version[0] << 8) | self.version[1],
+            cipher_suite=self.expected_server_cipher,
+            extension_types=self.expected_server_extension_types,
+        )
+
+
+# The cipher suites a well-run 2014 origin with an RSA certificate can
+# actually serve: the RSA-authenticated suites of the era.  The ECDSA
+# blocks browsers lead with need an ECDSA certificate, so a genuine
+# origin's answer is the client's first offer drawn from this set.
+RSA_ORIGIN_CIPHER_SUITES = frozenset(
+    {
+        0xC02F,  # ECDHE-RSA-AES128-GCM-SHA256
+        0x009E,  # DHE-RSA-AES128-GCM-SHA256
+        0x009C,  # RSA-AES128-GCM-SHA256
+        0x009D,  # RSA-AES256-GCM-SHA384
+        0xC028,  # ECDHE-RSA-AES256-CBC-SHA384
+        0xC027,  # ECDHE-RSA-AES128-CBC-SHA256
+        0xC014,  # ECDHE-RSA-AES256-CBC-SHA
+        0xC013,  # ECDHE-RSA-AES128-CBC-SHA
+        0x003D,  # RSA-AES256-CBC-SHA256
+        0x003C,  # RSA-AES128-CBC-SHA256
+        0x0039,  # DHE-RSA-AES256-CBC-SHA
+        0x0035,  # RSA-AES256-CBC-SHA
+        0x0033,  # DHE-RSA-AES128-CBC-SHA
+        0x002F,  # RSA-AES128-CBC-SHA
+        0x000A,  # RSA-3DES-EDE-CBC-SHA
+    }
+)
+
+
+def negotiate_origin_cipher(client_hello: ClientHello) -> int:
+    """The suite a genuine RSA-certificate origin picks for an offer.
+
+    Client preference order, first RSA-authenticated suite wins — for
+    each registry browser profile this reproduces its
+    ``expected_server_cipher`` exactly, which is what lets a server-leg
+    mimic stay indistinguishable against *any* probing browser instead
+    of hardcoding one browser's answer.  Falls back to RSA-AES128-SHA
+    when the offer carries no RSA suite at all (a degenerate client no
+    2014 origin could honestly serve).
+    """
+    for suite in client_hello.cipher_suites:
+        if suite in RSA_ORIGIN_CIPHER_SUITES:
+            return suite
+    return 0x002F
+
+
+# The server extension set a well-run 2014 origin answers with, in
+# answer order, when the client offered each of them: secure
+# renegotiation confirmed, a session ticket granted, OCSP stapling
+# accepted, ALPN selected, and the EC point formats echoed.  A
+# browser's *expected* server extensions are this list filtered by
+# what that browser actually offers (a server may only answer offered
+# extensions), which is also exactly what
+# :func:`build_own_server_extensions` produces for a product
+# configured to mimic origin behaviour.
+CANONICAL_SERVER_EXTENSION_TYPES = (
+    codec.EXT_RENEGOTIATION_INFO,
+    codec.EXT_SESSION_TICKET,
+    codec.EXT_STATUS_REQUEST,
+    codec.EXT_ALPN,
+    codec.EXT_EC_POINT_FORMATS,
+)
 
 BROWSER_PROFILES: dict[str, BrowserProfile] = {
     profile.key: profile
@@ -203,6 +343,9 @@ BROWSER_PROFILES: dict[str, BrowserProfile] = {
                  encode_point_formats_body(_UNCOMPRESSED_ONLY)),
                 (codec.EXT_SUPPORTED_GROUPS, encode_groups_body(_P256_P384_P521)),
             ),
+            # Chrome's first RSA-compatible suite: ECDHE-RSA-AES128-GCM.
+            expected_server_cipher=0xC02F,
+            expected_server_extension_types=CANONICAL_SERVER_EXTENSION_TYPES,
         ),
         BrowserProfile(
             key="firefox",
@@ -225,6 +368,9 @@ BROWSER_PROFILES: dict[str, BrowserProfile] = {
                 (codec.EXT_SIGNATURE_ALGORITHMS,
                  encode_signature_algorithms_body(_SHA2_ERA_SIGALGS)),
             ),
+            # Firefox's first RSA-compatible suite matches Chrome's.
+            expected_server_cipher=0xC02F,
+            expected_server_extension_types=CANONICAL_SERVER_EXTENSION_TYPES,
         ),
         BrowserProfile(
             key="ie",
@@ -247,6 +393,15 @@ BROWSER_PROFILES: dict[str, BrowserProfile] = {
                 (codec.EXT_SESSION_TICKET, b""),
                 (codec.EXT_RENEGOTIATION_INFO, b"\x00"),
             ),
+            # IE leads with ECDHE-RSA-AES256-CBC-SHA384 and offers no
+            # ALPN, so the expected answer drops the ALPN slot.
+            expected_server_cipher=0xC028,
+            expected_server_extension_types=(
+                codec.EXT_RENEGOTIATION_INFO,
+                codec.EXT_SESSION_TICKET,
+                codec.EXT_STATUS_REQUEST,
+                codec.EXT_EC_POINT_FORMATS,
+            ),
         ),
         BrowserProfile(
             key="safari",
@@ -265,6 +420,11 @@ BROWSER_PROFILES: dict[str, BrowserProfile] = {
                 (codec.EXT_SIGNATURE_ALGORITHMS,
                  encode_signature_algorithms_body(_SHA2_ERA_SIGALGS)),
             ),
+            # Safari 7's first RSA-compatible suite (the ECDSA block
+            # ahead of it needs an ECDSA certificate); its spare offer
+            # only lets an origin echo the EC point formats.
+            expected_server_cipher=0xC028,
+            expected_server_extension_types=(codec.EXT_EC_POINT_FORMATS,),
         ),
     )
 }
@@ -312,6 +472,42 @@ def build_own_stack_extensions(
             )
         elif ext_type == codec.EXT_RENEGOTIATION_INFO:
             built.append((ext_type, b"\x00"))
+        else:
+            built.append((ext_type, b""))
+    return tuple(built) if built else None
+
+
+# The ALPN body a server answers with: one selected protocol.
+_ALPN_HTTP11_SERVER_BODY = b"\x00\x09\x08http/1.1"
+
+
+def build_own_server_extensions(
+    extension_types: tuple[int, ...], client_hello: ClientHello
+) -> tuple[tuple[int, bytes], ...] | None:
+    """Materialise a product's substitute-ServerHello extension list.
+
+    A server may only answer extensions the client offered, so the
+    product's configured ``extension_types`` are filtered against
+    ``client_hello`` (in the product's configured order — which is the
+    origin's answer order for a mimicking product).  Bodies are the
+    canned server-side forms: secure-renegotiation confirmation, an
+    empty session-ticket grant, an empty stapling acknowledgement, an
+    ALPN selection of http/1.1, and echoed EC point formats.  Returns
+    ``None`` — no extensions block on the wire — when nothing applies,
+    which is exactly the historical engine's (and a bare 2014 proxy
+    stack's) ServerHello shape.
+    """
+    offered = set(client_hello.extension_types)
+    built: list[tuple[int, bytes]] = []
+    for ext_type in extension_types:
+        if ext_type not in offered:
+            continue
+        if ext_type == codec.EXT_RENEGOTIATION_INFO:
+            built.append((ext_type, b"\x00"))
+        elif ext_type == codec.EXT_EC_POINT_FORMATS:
+            built.append((ext_type, encode_point_formats_body(_UNCOMPRESSED_ONLY)))
+        elif ext_type == codec.EXT_ALPN:
+            built.append((ext_type, _ALPN_HTTP11_SERVER_BODY))
         else:
             built.append((ext_type, b""))
     return tuple(built) if built else None

@@ -110,8 +110,15 @@ class ProbeClient:
             return ProbeResult(False, hostname, port, error=f"tls: {exc}")
 
         if der_chain is None:
+            # Keep whatever ServerHello did arrive: the server-leg
+            # audit grades a captured hello even when the flight is
+            # otherwise incomplete.
             return ProbeResult(
-                False, hostname, port, error="no Certificate message received"
+                False,
+                hostname,
+                port,
+                server_hello=server_hello,
+                error="no Certificate message received",
             )
 
         # Parse every certificate; unparseable DER is itself a finding.

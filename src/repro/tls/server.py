@@ -107,17 +107,11 @@ class TlsCertServer(Protocol):
         chain = self.chain_for(hello.server_name)
         certificate = CertificateMessage(tuple(c.encode() for c in chain))
         done = HandshakeMessage(codec.HS_SERVER_HELLO_DONE, b"")
-        payload = (
-            server_hello.to_handshake().encode()
-            + certificate.to_handshake().encode()
-            + done.encode()
-        )
-        # Flight may exceed one record's 2^14 limit with long chains.
-        for start in range(0, len(payload), 0x4000):
-            record = Record(
-                codec.CONTENT_HANDSHAKE, version, payload[start : start + 0x4000]
+        sock.send(
+            codec.encode_server_flight(
+                server_hello, [certificate, done], offered_version=hello.version
             )
-            sock.send(record.encode())
+        )
         self.handshakes_served += 1
         parent = getattr(self, "_parent", None)
         if parent is not None:

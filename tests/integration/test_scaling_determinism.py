@@ -6,9 +6,12 @@ nothing observable: same seed → byte-identical forged chains and
 identical report aggregates, for any worker count and executor kind.
 """
 
+import json
+
 import pytest
 
-from repro.audit import audit_catalog
+from repro.analysis.mimicry import mimicry_prevalence
+from repro.audit import audit_catalog, mimicry_catalog
 from repro.crypto.keystore import KeyStore
 from repro.data import products as product_data
 from repro.proxy.forger import SubstituteCertForger
@@ -297,15 +300,21 @@ class TestFingerprintStability:
             for card, expected in zip(report.scorecards, serial_audit.scorecards):
                 assert card.client_leg == expected.client_leg
                 assert card.client_checks == expected.client_checks
+                assert card.server_leg == expected.server_leg
+                assert card.server_checks == expected.server_checks
 
     def test_mimicry_scenario_present_for_every_product(self, serial_audit):
         for card in serial_audit.scorecards:
             assert "mimicry" in {check.scenario for check in card.client_checks}
+            assert "server-cipher" in {
+                check.scenario for check in card.server_checks
+            }
 
     def test_fingerprints_independent_of_seed(self, serial_audit):
-        """The observed upstream-hello fingerprint is a function of the
-        product's stack (and the probing browser), not of the run seed:
-        randoms and certificates differ across seeds, digests do not."""
+        """The observed fingerprints — both legs — are a function of
+        the product's stack (and the probing browser), not of the run
+        seed: randoms and certificates differ across seeds, digests do
+        not."""
         other_seed = audit_catalog(
             seed=SEED + 1, products=AUDIT_SUBSET, pki_key_bits=512
         )
@@ -317,3 +326,79 @@ class TestFingerprintStability:
                 card.client_leg.divergent_fields
                 == expected.client_leg.divergent_fields
             )
+            assert card.server_leg is not None and expected.server_leg is not None
+            assert (
+                card.server_leg.observed_ja3s == expected.server_leg.observed_ja3s
+            )
+            assert (
+                card.server_leg.divergent_fields
+                == expected.server_leg.divergent_fields
+            )
+
+
+class TestMimicryPrevalenceDeterminism:
+    """Acceptance: ``repro mimicry-prevalence`` output is byte-identical
+    for workers ∈ {1, 4} and thread vs process executors."""
+
+    SUBSET = ["bitdefender", "kurupira", "md5-legacy"]
+
+    @pytest.fixture(scope="class")
+    def serial_survey(self):
+        return mimicry_catalog(seed=SEED, products=self.SUBSET, pki_key_bits=512)
+
+    def test_survey_identical_across_workers_and_executors(self, serial_survey):
+        for workers, executor in ((4, "thread"), (4, "process")):
+            survey = mimicry_catalog(
+                seed=SEED,
+                products=self.SUBSET,
+                workers=workers,
+                executor=executor,
+                pki_key_bits=512,
+            )
+            assert survey == serial_survey
+
+    def test_prevalence_json_identical_across_workers(self, serial_survey):
+        baseline = json.dumps(
+            mimicry_prevalence(serial_survey, study=1).to_dict(), sort_keys=True
+        )
+        pooled = mimicry_catalog(
+            seed=SEED,
+            products=self.SUBSET,
+            workers=4,
+            executor="process",
+            pki_key_bits=512,
+        )
+        assert (
+            json.dumps(mimicry_prevalence(pooled, study=1).to_dict(), sort_keys=True)
+            == baseline
+        )
+
+    def test_cli_output_identical_across_workers(self, capsys):
+        """The rendered table itself — not just the survey — must not
+        depend on worker count or executor kind."""
+        from repro.cli import main
+
+        outputs = []
+        for extra in ([], ["--workers", "4"], ["--workers", "4", "--executor", "process"]):
+            code = main(
+                [
+                    "mimicry-prevalence",
+                    "--seed",
+                    str(SEED),
+                    "--product",
+                    "kurupira",
+                    "--product",
+                    "md5-legacy",
+                    *extra,
+                ]
+            )
+            assert code == 0
+            outputs.append(capsys.readouterr().out)
+        assert outputs[0] == outputs[1] == outputs[2]
+        assert "Detectable" in outputs[0]
+
+    def test_survey_verdicts_match_catalog_expectations(self, serial_survey):
+        by_key = serial_survey.by_key()
+        assert not by_key["bitdefender"].detectable  # full server-leg mimic
+        assert by_key["kurupira"].detectable
+        assert "compression" in by_key["md5-legacy"].detection_reasons

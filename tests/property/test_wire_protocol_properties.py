@@ -1,5 +1,6 @@
 """Property-based tests for the TLS, HTTP and policy wire codecs."""
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -81,6 +82,66 @@ class TestTlsCodecProperties:
             server_random=server_random, cipher_suite=cipher, session_id=session
         )
         assert ServerHello.from_body(hello.to_handshake().body) == hello
+
+    @given(
+        server_random=random32,
+        session_id=st.binary(max_size=32),
+        cipher=st.integers(0, 0xFFFF),
+        compression=st.integers(0, 255),
+        extensions=st.one_of(
+            st.none(),
+            st.lists(
+                st.tuples(st.integers(0, 0xFFFF), st.binary(max_size=60)),
+                max_size=8,
+            ).map(tuple),
+        ),
+        version=st.tuples(st.integers(2, 3), st.integers(0, 4)),
+    )
+    @settings(max_examples=300)
+    def test_server_hello_lossless_round_trip(
+        self, server_random, session_id, cipher, compression, extensions, version
+    ):
+        """Full-fidelity: arbitrary extension lists (unknown types and
+        bodies included), a real compression byte and versions survive
+        a parse → re-encode cycle byte-for-byte — the ClientHello
+        property, mirrored for the server leg."""
+        hello = ServerHello(
+            server_random=server_random,
+            cipher_suite=cipher,
+            version=version,
+            session_id=session_id,
+            compression_method=compression,
+            extensions=extensions,
+        )
+        body = hello.to_handshake().body
+        decoded = ServerHello.from_body(body)
+        assert decoded.to_handshake().body == body
+        assert decoded == hello
+        assert decoded.compression_method == compression
+        assert decoded.extensions == extensions
+
+    @given(
+        server_random=random32,
+        extensions=st.lists(
+            st.tuples(st.integers(0, 0xFFFF), st.binary(max_size=30)),
+            min_size=1,
+            max_size=4,
+        ).map(tuple),
+        garbage=st.binary(min_size=1, max_size=8),
+    )
+    @settings(max_examples=100)
+    def test_server_hello_rejects_trailing_garbage(
+        self, server_random, extensions, garbage
+    ):
+        """Bytes after the extensions block are never silently dropped
+        (the bug that used to swallow the whole block)."""
+        hello = ServerHello(
+            server_random=server_random,
+            cipher_suite=0x002F,
+            extensions=extensions,
+        )
+        with pytest.raises(codec.TlsError):
+            ServerHello.from_body(hello.to_handshake().body + garbage)
 
     @given(chain=st.lists(st.binary(min_size=1, max_size=2000), max_size=6).map(tuple))
     @settings(max_examples=100)

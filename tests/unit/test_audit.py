@@ -218,14 +218,14 @@ class TestMimicry:
         profile = make_profile(
             key="mimic-product", upstream_hello=UpstreamHelloPolicy.MIMIC
         )
-        observation = harness.run_mimicry(profile)
+        observation = harness.run_mimicry(profile).client_leg
         assert observation.error == ""
         assert observation.observed_ja3 == observation.expected_ja3
         assert observation.divergent_fields == ()
 
     def test_own_stack_product_diverges(self, harness):
         profile = make_profile(key="own-stack-product")
-        observation = harness.run_mimicry(profile)
+        observation = harness.run_mimicry(profile).client_leg
         assert observation.observed_ja3 != observation.expected_ja3
         assert "cipher_suites" in observation.divergent_fields
 
@@ -236,11 +236,33 @@ class TestMimicry:
             hash_name="md5",
             substitute_tls_version=(3, 1),
         )
-        observation = harness.run_mimicry(profile)
+        probe = harness.run_mimicry(profile)
+        observation = probe.client_leg
         assert observation.substitute_key_bits == 512
         assert observation.substitute_hash == "md5"
         assert observation.offered_version == (3, 3)
         assert observation.echoed_version == (3, 1)
+        # The server leg sees the same downgrade, plus the bare stack.
+        server = probe.server_leg
+        assert server.echoed_version == (3, 1)
+        assert "version" in server.divergent_fields
+        assert server.compression_method == 0
+        assert server.session_id_length == 0
+
+    def test_server_leg_mimic_hidden_for_every_browser(self):
+        """A negotiating mimic (substitute_cipher_suite=None) must stay
+        indistinguishable whichever browser probes it — the expected
+        origin answer differs per browser, and the mimic tracks it."""
+        from repro.data.products import catalog_by_key
+        from repro.tls.fingerprint import BROWSER_PROFILES
+
+        profile = catalog_by_key()["bitdefender"].profile
+        for browser in BROWSER_PROFILES:
+            harness = AuditHarness(seed=17, pki_key_bits=512, browser=browser)
+            server = harness.run_mimicry(profile).server_leg
+            assert server.error == "", (browser, server.error)
+            assert server.divergent_fields == (), (browser, server)
+            assert server.chosen_cipher == server.expected_cipher
 
     def test_client_checks_graded_into_scorecard(self, harness):
         profile = make_profile(
@@ -250,13 +272,18 @@ class TestMimicry:
         by_key = {check.scenario: check for check in card.client_checks}
         assert by_key[MIMICRY_KEY].outcome == OUTCOME_OK
         assert by_key[MIMICRY_KEY].points == 1.0
-        assert card.max_score == len(ADVERSARIAL_SCENARIOS) + 4
-        assert card.score == card.client_score + sum(
+        # 9 adversarial + 3 client-leg + 5 server-leg checks.
+        assert card.max_score == len(ADVERSARIAL_SCENARIOS) + 3 + 5
+        assert card.score == card.client_score + card.server_score + sum(
             check.points for check in card.checks
         )
         assert "mimicry" in {
             check["scenario"]
             for check in card.to_dict()["client_leg"]["checks"]
+        }
+        assert "server-cipher" in {
+            check["scenario"]
+            for check in card.to_dict()["server_leg"]["checks"]
         }
 
     def test_catalog_mimic_unpenalised_own_stack_graded_down(self):
@@ -273,10 +300,24 @@ class TestMimicry:
         assert bit_checks[MIMICRY_KEY].outcome == OUTCOME_OK
         assert kur_checks[MIMICRY_KEY].outcome == OUTCOME_DIVERGENT
         assert kur_checks[MIMICRY_KEY].points == 0.0
-        # md5-legacy is also graded down on every substitute dimension.
+        # md5-legacy is also graded down on every substitute dimension;
+        # the version-echo check now lives in the server-leg section.
         assert md5_checks["substitute-hash"].points == 0.0
-        assert md5_checks["version-echo"].outcome == OUTCOME_DOWNGRADED
+        md5_server = {
+            c.scenario: c for c in cards["md5-legacy"].server_checks
+        }
+        assert md5_server["version-echo"].outcome == OUTCOME_DOWNGRADED
+        assert md5_server["server-compression"].points == 0.0
+        assert md5_server["server-cipher"].points == 0.0
+        # The server-leg mimic earns the full section; kurupira's bare
+        # stack diverges on cipher choice and extension set.
+        assert cards["bitdefender"].server_score == cards[
+            "bitdefender"
+        ].server_max_score
+        kur_server = {c.scenario: c for c in cards["kurupira"].server_checks}
+        assert kur_server["server-extensions"].points == 0.0
         assert report.to_dict()["client_leg_scenarios"][0] == "mimicry"
+        assert report.to_dict()["server_leg_scenarios"][0] == "server-cipher"
 
     def test_browser_choice_changes_expectation_not_determinism(self):
         for browser in ("chrome", "safari"):
@@ -326,3 +367,41 @@ class TestCatalogWarmup:
         harness.warm_product(spec.profile)
         cache_key = f"{spec.profile.key}|{spec.profile.issuer.rfc4514()}"
         assert cache_key in harness.forger._cas
+
+
+class TestServerLegObservationPaths:
+    def test_captured_hello_graded_despite_probe_error(self, harness):
+        """A substitute ServerHello that made it onto the wire is
+        graded even when the rest of the probe failed — zeroing it
+        would misreport a mimicking stack as detectable."""
+        from repro.tls.codec import ServerHello
+        from repro.tls.fingerprint import (
+            CANONICAL_SERVER_EXTENSION_TYPES,
+            browser_profile,
+            build_own_server_extensions,
+        )
+
+        chrome = browser_profile("chrome")
+        served = ServerHello(
+            server_random=bytes(32),
+            cipher_suite=chrome.expected_server_cipher,
+            version=chrome.version,
+            session_id=b"\x05" * 32,
+            extensions=build_own_server_extensions(
+                CANONICAL_SERVER_EXTENSION_TYPES,
+                chrome.client_hello(bytes(32), "x.example"),
+            ),
+        )
+        observation = harness._observe_server_leg(
+            served, "substitute flight missing ServerHello or Certificate"
+        )
+        assert observation.error == ""
+        assert observation.divergent_fields == ()
+        assert observation.chosen_cipher == chrome.expected_server_cipher
+
+    def test_missing_hello_reports_error(self, harness):
+        observation = harness._observe_server_leg(None, "alert: desc=40")
+        assert observation.error == "alert: desc=40"
+        assert observation.observed_ja3s is None
+        observation = harness._observe_server_leg(None)
+        assert observation.error == "substitute flight missing ServerHello"

@@ -142,6 +142,132 @@ class TestUpstreamHelloVersion:
         assert ClientHello.from_body(body).extensions is None
 
 
+class TestServedHelloWire:
+    def test_server_hello_record_uses_client_offered_version(
+        self, forger, origin_chain, root_ca
+    ):
+        """Regression: _serve_chain framed the whole flight — the
+        ServerHello record included — with the post-negotiation
+        version.  The ServerHello travels before negotiation
+        completes, so its record must carry the record-layer version
+        the client offered; only the rest of the flight speaks the
+        negotiated version."""
+        network, client, engine = proxied_world(
+            make_profile(substitute_tls_version=(3, 1)),
+            origin_chain,
+            RootStore([root_ca.certificate]),
+            forger,
+        )
+        sock = client.connect("wire.example", 443)
+        hello = ClientHello(
+            client_random=bytes(32), server_name="wire.example", version=(3, 3)
+        )
+        sock.send(codec.encode_handshake_record(hello, version=(3, 3)))
+        records, rest = codec.decode_records(sock.recv())
+        assert rest == b""
+        # Pre-negotiation: the client's offered record-layer version.
+        assert records[0].version == (3, 3)
+        first, _ = codec.decode_handshakes(records[0].payload)
+        assert first[0].msg_type == codec.HS_SERVER_HELLO
+        served = codec.ServerHello.from_body(first[0].body)
+        assert served.version == (3, 1)  # the negotiated downgrade
+        # Post-negotiation records speak the negotiated version.
+        assert all(record.version == (3, 1) for record in records[1:])
+        assert len(records) > 1
+
+    def test_engine_records_last_served_hello(
+        self, forger, origin_chain, root_ca
+    ):
+        network, client, engine = proxied_world(
+            make_profile(
+                substitute_cipher_suite=0xC013,
+                own_server_extension_types=(codec.EXT_RENEGOTIATION_INFO,),
+            ),
+            origin_chain,
+            RootStore([root_ca.certificate]),
+            forger,
+        )
+        assert engine.last_served_hello is None
+        sock = client.connect("wire.example", 443)
+        hello = ClientHello(
+            client_random=bytes(32),
+            server_name="wire.example",
+            extensions=(
+                (codec.EXT_SERVER_NAME,
+                 codec.encode_sni_extension_body("wire.example")),
+                (codec.EXT_RENEGOTIATION_INFO, b"\x00"),
+            ),
+        )
+        sock.send(codec.encode_handshake_record(hello))
+        served = engine.last_served_hello
+        assert served is not None
+        assert served.cipher_suite == 0xC013
+        assert served.extension_types == (codec.EXT_RENEGOTIATION_INFO,)
+        # What the engine recorded is byte-for-byte what went on the
+        # wire (the codec is lossless in both directions).
+        records, _ = codec.decode_records(sock.recv())
+        first, _ = codec.decode_handshakes(records[0].payload)
+        assert codec.ServerHello.from_body(first[0].body) == served
+
+    def test_echo_session_policy_returns_client_session_id(
+        self, forger, origin_chain, root_ca
+    ):
+        from repro.proxy.profile import ServerSessionPolicy
+
+        network, client, engine = proxied_world(
+            make_profile(server_session_id=ServerSessionPolicy.ECHO),
+            origin_chain,
+            RootStore([root_ca.certificate]),
+            forger,
+        )
+        sock = client.connect("wire.example", 443)
+        offered_id = bytes(range(16))
+        hello = ClientHello(
+            client_random=bytes(32),
+            server_name="wire.example",
+            session_id=offered_id,
+        )
+        sock.send(codec.encode_handshake_record(hello))
+        served = engine.last_served_hello
+        assert served is not None
+        assert served.session_id == offered_id
+        # NONE (the default) serves an empty id for the same offer.
+        network2, client2, engine2 = proxied_world(
+            make_profile(),
+            origin_chain,
+            RootStore([root_ca.certificate]),
+            forger,
+        )
+        sock2 = client2.connect("wire.example", 443)
+        sock2.send(codec.encode_handshake_record(hello))
+        assert engine2.last_served_hello is not None
+        assert engine2.last_served_hello.session_id == b""
+
+    def test_server_extensions_filtered_to_client_offer(
+        self, forger, origin_chain, root_ca
+    ):
+        """A product configured to answer extensions the client never
+        offered must not invent them on the wire."""
+        network, client, engine = proxied_world(
+            make_profile(
+                own_server_extension_types=(
+                    codec.EXT_RENEGOTIATION_INFO,
+                    codec.EXT_SESSION_TICKET,
+                ),
+            ),
+            origin_chain,
+            RootStore([root_ca.certificate]),
+            forger,
+        )
+        sock = client.connect("wire.example", 443)
+        # SNI-only offer: no renegotiation_info, no session ticket.
+        hello = ClientHello(client_random=bytes(32), server_name="wire.example")
+        sock.send(codec.encode_handshake_record(hello))
+        served = engine.last_served_hello
+        assert served is not None
+        assert served.extensions is None
+
+
 class TestBufferTrim:
     def test_split_client_hello_served_once(
         self, forger, origin_chain, root_ca

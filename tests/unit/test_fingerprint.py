@@ -3,17 +3,21 @@
 import pytest
 
 from repro.tls import codec
-from repro.tls.codec import ClientHello
+from repro.tls.codec import ClientHello, ServerHello
 from repro.tls.fingerprint import (
     BROWSER_PROFILES,
+    CANONICAL_SERVER_EXTENSION_TYPES,
     browser_profile,
+    build_own_server_extensions,
     build_own_stack_extensions,
     encode_groups_body,
     encode_point_formats_body,
     fingerprint_client_hello,
     fingerprint_divergence,
+    fingerprint_server_hello,
     parse_groups_body,
     parse_point_formats_body,
+    server_fingerprint_divergence,
 )
 
 
@@ -97,3 +101,137 @@ class TestOwnStackExtensions:
         by_type = dict(exts)
         assert parse_groups_body(by_type[codec.EXT_SUPPORTED_GROUPS]) == (23, 24, 25)
         assert by_type[0xABCD] == b""
+
+
+class TestServerFingerprint:
+    def test_ja3s_string_layout(self):
+        hello = ServerHello(
+            server_random=bytes(32),
+            cipher_suite=0xC02F,
+            version=(3, 3),
+            extensions=(
+                (codec.EXT_RENEGOTIATION_INFO, b"\x00"),
+                (codec.EXT_SESSION_TICKET, b""),
+            ),
+        )
+        fp = fingerprint_server_hello(hello)
+        assert fp.ja3s_string() == "771,49199,65281-35"
+        assert len(fp.digest()) == 32
+
+    def test_fingerprint_ignores_random_and_session_id(self):
+        a = ServerHello(server_random=bytes(32), cipher_suite=0x002F)
+        b = ServerHello(
+            server_random=bytes([9] * 32),
+            cipher_suite=0x002F,
+            session_id=b"\x01" * 32,
+        )
+        assert fingerprint_server_hello(a) == fingerprint_server_hello(b)
+
+    def test_divergence_names_differing_dimensions(self):
+        expected = browser_profile("chrome").server_fingerprint()
+        observed = fingerprint_server_hello(
+            ServerHello(
+                server_random=bytes(32), cipher_suite=0x002F, version=(3, 1)
+            )
+        )
+        diverging = server_fingerprint_divergence(expected, observed)
+        assert diverging == ("version", "cipher_suite", "extension_types")
+        assert server_fingerprint_divergence(expected, expected) == ()
+
+
+class TestExpectedServerResponses:
+    def test_every_profile_expects_an_offered_rsa_suite(self):
+        """The expected origin answer must be drawn from the browser's
+        own offer — an origin cannot choose an un-offered suite."""
+        for profile in BROWSER_PROFILES.values():
+            assert profile.expected_server_cipher in profile.cipher_suites
+            assert profile.expected_server_cipher not in codec.WEAK_CIPHER_SUITES
+
+    def test_expected_extensions_are_subset_of_offer(self):
+        """A server may only answer extensions the client offered."""
+        for profile in BROWSER_PROFILES.values():
+            offered = {ext_type for ext_type, _ in profile.extensions}
+            assert set(profile.expected_server_extension_types) <= offered
+
+    def test_expected_answer_is_canonical_filtered_by_offer(self):
+        """Each browser's expectation is the canonical origin answer
+        restricted to that browser's offer, in canonical order."""
+        for profile in BROWSER_PROFILES.values():
+            offered = {ext_type for ext_type, _ in profile.extensions}
+            filtered = tuple(
+                t for t in CANONICAL_SERVER_EXTENSION_TYPES if t in offered
+            )
+            assert profile.expected_server_extension_types == filtered
+
+    def test_server_fingerprints_distinct_across_browsers(self):
+        digests = {
+            p.server_fingerprint().digest() for p in BROWSER_PROFILES.values()
+        }
+        # chrome and firefox expect the same answer; ie and safari differ.
+        assert len(digests) == 3
+
+
+class TestOwnServerExtensions:
+    def _chrome_hello(self):
+        return browser_profile("chrome").client_hello(bytes(32), "x.example")
+
+    def test_mimic_config_reproduces_expected_answer(self):
+        """The canonical server set against a browser offer yields
+        exactly that browser's expected extension answer."""
+        for key in BROWSER_PROFILES:
+            profile = browser_profile(key)
+            hello = profile.client_hello(bytes(32), "x.example")
+            built = build_own_server_extensions(
+                CANONICAL_SERVER_EXTENSION_TYPES, hello
+            )
+            assert built is not None
+            assert (
+                tuple(t for t, _ in built)
+                == profile.expected_server_extension_types
+            )
+
+    def test_unoffered_types_filtered_out(self):
+        hello = ClientHello(client_random=bytes(32), server_name="x.example")
+        built = build_own_server_extensions(
+            (codec.EXT_RENEGOTIATION_INFO, codec.EXT_SESSION_TICKET), hello
+        )
+        assert built is None
+
+    def test_canned_server_bodies(self):
+        built = build_own_server_extensions(
+            CANONICAL_SERVER_EXTENSION_TYPES, self._chrome_hello()
+        )
+        by_type = dict(built)
+        assert by_type[codec.EXT_RENEGOTIATION_INFO] == b"\x00"
+        assert by_type[codec.EXT_SESSION_TICKET] == b""
+        assert by_type[codec.EXT_ALPN] == b"\x00\x09\x08http/1.1"
+        assert parse_point_formats_body(by_type[codec.EXT_EC_POINT_FORMATS]) == (0,)
+
+
+class TestOriginCipherNegotiation:
+    def test_negotiation_reproduces_expected_cipher_per_browser(self):
+        """negotiate_origin_cipher over each browser's offer must land
+        on that browser's declared expected_server_cipher — the
+        property that lets a negotiating mimic stay hidden against
+        every browser instead of one."""
+        from repro.tls.fingerprint import negotiate_origin_cipher
+
+        for profile in BROWSER_PROFILES.values():
+            hello = profile.client_hello(bytes(32), "x.example")
+            assert negotiate_origin_cipher(hello) == profile.expected_server_cipher
+
+    def test_negotiation_skips_ecdsa_and_falls_back(self):
+        from repro.tls.fingerprint import negotiate_origin_cipher
+
+        ecdsa_only = ClientHello(
+            client_random=bytes(32),
+            server_name="x.example",
+            cipher_suites=(0xC02B, 0xC00A, 0xC009),
+        )
+        assert negotiate_origin_cipher(ecdsa_only) == 0x002F
+        mixed = ClientHello(
+            client_random=bytes(32),
+            server_name="x.example",
+            cipher_suites=(0xC02B, 0xC014, 0xC02F),
+        )
+        assert negotiate_origin_cipher(mixed) == 0xC014

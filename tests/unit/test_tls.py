@@ -95,6 +95,55 @@ class TestServerHelloAndCertificate:
         decoded = ServerHello.from_body(hello.to_handshake().body)
         assert decoded == hello
 
+    def test_server_hello_preserves_extensions_and_compression(self):
+        """Regression: the old codec dropped the extensions block and
+        hardcoded the null-compression byte on re-encode."""
+        hello = ServerHello(
+            server_random=_rand32(2),
+            cipher_suite=0xC02F,
+            session_id=b"\x07" * 16,
+            compression_method=1,
+            extensions=(
+                (codec.EXT_RENEGOTIATION_INFO, b"\x00"),
+                (codec.EXT_SESSION_TICKET, b""),
+                (0xABCD, b"unknown-type-body"),
+            ),
+        )
+        body = hello.to_handshake().body
+        decoded = ServerHello.from_body(body)
+        assert decoded == hello
+        assert decoded.to_handshake().body == body
+        assert decoded.compression_method == 1
+        assert decoded.extension_types == (
+            codec.EXT_RENEGOTIATION_INFO,
+            codec.EXT_SESSION_TICKET,
+            0xABCD,
+        )
+        assert decoded.extension_body(0xABCD) == b"unknown-type-body"
+        assert decoded.extension_body(codec.EXT_ALPN) is None
+
+    def test_server_hello_none_vs_empty_extensions_distinct(self):
+        bare = ServerHello(server_random=_rand32(2), cipher_suite=0x002F)
+        empty = ServerHello(
+            server_random=_rand32(2), cipher_suite=0x002F, extensions=()
+        )
+        assert len(empty.to_handshake().body) == len(bare.to_handshake().body) + 2
+        assert ServerHello.from_body(bare.to_handshake().body).extensions is None
+        assert ServerHello.from_body(empty.to_handshake().body).extensions == ()
+
+    def test_from_body_parsers_reject_trailing_garbage(self):
+        """Every handshake parser must assert reader exhaustion."""
+        server = ServerHello(server_random=_rand32(2), cipher_suite=0x002F)
+        with pytest.raises(TlsError):
+            # One stray byte cannot even be an extensions-block length.
+            ServerHello.from_body(server.to_handshake().body + b"\x00")
+        client = ClientHello(client_random=_rand32(), server_name="x.example")
+        with pytest.raises(TlsError):
+            ClientHello.from_body(client.to_handshake().body + b"\x00\x00")
+        message = CertificateMessage((b"\x01\x02\x03",))
+        with pytest.raises(TlsError):
+            CertificateMessage.from_body(message.to_handshake().body + b"\xff")
+
     def test_certificate_round_trip(self, site_chain):
         message = CertificateMessage(tuple(c.encode() for c in site_chain))
         decoded = CertificateMessage.from_body(message.to_handshake().body)
@@ -174,13 +223,42 @@ class TestProbeEndToEnd:
         hello = ClientHello(client_random=_rand32(3), server_name="other.example")
         sock.send(codec.encode_handshake_record(hello))
         records, _ = codec.decode_records(sock.recv())
-        messages, _ = codec.decode_handshakes(records[0].payload)
+        stream = b"".join(
+            r.payload for r in records if r.content_type == codec.CONTENT_HANDSHAKE
+        )
+        messages, _ = codec.decode_handshakes(stream)
         certs = [
             codec.Certificate.from_body(m.body)
             for m in messages
             if m.msg_type == codec.HS_CERTIFICATE
         ]
         assert certs[0].der_chain == (other_leaf.encode(),)
+
+    def test_probe_keeps_server_hello_without_certificate(self):
+        """A flight with a ServerHello but no Certificate fails the
+        probe yet preserves the parsed hello — the server-leg audit
+        grades whatever made it onto the wire."""
+        from repro.netsim.network import Protocol
+
+        class HelloOnlyServer(Protocol):
+            def factory(self):
+                return HelloOnlyServer()
+
+            def data_received(self, sock, data):
+                hello = ServerHello(
+                    server_random=_rand32(4), cipher_suite=0xC02F
+                )
+                sock.send(codec.encode_handshake_record(hello))
+
+        net = Network()
+        client_host = net.add_host("client.example")
+        server_host = net.add_host("probe-target.example")
+        server_host.listen(443, HelloOnlyServer().factory)
+        result = ProbeClient(client_host).probe("probe-target.example")
+        assert not result.ok
+        assert result.error == "no Certificate message received"
+        assert result.server_hello is not None
+        assert result.server_hello.cipher_suite == 0xC02F
 
     def test_server_rejects_garbage(self, site_chain):
         net, client_host, _ = self.build_network(site_chain)

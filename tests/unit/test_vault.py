@@ -144,3 +144,73 @@ class TestGenerationCounter:
         store = KeyStore(seed=8)
         store.preload(["p1", "p2"], 512)
         assert store.keys_generated == 2
+
+
+class TestGc:
+    def test_gc_prunes_foreign_seeds_and_keeps_kept(self, vault):
+        """Acceptance: over a populated vault, gc removes exactly the
+        entries whose seed is not kept, and the survivors still load."""
+        for seed in (7, 8, 9):
+            store = KeyStore(seed=seed, vault=vault)
+            store.key("alpha", 512)
+            store.key("beta", 512)
+        assert len(vault) == 6
+        kept, removed = vault.gc(keep_seeds=[7, 9])
+        assert (kept, removed) == (4, 2)
+        assert len(vault) == 4
+        # Survivors load without regeneration; the pruned seed misses.
+        survivor = KeyStore(seed=7, vault=vault)
+        survivor.key("alpha", 512)
+        assert survivor.vault_hits == 1 and survivor.keys_generated == 0
+        pruned = KeyStore(seed=8, vault=vault)
+        pruned.key("alpha", 512)
+        assert pruned.keys_generated == 1
+
+    def test_gc_removes_unreadable_entries(self, vault):
+        store = KeyStore(seed=7, vault=vault)
+        store.key("alpha", 512)
+        path = vault.entry_path(7, "alpha", 512)
+        path.write_text("not json", encoding="utf-8")
+        bogus = vault.path / "zz" / "bogus.json"
+        bogus.parent.mkdir(parents=True)
+        bogus.write_text(json.dumps({"no": "seed"}), encoding="utf-8")
+        kept, removed = vault.gc(keep_seeds=[7])
+        assert kept == 0 and removed == 2
+        assert len(vault) == 0
+        # Emptied fan-out directories are dropped with their entries.
+        assert not (vault.path / "zz").exists()
+
+    def test_gc_removes_stale_format_and_orphan_tmp_files(self, vault):
+        """A format bump relocates every address, so old-format
+        entries can never be hits again — gc must not keep them just
+        because their seed matches; crashed-writer temp files go too."""
+        store = KeyStore(seed=7, vault=vault)
+        store.key("alpha", 512)
+        path = vault.entry_path(7, "alpha", 512)
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        stale = dict(payload, format=payload["format"] - 1)
+        stale_path = path.parent / "stale-format.json"
+        stale_path.write_text(json.dumps(stale), encoding="utf-8")
+        orphan = path.parent / ".crashed-writer.json.123.456.tmp"
+        orphan.write_text("partial", encoding="utf-8")
+        kept, removed = vault.gc(keep_seeds=[7])
+        assert (kept, removed) == (1, 2)
+        assert path.exists()
+        assert not stale_path.exists() and not orphan.exists()
+
+    def test_gc_on_missing_vault_is_a_noop(self, tmp_path):
+        vault = KeyVault(tmp_path / "never-created")
+        assert vault.gc(keep_seeds=[7]) == (0, 0)
+
+    def test_gc_cli(self, vault, capsys):
+        from repro.cli import main
+
+        KeyStore(seed=7, vault=vault).key("alpha", 512)
+        KeyStore(seed=8, vault=vault).key("alpha", 512)
+        code = main(
+            ["keys", "gc", "--vault", str(vault.path), "--keep-seeds", "7"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "kept 1" in out and "removed 1" in out
+        assert len(vault) == 1
