@@ -14,17 +14,19 @@ from conftest import BENCH_SEED, emit
 
 from repro.analysis.mimicry import mimicry_prevalence
 from repro.audit import mimicry_catalog
+from repro.obs import MetricsRegistry
 from repro.reporting import render_mimicry_prevalence_table
 
 
 def run_survey():
+    obs = MetricsRegistry()
     start = time.perf_counter()
-    survey = mimicry_catalog(seed=BENCH_SEED, workers=1)
-    return survey, time.perf_counter() - start
+    survey = mimicry_catalog(seed=BENCH_SEED, workers=1, registry=obs)
+    return survey, time.perf_counter() - start, obs
 
 
 def test_mimicry_prevalence(benchmark, output_dir):
-    survey, wall_time = benchmark.pedantic(run_survey, rounds=1, iterations=1)
+    survey, wall_time, obs = benchmark.pedantic(run_survey, rounds=1, iterations=1)
 
     products = len(survey.entries)
     detectable = [entry for entry in survey.entries if entry.detectable]
@@ -48,6 +50,8 @@ def test_mimicry_prevalence(benchmark, output_dir):
             study: round(result.total.detectable_share, 4)
             for study, result in prevalence.items()
         },
+        "phase_profile": obs.timing_profile(),
+        "survey_counters": obs.snapshot()["deterministic"]["counters"],
     }
     payload = json.dumps(timing, indent=2)
     (output_dir / "BENCH_mimicry_prevalence.json").write_text(
@@ -57,6 +61,7 @@ def test_mimicry_prevalence(benchmark, output_dir):
 
     assert products >= 40  # the whole catalog, not a subset
     assert timing["products_per_second"] > 0
+    assert timing["phase_profile"]["audit.mimicry"]["count"] == products
     # The server-leg mimic stays hidden; the bare stacks do not.
     by_key = survey.by_key()
     assert not by_key["bitdefender"].detectable

@@ -288,6 +288,7 @@ def _timed_run(runner, repeats: int = 1) -> tuple[float, int]:
 def bench_study(scale: float) -> dict:
     per_workers = {}
     warm_runner = None
+    phase_profile: dict = {}
     for workers in WORKER_COUNTS:
         config = StudyConfig(
             study=1, seed=BENCH_SEED, scale=scale, mode="fast", workers=workers
@@ -298,6 +299,7 @@ def bench_study(scale: float) -> dict:
         wall = time.perf_counter() - start
         if workers == 1:
             warm_runner = runner
+            phase_profile = result.metrics.get("timing", {}).get("spans", {})
         per_workers[str(workers)] = {
             "wall_time_s": round(wall, 3),
             "measurements": result.database.total_measurements,
@@ -325,6 +327,7 @@ def bench_study(scale: float) -> dict:
     steady_legacy = legacy_warm_meas / legacy_warm_wall
     return {
         "workers": per_workers,
+        "phase_profile": phase_profile,
         "deterministic_across_workers": len(signatures) == 1,
         "single_process_baseline_cold": {
             "wall_time_s": round(legacy_cold_wall, 3),
@@ -346,15 +349,22 @@ def bench_study(scale: float) -> dict:
 
 def bench_audit() -> dict:
     from repro.audit import audit_catalog
+    from repro.obs import MetricsRegistry
 
     per_workers = {}
     reports = {}
+    phase_profile: dict = {}
     for workers in WORKER_COUNTS:
         executor = "process" if workers > 1 else "thread"
+        obs = MetricsRegistry()
         start = time.perf_counter()
-        report = audit_catalog(seed=BENCH_SEED, workers=workers, executor=executor)
+        report = audit_catalog(
+            seed=BENCH_SEED, workers=workers, executor=executor, registry=obs
+        )
         wall = time.perf_counter() - start
         reports[workers] = report
+        if workers == 1:
+            phase_profile = obs.timing_profile()
         per_workers[str(workers)] = {
             "executor": executor,
             "wall_time_s": round(wall, 3),
@@ -363,6 +373,7 @@ def bench_audit() -> dict:
     grades = {w: r.grade_histogram() for w, r in reports.items()}
     return {
         "workers": per_workers,
+        "phase_profile": phase_profile,
         "speedup_4_workers_vs_1": round(
             per_workers["1"]["wall_time_s"] / per_workers["4"]["wall_time_s"], 3
         ),
@@ -513,6 +524,13 @@ def test_scaling(output_dir):
 
     assert results["study_fast_mode"]["deterministic_across_workers"]
     assert results["audit_battery"]["deterministic_across_workers"]
+    # The embedded phase profiles must cover the phases the runner and
+    # harness claim to trace.
+    assert "study.run/study.plan" in results["study_fast_mode"]["phase_profile"]
+    assert any(
+        path.startswith("audit.product")
+        for path in results["audit_battery"]["phase_profile"]
+    )
     # The memoisation work must be a clear win on any hardware.  (The
     # CRT sign speedup is real but small — recorded, not asserted.)
     assert results["hotpath"]["certificate_fingerprint_ops_per_s"]["speedup"] > 1.0

@@ -49,6 +49,12 @@ from repro.crypto.keystore import KeyStore
 from repro.crypto.vault import open_vault
 from repro.data.products import catalog, catalog_by_key
 from repro.netsim.network import Host, Network
+from repro.obs.events import HandshakeEventLog
+from repro.obs.metrics import (
+    SECTION_PROCESS,
+    SECTION_TIMING,
+    MetricsRegistry,
+)
 from repro.tls import codec
 from repro.proxy.engine import TlsProxyEngine
 from repro.proxy.forger import SubstituteCertForger
@@ -76,10 +82,18 @@ class AuditHarness:
         pki_key_bits: int = 1024,
         vault: str | None = None,
         browser: str = DEFAULT_BROWSER,
+        registry: MetricsRegistry | None = None,
     ) -> None:
         self.seed = seed
         self.browser = browser_profile(browser)
-        self.keystore = keystore or KeyStore(seed=seed, vault=vault)
+        self.obs = registry if registry is not None else MetricsRegistry()
+        # One pooled handshake history across every rig this harness
+        # builds — ``harness.events.to_dicts()`` is the per-connection
+        # record the audit CLI dumps alongside the scorecards.
+        self.events = HandshakeEventLog(limit=4096, registry=self.obs)
+        self.keystore = keystore or KeyStore(
+            seed=seed, vault=vault, registry=self.obs
+        )
         self.pki = AuditPki(self.keystore, seed=seed, key_bits=pki_key_bits)
         self.forger = SubstituteCertForger(self.keystore, seed=seed)
         # Scenario chains are deterministic per seed; mint them once.
@@ -108,10 +122,11 @@ class AuditHarness:
         mimicry/substitute checks, and the server-leg substitute
         ServerHello checks.
         """
-        observations = [
-            self.run_scenario(profile, scenario) for scenario in SCENARIOS
-        ]
-        probe = self.run_mimicry(profile)
+        with self.obs.span("audit.product", product=profile.key):
+            observations = [
+                self.run_scenario(profile, scenario) for scenario in SCENARIOS
+            ]
+            probe = self.run_mimicry(profile)
         return build_scorecard(
             profile.key,
             profile.category.value,
@@ -137,7 +152,8 @@ class AuditHarness:
         probe = ProbeClient(
             victim, rng=self._probe_rng(profile, "mimicry"), browser=self.browser
         )
-        result = probe.probe(AUDIT_HOSTNAME, 443)
+        with self.obs.span("audit.mimicry"):
+            result = probe.probe(AUDIT_HOSTNAME, 443)
         expected = self.browser.fingerprint()
         upstream_hello = engine.last_upstream_hello
         if not result.ok or upstream_hello is None:
@@ -279,6 +295,8 @@ class AuditHarness:
             upstream_trust=self.pki.proxy_store(),
             revoked_serials=revoked_serials,
             rng=random.Random(stable_hash(self.seed, profile.key, scenario_key)),
+            registry=self.obs,
+            events=self.events,
         )
         victim.add_interceptor(engine)
         origin.listen(443, TlsCertServer(list(self._baseline.chain)).factory)
@@ -297,19 +315,20 @@ class AuditHarness:
             profile, scenario.key, revoked_serials=setup.revoked_serials
         )
         probe_rng = self._probe_rng(profile, scenario.key)
-        # Warm-up: the origin is healthy; validation caches fill here.
-        ProbeClient(victim, rng=probe_rng).probe(AUDIT_HOSTNAME, 443)
-        # The attack begins: swap in the scenario's origin.
-        origin.stop_listening(443)
-        origin.listen(
-            443,
-            TlsCertServer(
-                list(setup.chain),
-                cipher_suite=setup.cipher_suite,
-                max_version=setup.max_version,
-            ).factory,
-        )
-        result = ProbeClient(victim, rng=probe_rng).probe(AUDIT_HOSTNAME, 443)
+        with self.obs.span("audit.scenario", scenario=scenario.key):
+            # Warm-up: the origin is healthy; validation caches fill here.
+            ProbeClient(victim, rng=probe_rng).probe(AUDIT_HOSTNAME, 443)
+            # The attack begins: swap in the scenario's origin.
+            origin.stop_listening(443)
+            origin.listen(
+                443,
+                TlsCertServer(
+                    list(setup.chain),
+                    cipher_suite=setup.cipher_suite,
+                    max_version=setup.max_version,
+                ).factory,
+            )
+            result = ProbeClient(victim, rng=probe_rng).probe(AUDIT_HOSTNAME, 443)
         return self._classify(scenario, setup, result)
 
     @staticmethod
@@ -356,6 +375,7 @@ def audit_catalog(
     executor: str = "thread",
     vault: str | None = None,
     browser: str = DEFAULT_BROWSER,
+    registry: MetricsRegistry | None = None,
 ) -> AuditReport:
     """Grade every catalog product (or the named subset) under ``seed``.
 
@@ -380,6 +400,14 @@ def audit_catalog(
 
     ``browser`` picks the 2014-era profile the client-leg mimicry
     probe impersonates (:data:`repro.tls.fingerprint.BROWSER_PROFILES`).
+
+    ``registry`` collects the run's telemetry.  Deterministic tallies
+    (scenario check outcomes, letter grades) are computed here from the
+    returned scorecards in catalog order — never from harness-internal
+    counters, whose home registry a process pool discards — so the
+    deterministic section is identical for any worker count or
+    executor kind.  Harness timings and keygen counts merge in as
+    timing/process metrics where available (serial and thread paths).
     """
     scorecards = _fan_out_catalog(
         seed=seed,
@@ -391,7 +419,14 @@ def audit_catalog(
         browser=browser,
         serial_task=lambda harness, spec: harness.audit_product(spec.profile),
         process_task=_audit_product_task,
+        registry=registry,
     )
+    if registry is not None:
+        for card in scorecards:
+            registry.inc("audit.products")
+            registry.inc("audit.grades", grade=card.grade)
+            for check in card.checks:
+                registry.inc("audit.checks", outcome=check.outcome)
     return AuditReport(seed=seed, scorecards=tuple(scorecards))
 
 
@@ -417,6 +452,7 @@ def _fan_out_catalog(
     browser: str,
     serial_task,
     process_task,
+    registry: MetricsRegistry | None = None,
 ) -> list:
     """Shared orchestration for per-product catalog fan-outs.
 
@@ -448,21 +484,34 @@ def _fan_out_catalog(
     harness = AuditHarness(
         seed=seed, pki_key_bits=pki_key_bits, vault=vault, browser=browser
     )
-    if workers > 1:
-        # Threads share the harness: warm every signing CA (all issuer
-        # variants, not just bucket 0) serially first so the pool never
-        # races to regenerate the same expensive RSA keys mid-battery.
-        # Today's battery forges only bucket 0, so the extra variants
-        # are insurance for bucket-varying batteries at the cost of
-        # some up-front keygen on this (GIL-bound anyway) path; the
-        # serial and process paths stay lazy and pay nothing.
-        for spec in specs:
-            harness.warm_product(spec.profile)
-        with ThreadPoolExecutor(max_workers=workers) as pool:
-            return list(
-                pool.map(lambda spec: serial_task(harness, spec), specs)
+    try:
+        if workers > 1:
+            return _fan_out_threads(harness, specs, workers, serial_task)
+        return [serial_task(harness, spec) for spec in specs]
+    finally:
+        if registry is not None:
+            # Only the scheduling-dependent sections: the harness's own
+            # deterministic counters (proxy decisions, probe counts)
+            # would differ thread-vs-process, since process workers'
+            # registries never leave their processes.
+            registry.merge_snapshot(
+                harness.obs.snapshot(),
+                sections=(SECTION_PROCESS, SECTION_TIMING),
             )
-    return [serial_task(harness, spec) for spec in specs]
+
+
+def _fan_out_threads(harness, specs, workers: int, serial_task) -> list:
+    # Threads share the harness: warm every signing CA (all issuer
+    # variants, not just bucket 0) serially first so the pool never
+    # races to regenerate the same expensive RSA keys mid-battery.
+    # Today's battery forges only bucket 0, so the extra variants
+    # are insurance for bucket-varying batteries at the cost of
+    # some up-front keygen on this (GIL-bound anyway) path; the
+    # serial and process paths stay lazy and pay nothing.
+    for spec in specs:
+        harness.warm_product(spec.profile)
+    with ThreadPoolExecutor(max_workers=workers) as pool:
+        return list(pool.map(lambda spec: serial_task(harness, spec), specs))
 
 
 def mimicry_catalog(
@@ -473,6 +522,7 @@ def mimicry_catalog(
     executor: str = "thread",
     vault: str | None = None,
     browser: str = DEFAULT_BROWSER,
+    registry: MetricsRegistry | None = None,
 ) -> MimicrySurvey:
     """Run only the mimicry probe over the catalog (or a subset).
 
@@ -482,6 +532,9 @@ def mimicry_catalog(
     Sharding semantics are identical: entries come back in catalog
     order and are byte-identical for any worker count or executor
     kind, and a warm ``vault`` spares every worker its keygen.
+    ``registry`` follows the ``audit_catalog`` contract: deterministic
+    tallies derive from the returned entries, harness telemetry merges
+    in as timing/process only.
     """
     entries = _fan_out_catalog(
         seed=seed,
@@ -493,7 +546,17 @@ def mimicry_catalog(
         browser=browser,
         serial_task=lambda harness, spec: harness.survey_product(spec),
         process_task=_survey_product_task,
+        registry=registry,
     )
+    if registry is not None:
+        for entry in entries:
+            registry.inc("mimicry.entries")
+            leg = "divergent" if entry.client_leg.divergent_fields else "mimicked"
+            registry.inc("mimicry.client_leg", leg=leg)
+            server = (
+                "divergent" if entry.server_leg.divergent_fields else "mimicked"
+            )
+            registry.inc("mimicry.server_leg", leg=server)
     return MimicrySurvey(seed=seed, browser=browser, entries=tuple(entries))
 
 

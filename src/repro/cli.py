@@ -80,6 +80,12 @@ def build_parser() -> argparse.ArgumentParser:
         study_parser.add_argument(
             "--export", metavar="PATH", help="write the report database as JSONL"
         )
+        study_parser.add_argument(
+            "--metrics-out",
+            metavar="PATH",
+            help="write the run's metrics snapshot as JSON (deterministic/"
+            "process/timing sections) and print the phase profile",
+        )
 
     scan = sub.add_parser("scan", help="Table 1: policy-file scan of the universe")
     scan.add_argument("--universe", type=int, default=2000)
@@ -138,6 +144,12 @@ def build_parser() -> argparse.ArgumentParser:
     audit.add_argument(
         "--export", metavar="PATH", help="write the full report as JSON"
     )
+    audit.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        help="write the battery's metrics snapshot as JSON and print the "
+        "phase profile",
+    )
 
     prevalence = sub.add_parser(
         "mimicry-prevalence",
@@ -190,6 +202,12 @@ def build_parser() -> argparse.ArgumentParser:
     prevalence.add_argument(
         "--export", metavar="PATH", help="write the study result as JSON"
     )
+    prevalence.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        help="write the survey's metrics snapshot as JSON and print the "
+        "phase profile",
+    )
 
     keys = sub.add_parser(
         "keys", help="manage the persistent RSA key-material vault"
@@ -213,8 +231,15 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="warm only the study keys, not the audit battery's",
     )
-    stats = keys_sub.add_parser("stats", help="print vault entry count")
+    stats = keys_sub.add_parser(
+        "stats", help="print vault entry counts and on-disk size per seed"
+    )
     stats.add_argument("--vault", metavar="DIR", required=True)
+    stats.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        help="also write the vault gauges as a metrics-snapshot JSON",
+    )
     gc = keys_sub.add_parser(
         "gc",
         help="prune vault entries not addressed by the kept seeds — "
@@ -230,6 +255,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="seeds whose key material survives; everything else is removed",
     )
     return parser
+
+
+def _emit_metrics(snapshot: dict, path: str) -> None:
+    """Write a metrics snapshot and print its phase profile.
+
+    Only runs when ``--metrics-out`` was given: the default stdout must
+    stay byte-identical across worker counts (the determinism smokes
+    diff it), and wall-clock timings in it would break that.
+    """
+    from repro.obs.export import write_json
+    from repro.reporting import render_metrics_table
+
+    write_json(snapshot, path)
+    print(f"\nmetrics snapshot written to {path}\n")
+    print(render_metrics_table(snapshot))
 
 
 def _run_study(study: int, args) -> int:
@@ -284,6 +324,8 @@ def _run_study(study: int, args) -> int:
 
         save_database(db, args.export)
         print(f"\nreport database exported to {args.export}")
+    if args.metrics_out:
+        _emit_metrics(result.metrics, args.metrics_out)
     return 0
 
 
@@ -370,6 +412,9 @@ def _run_audit(args) -> int:
         render_server_leg_table,
     )
 
+    from repro.obs.metrics import MetricsRegistry
+
+    obs = MetricsRegistry()
     try:
         report = audit_catalog(
             seed=args.seed,
@@ -378,6 +423,7 @@ def _run_audit(args) -> int:
             executor=args.executor,
             vault=args.vault,
             browser=args.browser,
+            registry=obs,
         )
     except KeyError as exc:
         print(f"error: {exc.args[0]}", file=sys.stderr)
@@ -408,6 +454,8 @@ def _run_audit(args) -> int:
         with open(args.export, "w", encoding="utf-8") as handle:
             json.dump(report.to_dict(), handle, indent=2)
         print(f"\naudit report exported to {args.export}")
+    if args.metrics_out:
+        _emit_metrics(obs.snapshot(), args.metrics_out)
     return 0
 
 
@@ -416,8 +464,10 @@ def _run_mimicry_prevalence(args) -> int:
 
     from repro.analysis.mimicry import mimicry_prevalence
     from repro.audit import mimicry_catalog
+    from repro.obs.metrics import MetricsRegistry
     from repro.reporting import render_mimicry_prevalence_table
 
+    obs = MetricsRegistry()
     try:
         survey = mimicry_catalog(
             seed=args.seed,
@@ -426,6 +476,7 @@ def _run_mimicry_prevalence(args) -> int:
             executor=args.executor,
             vault=args.vault,
             browser=args.browser,
+            registry=obs,
         )
     except KeyError as exc:
         print(f"error: {exc.args[0]}", file=sys.stderr)
@@ -457,6 +508,8 @@ def _run_mimicry_prevalence(args) -> int:
         with open(args.export, "w", encoding="utf-8") as handle:
             json.dump(prevalence.to_dict(), handle, indent=2)
         print(f"\nmimicry-prevalence study exported to {args.export}")
+    if args.metrics_out:
+        _emit_metrics(obs.snapshot(), args.metrics_out)
     return 0
 
 
@@ -467,7 +520,29 @@ def _run_keys(args) -> int:
 
     vault = KeyVault(args.vault)
     if args.keys_command == "stats":
-        print(f"vault {vault.path}: {len(vault)} entries")
+        from repro.obs.export import write_json
+        from repro.obs.metrics import MetricsRegistry
+        from repro.reporting import render_table
+
+        obs = MetricsRegistry()
+        per_seed = vault.collect_stats(obs)
+        total_entries = obs.gauge("vault.entries").value or 0
+        total_bytes = obs.gauge("vault.bytes").value or 0
+        print(
+            f"vault {vault.path}: {total_entries} entries, "
+            f"{total_bytes / 1024:.1f} KiB on disk"
+        )
+        if per_seed:
+            body = [
+                [str(seed), f"{entries:,}", f"{size / 1024:.1f}"]
+                for seed, (entries, size) in sorted(
+                    per_seed.items(), key=lambda item: str(item[0])
+                )
+            ]
+            print(render_table(["Seed", "Entries", "KiB"], body))
+        if args.metrics_out:
+            write_json(obs.snapshot(), args.metrics_out)
+            print(f"vault metrics written to {args.metrics_out}")
         return 0
     if args.keys_command == "gc":
         kept, removed = vault.gc(args.keep_seeds)

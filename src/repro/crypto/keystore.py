@@ -23,6 +23,7 @@ import zlib
 
 from repro.crypto.rsa import RsaKeyPair, generate_rsa_key
 from repro.crypto.vault import KeyVault, open_vault
+from repro.obs.metrics import MetricsRegistry
 
 
 class KeyStore:
@@ -33,18 +34,37 @@ class KeyStore:
     ``keys_generated`` counts actual ``generate_rsa_key`` calls —
     vault and in-memory hits leave it untouched, which is what the
     warm-vault determinism tests assert on.
+
+    Counting lives on a :class:`MetricsRegistry` (``registry``, or a
+    private one) as *process* counters — keygen and vault traffic
+    depend on process boundaries, never on the data — and the
+    historical ``keys_generated``/``vault_hits`` attributes remain as
+    live views onto those counters.
     """
 
-    def __init__(self, seed: int = 0, vault=None) -> None:
+    def __init__(self, seed: int = 0, vault=None, registry=None) -> None:
         self._seed = seed
         self._cache: dict[tuple[str, int], RsaKeyPair] = {}
         self._vault: KeyVault | None = open_vault(vault)
-        self.keys_generated = 0
-        self.vault_hits = 0
+        self.metrics = registry if registry is not None else MetricsRegistry()
+        self._keys_generated = self.metrics.process_counter(
+            "keystore.keys_generated"
+        )
+        self._vault_hits = self.metrics.process_counter("keystore.vault_hits")
+        self._vault_misses = self.metrics.process_counter("keystore.vault_misses")
+        self._vault_stores = self.metrics.process_counter("keystore.vault_stores")
 
     @property
     def vault(self) -> KeyVault | None:
         return self._vault
+
+    @property
+    def keys_generated(self) -> int:
+        return self._keys_generated.value
+
+    @property
+    def vault_hits(self) -> int:
+        return self._vault_hits.value
 
     def key(self, label: str, bits: int) -> RsaKeyPair:
         """Return the key for ``(label, bits)``, generating it on first use."""
@@ -59,13 +79,16 @@ class KeyStore:
         if self._vault is not None:
             pair = self._vault.load(self._seed, label, bits)
             if pair is not None:
-                self.vault_hits += 1
+                self._vault_hits.inc()
                 return pair
-        rng = random.Random(self._derive_seed(label, bits))
-        pair = generate_rsa_key(bits, rng)
-        self.keys_generated += 1
+            self._vault_misses.inc()
+        with self.metrics.span("keystore.generate", bits=bits):
+            rng = random.Random(self._derive_seed(label, bits))
+            pair = generate_rsa_key(bits, rng)
+        self._keys_generated.inc()
         if self._vault is not None:
             self._vault.store(self._seed, label, bits, pair)
+            self._vault_stores.inc()
         return pair
 
     def _derive_seed(self, label: str, bits: int) -> int:

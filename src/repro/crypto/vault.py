@@ -190,6 +190,39 @@ class KeyVault:
 
     # -- introspection ----------------------------------------------------
 
+    def collect_stats(self, registry) -> dict:
+        """Scan the vault into ``registry`` gauges and return a summary.
+
+        Sets ``vault.entries``/``vault.bytes`` totals plus per-seed
+        ``vault.entries{seed=N}`` and ``vault.bytes{seed=N}`` gauges
+        (unreadable entries land under ``seed=corrupt``), so ``repro
+        keys stats`` and exporters read one source of truth instead of
+        a bare entry count.  Returns ``{seed: (entries, bytes)}``.
+        """
+        per_seed: dict[object, list[int]] = {}
+        total_entries = 0
+        total_bytes = 0
+        if self.path.is_dir():
+            for entry in sorted(self.path.glob("*/*.json")):
+                try:
+                    size = entry.stat().st_size
+                    seed = json.loads(entry.read_text(encoding="utf-8"))["seed"]
+                    if not isinstance(seed, int):
+                        seed = "corrupt"
+                except (OSError, ValueError, KeyError, TypeError):
+                    seed, size = "corrupt", 0
+                bucket = per_seed.setdefault(seed, [0, 0])
+                bucket[0] += 1
+                bucket[1] += size
+                total_entries += 1
+                total_bytes += size
+        registry.gauge("vault.entries").set(total_entries)
+        registry.gauge("vault.bytes").set(total_bytes)
+        for seed, (entries, size) in per_seed.items():
+            registry.gauge("vault.entries", seed=seed).set(entries)
+            registry.gauge("vault.bytes", seed=seed).set(size)
+        return {seed: tuple(counts) for seed, counts in per_seed.items()}
+
     def __len__(self) -> int:
         if not self.path.is_dir():
             return 0

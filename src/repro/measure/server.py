@@ -14,6 +14,7 @@ from repro.httpmin.server import HttpServer
 from repro.measure.database import ReportDatabase
 from repro.measure.records import CertSummary, MeasurementRecord
 from repro.netsim.network import Host, Protocol, StreamSocket
+from repro.obs.metrics import MetricsRegistry
 from repro.policy.model import PolicyFile
 from repro.policy.server import POLICY_REQUEST, PolicyServer
 from repro.x509.parse import X509Error, parse_certificate
@@ -38,6 +39,7 @@ class ReportingServer:
         study: int,
         campaign: str = "default",
         public_roots=None,
+        registry: MetricsRegistry | None = None,
     ) -> None:
         self.database = database
         self.geoip = geoip
@@ -46,9 +48,14 @@ class ReportingServer:
         self.public_roots = public_roots  # RootStore | None
         self.expected_leaves: dict[str, str] = {}
         self.host_types: dict[str, str] = {}
-        self.http = HttpServer()
+        self.metrics = registry if registry is not None else MetricsRegistry()
+        self.http = HttpServer(registry=self.metrics)
         self.http.route("GET", "/ad", self._serve_tool)
         self.http.route("POST", "/report", self._ingest_report)
+        # A report whose connection dies mid-parse never reaches the
+        # handler; without this hook it would vanish from the failure
+        # accounting entirely.
+        self.http.on_abandoned = self._report_abandoned
 
     def expect(self, hostname: str, leaf_fingerprint: str, host_type: str) -> None:
         """Register the authoritative leaf for a probe target."""
@@ -58,25 +65,42 @@ class ReportingServer:
     # -- handlers ------------------------------------------------------------
 
     def _serve_tool(self, request: HttpRequest, remote: Host | None) -> HttpResponse:
+        self.metrics.inc("reports.tool_served")
         return HttpResponse(200, body=_TOOL_PAYLOAD)
+
+    def _report_abandoned(self, partial: bytes) -> None:
+        """A connection closed with an undecodable request still buffered.
+
+        Only report submissions count against the study's failure
+        ledger — a half-received ``GET /ad`` wasted an impression, not
+        a report.
+        """
+        request_line = partial.split(b"\r\n", 1)[0]
+        if request_line.startswith(b"POST /report"):
+            self.database.failures.report_failed += 1
+            self.metrics.inc("reports.rejected", reason="truncated")
 
     def _ingest_report(self, request: HttpRequest, remote: Host | None) -> HttpResponse:
         hostname = request.headers.get("x-probed-host", "")
         if not hostname or hostname not in self.expected_leaves:
             self.database.failures.report_failed += 1
+            self.metrics.inc("reports.rejected", reason="unknown-host")
             return HttpResponse(400, body=b"unknown probed host")
         try:
             der_chain = pem_decode_all(request.body.decode("ascii", errors="replace"))
         except PemError as exc:
             self.database.failures.report_failed += 1
+            self.metrics.inc("reports.rejected", reason="pem")
             return HttpResponse(400, body=str(exc).encode())
         if not der_chain:
             self.database.failures.report_failed += 1
+            self.metrics.inc("reports.rejected", reason="empty")
             return HttpResponse(400, body=b"empty report")
         try:
             chain = [parse_certificate(der) for der in der_chain]
         except X509Error as exc:
             self.database.failures.report_failed += 1
+            self.metrics.inc("reports.rejected", reason="x509")
             return HttpResponse(400, body=str(exc).encode())
 
         client_ip = remote.ip if remote is not None else "0.0.0.0"
@@ -106,8 +130,10 @@ class ReportingServer:
         )
         if mismatch:
             self.database.add_mismatch(record)
+            self.metrics.inc("reports.ingested", verdict="mismatch")
         else:
             self.database.add_matched(record)
+            self.metrics.inc("reports.ingested", verdict="matched")
         return HttpResponse(200, body=b"ok")
 
 

@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 from repro.data.sites import ProbeSite
 from repro.httpmin.client import HttpClient
 from repro.netsim.network import ConnectionRefused, ConnectionReset, Host
+from repro.obs.metrics import MetricsRegistry
 from repro.policy.model import PolicyError
 from repro.policy.server import fetch_policy
 from repro.tls.probe import ProbeClient
@@ -46,11 +47,15 @@ class MeasurementTool:
         report_port: int = 80,
         policy_ports: tuple[int, ...] = (843, 80),
         sim_product_header: bool = True,
+        registry: MetricsRegistry | None = None,
     ) -> None:
         self.reporting_host = reporting_host
         self.report_port = report_port
         self.policy_ports = policy_ports
         self.sim_product_header = sim_product_header
+        # Shared with the per-session ProbeClients, so probe attempts
+        # and failure stages aggregate across the whole run.
+        self.metrics = registry if registry is not None else MetricsRegistry()
 
     def run_session(
         self,
@@ -81,7 +86,7 @@ class MeasurementTool:
         outcome.probes_attempted += 1
         if not self._policy_permits(client, site.hostname, outcome):
             return
-        result = ProbeClient(client).probe(site.hostname, 443)
+        result = ProbeClient(client, registry=self.metrics).probe(site.hostname, 443)
         if not result.ok:
             if result.error.startswith("connect"):
                 outcome.connect_failed += 1

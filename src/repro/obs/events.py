@@ -1,0 +1,85 @@
+"""Per-connection handshake event logs for the wire engine.
+
+Every connection a :class:`~repro.proxy.engine.TlsProxyEngine` handles
+appends an ordered stream of records — ClientHello seen, upstream
+hello sent, upstream chain observed, decision taken, substitute flight
+served, relay opened — each carrying the fingerprint digests a
+client-side observer could compute.  This is the "what did the proxy
+actually do on this flow" record the audit harness dumps when a grade
+needs explaining.
+
+The log is bounded: past ``limit`` events it drops new records (and
+counts the drops), so a paper-scale wire run cannot grow it without
+bound.  Event *counts* also land on the attached registry as
+deterministic counters, so aggregate handshake behaviour survives even
+when the detailed records rotate out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class HandshakeEvent:
+    """One ordered record in a connection's handshake history."""
+
+    connection: int
+    seq: int
+    event: str
+    detail: tuple[tuple[str, object], ...] = ()
+
+    def to_dict(self) -> dict:
+        return {
+            "connection": self.connection,
+            "seq": self.seq,
+            "event": self.event,
+            "detail": dict(self.detail),
+        }
+
+
+class HandshakeEventLog:
+    """Ordered, bounded event records plus per-event counters."""
+
+    def __init__(self, limit: int = 512, registry=None) -> None:
+        self.limit = limit
+        self.registry = registry
+        self.records: list[HandshakeEvent] = []
+        self.dropped = 0
+        self._connections = 0
+        self._seq = 0
+
+    def connection(self) -> int:
+        """Allocate the next connection id."""
+        conn = self._connections
+        self._connections += 1
+        return conn
+
+    def record(self, connection: int, event: str, **detail) -> None:
+        """Append one event (drops past the limit, but always counts)."""
+        if self.registry is not None:
+            self.registry.inc("handshake.events", event=event)
+        if len(self.records) >= self.limit:
+            self.dropped += 1
+            if self.registry is not None:
+                self.registry.inc("handshake.events_dropped")
+            return
+        self.records.append(
+            HandshakeEvent(
+                connection=connection,
+                seq=self._seq,
+                event=event,
+                detail=tuple(sorted(detail.items())),
+            )
+        )
+        self._seq += 1
+
+    def for_connection(self, connection: int) -> list[HandshakeEvent]:
+        return [e for e in self.records if e.connection == connection]
+
+    def to_dicts(self) -> list[dict]:
+        """JSON-ready dump, in arrival order."""
+        return [event.to_dict() for event in self.records]
+
+    def __len__(self) -> int:
+        return len(self.records)

@@ -1,0 +1,112 @@
+"""Exporters for :class:`~repro.obs.metrics.MetricsRegistry` snapshots.
+
+Two formats:
+
+* **JSON** — the snapshot dict verbatim, sorted keys.  Lossless:
+  ``MetricsRegistry.from_snapshot(json.loads(...))`` round-trips, which
+  the unit suite asserts.  This is what ``--metrics-out`` writes and
+  what CI diffs for worker-count determinism.
+* **Prometheus text** — the conventional ``name{labels} value``
+  exposition format, for scraping or eyeballing.  Metric names are
+  sanitised (dots → underscores, ``repro_`` prefix); histograms emit
+  cumulative ``_bucket``/``_sum``/``_count`` series and spans emit
+  ``repro_span_seconds_total`` / ``repro_span_count`` per path.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+
+from repro.obs.metrics import (
+    MetricsRegistry,
+    SECTION_DETERMINISTIC,
+    SECTION_PROCESS,
+    SECTION_TIMING,
+)
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+_KEY_RE = re.compile(r"^(?P<name>[^{]+)(?:\{(?P<labels>.*)\})?$")
+
+
+def _snapshot_of(registry_or_snapshot) -> dict:
+    if isinstance(registry_or_snapshot, MetricsRegistry):
+        return registry_or_snapshot.snapshot()
+    return registry_or_snapshot
+
+
+def to_json(registry_or_snapshot, indent: int = 2) -> str:
+    """Canonical JSON text (sorted keys — byte-comparable)."""
+    return json.dumps(_snapshot_of(registry_or_snapshot), indent=indent, sort_keys=True)
+
+
+def write_json(registry_or_snapshot, path) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(to_json(registry_or_snapshot) + "\n")
+
+
+def read_json(path) -> MetricsRegistry:
+    with open(path, "r", encoding="utf-8") as handle:
+        return MetricsRegistry.from_snapshot(json.load(handle))
+
+
+def _prom_series(key: str) -> str:
+    """``name{a=b}`` snapshot key → sanitised Prometheus series."""
+    match = _KEY_RE.match(key)
+    assert match is not None
+    name = "repro_" + _NAME_RE.sub("_", match.group("name").replace(".", "_"))
+    labels = match.group("labels")
+    if not labels:
+        return name
+    pairs = []
+    for pair in labels.split(","):
+        label, _, value = pair.partition("=")
+        pairs.append(f'{_NAME_RE.sub("_", label)}="{value}"')
+    return f"{name}{{{','.join(pairs)}}}"
+
+
+def _prom_series_with(base: str, extra: str) -> str:
+    """Insert an extra label into an already-rendered series name."""
+    if base.endswith("}"):
+        return base[:-1] + "," + extra + "}"
+    return base + "{" + extra + "}"
+
+
+def to_prometheus(registry_or_snapshot) -> str:
+    """Prometheus text-exposition rendering of a snapshot."""
+    snap = _snapshot_of(registry_or_snapshot)
+    lines: list[str] = []
+    det = snap.get(SECTION_DETERMINISTIC, {})
+    proc = snap.get(SECTION_PROCESS, {})
+    for section, kind in ((det, "deterministic"), (proc, "process")):
+        for store in ("counters", "gauges"):
+            for key, value in section.get(store, {}).items():
+                series = _prom_series_with(_prom_series(key), f'section="{kind}"')
+                lines.append(f"{series} {value}")
+    for key, payload in det.get("histograms", {}).items():
+        # Suffixes attach to the metric *name*, never after the labels:
+        # ``repro_sizes_bucket{kind="a",le="10"}``.
+        match = _KEY_RE.match(key)
+        assert match is not None
+        base_labels = match.group("labels")
+        suffixed = {
+            suffix: _prom_series(
+                match.group("name")
+                + suffix
+                + (f"{{{base_labels}}}" if base_labels else "")
+            )
+            for suffix in ("_bucket", "_sum", "_count")
+        }
+        cumulative = 0
+        for bound, count in zip(payload["bounds"], payload["counts"]):
+            cumulative += count
+            bucket = _prom_series_with(suffixed["_bucket"], f'le="{bound}"')
+            lines.append(f"{bucket} {cumulative}")
+        inf_bucket = _prom_series_with(suffixed["_bucket"], 'le="+Inf"')
+        lines.append(f"{inf_bucket} {cumulative + payload['inf']}")
+        lines.append(f"{suffixed['_sum']} {payload['sum']}")
+        lines.append(f"{suffixed['_count']} {payload['count']}")
+    for path, stats in snap.get(SECTION_TIMING, {}).get("spans", {}).items():
+        lines.append(f'repro_span_seconds_total{{span="{path}"}} {stats["total_s"]}')
+        lines.append(f'repro_span_count{{span="{path}"}} {stats["count"]}')
+    return "\n".join(lines) + "\n"

@@ -22,6 +22,8 @@ from repro.netsim.network import (
     Protocol,
     StreamSocket,
 )
+from repro.obs.events import HandshakeEventLog
+from repro.obs.metrics import MetricsRegistry
 from repro.proxy.forger import SubstituteCertForger
 from repro.proxy.profile import (
     DEFECT_DEPRECATED_HASH,
@@ -38,6 +40,8 @@ from repro.tls import codec
 from repro.tls.fingerprint import (
     build_own_server_extensions,
     build_own_stack_extensions,
+    fingerprint_client_hello,
+    fingerprint_server_hello,
     negotiate_origin_cipher,
 )
 from repro.tls.codec import (
@@ -88,6 +92,8 @@ class TlsProxyEngine(Interceptor):
         rng: random.Random | None = None,
         upstream_via_interceptors: bool = False,
         revoked_serials: frozenset[int] = frozenset(),
+        registry: MetricsRegistry | None = None,
+        events: HandshakeEventLog | None = None,
     ) -> None:
         self.profile = profile
         self.forger = forger
@@ -105,14 +111,50 @@ class TlsProxyEngine(Interceptor):
         # Per-hostname verdicts reused when the profile caches
         # validation instead of re-checking every connection.
         self._validation_cache: dict[str, tuple[ChainDefect, ...]] = {}
-        # Decision counters, inspected by tests and experiments.
-        self.intercepted = 0
-        self.whitelisted = 0
-        self.blocked_forged_upstream = 0
-        self.masked_forged_upstream = 0
-        self.passed_through_forged_upstream = 0
-        self.upstream_failures = 0
-        self.validation_cache_hits = 0
+        # Decision counters live on the registry (deterministic: the
+        # decisions an engine takes are a pure function of seed and
+        # plan); the historical attribute names remain as live views.
+        self.metrics = registry if registry is not None else MetricsRegistry()
+        self._c_intercepted = self.metrics.counter(
+            "proxy.decisions", decision="intercepted"
+        )
+        self._c_whitelisted = self.metrics.counter(
+            "proxy.decisions", decision="whitelisted"
+        )
+        self._c_blocked = self.metrics.counter(
+            "proxy.decisions", decision="blocked-forged-upstream"
+        )
+        self._c_masked = self.metrics.counter(
+            "proxy.decisions", decision="masked-forged-upstream"
+        )
+        self._c_passed_through = self.metrics.counter(
+            "proxy.decisions", decision="passed-through-forged-upstream"
+        )
+        self._c_upstream_failures = self.metrics.counter(
+            "proxy.upstream_failures"
+        )
+        self._c_validation_cache_hits = self.metrics.counter(
+            "proxy.validation_cache_hits"
+        )
+        self._c_bytes_client_in = self.metrics.counter(
+            "proxy.bytes", direction="client-in"
+        )
+        self._c_bytes_client_out = self.metrics.counter(
+            "proxy.bytes", direction="client-out"
+        )
+        self._c_bytes_relayed = self.metrics.counter(
+            "proxy.bytes", direction="relayed"
+        )
+        # Ordered per-connection handshake records — ClientHello,
+        # upstream leg, decision, served ServerHello — with JA3/JA3S
+        # digests; the audit harness dumps these alongside scorecards.
+        # Pass a shared log to pool many engines' histories in one
+        # place (connection ids then stay unique across engines).
+        self.events = (
+            events
+            if events is not None
+            else HandshakeEventLog(registry=self.metrics)
+        )
         # The ClientHello this engine most recently sent on its
         # origin-facing leg — what a fingerprinting origin (or the
         # audit harness) observes instead of the browser's hello.
@@ -121,6 +163,36 @@ class TlsProxyEngine(Interceptor):
         # back to a client — the server-leg dual, and what a JA3S-style
         # client-side observer fingerprints.
         self.last_served_hello: ServerHello | None = None
+
+    # -- decision counters (live views onto the registry) --------------------
+
+    @property
+    def intercepted(self) -> int:
+        return self._c_intercepted.value
+
+    @property
+    def whitelisted(self) -> int:
+        return self._c_whitelisted.value
+
+    @property
+    def blocked_forged_upstream(self) -> int:
+        return self._c_blocked.value
+
+    @property
+    def masked_forged_upstream(self) -> int:
+        return self._c_masked.value
+
+    @property
+    def passed_through_forged_upstream(self) -> int:
+        return self._c_passed_through.value
+
+    @property
+    def upstream_failures(self) -> int:
+        return self._c_upstream_failures.value
+
+    @property
+    def validation_cache_hits(self) -> int:
+        return self._c_validation_cache_hits.value
 
     def noticed_upstream_defects(
         self, observation: UpstreamObservation, hostname: str
@@ -265,6 +337,7 @@ class _MitmConnection(Protocol):
         self.hostname = hostname
         self.port = port
         self._buffer = b""
+        self._conn = engine.events.connection()
         # Raw bytes already consumed from ``_buffer`` as complete
         # records, kept only until the relay decision: a whitelisted
         # connection replays them verbatim upstream.
@@ -278,6 +351,7 @@ class _MitmConnection(Protocol):
     # -- protocol callbacks -------------------------------------------------
 
     def data_received(self, sock: StreamSocket, data: bytes) -> None:
+        self.engine._c_bytes_client_in.inc(len(data))
         if self._relay is not None:
             self._pump_relay(sock, data)
             return
@@ -330,17 +404,33 @@ class _MitmConnection(Protocol):
         engine = self.engine
         profile = engine.profile
         target = hello.server_name or self.hostname
+        engine.events.record(
+            self._conn,
+            "client-hello",
+            target=target,
+            version=version_name(hello.version),
+            ja3=fingerprint_client_hello(hello).digest(),
+        )
 
         if profile.is_whitelisted(target):
-            engine.whitelisted += 1
+            engine._c_whitelisted.inc()
+            engine.events.record(self._conn, "relay", target=target)
             self._start_relay(sock, hello)
             return
 
         observation = self._fetch_upstream_chain(hello)
         if observation is None or not observation.chain:
-            engine.upstream_failures += 1
+            engine._c_upstream_failures.inc()
+            engine.events.record(self._conn, "upstream-failure", target=target)
             self._fatal(sock, codec.ALERT_HANDSHAKE_FAILURE)
             return
+        engine.events.record(
+            self._conn,
+            "upstream-certificate",
+            target=target,
+            chain_len=len(observation.chain),
+            version=version_name(observation.version),
+        )
 
         defects: tuple | None = None
         if profile.caches_validation:
@@ -350,7 +440,7 @@ class _MitmConnection(Protocol):
                 # product trusts its earlier conclusion — and skips the
                 # (expensive) re-validation entirely, like the real
                 # appliances Waked et al. caught doing this.
-                engine.validation_cache_hits += 1
+                engine._c_validation_cache_hits.inc()
                 defects = cached
         if defects is None:
             defects = engine.noticed_upstream_defects(observation, target)
@@ -359,15 +449,18 @@ class _MitmConnection(Protocol):
         if defects:
             policy = profile.forged_upstream
             if policy is ForgedUpstreamPolicy.BLOCK:
-                engine.blocked_forged_upstream += 1
+                engine._c_blocked.inc()
+                engine.events.record(
+                    self._conn, "blocked", target=target, defects=len(defects)
+                )
                 self._fatal(sock, codec.ALERT_BAD_CERTIFICATE)
                 return
             if policy is ForgedUpstreamPolicy.PASS_THROUGH:
-                engine.passed_through_forged_upstream += 1
+                engine._c_passed_through.inc()
                 # Relay the upstream DER verbatim, as captured.
                 self._serve_chain(sock, hello, list(observation.raw))
                 return
-            engine.masked_forged_upstream += 1  # MASK falls through to forge
+            engine._c_masked.inc()  # MASK falls through to forge
 
         forged = engine.forger.forge(
             profile,
@@ -376,7 +469,7 @@ class _MitmConnection(Protocol):
             site_ip=self._site_ip(),
             client_bucket=engine.client_bucket,
         )
-        engine.intercepted += 1
+        engine._c_intercepted.inc()
         self._serve_chain(sock, hello, [c.encode() for c in forged.chain])
 
     def _site_ip(self) -> str:
@@ -404,6 +497,11 @@ class _MitmConnection(Protocol):
         try:
             upstream_hello = engine.upstream_client_hello(hello)
             engine.last_upstream_hello = upstream_hello
+            engine.events.record(
+                self._conn,
+                "upstream-hello",
+                ja3=fingerprint_client_hello(upstream_hello).digest(),
+            )
             upstream.send(
                 codec.encode_handshake_record(
                     upstream_hello, version=upstream_hello.version
@@ -473,16 +571,25 @@ class _MitmConnection(Protocol):
             ),
         )
         engine.last_served_hello = server_hello
-        sock.send(
-            codec.encode_server_flight(
-                server_hello,
-                [
-                    CertificateMessage(tuple(der_chain)),
-                    HandshakeMessage(codec.HS_SERVER_HELLO_DONE, b""),
-                ],
-                offered_version=hello.version,
-            )
+        engine.events.record(
+            self._conn,
+            "server-hello",
+            version=version_name(version),
+            ja3s=fingerprint_server_hello(server_hello).digest(),
         )
+        engine.events.record(
+            self._conn, "certificate", chain_len=len(der_chain)
+        )
+        flight = codec.encode_server_flight(
+            server_hello,
+            [
+                CertificateMessage(tuple(der_chain)),
+                HandshakeMessage(codec.HS_SERVER_HELLO_DONE, b""),
+            ],
+            offered_version=hello.version,
+        )
+        engine._c_bytes_client_out.inc(len(flight))
+        sock.send(flight)
 
     def _start_relay(self, sock: StreamSocket, hello: ClientHello) -> None:
         """Transparent pass-through for whitelisted destinations."""
@@ -495,7 +602,9 @@ class _MitmConnection(Protocol):
             return
         # Replay everything received so far — records already consumed
         # plus any buffered tail — verbatim.
-        self._relay.send(self._consumed + self._buffer)
+        replayed = self._consumed + self._buffer
+        self._relay.send(replayed)
+        self.engine._c_bytes_relayed.inc(len(replayed))
         self._consumed = b""
         self._buffer = b""
         self._drain_relay(sock)
@@ -510,6 +619,7 @@ class _MitmConnection(Protocol):
         except ConnectionReset:
             sock.close()
             return
+        self.engine._c_bytes_relayed.inc(len(data))
         self._drain_relay(sock)
 
     def _drain_relay(self, sock: StreamSocket) -> None:
@@ -525,11 +635,15 @@ class _MitmConnection(Protocol):
             reply = relay.recv()
             if not reply:
                 return
+            self.engine._c_bytes_relayed.inc(len(reply))
             sock.send(reply)
 
     def _fatal(self, sock: StreamSocket, description: int) -> None:
+        self.engine.events.record(self._conn, "alert", description=description)
+        record = Alert(2, description).encode_record()
         try:
-            sock.send(Alert(2, description).encode_record())
+            sock.send(record)
+            self.engine._c_bytes_client_out.inc(len(record))
         except ConnectionReset:
             pass
         sock.close()

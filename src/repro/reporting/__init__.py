@@ -8,6 +8,7 @@ from repro.reporting.render import (
     render_heatmap,
     render_host_type_table,
     render_issuer_table,
+    render_metrics_table,
     render_mimicry_prevalence_table,
     render_scorecard,
     render_server_leg_table,
@@ -22,6 +23,7 @@ __all__ = [
     "render_heatmap",
     "render_host_type_table",
     "render_issuer_table",
+    "render_metrics_table",
     "render_mimicry_prevalence_table",
     "render_scorecard",
     "render_server_leg_table",

@@ -262,3 +262,58 @@ def render_heatmap(series: dict[str, float], columns: int = 6) -> str:
         f"{_HEAT_CEILING * 100:.0f}% proxied"
     )
     return "\n".join([*lines, legend])
+
+
+def render_metrics_table(snapshot: dict, max_counter_rows: int = 30) -> str:
+    """The run's phase profile plus its headline deterministic counters.
+
+    ``snapshot`` is a :meth:`~repro.obs.metrics.MetricsRegistry.snapshot`
+    dict (or the JSON written by ``--metrics-out``).  Span paths are
+    slash-nested, so indenting by depth renders the profile as a tree;
+    timings are wall-clock and never part of any determinism contract.
+    """
+    sections = []
+    spans = snapshot.get("timing", {}).get("spans", {})
+    if spans:
+        body = []
+        for path in sorted(spans):
+            stats = spans[path]
+            depth = path.count("/")
+            label = "  " * depth + path.rsplit("/", 1)[-1]
+            mean_ms = 1000 * stats["total_s"] / max(stats["count"], 1)
+            body.append(
+                [
+                    label,
+                    f"{stats['count']:,}",
+                    f"{stats['total_s']:.3f}",
+                    f"{mean_ms:.2f}",
+                    f"{1000 * stats['min_s']:.2f}",
+                    f"{1000 * stats['max_s']:.2f}",
+                ]
+            )
+        sections.append(
+            "== Phase profile (wall clock) ==\n"
+            + render_table(
+                ["Span", "Count", "Total s", "Mean ms", "Min ms", "Max ms"], body
+            )
+        )
+    counters = snapshot.get("deterministic", {}).get("counters", {})
+    if counters:
+        rows = [
+            [key, f"{value:,}"] for key, value in sorted(counters.items())
+        ]
+        shown = rows[:max_counter_rows]
+        table = render_table(["Deterministic counter", "Value"], shown)
+        if len(rows) > len(shown):
+            table += f"\n... ({len(rows) - len(shown)} more series)"
+        sections.append("== Deterministic counters ==\n" + table)
+    process = snapshot.get("process", {}).get("counters", {})
+    if process:
+        body = [[key, f"{value:,}"] for key, value in sorted(process.items())]
+        sections.append(
+            "== Process-local counters (scheduling-dependent) ==\n"
+            + render_table(["Counter", "Value"], body)
+        )
+    if not sections:
+        return "(no metrics recorded)"
+    return "\n\n".join(sections)

@@ -54,6 +54,7 @@ from repro.measure.records import CertSummary, MeasurementRecord
 from repro.measure.server import CombinedPolicyHttpServer, ReportingServer
 from repro.measure.tool import MeasurementTool
 from repro.netsim.network import Network
+from repro.obs.metrics import SHARD_SESSION_BUCKETS, MetricsRegistry
 from repro.policy.model import PolicyFile
 from repro.policy.server import PolicyServer
 from repro.population.model import ClientPopulation, ClientProfile
@@ -118,6 +119,9 @@ class StudyResult:
     sites: list[ProbeSite]
     sessions_run: int = 0
     notes: dict[str, object] = field(default_factory=dict)
+    # Full metrics snapshot (deterministic / process / timing); the
+    # deterministic section is worker- and executor-invariant.
+    metrics: dict = field(default_factory=dict)
 
 
 class StudyRunner:
@@ -125,7 +129,10 @@ class StudyRunner:
 
     def __init__(self, config: StudyConfig) -> None:
         self.config = config
-        self.keystore = KeyStore(seed=config.seed, vault=config.vault)
+        self.obs = MetricsRegistry()
+        self.keystore = KeyStore(
+            seed=config.seed, vault=config.vault, registry=self.obs
+        )
         self.forger = SubstituteCertForger(self.keystore, seed=config.seed)
         self.sites = (
             site_data.study1_probe_sites()
@@ -236,12 +243,20 @@ class StudyRunner:
             pki=self.pki,
             sites=self.sites,
         )
-        if config.mode == "wire":
-            self._run_wire(result)
-        else:
-            self._run_fast(result)
+        with self.obs.span("study.run", mode=config.mode):
+            if config.mode == "wire":
+                self._run_wire(result)
+            else:
+                self._run_fast(result)
         result.notes["certificates_forged"] = self.forger.certificates_forged
         result.notes["forge_cache_hits"] = self.forger.cache_hits
+        # Forge traffic depends on process boundaries (each worker pays
+        # its own cache misses), so it lands in the process section.
+        self.obs.process_counter("forger.certificates_forged").inc(
+            self.forger.certificates_forged
+        )
+        self.obs.process_counter("forger.cache_hits").inc(self.forger.cache_hits)
+        result.metrics = self.obs.snapshot()
         return result
 
     # -- wire mode ------------------------------------------------------------------
@@ -250,29 +265,35 @@ class StudyRunner:
         config = self.config
         population = result.population
         network = Network()
-        server = self._build_wire_network(network, result)
+        with self.obs.span("study.wire_setup"):
+            server = self._build_wire_network(network, result)
         rng = random.Random(stable_hash(config.seed, "wire-sessions"))
-        tool = MeasurementTool()
+        tool = MeasurementTool(registry=self.obs)
         client_hosts: dict[tuple[str, int], object] = {}
 
         n_sessions = self.total_sessions()
-        for _ in range(n_sessions):
-            result.database.failures.sessions_started += 1
-            profile = population.sample_client(rng)
-            client = self._client_host(network, profile, client_hosts)
-            chosen = [
-                site
-                for site in self.sites
-                if rng.random() < self.site_success_probability(site)
-            ]
-            if not chosen:
-                continue
-            outcome = tool.run_session(client, chosen, product_key=profile.product_key)
-            result.database.failures.policy_denied += outcome.policy_denied
-            result.database.failures.connect_failed += outcome.connect_failed
-            result.database.failures.probe_failed += outcome.probe_failed
-            result.database.failures.report_failed += outcome.report_failed
-            result.sessions_run += 1
+        c_sessions = self.obs.counter("study.sessions", mode="wire")
+        with self.obs.span("study.wire_sessions"):
+            for _ in range(n_sessions):
+                result.database.failures.sessions_started += 1
+                profile = population.sample_client(rng)
+                client = self._client_host(network, profile, client_hosts)
+                chosen = [
+                    site
+                    for site in self.sites
+                    if rng.random() < self.site_success_probability(site)
+                ]
+                if not chosen:
+                    continue
+                outcome = tool.run_session(
+                    client, chosen, product_key=profile.product_key
+                )
+                result.database.failures.policy_denied += outcome.policy_denied
+                result.database.failures.connect_failed += outcome.connect_failed
+                result.database.failures.probe_failed += outcome.probe_failed
+                result.database.failures.report_failed += outcome.report_failed
+                result.sessions_run += 1
+                c_sessions.inc()
         result.notes["reporting_server"] = server
 
     def _build_wire_network(self, network: Network, result: StudyResult):
@@ -284,6 +305,7 @@ class StudyRunner:
             study=self.config.study,
             campaign=self.campaign_for("??"),
             public_roots=self.pki.root_store(),
+            registry=self.obs,
         )
         permissive = PolicyFile.permissive("443")
         for site in self.sites:
@@ -298,7 +320,7 @@ class StudyRunner:
                 host.listen(843, policy.factory)
         # Authoritative leaves, captured from a clean vantage point.
         vantage = network.add_host("vantage.measurement.example")
-        probe = ProbeClient(vantage)
+        probe = ProbeClient(vantage, registry=self.obs)
         for site in self.sites:
             sample = probe.probe(site.hostname, 443)
             if not sample.ok:
@@ -324,6 +346,7 @@ class StudyRunner:
                 rng=random.Random(
                     stable_hash(self.config.seed, "engine", profile.country, profile.client_index)
                 ),
+                registry=self.obs,
             )
             host.add_interceptor(engine)
         cache[key] = host
@@ -344,27 +367,35 @@ class StudyRunner:
         """
         config = self.config
         population = result.population
-        np_rng = np.random.default_rng(stable_hash(config.seed, "fast"))
+        with self.obs.span("study.plan"):
+            np_rng = np.random.default_rng(stable_hash(config.seed, "fast"))
 
-        n_sessions = self.total_sessions()
-        plans = population.plans
-        weights = np.array([plan.measurement_weight for plan in plans])
-        session_counts = np_rng.multinomial(n_sessions, weights / weights.sum())
-        subshards = [
-            shard
-            for plan, count in zip(plans, session_counts)
-            if count
-            for shard in plan_subshards(plan.code, int(count), config.subshard_sessions)
-        ]
+            n_sessions = self.total_sessions()
+            plans = population.plans
+            weights = np.array([plan.measurement_weight for plan in plans])
+            session_counts = np_rng.multinomial(n_sessions, weights / weights.sum())
+            subshards = [
+                shard
+                for plan, count in zip(plans, session_counts)
+                if count
+                for shard in plan_subshards(
+                    plan.code, int(count), config.subshard_sessions
+                )
+            ]
         if config.workers > 1 and len(subshards) > 1:
             outcomes = self._run_fast_sharded(subshards)
         else:
             outcomes = [
                 self._run_fast_shard(population, shard) for shard in subshards
             ]
-        for outcome in outcomes:
-            result.database.merge(outcome.database)
-            result.sessions_run += outcome.sessions_run
+        # Fold the shard snapshots back in fixed (plan, sub) order —
+        # the same discipline ReportDatabase.merge follows — so the
+        # deterministic section is byte-identical for any worker count.
+        with self.obs.span("study.merge"):
+            for outcome in outcomes:
+                result.database.merge(outcome.database)
+                result.sessions_run += outcome.sessions_run
+                self.obs.merge_snapshot(outcome.metrics)
         result.notes["fast_workers"] = config.workers
         result.notes["fast_shards"] = len({shard.code for shard in subshards})
         result.notes["fast_subshards"] = len(subshards)
@@ -394,7 +425,8 @@ class StudyRunner:
         """
         config = self.config
         if self.keystore.vault is not None:
-            self.warm_keys()
+            with self.obs.span("study.warm_keys"):
+                self.warm_keys()
         workers = min(config.workers, len(subshards))
         queue_order = sorted(
             range(len(subshards)),
@@ -419,27 +451,44 @@ class StudyRunner:
     def _run_fast_shard(
         self, population: ClientPopulation, shard: "SubShard"
     ) -> "FastShardOutcome":
-        """Run one sub-shard's sessions into a fresh shard database."""
+        """Run one sub-shard's sessions into a fresh shard database.
+
+        Shard metrics land on a *fresh* registry whose snapshot
+        travels back in the outcome, exactly like the shard database —
+        the parent merges both in fixed plan order, so worker count
+        never shows in the deterministic section.
+        """
         config = self.config
         plan = population.plan(shard.code)
         n_country = shard.sessions
         database = ReportDatabase(matched_sample_limit=config.matched_sample_limit)
+        obs = MetricsRegistry()
         np_rng = np.random.default_rng(stable_hash(*shard.seed_parts(config.seed)))
         forged_before = self.forger.certificates_forged
         hits_before = self.forger.cache_hits
         keys_before = self.keystore.keys_generated
-        database.failures.sessions_started += n_country
-        n_proxied = int(np_rng.binomial(n_country, plan.proxy_rate))
-        n_clean = n_country - n_proxied
-        # Matched majority: one vectorised draw across all sites.
-        for site, count in zip(
-            self.sites, np_rng.binomial(n_clean, self._site_probs)
-        ):
-            database.add_matched_bulk(
-                plan.code, site.host_type, site.hostname, int(count)
+        with obs.span("study.shard", country=shard.code):
+            database.failures.sessions_started += n_country
+            n_proxied = int(np_rng.binomial(n_country, plan.proxy_rate))
+            n_clean = n_country - n_proxied
+            obs.inc("study.sessions", n=n_country, mode="fast")
+            obs.inc("study.sessions_proxied", n=n_proxied)
+            obs.histogram("study.shard_sessions", SHARD_SESSION_BUCKETS).observe(
+                n_country
             )
-        if n_proxied:
-            self._fast_proxied_sessions(database, population, plan, n_proxied, np_rng)
+            c_matched = obs.counter("study.measurements", verdict="matched")
+            # Matched majority: one vectorised draw across all sites.
+            for site, count in zip(
+                self.sites, np_rng.binomial(n_clean, self._site_probs)
+            ):
+                database.add_matched_bulk(
+                    plan.code, site.host_type, site.hostname, int(count)
+                )
+                c_matched.inc(int(count))
+            if n_proxied:
+                self._fast_proxied_sessions(
+                    database, population, plan, n_proxied, np_rng, obs
+                )
         return FastShardOutcome(
             code=shard.code,
             database=database,
@@ -447,6 +496,7 @@ class StudyRunner:
             certificates_forged=self.forger.certificates_forged - forged_before,
             cache_hits=self.forger.cache_hits - hits_before,
             keys_generated=self.keystore.keys_generated - keys_before,
+            metrics=obs.snapshot(),
         )
 
     def _fast_proxied_sessions(
@@ -456,6 +506,7 @@ class StudyRunner:
         plan,
         n_proxied: int,
         np_rng,
+        obs: MetricsRegistry,
     ) -> None:
         """Vectorised proxied-session sampling for one country shard.
 
@@ -475,6 +526,13 @@ class StudyRunner:
         product_counts = np_rng.multinomial(n_proxied, shares / shares.sum())
         campaign = self.campaign_for(plan.code)
         n_buckets = product_data.NUM_CLIENT_BUCKETS
+        c_mismatch = obs.counter("study.measurements", verdict="mismatch")
+        c_relayed = obs.counter("study.whitelisted_relays")
+        # Cells realised in this shard, counted at the `_fast_summaries`
+        # call sites: unlike forge/cache counters (whose split depends
+        # on which process served which shard) the cell count is a pure
+        # function of the shard's own draws.
+        c_cells = obs.counter("study.forge_cells")
         for spec, count in zip(self._specs, product_counts):
             count = int(count)
             if not count:
@@ -499,6 +557,7 @@ class StudyRunner:
                     database.add_matched_bulk(
                         plan.code, site.host_type, site.hostname, int(column.sum())
                     )
+                    c_relayed.inc(int(column.sum()))
                     continue
                 for bucket in range(n_buckets):
                     segment = slice(int(bounds[bucket]), int(bounds[bucket + 1]))
@@ -506,6 +565,8 @@ class StudyRunner:
                     if not members.size:
                         continue
                     leaf, chain = self._fast_summaries(spec, site, bucket)
+                    c_cells.inc()
+                    c_mismatch.inc(int(members.size))
                     for client_index in members:
                         database.add_mismatch(
                             MeasurementRecord(
@@ -602,6 +663,8 @@ class FastShardOutcome:
     certificates_forged: int
     cache_hits: int
     keys_generated: int = 0
+    # Shard registry snapshot (plain dicts: picklable across the pool).
+    metrics: dict = field(default_factory=dict)
 
 
 # Per-process worker state for the fast-mode shard pool.  Workers are

@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
 from repro.netsim.network import ConnectionRefused, ConnectionReset, Host
+from repro.obs.metrics import MetricsRegistry
 from repro.tls import codec
 from repro.tls.codec import Alert, ClientHello, ServerHello, TlsError
 from repro.x509.model import Certificate
@@ -53,21 +54,30 @@ class ProbeClient:
         host: Host,
         rng: random.Random | None = None,
         browser: "BrowserProfile | None" = None,
+        registry: MetricsRegistry | None = None,
     ) -> None:
         self.host = host
         self.browser = browser
         self._rng = rng or random.Random(0xFACADE)
+        self.metrics = registry if registry is not None else MetricsRegistry()
 
     def probe(self, hostname: str, port: int = 443) -> ProbeResult:
         """Fetch the certificate chain presented for ``hostname:port``."""
+        self.metrics.inc("probe.attempts")
         try:
             sock = self.host.connect(hostname, port)
         except ConnectionRefused as exc:
-            return ProbeResult(False, hostname, port, error=f"connect: {exc}")
+            return self._failed(hostname, port, "connect", f"connect: {exc}")
         try:
             return self._handshake(sock, hostname, port)
         finally:
             sock.close()
+
+    def _failed(
+        self, hostname: str, port: int, stage: str, error: str, **extra
+    ) -> ProbeResult:
+        self.metrics.inc("probe.failures", stage=stage)
+        return ProbeResult(False, hostname, port, error=error, **extra)
 
     def _handshake(self, sock, hostname: str, port: int) -> ProbeResult:
         client_random = self._rng.getrandbits(256).to_bytes(32, "big")
@@ -78,9 +88,10 @@ class ProbeClient:
         try:
             sock.send(codec.encode_handshake_record(hello, version=hello.version))
         except ConnectionReset as exc:
-            return ProbeResult(False, hostname, port, error=f"send: {exc}")
+            return self._failed(hostname, port, "send", f"send: {exc}")
 
         buffer = sock.recv()
+        self.metrics.inc("probe.bytes_received", n=len(buffer))
         server_hello: ServerHello | None = None
         der_chain: tuple[bytes, ...] | None = None
         try:
@@ -91,11 +102,11 @@ class ProbeClient:
             for record in records:
                 if record.content_type == codec.CONTENT_ALERT:
                     alert = Alert.from_payload(record.payload)
-                    return ProbeResult(
-                        False,
+                    return self._failed(
                         hostname,
                         port,
-                        error=f"alert: level={alert.level} desc={alert.description}",
+                        "alert",
+                        f"alert: level={alert.level} desc={alert.description}",
                     )
                 if record.content_type == codec.CONTENT_HANDSHAKE:
                     handshake_stream += record.payload
@@ -107,18 +118,18 @@ class ProbeClient:
                     cert_msg = codec.Certificate.from_body(message.body)
                     der_chain = cert_msg.der_chain
         except TlsError as exc:
-            return ProbeResult(False, hostname, port, error=f"tls: {exc}")
+            return self._failed(hostname, port, "tls", f"tls: {exc}")
 
         if der_chain is None:
             # Keep whatever ServerHello did arrive: the server-leg
             # audit grades a captured hello even when the flight is
             # otherwise incomplete.
-            return ProbeResult(
-                False,
+            return self._failed(
                 hostname,
                 port,
+                "no-certificate",
+                "no Certificate message received",
                 server_hello=server_hello,
-                error="no Certificate message received",
             )
 
         # Parse every certificate; unparseable DER is itself a finding.
@@ -127,15 +138,16 @@ class ProbeClient:
             try:
                 parsed.append(parse_certificate(der))
             except X509Error as exc:
-                return ProbeResult(
-                    False,
+                return self._failed(
                     hostname,
                     port,
+                    "x509",
+                    f"x509: {exc}",
                     der_chain=der_chain,
                     server_hello=server_hello,
-                    error=f"x509: {exc}",
                 )
         # Abort: the tool closes without finishing the handshake (§3.2).
+        self.metrics.inc("probe.ok")
         return ProbeResult(
             True,
             hostname,

@@ -402,3 +402,86 @@ class TestMimicryPrevalenceDeterminism:
         assert not by_key["bitdefender"].detectable  # full server-leg mimic
         assert by_key["kurupira"].detectable
         assert "compression" in by_key["md5-legacy"].detection_reasons
+
+
+class TestMetricsDeterminism:
+    """The telemetry layer obeys the same contract as the database:
+    the *deterministic* metrics section is a pure function of
+    (seed, config) — byte-identical for any worker count or executor
+    kind — while process/timing sections are allowed to vary."""
+
+    def test_study_deterministic_section_identical_across_workers(
+        self, run_w1, run_w4
+    ):
+        det_w1 = run_w1.metrics["deterministic"]
+        det_w4 = run_w4.metrics["deterministic"]
+        assert json.dumps(det_w1, sort_keys=True) == json.dumps(
+            det_w4, sort_keys=True
+        )
+        counters = det_w1["counters"]
+        assert counters["study.sessions{mode=fast}"] == run_w1.sessions_run
+        # Distinct realised (product, site, bucket) forge cells are a
+        # plan property — unlike forge *counts*, which are per-process.
+        assert counters["study.forge_cells"] > 0
+        hist = det_w1["histograms"]["study.shard_sessions"]
+        assert hist["sum"] == run_w1.sessions_run
+
+    def test_study_process_and_timing_sections_populate(self, run_w1, run_w4):
+        # keygen happens wherever scheduling put it — both runs must
+        # still account for it somewhere, just not identically.
+        for run in (run_w1, run_w4):
+            proc = run.metrics["process"]["counters"]
+            assert proc.get("keystore.keys_generated", 0) > 0
+            assert "study.run" in run.metrics["timing"]["spans"]
+
+    def test_audit_deterministic_section_executor_invariant(self):
+        from repro.obs import MetricsRegistry
+
+        snapshots = {}
+        for label, workers, executor in (
+            ("serial", 1, "thread"),
+            ("thread", 2, "thread"),
+            ("process", 2, "process"),
+        ):
+            registry = MetricsRegistry()
+            audit_catalog(
+                seed=SEED,
+                products=AUDIT_SUBSET,
+                workers=workers,
+                executor=executor,
+                pki_key_bits=512,
+                registry=registry,
+            )
+            snapshots[label] = json.dumps(
+                registry.deterministic_snapshot(), sort_keys=True
+            )
+        assert snapshots["serial"] == snapshots["thread"] == snapshots["process"]
+        counters = json.loads(snapshots["serial"])["counters"]
+        assert counters["audit.products"] == len(AUDIT_SUBSET)
+        assert sum(
+            value
+            for key, value in counters.items()
+            if key.startswith("audit.grades{")
+        ) == len(AUDIT_SUBSET)
+
+    def test_mimicry_deterministic_section_executor_invariant(self):
+        from repro.obs import MetricsRegistry
+
+        subset = ["bitdefender", "kurupira"]
+        snapshots = []
+        for workers, executor in ((1, "thread"), (4, "process")):
+            registry = MetricsRegistry()
+            mimicry_catalog(
+                seed=SEED,
+                products=subset,
+                workers=workers,
+                executor=executor,
+                pki_key_bits=512,
+                registry=registry,
+            )
+            snapshots.append(
+                json.dumps(registry.deterministic_snapshot(), sort_keys=True)
+            )
+        assert snapshots[0] == snapshots[1]
+        counters = json.loads(snapshots[0])["counters"]
+        assert counters["mimicry.entries"] == len(subset)
