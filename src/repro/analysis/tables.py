@@ -104,7 +104,10 @@ def issuer_organization_table(
     counts: Counter[str] = Counter()
     for record in database.mismatches():
         counts[classifier.display_issuer(record.leaf)] += 1
-    ordered = counts.most_common()
+    # Ties break by name, not Counter insertion order, so the table is
+    # identical whether records arrive in merge order or are read back
+    # from on-disk segments (country-shard order).
+    ordered = sorted(counts.items(), key=lambda item: (-item[1], item[0]))
     top = ordered[:top_n]
     tail = ordered[top_n:]
     rows = [

@@ -78,6 +78,13 @@ def build_parser() -> argparse.ArgumentParser:
             "repeat runs skip key generation entirely",
         )
         study_parser.add_argument(
+            "--report-store",
+            metavar="DIR",
+            help="stream fast-mode shard outcomes into an on-disk segmented "
+            "report store instead of RAM; tables are then rendered from "
+            "the segments (directory must not already hold segments)",
+        )
+        study_parser.add_argument(
             "--export", metavar="PATH", help="write the report database as JSONL"
         )
         study_parser.add_argument(
@@ -209,6 +216,27 @@ def build_parser() -> argparse.ArgumentParser:
         "phase profile",
     )
 
+    store = sub.add_parser(
+        "store", help="inspect or maintain an on-disk segmented report store"
+    )
+    store_sub = store.add_subparsers(dest="store_command", required=True)
+    store_scan = store_sub.add_parser(
+        "scan",
+        help="stream every segment once: totals, aggregate signature, "
+        "torn-segment count",
+    )
+    store_scan.add_argument("--dir", metavar="DIR", required=True)
+    store_scan.add_argument(
+        "--heal",
+        action="store_true",
+        help="truncate torn segment tails back to the last complete row",
+    )
+    store_compact = store_sub.add_parser(
+        "compact",
+        help="rewrite each shard as one segment with coalesced counters",
+    )
+    store_compact.add_argument("--dir", metavar="DIR", required=True)
+
     keys = sub.add_parser(
         "keys", help="manage the persistent RSA key-material vault"
     )
@@ -281,6 +309,7 @@ def _run_study(study: int, args) -> int:
             mode=args.mode,
             workers=args.workers,
             vault=args.vault,
+            report_store=args.report_store,
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -289,15 +318,36 @@ def _run_study(study: int, args) -> int:
         f"running study {study} ({args.mode} mode, scale {args.scale}, "
         f"seed {args.seed}, workers {args.workers}) ..."
     )
-    result = StudyRunner(config).run()
-    db = result.database
+    try:
+        result = StudyRunner(config).run()
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.report_store:
+        # The streaming path: Tables 3/7/8 come straight from the scan
+        # aggregator (no records materialised); record-level tables read
+        # the mismatch rows back out of the segments.
+        from repro.measure.store import SegmentedStore, load_store, scan_store
+
+        totals = scan_store(args.report_store)
+        db = load_store(
+            args.report_store, matched_sample_limit=config.matched_sample_limit
+        )
+        n_segments = len(SegmentedStore(args.report_store).segment_paths())
+        print(
+            f"\nreport store: {args.report_store} ({n_segments} segments)"
+            f"\naggregate signature: {totals.aggregate_signature()}"
+        )
+    else:
+        totals = db = result.database
     print(
-        f"\nmeasurements: {db.total_measurements:,}  proxied: "
-        f"{db.mismatch_count:,}  rate: {db.proxied_rate * 100:.2f}% (paper: 0.41%)"
+        f"\nmeasurements: {totals.total_measurements:,}  proxied: "
+        f"{totals.mismatch_count:,}  rate: "
+        f"{totals.proxied_rate * 100:.2f}% (paper: 0.41%)"
     )
     order_by = "proxied" if study == 1 else "total"
     print(f"\n== Table {3 if study == 1 else 7}: connections by country ==")
-    print(render_country_table(country_breakdown(db, top_n=20, order_by=order_by)))
+    print(render_country_table(country_breakdown(totals, top_n=20, order_by=order_by)))
     print("\n== Table 4: Issuer Organization values ==")
     rows, other = issuer_organization_table(db, top_n=20)
     print(render_issuer_table(rows, other))
@@ -305,9 +355,9 @@ def _run_study(study: int, args) -> int:
     print(render_classification_table(classification_table(db)))
     if study == 2:
         print("\n== Table 8: proxied connections by host type ==")
-        print(render_host_type_table(host_type_table(db)))
+        print(render_host_type_table(host_type_table(totals)))
         print("\n== Figure 7: prevalence heat map ==")
-        print(render_heatmap(heatmap_series(db), columns=5))
+        print(render_heatmap(heatmap_series(totals), columns=5))
     negligence = analyze_negligence(db)
     print(
         f"\nnegligence: {negligence.downgraded_1024:,} x 1024-bit "
@@ -513,6 +563,35 @@ def _run_mimicry_prevalence(args) -> int:
     return 0
 
 
+def _run_store(args) -> int:
+    from repro.measure.store import ReportStore, SegmentedStore, scan_store
+    from repro.obs.metrics import MetricsRegistry
+
+    if args.store_command == "compact":
+        store = ReportStore(args.dir)
+        stats = store.compact()
+        store.close()
+        n_segments = len(SegmentedStore(args.dir).segment_paths())
+        print(
+            f"store {args.dir}: compacted {stats['rows_before']:,} rows to "
+            f"{stats['rows_after']:,} across {n_segments} segments"
+        )
+        return 0
+    obs = MetricsRegistry()
+    aggregator = scan_store(args.dir, registry=obs, heal=args.heal)
+    torn = obs.counter("reports.rejected", reason="torn-segment").value
+    n_segments = len(SegmentedStore(args.dir).segment_paths())
+    print(
+        f"store {args.dir}: {n_segments} segments, "
+        f"{aggregator.total_measurements:,} measurements "
+        f"({aggregator.mismatch_count:,} proxied, "
+        f"{aggregator.distinct_proxied_ips():,} distinct proxied IPs)"
+    )
+    print(f"torn segments: {torn}" + (" (healed)" if args.heal and torn else ""))
+    print(f"aggregate signature: {aggregator.aggregate_signature()}")
+    return 0
+
+
 def _run_keys(args) -> int:
     import time
 
@@ -606,6 +685,8 @@ def main(argv: list[str] | None = None) -> int:
         return _run_audit(args)
     if args.command == "mimicry-prevalence":
         return _run_mimicry_prevalence(args)
+    if args.command == "store":
+        return _run_store(args)
     if args.command == "keys":
         return _run_keys(args)
     return 2

@@ -87,6 +87,7 @@ class HttpResponse:
         204: "No Content",
         400: "Bad Request",
         404: "Not Found",
+        429: "Too Many Requests",
         500: "Internal Server Error",
     }
 

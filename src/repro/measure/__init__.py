@@ -12,19 +12,38 @@ Mirrors §3 of the paper end to end:
 * :class:`ReportDatabase` — the analysis substrate: detailed records
   for every mismatch, aggregate counters for matched traffic (at
   paper scale, 99.6 % of measurements are matched and boring).
+* :class:`ReportStore` — the paper-scale sibling: an append-only
+  segmented on-disk store with streaming aggregation
+  (:class:`StreamingAggregator`), batched writes and back-pressure,
+  driven concurrently by :class:`IngestLoop`.
 """
 
 from repro.measure.database import ReportDatabase
+from repro.measure.ingest import IngestLoop, ReportSubmission
 from repro.measure.records import CertSummary, MeasurementRecord
 from repro.measure.server import CombinedPolicyHttpServer, ReportingServer
+from repro.measure.store import (
+    ReportStore,
+    StreamingAggregator,
+    iter_store_mismatches,
+    load_store,
+    scan_store,
+)
 from repro.measure.tool import MeasurementTool, SessionOutcome
 
 __all__ = [
     "CertSummary",
     "CombinedPolicyHttpServer",
+    "IngestLoop",
     "MeasurementRecord",
     "MeasurementTool",
     "ReportDatabase",
+    "ReportStore",
+    "ReportSubmission",
     "ReportingServer",
     "SessionOutcome",
+    "StreamingAggregator",
+    "iter_store_mismatches",
+    "load_store",
+    "scan_store",
 ]

@@ -1,0 +1,162 @@
+"""The throughput front end: many reporting clients, one server, batched.
+
+:class:`IngestLoop` drives report submissions as cooperative tasks on a
+:class:`~repro.netsim.loop.CooperativeLoop`: each submission connects,
+trickles its POST body in chunks (yielding between chunks so other
+connections progress), then reads the verdict.  With a
+:class:`~repro.measure.store.ReportStore` attached the loop owns the
+flush cadence — the store runs with ``auto_flush`` off so appends from
+many connections coalesce into large batches, and the loop flushes
+every ``flush_every`` completed tick and whenever the server starts
+answering 429 (the store's ``overloaded`` back-pressure), after which
+deferred submissions are requeued.
+
+This is the netsim equivalent of a selector-loop ingest server: one
+process, thousands of interleaved connections, bounded buffers, and an
+explicit deferred-accept story instead of an unbounded accept queue.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.httpmin.codec import HttpError, HttpRequest, HttpResponse
+from repro.netsim.loop import CooperativeLoop
+from repro.netsim.network import ConnectionRefused, ConnectionReset, Host
+from repro.obs.metrics import MetricsRegistry
+
+
+@dataclass
+class ReportSubmission:
+    """One report on its way to the collection server."""
+
+    client: Host
+    hostname: str  # the probed host the report is about
+    body: bytes  # PEM chain payload
+    product_key: str | None = None
+    retries: int = 0
+    status: str = "pending"  # pending | delivered | deferred | failed
+    response: HttpResponse | None = field(default=None, repr=False)
+
+    def request(self, server_hostname: str) -> HttpRequest:
+        headers = {
+            "Host": server_hostname,
+            "X-Probed-Host": self.hostname,
+            "Content-Type": "application/x-pem-file",
+        }
+        if self.product_key:
+            headers["X-Sim-Product"] = self.product_key
+        return HttpRequest("POST", "/report", headers=headers, body=self.body)
+
+
+class IngestLoop:
+    """Cooperative multi-connection driver for report ingest.
+
+    ``max_connections`` bounds concurrently open connections (the
+    admission cap); ``chunk_size`` is how much of a request each task
+    sends per tick; ``max_retries`` bounds how often one submission is
+    requeued after a 429 before it is marked failed.
+    """
+
+    def __init__(
+        self,
+        server_hostname: str,
+        port: int = 80,
+        *,
+        max_connections: int = 32,
+        chunk_size: int = 2048,
+        max_retries: int = 16,
+        store=None,  # ReportStore | None — owns the flush cadence
+        flush_every: int | None = 8,
+        registry: MetricsRegistry | None = None,
+    ) -> None:
+        self.server_hostname = server_hostname
+        self.port = port
+        self.chunk_size = chunk_size
+        self.max_retries = max_retries
+        self.store = store
+        self.flush_every = flush_every
+        self.metrics = registry if registry is not None else MetricsRegistry()
+        self.loop = CooperativeLoop(max_active=max_connections)
+        self.delivered: list[ReportSubmission] = []
+        self.failed: list[ReportSubmission] = []
+        self._c_submitted = self.metrics.counter("ingest.submitted")
+        self._c_delivered = self.metrics.counter("ingest.delivered")
+        self._c_deferred = self.metrics.counter("ingest.deferred")
+        self._c_failed = self.metrics.counter("ingest.failed")
+
+    @property
+    def peak_active(self) -> int:
+        return self.loop.peak_active
+
+    def submit(self, submission: ReportSubmission) -> None:
+        self._c_submitted.inc()
+        self.loop.spawn(lambda: self._task(submission))
+
+    def _task(self, submission: ReportSubmission) -> Iterator[None]:
+        payload = submission.request(self.server_hostname).encode()
+        try:
+            sock = submission.client.connect(self.server_hostname, self.port)
+        except ConnectionRefused:
+            self._fail(submission)
+            return
+        try:
+            for offset in range(0, len(payload), self.chunk_size):
+                sock.send(payload[offset : offset + self.chunk_size])
+                yield  # let other connections make progress
+            response, _ = HttpResponse.try_decode(sock.recv())
+        except (ConnectionReset, HttpError):
+            self._fail(submission)
+            return
+        finally:
+            sock.close()
+        if response is None:
+            self._fail(submission)
+            return
+        submission.response = response
+        if response.status == 429:
+            self._defer(submission)
+        elif response.ok:
+            submission.status = "delivered"
+            self._c_delivered.inc()
+            self.delivered.append(submission)
+        else:
+            self._fail(submission)
+
+    def _fail(self, submission: ReportSubmission) -> None:
+        submission.status = "failed"
+        self._c_failed.inc()
+        self.failed.append(submission)
+
+    def _defer(self, submission: ReportSubmission) -> None:
+        """The server pushed back; drain the store and try again later."""
+        self._c_deferred.inc()
+        if self.store is not None:
+            self.store.flush()
+        submission.retries += 1
+        if submission.retries > self.max_retries:
+            self._fail(submission)
+            return
+        submission.status = "deferred"
+        self.loop.spawn(lambda: self._task(submission))
+
+    def _on_tick(self, loop: CooperativeLoop) -> None:
+        if (
+            self.store is not None
+            and self.flush_every
+            and loop.ticks % self.flush_every == 0
+        ):
+            self.store.flush()
+
+    def run(self) -> dict:
+        """Drive every queued submission to an outcome; flush at the end."""
+        ticks = self.loop.run(on_tick=self._on_tick)
+        if self.store is not None:
+            self.store.flush()
+        return {
+            "ticks": ticks,
+            "delivered": len(self.delivered),
+            "failed": len(self.failed),
+            "peak_active": self.loop.peak_active,
+        }

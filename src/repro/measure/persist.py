@@ -18,7 +18,7 @@ from repro.measure.records import CertSummary, MeasurementRecord
 _FORMAT_VERSION = 1
 
 
-def _summary_to_dict(summary: CertSummary) -> dict:
+def summary_to_dict(summary: CertSummary) -> dict:
     return {
         "subject_cn": summary.subject_cn,
         "subject_org": summary.subject_org,
@@ -35,7 +35,7 @@ def _summary_to_dict(summary: CertSummary) -> dict:
     }
 
 
-def _summary_from_dict(data: dict) -> CertSummary:
+def summary_from_dict(data: dict) -> CertSummary:
     return CertSummary(
         subject_cn=data["subject_cn"],
         subject_org=data["subject_org"],
@@ -52,7 +52,7 @@ def _summary_from_dict(data: dict) -> CertSummary:
     )
 
 
-def _record_to_dict(record: MeasurementRecord) -> dict:
+def record_to_dict(record: MeasurementRecord) -> dict:
     return {
         "study": record.study,
         "campaign": record.campaign,
@@ -61,15 +61,15 @@ def _record_to_dict(record: MeasurementRecord) -> dict:
         "hostname": record.hostname,
         "host_type": record.host_type,
         "mismatch": record.mismatch,
-        "leaf": _summary_to_dict(record.leaf),
-        "chain": [_summary_to_dict(c) for c in record.chain],
+        "leaf": summary_to_dict(record.leaf),
+        "chain": [summary_to_dict(c) for c in record.chain],
         "chain_valid": record.chain_valid,
         "via": record.via,
         "product_key": record.product_key,
     }
 
 
-def _record_from_dict(data: dict) -> MeasurementRecord:
+def record_from_dict(data: dict) -> MeasurementRecord:
     return MeasurementRecord(
         study=data["study"],
         campaign=data["campaign"],
@@ -78,8 +78,8 @@ def _record_from_dict(data: dict) -> MeasurementRecord:
         hostname=data["hostname"],
         host_type=data["host_type"],
         mismatch=data["mismatch"],
-        leaf=_summary_from_dict(data["leaf"]),
-        chain=tuple(_summary_from_dict(c) for c in data["chain"]),
+        leaf=summary_from_dict(data["leaf"]),
+        chain=tuple(summary_from_dict(c) for c in data["chain"]),
         chain_valid=data["chain_valid"],
         via=data["via"],
         product_key=data.get("product_key"),
@@ -99,7 +99,7 @@ def save_database(database: ReportDatabase, path: str | pathlib.Path) -> None:
         handle.write(json.dumps(header) + "\n")
         for record in database.records:
             handle.write(
-                json.dumps({"type": "mismatch", **_record_to_dict(record)}) + "\n"
+                json.dumps({"type": "mismatch", **record_to_dict(record)}) + "\n"
             )
         for (country, host_type, hostname), count in sorted(
             database.matched_counts.items()
@@ -145,7 +145,7 @@ def load_database(path: str | pathlib.Path) -> ReportDatabase:
                 header_seen = True
                 expected = data
             elif kind == "mismatch":
-                database.add_mismatch(_record_from_dict(data))
+                database.add_mismatch(record_from_dict(data))
             elif kind == "matched":
                 database.add_matched_bulk(
                     data["country"], data["host_type"], data["hostname"], data["count"]

@@ -30,18 +30,28 @@ class ReportingServer:
     ``expected_leaves`` maps hostname → authoritative leaf fingerprint,
     established the way the authors did it: by probing each target from
     a clean vantage point at study setup.
+
+    Reports land in an in-memory :class:`ReportDatabase`, an on-disk
+    :class:`~repro.measure.store.ReportStore`, or both.  With a store
+    attached, an overloaded pending buffer turns submissions away with
+    429 + ``Retry-After`` until someone flushes — the back-pressure
+    contract the ingest loop leans on.
     """
 
     def __init__(
         self,
-        database: ReportDatabase,
+        database: ReportDatabase | None,
         geoip: GeoIpDatabase | None,
         study: int,
         campaign: str = "default",
         public_roots=None,
         registry: MetricsRegistry | None = None,
+        store=None,  # ReportStore | None
     ) -> None:
+        if database is None and store is None:
+            raise ValueError("ReportingServer needs a database, a store, or both")
         self.database = database
+        self.store = store
         self.geoip = geoip
         self.study = study
         self.campaign = campaign
@@ -62,6 +72,16 @@ class ReportingServer:
         self.expected_leaves[hostname] = leaf_fingerprint
         self.host_types[hostname] = host_type
 
+    def _count_failure(self, name: str) -> None:
+        if self.database is not None:
+            setattr(
+                self.database.failures,
+                name,
+                getattr(self.database.failures, name) + 1,
+            )
+        if self.store is not None:
+            self.store.add_failure(name)
+
     # -- handlers ------------------------------------------------------------
 
     def _serve_tool(self, request: HttpRequest, remote: Host | None) -> HttpResponse:
@@ -77,29 +97,36 @@ class ReportingServer:
         """
         request_line = partial.split(b"\r\n", 1)[0]
         if request_line.startswith(b"POST /report"):
-            self.database.failures.report_failed += 1
+            self._count_failure("report_failed")
             self.metrics.inc("reports.rejected", reason="truncated")
 
     def _ingest_report(self, request: HttpRequest, remote: Host | None) -> HttpResponse:
+        if self.store is not None and self.store.overloaded:
+            # Deferred accept: the pending write buffer is full, so the
+            # client must come back after the next flush drains it.
+            self.store.defer()
+            return HttpResponse(
+                429, headers={"Retry-After": "1"}, body=b"ingest backlog"
+            )
         hostname = request.headers.get("x-probed-host", "")
         if not hostname or hostname not in self.expected_leaves:
-            self.database.failures.report_failed += 1
+            self._count_failure("report_failed")
             self.metrics.inc("reports.rejected", reason="unknown-host")
             return HttpResponse(400, body=b"unknown probed host")
         try:
             der_chain = pem_decode_all(request.body.decode("ascii", errors="replace"))
         except PemError as exc:
-            self.database.failures.report_failed += 1
+            self._count_failure("report_failed")
             self.metrics.inc("reports.rejected", reason="pem")
             return HttpResponse(400, body=str(exc).encode())
         if not der_chain:
-            self.database.failures.report_failed += 1
+            self._count_failure("report_failed")
             self.metrics.inc("reports.rejected", reason="empty")
             return HttpResponse(400, body=b"empty report")
         try:
             chain = [parse_certificate(der) for der in der_chain]
         except X509Error as exc:
-            self.database.failures.report_failed += 1
+            self._count_failure("report_failed")
             self.metrics.inc("reports.rejected", reason="x509")
             return HttpResponse(400, body=str(exc).encode())
 
@@ -129,10 +156,16 @@ class ReportingServer:
             product_key=request.headers.get("x-sim-product") or None,
         )
         if mismatch:
-            self.database.add_mismatch(record)
+            if self.database is not None:
+                self.database.add_mismatch(record)
+            if self.store is not None:
+                self.store.add_mismatch(record)
             self.metrics.inc("reports.ingested", verdict="mismatch")
         else:
-            self.database.add_matched(record)
+            if self.database is not None:
+                self.database.add_matched(record)
+            if self.store is not None:
+                self.store.add_matched(record)
             self.metrics.inc("reports.ingested", verdict="matched")
         return HttpResponse(200, body=b"ok")
 

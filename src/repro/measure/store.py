@@ -1,0 +1,758 @@
+"""Append-only segmented on-disk report store with streaming aggregation.
+
+The paper's collection phase banked 12.3M reports; holding that many
+records in a Python process is exactly the wrong shape.  This module
+splits ingest into two cooperating halves:
+
+* :class:`SegmentedStore` — the disk format.  One directory per
+  country shard, append-only JSONL segments inside it.  The active
+  segment is written as ``seg-NNNNNN.open.jsonl`` and atomically
+  renamed (sealed) once it crosses the spill threshold, so readers
+  only ever see either a sealed immutable segment or a clearly-marked
+  active one.  A torn tail — the half-written line a crash leaves
+  behind — is detected on scan and healed by truncating to the last
+  complete row, counted under ``reports.rejected{reason=torn-segment}``.
+* :class:`StreamingAggregator` — the query surface of
+  :class:`~repro.measure.database.ReportDatabase` (Tables 3/7
+  breakdowns, failure ledger, distinct proxied IPs,
+  ``aggregate_signature``) computed incrementally at ingest time.  It
+  keeps counters and mismatch *signature keys*, never records, so its
+  memory is bounded by the key universe rather than the report volume
+  — and its signature is byte-identical to the in-memory database's
+  for the same report stream.
+
+:class:`ReportStore` glues them together and adds the throughput
+story: appends land in a bounded write buffer, matched increments are
+coalesced per (host type, hostname) cell, and one batched ``write()``
+per shard flushes the lot (``reports.batches``).  When flushing is
+deferred (the ingest loop batches across connections) and the pending
+buffer crosses ``max_pending``, the store reports itself overloaded —
+the reporting server then answers 429 and the event is counted under
+``store.backpressure_events``.
+
+Row kinds, one JSON object per line:
+
+``{"t": "m", "r": {...}}``
+    one mismatch record, full fidelity (persist.py's record dict);
+``{"t": "c", "ht": ..., "h": ..., "n": N}``
+    N matched measurements for (shard country, host type, hostname);
+``{"t": "f", "k": ..., "n": N}``
+    a failure-ledger increment (lives in the ``_meta`` shard);
+``{"t": "seal", "compacts": [...]}``
+    compaction header: this segment replaces the named ones.  Readers
+    skip replaced segments that a crash between rename and unlink left
+    behind, so compaction never double-counts.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+from collections import Counter
+from typing import Callable, Iterator
+
+from repro.measure.database import (
+    FailureCounters,
+    ReportDatabase,
+    combine_signature,
+    record_signature_key,
+)
+from repro.measure.persist import record_from_dict, record_to_dict
+from repro.measure.records import MeasurementRecord
+from repro.obs.metrics import INGEST_BATCH_BUCKETS, MetricsRegistry
+
+
+class StoreError(Exception):
+    """Raised on a malformed or inconsistent store directory."""
+
+
+_META_SHARD = "_meta"
+_SEGMENT_PREFIX = "seg-"
+_OPEN_SUFFIX = ".open.jsonl"
+_SEALED_SUFFIX = ".jsonl"
+
+
+def _shard_name(country: str) -> str:
+    """Filesystem-safe shard directory name for a country code.
+
+    Non-alphanumeric characters are percent-quoted, so ``"??"`` (the
+    unknown-country bucket) gets a well-defined directory and can never
+    collide with the reserved ``_meta`` shard.
+    """
+    return "".join(c if c.isalnum() else f"%{ord(c):02X}" for c in country) or "%00"
+
+
+def _shard_country(name: str) -> str:
+    out = []
+    i = 0
+    while i < len(name):
+        if name[i] == "%" and i + 2 < len(name):
+            out.append(chr(int(name[i + 1 : i + 3], 16)))
+            i += 3
+        else:
+            out.append(name[i])
+            i += 1
+    return "".join(out)
+
+
+def _segment_index(name: str) -> int:
+    stem = name[len(_SEGMENT_PREFIX) :]
+    return int(stem.split(".", 1)[0])
+
+
+def _mismatch_signature_key(country: str, payload: dict) -> tuple:
+    """``record_signature_key`` computed from a row dict, not a record."""
+    return (
+        country,
+        payload["hostname"],
+        payload["client_ip"],
+        payload["campaign"],
+        payload["leaf"]["fingerprint"],
+        payload["leaf"]["serial_number"],
+        tuple(c["fingerprint"] for c in payload["chain"]),
+    )
+
+
+class StreamingAggregator:
+    """Tables 3/7 and the aggregate signature, without the records.
+
+    Mirrors the :class:`ReportDatabase` query surface the analysis
+    breakdowns read, so ``country_breakdown``/``host_type_table`` work
+    on either; ``aggregate_signature()`` uses the shared
+    :func:`combine_signature` and therefore matches the in-memory
+    database byte for byte for the same report stream.
+    """
+
+    def __init__(self) -> None:
+        self.matched_counts: Counter[tuple[str, str, str]] = Counter()
+        self.mismatch_keys: list[tuple] = []
+        self.failures = FailureCounters()
+        self._country_totals: dict[str, list[int]] = {}
+        self._host_type_totals: dict[str, list[int]] = {}
+        self._proxied_ips: set[str] = set()
+
+    # -- ingest ----------------------------------------------------------
+
+    def observe_matched(
+        self, country: str, host_type: str, hostname: str, count: int
+    ) -> None:
+        if count:
+            self.matched_counts[(country, host_type, hostname)] += count
+            self._country_totals.setdefault(country, [0, 0])[1] += count
+            self._host_type_totals.setdefault(host_type, [0, 0])[1] += count
+
+    def observe_mismatch_record(self, record: MeasurementRecord) -> None:
+        self._observe_mismatch(
+            record.country or "??",
+            record.host_type,
+            record.client_ip,
+            record_signature_key(record),
+        )
+
+    def observe_mismatch_row(self, country: str, payload: dict) -> None:
+        self._observe_mismatch(
+            country,
+            payload["host_type"],
+            payload["client_ip"],
+            _mismatch_signature_key(country, payload),
+        )
+
+    def _observe_mismatch(
+        self, country: str, host_type: str, client_ip: str, key: tuple
+    ) -> None:
+        self.mismatch_keys.append(key)
+        entry = self._country_totals.setdefault(country, [0, 0])
+        entry[0] += 1
+        entry[1] += 1
+        entry = self._host_type_totals.setdefault(host_type, [0, 0])
+        entry[0] += 1
+        entry[1] += 1
+        self._proxied_ips.add(client_ip)
+
+    def observe_failure(self, name: str, count: int = 1) -> None:
+        setattr(self.failures, name, getattr(self.failures, name) + count)
+
+    # -- the ReportDatabase query surface --------------------------------
+
+    @property
+    def mismatch_count(self) -> int:
+        return len(self.mismatch_keys)
+
+    @property
+    def matched_count(self) -> int:
+        return sum(self.matched_counts.values())
+
+    @property
+    def total_measurements(self) -> int:
+        return self.matched_count + self.mismatch_count
+
+    @property
+    def proxied_rate(self) -> float:
+        total = self.total_measurements
+        return self.mismatch_count / total if total else 0.0
+
+    def totals_by_country(self) -> dict[str, tuple[int, int]]:
+        return {
+            country: (proxied, total)
+            for country, (proxied, total) in sorted(self._country_totals.items())
+        }
+
+    def totals_by_host_type(self) -> dict[str, tuple[int, int]]:
+        return {
+            host_type: (proxied, total)
+            for host_type, (proxied, total) in sorted(
+                self._host_type_totals.items()
+            )
+        }
+
+    def distinct_proxied_ips(self) -> int:
+        return len(self._proxied_ips)
+
+    def aggregate_signature(self) -> str:
+        return combine_signature(
+            self.matched_counts, self.mismatch_keys, self.failures
+        )
+
+
+class _Shard:
+    """Write-side state for one shard directory."""
+
+    __slots__ = (
+        "path",
+        "handle",
+        "active_name",
+        "active_bytes",
+        "next_index",
+        "pending_lines",
+        "pending_matched",
+    )
+
+    def __init__(self, path: pathlib.Path) -> None:
+        self.path = path
+        self.handle = None
+        self.active_name: str | None = None
+        self.active_bytes = 0
+        self.next_index = 1
+        self.pending_lines: list[bytes] = []
+        self.pending_matched: Counter[tuple[str, str]] = Counter()
+
+
+class SegmentedStore:
+    """The disk format: per-country directories of JSONL segments."""
+
+    def __init__(self, path: str | pathlib.Path) -> None:
+        self.path = pathlib.Path(path)
+        self.path.mkdir(parents=True, exist_ok=True)
+        self._shards: dict[str, _Shard] = {}
+
+    # -- write side ------------------------------------------------------
+
+    def shard(self, name: str) -> _Shard:
+        shard = self._shards.get(name)
+        if shard is None:
+            shard = _Shard(self.path / name)
+            existing = self._segment_names(shard.path)
+            if existing:
+                shard.next_index = max(_segment_index(n) for n in existing) + 1
+            self._shards[name] = shard
+        return shard
+
+    def write_blob(self, shard: _Shard, blob: bytes, segment_bytes: int) -> int:
+        """Append ``blob`` to the shard's active segment.
+
+        Returns the number of segments sealed (0 or 1): once the
+        active segment crosses ``segment_bytes`` it is sealed — flushed
+        and atomically renamed from ``.open.jsonl`` to ``.jsonl``.
+        """
+        if shard.handle is None:
+            shard.path.mkdir(parents=True, exist_ok=True)
+            shard.active_name = f"{_SEGMENT_PREFIX}{shard.next_index:06d}"
+            shard.next_index += 1
+            shard.handle = open(shard.path / (shard.active_name + _OPEN_SUFFIX), "ab")
+            shard.active_bytes = 0
+        shard.handle.write(blob)
+        shard.active_bytes += len(blob)
+        if shard.active_bytes >= segment_bytes:
+            self.seal(shard)
+            return 1
+        return 0
+
+    def seal(self, shard: _Shard) -> None:
+        """Atomically promote the active segment to a sealed one."""
+        if shard.handle is None:
+            return
+        shard.handle.flush()
+        shard.handle.close()
+        open_path = shard.path / (shard.active_name + _OPEN_SUFFIX)
+        os.replace(open_path, shard.path / (shard.active_name + _SEALED_SUFFIX))
+        shard.handle = None
+        shard.active_name = None
+        shard.active_bytes = 0
+
+    def seal_all(self) -> int:
+        sealed = 0
+        for shard in self._shards.values():
+            if shard.handle is not None:
+                self.seal(shard)
+                sealed += 1
+        return sealed
+
+    # -- read side -------------------------------------------------------
+
+    @staticmethod
+    def _segment_names(shard_path: pathlib.Path) -> list[str]:
+        if not shard_path.is_dir():
+            return []
+        return sorted(
+            name
+            for name in os.listdir(shard_path)
+            if name.startswith(_SEGMENT_PREFIX)
+        )
+
+    def shard_names(self) -> list[str]:
+        return sorted(
+            name for name in os.listdir(self.path) if (self.path / name).is_dir()
+        )
+
+    @staticmethod
+    def _first_row(path: pathlib.Path) -> dict | None:
+        with open(path, "rb") as handle:
+            raw = handle.readline()
+        if not raw.endswith(b"\n"):
+            return None
+        try:
+            return json.loads(raw)
+        except json.JSONDecodeError:
+            return None
+
+    @staticmethod
+    def _iter_segment(
+        path: pathlib.Path,
+        on_torn: Callable[[pathlib.Path], None] | None = None,
+        heal: bool = False,
+    ) -> Iterator[dict]:
+        """Stream one segment's rows, stopping at (and optionally
+        healing) a torn tail.  ``seal`` header rows are not yielded."""
+        offset = 0
+        torn_at = None
+        with open(path, "rb") as handle:
+            for raw in handle:
+                if not raw.endswith(b"\n"):
+                    torn_at = offset
+                    break
+                stripped = raw.strip()
+                if stripped:
+                    try:
+                        row = json.loads(stripped)
+                    except json.JSONDecodeError:
+                        torn_at = offset
+                        break
+                    if row.get("t") != "seal":
+                        yield row
+                offset += len(raw)
+        if torn_at is not None:
+            if on_torn is not None:
+                on_torn(path)
+            if heal:
+                os.truncate(path, torn_at)
+
+    def iter_shard_rows(
+        self,
+        name: str,
+        on_torn: Callable[[pathlib.Path], None] | None = None,
+        heal: bool = False,
+    ) -> Iterator[dict]:
+        """Yield every row of one shard in (segment, line) order.
+
+        Detects torn tails (trailing bytes with no newline, or an
+        undecodable line): the torn tail and everything after it in
+        that segment is dropped, ``on_torn`` is called once per torn
+        segment, and with ``heal=True`` the file is truncated back to
+        its last complete row.  Segments replaced by a compaction
+        header are skipped entirely, so a crash between a compaction's
+        rename and its unlinks never double-counts.
+        """
+        shard_path = self.path / name
+        segments = self._segment_names(shard_path)
+        replaced: set[str] = set()
+        for segment in segments:
+            header = self._first_row(shard_path / segment)
+            if header is not None and header.get("t") == "seal":
+                replaced.update(header.get("compacts", []))
+        for segment in segments:
+            if segment in replaced:
+                continue
+            yield from self._iter_segment(shard_path / segment, on_torn, heal)
+
+    def segment_paths(self) -> list[pathlib.Path]:
+        return [
+            self.path / name / segment
+            for name in self.shard_names()
+            for segment in self._segment_names(self.path / name)
+        ]
+
+
+class ReportStore:
+    """Batched, metric-instrumented ingest into a :class:`SegmentedStore`.
+
+    Appends are buffered per shard — mismatches as encoded lines,
+    matched measurements coalesced into per-(host type, hostname)
+    counters — and written with one ``write()`` per shard per flush.
+    A :class:`StreamingAggregator` shadows every append, so Tables 3/7
+    and the aggregate signature are available the moment ingest stops,
+    without reading anything back.
+
+    ``auto_flush`` (the default) flushes whenever ``batch_rows``
+    reports are pending.  The ingest front end instead defers flushing
+    to batch across connections; if the pending buffer then reaches
+    ``max_pending`` the store is *overloaded* — the reporting server
+    answers 429 until someone flushes, and every deferral is counted
+    under ``store.backpressure_events``.
+    """
+
+    def __init__(
+        self,
+        path: str | pathlib.Path,
+        registry: MetricsRegistry | None = None,
+        *,
+        batch_rows: int = 4096,
+        max_pending: int | None = None,
+        segment_bytes: int = 8 * 1024 * 1024,
+        auto_flush: bool = True,
+    ) -> None:
+        if batch_rows < 1:
+            raise ValueError("batch_rows must be >= 1")
+        self.segments = SegmentedStore(path)
+        self.aggregator = StreamingAggregator()
+        self.metrics = registry if registry is not None else MetricsRegistry()
+        self.batch_rows = batch_rows
+        self.max_pending = max_pending if max_pending is not None else 4 * batch_rows
+        self.segment_bytes = segment_bytes
+        self.auto_flush = auto_flush
+        self._pending = 0
+        self._closed = False
+        self._c_batches = self.metrics.counter("reports.batches")
+        self._c_segments = self.metrics.counter("store.segments_written")
+        self._c_bytes = self.metrics.counter("store.bytes_written")
+        self._c_backpressure = self.metrics.counter("store.backpressure_events")
+        self._h_batch = self.metrics.histogram("store.batch_rows", INGEST_BATCH_BUCKETS)
+        # Heal whatever a previous (possibly crashed) writer left
+        # behind: torn tails truncated and counted, leftover .open
+        # segments sealed so indices never collide.
+        self.recover()
+
+    @property
+    def path(self) -> pathlib.Path:
+        return self.segments.path
+
+    # -- ingest ----------------------------------------------------------
+
+    @property
+    def pending(self) -> int:
+        return self._pending
+
+    @property
+    def overloaded(self) -> bool:
+        return self._pending >= self.max_pending
+
+    def defer(self) -> None:
+        """Record one deferred-accept (429) caused by back-pressure."""
+        self._c_backpressure.inc()
+
+    def add_mismatch(self, record: MeasurementRecord) -> None:
+        if not record.mismatch:
+            raise ValueError("add_mismatch() requires a mismatch record")
+        country = record.country or "??"
+        line = json.dumps(
+            {"t": "m", "r": record_to_dict(record)}, separators=(",", ":")
+        ).encode("utf-8")
+        self.segments.shard(_shard_name(country)).pending_lines.append(line)
+        self.aggregator.observe_mismatch_record(record)
+        self._appended()
+
+    def add_matched(self, record: MeasurementRecord) -> None:
+        if record.mismatch:
+            raise ValueError("add_matched() requires a non-mismatch record")
+        self.add_matched_bulk(
+            record.country or "??", record.host_type, record.hostname, 1
+        )
+
+    def add_matched_bulk(
+        self, country: str, host_type: str, hostname: str, count: int
+    ) -> None:
+        if count < 0:
+            raise ValueError("negative bulk count")
+        if not count:
+            return
+        shard = self.segments.shard(_shard_name(country))
+        shard.pending_matched[(host_type, hostname)] += count
+        self.aggregator.observe_matched(country, host_type, hostname, count)
+        self._appended()
+
+    def add_failure(self, name: str, count: int = 1) -> None:
+        if not count:
+            return
+        if not hasattr(self.aggregator.failures, name):
+            raise ValueError(f"unknown failure counter {name!r}")
+        self.aggregator.observe_failure(name, count)
+        line = json.dumps(
+            {"t": "f", "k": name, "n": count}, separators=(",", ":")
+        ).encode("utf-8")
+        self.segments.shard(_META_SHARD).pending_lines.append(line)
+        self._appended()
+
+    def append_database(self, database: ReportDatabase) -> None:
+        """Stream one shard database's contents into the store.
+
+        The fast-mode study path: worker outcomes are appended here in
+        fixed plan order instead of being merged into a parent
+        in-memory database.
+        """
+        for record in database.records:
+            self.add_mismatch(record)
+        for (country, host_type, hostname), count in database.matched_counts.items():
+            self.add_matched_bulk(country, host_type, hostname, count)
+        for name, value in vars(database.failures).items():
+            if value:
+                self.add_failure(name, value)
+
+    def _appended(self) -> None:
+        if self._closed:
+            raise StoreError("append on a closed store")
+        self._pending += 1
+        if self.auto_flush and self._pending >= self.batch_rows:
+            self.flush()
+
+    # -- flushing --------------------------------------------------------
+
+    def flush(self) -> None:
+        """Write every pending row in one batched append per shard."""
+        if not self._pending:
+            return
+        with self.metrics.span("ingest.flush"):
+            for shard in self.segments._shards.values():
+                if not shard.pending_lines and not shard.pending_matched:
+                    continue
+                lines = shard.pending_lines
+                for (host_type, hostname), count in shard.pending_matched.items():
+                    lines.append(
+                        json.dumps(
+                            {"t": "c", "ht": host_type, "h": hostname, "n": count},
+                            separators=(",", ":"),
+                        ).encode("utf-8")
+                    )
+                blob = b"\n".join(lines) + b"\n"
+                sealed = self.segments.write_blob(shard, blob, self.segment_bytes)
+                if shard.handle is not None:
+                    # Flushed rows must survive a process crash: drain
+                    # the userspace buffer to the OS now, so at most
+                    # the post-flush tail can ever be torn.
+                    shard.handle.flush()
+                self._c_bytes.inc(len(blob))
+                if sealed:
+                    self._c_segments.inc(sealed)
+                shard.pending_lines = []
+                shard.pending_matched = Counter()
+            self._c_batches.inc()
+            self._h_batch.observe(self._pending)
+            self._pending = 0
+
+    def close(self) -> None:
+        """Flush and seal every active segment."""
+        if self._closed:
+            return
+        self.flush()
+        sealed = self.segments.seal_all()
+        if sealed:
+            self._c_segments.inc(sealed)
+        self._closed = True
+
+    # -- maintenance -----------------------------------------------------
+
+    def recover(self) -> dict:
+        """Heal and seal ``.open`` segments left by a dead writer.
+
+        Crash-truncation recovery: a torn tail is truncated away (only
+        the half-written row is lost) and counted under
+        ``reports.rejected{reason=torn-segment}``, then the segment is
+        sealed so the next writer never collides with it.  Sealed
+        segments are immutable once renamed, so they are not rescanned
+        here; external damage to them is caught by
+        :func:`scan_store`/:func:`load_store`.
+        """
+        torn = 0
+        sealed = 0
+        for name in self.segments.shard_names():
+            shard_path = self.segments.path / name
+            for segment in self.segments._segment_names(shard_path):
+                if not segment.endswith(_OPEN_SUFFIX):
+                    continue
+                path = shard_path / segment
+                torn_paths: list[pathlib.Path] = []
+                for _row in self.segments._iter_segment(
+                    path, on_torn=torn_paths.append, heal=True
+                ):
+                    pass
+                if torn_paths:
+                    torn += 1
+                    self.metrics.inc("reports.rejected", reason="torn-segment")
+                os.replace(
+                    path, shard_path / segment.replace(_OPEN_SUFFIX, _SEALED_SUFFIX)
+                )
+                sealed += 1
+        return {"torn_segments": torn, "sealed_open_segments": sealed}
+
+    def compact(self) -> dict:
+        """Rewrite each shard as one segment with coalesced counters.
+
+        Matched-counter rows collapse to one per (host type, hostname),
+        failure rows to one per counter; mismatch rows are preserved in
+        order.  The compacted segment carries a ``seal`` header naming
+        the segments it replaces, which readers skip if a crash leaves
+        them behind — so compaction is crash-safe in both directions.
+        """
+        self.flush()
+        sealed = self.segments.seal_all()
+        if sealed:
+            self._c_segments.inc(sealed)
+        rows_before = 0
+        rows_after = 0
+        with self.metrics.span("ingest.compact"):
+            for name in self.segments.shard_names():
+                shard_path = self.segments.path / name
+                segments = self.segments._segment_names(shard_path)
+                if not segments:
+                    continue
+                counters: Counter[tuple[str, str]] = Counter()
+                failures: Counter[str] = Counter()
+                mismatch_lines: list[bytes] = []
+                for row in self.segments.iter_shard_rows(name):
+                    rows_before += 1
+                    kind = row.get("t")
+                    if kind == "c":
+                        counters[(row["ht"], row["h"])] += row["n"]
+                    elif kind == "f":
+                        failures[row["k"]] += row["n"]
+                    elif kind == "m":
+                        mismatch_lines.append(
+                            json.dumps(row, separators=(",", ":")).encode("utf-8")
+                        )
+                    else:
+                        raise StoreError(f"unknown row type {kind!r}")
+                shard = self.segments.shard(name)
+                index = shard.next_index
+                shard.next_index += 1
+                lines = [
+                    json.dumps(
+                        {"t": "seal", "compacts": sorted(segments)},
+                        separators=(",", ":"),
+                    ).encode("utf-8")
+                ]
+                lines.extend(mismatch_lines)
+                for (host_type, hostname), count in sorted(counters.items()):
+                    lines.append(
+                        json.dumps(
+                            {"t": "c", "ht": host_type, "h": hostname, "n": count},
+                            separators=(",", ":"),
+                        ).encode("utf-8")
+                    )
+                for key, count in sorted(failures.items()):
+                    lines.append(
+                        json.dumps(
+                            {"t": "f", "k": key, "n": count}, separators=(",", ":")
+                        ).encode("utf-8")
+                    )
+                rows_after += len(lines) - 1
+                tmp = shard_path / f"compact-{index:06d}.tmp"
+                final = shard_path / f"{_SEGMENT_PREFIX}{index:06d}{_SEALED_SUFFIX}"
+                with open(tmp, "wb") as handle:
+                    handle.write(b"\n".join(lines) + b"\n")
+                    handle.flush()
+                    os.fsync(handle.fileno())
+                os.replace(tmp, final)
+                for segment in segments:
+                    os.unlink(shard_path / segment)
+                self._c_segments.inc()
+        return {"rows_before": rows_before, "rows_after": rows_after}
+
+
+def scan_store(
+    path: str | pathlib.Path,
+    registry: MetricsRegistry | None = None,
+    heal: bool = False,
+) -> StreamingAggregator:
+    """One streaming pass over every segment → a fresh aggregator.
+
+    Torn segments are counted under
+    ``reports.rejected{reason=torn-segment}`` (and truncated away with
+    ``heal=True``); everything up to the torn tail still counts.  The
+    result's ``aggregate_signature()`` equals the in-memory database's
+    for the same report stream — the equality the ingest benchmark and
+    CI smoke pin.
+    """
+    metrics = registry if registry is not None else MetricsRegistry()
+    segments = SegmentedStore(path)
+    aggregator = StreamingAggregator()
+    torn = metrics.counter("reports.rejected", reason="torn-segment")
+    with metrics.span("ingest.scan"):
+        for name in segments.shard_names():
+            country = _shard_country(name)
+            for row in segments.iter_shard_rows(
+                name, on_torn=lambda _path: torn.inc(), heal=heal
+            ):
+                kind = row.get("t")
+                if kind == "c":
+                    aggregator.observe_matched(country, row["ht"], row["h"], row["n"])
+                elif kind == "m":
+                    aggregator.observe_mismatch_row(country, row["r"])
+                elif kind == "f":
+                    aggregator.observe_failure(row["k"], row["n"])
+                else:
+                    raise StoreError(f"unknown row type {kind!r}")
+    return aggregator
+
+
+def iter_store_mismatches(path: str | pathlib.Path) -> Iterator[MeasurementRecord]:
+    """Stream full mismatch records out of the segments (shard order)."""
+    segments = SegmentedStore(path)
+    for name in segments.shard_names():
+        for row in segments.iter_shard_rows(name):
+            if row.get("t") == "m":
+                yield record_from_dict(row["r"])
+
+
+def load_store(
+    path: str | pathlib.Path,
+    matched_sample_limit: int = 1000,
+    registry: MetricsRegistry | None = None,
+) -> ReportDatabase:
+    """Materialise a full :class:`ReportDatabase` from the segments.
+
+    The record-level analysis tables (issuer organizations,
+    classification, negligence) read ``database.records``; this is the
+    bridge from a streamed collection run back to them.  The rebuilt
+    database's ``aggregate_signature()`` matches the aggregator's (the
+    matched-sample reservoir is intentionally not persisted).
+    """
+    metrics = registry if registry is not None else MetricsRegistry()
+    segments = SegmentedStore(path)
+    database = ReportDatabase(matched_sample_limit=matched_sample_limit)
+    torn = metrics.counter("reports.rejected", reason="torn-segment")
+    for name in segments.shard_names():
+        country = _shard_country(name)
+        for row in segments.iter_shard_rows(name, on_torn=lambda _path: torn.inc()):
+            kind = row.get("t")
+            if kind == "c":
+                database.add_matched_bulk(country, row["ht"], row["h"], row["n"])
+            elif kind == "m":
+                database.add_mismatch(record_from_dict(row["r"]))
+            elif kind == "f":
+                setattr(
+                    database.failures,
+                    row["k"],
+                    getattr(database.failures, row["k"]) + row["n"],
+                )
+            else:
+                raise StoreError(f"unknown row type {kind!r}")
+    return database

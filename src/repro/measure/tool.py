@@ -48,11 +48,15 @@ class MeasurementTool:
         policy_ports: tuple[int, ...] = (843, 80),
         sim_product_header: bool = True,
         registry: MetricsRegistry | None = None,
+        report_retry_limit: int = 4,
     ) -> None:
         self.reporting_host = reporting_host
         self.report_port = report_port
         self.policy_ports = policy_ports
         self.sim_product_header = sim_product_header
+        # How many 429 (ingest back-pressure) answers a client retries
+        # through before giving the report up as failed.
+        self.report_retry_limit = report_retry_limit
         # Shared with the per-session ProbeClients, so probe attempts
         # and failure stages aggregate across the whole run.
         self.metrics = registry if registry is not None else MetricsRegistry()
@@ -102,14 +106,17 @@ class MeasurementTool:
         if self.sim_product_header and product_key:
             headers["X-Sim-Product"] = product_key
         try:
-            response = http.request(
-                "POST",
-                self.reporting_host,
-                "/report",
-                port=self.report_port,
-                body=body,
-                headers=headers,
-            )
+            for _attempt in range(1 + self.report_retry_limit):
+                response = http.request(
+                    "POST",
+                    self.reporting_host,
+                    "/report",
+                    port=self.report_port,
+                    body=body,
+                    headers=headers,
+                )
+                if response.status != 429:
+                    break
         except (ConnectionRefused, ConnectionReset) as exc:
             outcome.report_failed += 1
             outcome.errors.append(f"report: {exc}")

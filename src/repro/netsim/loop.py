@@ -1,0 +1,83 @@
+"""A cooperative task loop over the synchronous simulated network.
+
+netsim delivers bytes synchronously — ``send()`` runs the peer's
+protocol callbacks before returning — so "concurrency" here means
+interleaving progress across many client state machines, the same job
+a selector loop does for real sockets.  :class:`CooperativeLoop`
+round-robins a set of generator tasks: each task yields whenever it
+has handed bytes to the network and is willing to let other
+connections run, and finishes by returning.
+
+The ingest front end (:mod:`repro.measure.ingest`) builds on this to
+drive many reporting clients against one server host concurrently,
+with an admission cap standing in for the listen backlog.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Iterator
+
+
+class CooperativeLoop:
+    """Round-robin scheduler for generator tasks.
+
+    Tasks are generators: each ``next()`` advances one to its next
+    yield point.  At most ``max_active`` tasks are in flight; the rest
+    wait in an admission queue and are started as slots free up, which
+    is what bounds per-tick memory (and models a listen backlog).
+    """
+
+    def __init__(self, max_active: int = 32) -> None:
+        if max_active < 1:
+            raise ValueError("max_active must be >= 1")
+        self.max_active = max_active
+        self._pending: deque[Callable[[], Iterator]] = deque()
+        self._active: deque[Iterator] = deque()
+        self.ticks = 0
+        self.completed = 0
+        self.peak_active = 0
+
+    def spawn(self, factory: Callable[[], Iterator]) -> None:
+        """Queue a task; ``factory()`` is called when it is admitted."""
+        self._pending.append(factory)
+
+    @property
+    def idle(self) -> bool:
+        return not self._pending and not self._active
+
+    def _admit(self) -> None:
+        while self._pending and len(self._active) < self.max_active:
+            self._active.append(self._pending.popleft()())
+        if len(self._active) > self.peak_active:
+            self.peak_active = len(self._active)
+
+    def tick(self) -> int:
+        """Step every active task once; returns tasks still in flight."""
+        self._admit()
+        self.ticks += 1
+        for _ in range(len(self._active)):
+            task = self._active.popleft()
+            try:
+                next(task)
+            except StopIteration:
+                self.completed += 1
+                continue
+            self._active.append(task)
+        self._admit()
+        return len(self._active)
+
+    def run(
+        self,
+        max_ticks: int | None = None,
+        on_tick: Callable[["CooperativeLoop"], None] | None = None,
+    ) -> int:
+        """Tick until idle (or ``max_ticks``); returns ticks executed."""
+        start = self.ticks
+        while not self.idle:
+            if max_ticks is not None and self.ticks - start >= max_ticks:
+                break
+            self.tick()
+            if on_tick is not None:
+                on_tick(self)
+        return self.ticks - start

@@ -41,6 +41,10 @@ SECTION_TIMING = "timing"
 # here so exports and tests agree on the shape.
 SHARD_SESSION_BUCKETS = (100, 1_000, 5_000, 10_000, 25_000, 50_000, 100_000)
 
+# Bucket bounds for the report store's rows-per-flush histogram
+# (store.batch_rows): how well ingest is amortising its writes.
+INGEST_BATCH_BUCKETS = (1, 16, 64, 256, 1_024, 4_096, 16_384)
+
 
 def metric_key(name: str, labels: dict[str, object]) -> str:
     """Stable string key for ``name`` + ``labels``.

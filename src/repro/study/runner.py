@@ -52,6 +52,7 @@ from repro.data.sites import ProbeSite
 from repro.measure.database import ReportDatabase
 from repro.measure.records import CertSummary, MeasurementRecord
 from repro.measure.server import CombinedPolicyHttpServer, ReportingServer
+from repro.measure.store import ReportStore
 from repro.measure.tool import MeasurementTool
 from repro.netsim.network import Network
 from repro.obs.metrics import SHARD_SESSION_BUCKETS, MetricsRegistry
@@ -91,6 +92,10 @@ class StudyConfig:
     # variable still applies).  A plain string keeps the config
     # picklable for worker initialisation.
     vault: str | None = None
+    # Directory to stream fast-mode shard outcomes into as segmented
+    # JSONL (repro.measure.store) instead of merging them into the
+    # in-memory database; analysis then reads the segments.
+    report_store: str | None = None
 
     def __post_init__(self) -> None:
         if self.study not in (1, 2):
@@ -105,6 +110,8 @@ class StudyConfig:
             raise ValueError("workers > 1 applies to fast mode only")
         if self.subshard_sessions < 1:
             raise ValueError("subshard_sessions must be >= 1")
+        if self.report_store is not None and self.mode != "fast":
+            raise ValueError("report_store applies to fast mode only")
 
 
 @dataclass
@@ -388,14 +395,27 @@ class StudyRunner:
             outcomes = [
                 self._run_fast_shard(population, shard) for shard in subshards
             ]
+        store = None
+        if config.report_store is not None:
+            store = ReportStore(config.report_store, registry=self.obs)
+            if store.segments.segment_paths():
+                raise ValueError(
+                    f"report store {config.report_store!r} already has segments"
+                )
         # Fold the shard snapshots back in fixed (plan, sub) order —
         # the same discipline ReportDatabase.merge follows — so the
         # deterministic section is byte-identical for any worker count.
         with self.obs.span("study.merge"):
             for outcome in outcomes:
-                result.database.merge(outcome.database)
+                if store is not None:
+                    store.append_database(outcome.database)
+                else:
+                    result.database.merge(outcome.database)
                 result.sessions_run += outcome.sessions_run
                 self.obs.merge_snapshot(outcome.metrics)
+        if store is not None:
+            store.close()
+            result.notes["report_store"] = config.report_store
         result.notes["fast_workers"] = config.workers
         result.notes["fast_shards"] = len({shard.code for shard in subshards})
         result.notes["fast_subshards"] = len(subshards)

@@ -144,6 +144,74 @@ class TestReportDatabase:
         assert a.total_measurements == 6
         assert a.failures.policy_denied == 2
 
+    def test_matched_sample_is_not_first_n(self):
+        """The reservoir replaces early records — no head-of-stream bias."""
+        db = ReportDatabase(matched_sample_limit=5, sample_seed=0)
+        for i in range(500):
+            db.add_matched(make_record(mismatch=False, ip=f"11.0.{i // 250}.{i % 250}"))
+        sampled = {record.client_ip for record in db.matched_samples}
+        first_five = {f"11.0.0.{i}" for i in range(5)}
+        assert len(db.matched_samples) == 5
+        assert sampled != first_five
+
+    def test_matched_sample_deterministic_for_seed(self):
+        def build(seed):
+            db = ReportDatabase(matched_sample_limit=4, sample_seed=seed)
+            for i in range(300):
+                db.add_matched(make_record(mismatch=False, ip=f"11.1.{i // 250}.{i % 250}"))
+            return [record.client_ip for record in db.matched_samples]
+
+        assert build(7) == build(7)
+        assert build(7) != build(8)
+
+    def test_merge_reservoir_draws_from_both_shards(self):
+        a = ReportDatabase(matched_sample_limit=10, sample_seed=0)
+        b = ReportDatabase(matched_sample_limit=10, sample_seed=0)
+        for i in range(100):
+            a.add_matched(make_record(mismatch=False, ip=f"10.0.0.{i}"))
+            b.add_matched(make_record(mismatch=False, ip=f"10.0.1.{i}"))
+        a.merge(b)
+        sampled = [record.client_ip for record in a.matched_samples]
+        assert len(sampled) == 10
+        assert any(ip.startswith("10.0.0.") for ip in sampled)
+        assert any(ip.startswith("10.0.1.") for ip in sampled)
+
+    def test_merge_reservoir_deterministic_for_order(self):
+        def build():
+            shards = []
+            for s in range(3):
+                db = ReportDatabase(matched_sample_limit=6, sample_seed=0)
+                for i in range(50):
+                    db.add_matched(
+                        make_record(mismatch=False, ip=f"10.{s}.0.{i}")
+                    )
+                shards.append(db)
+            parent = ReportDatabase(matched_sample_limit=6, sample_seed=0)
+            for shard in shards:
+                parent.merge(shard)
+            return [record.client_ip for record in parent.matched_samples]
+
+        assert build() == build()
+
+    def test_breakdown_caches_match_recomputation(self):
+        """Incremental caches agree with a from-scratch rebuild."""
+        from collections import Counter
+
+        db = ReportDatabase()
+        for i in range(40):
+            db.add_mismatch(
+                make_record(country="US" if i % 3 else "BR", ip=f"12.0.0.{i % 7}")
+            )
+        db.add_matched_bulk("US", "Popular", "h", 11)
+        db.add_matched_bulk("BR", "Business", "b", 5)
+        expected_country: Counter = Counter()
+        for record in db.records:
+            expected_country[record.country] += 1
+        totals = db.totals_by_country()
+        assert totals["US"] == (expected_country["US"], expected_country["US"] + 11)
+        assert totals["BR"] == (expected_country["BR"], expected_country["BR"] + 5)
+        assert db.distinct_proxied_ips() == len({r.client_ip for r in db.records})
+
 
 class MeasurementWorld:
     """Origin site + reporting server + a client, fully wired."""

@@ -1,0 +1,281 @@
+"""Unit tests for the segmented on-disk report store."""
+
+import json
+import os
+
+import pytest
+
+from repro.measure.database import ReportDatabase
+from repro.measure.records import CertSummary, MeasurementRecord
+from repro.measure.store import (
+    ReportStore,
+    StoreError,
+    iter_store_mismatches,
+    load_store,
+    scan_store,
+)
+from repro.obs.metrics import MetricsRegistry
+
+
+def make_record(mismatch=True, country="US", ip="11.0.0.1", host="h", htype="Popular"):
+    leaf = CertSummary(
+        subject_cn=host,
+        subject_org=None,
+        issuer_cn="CA",
+        issuer_org="Org",
+        issuer_ou=None,
+        serial_number=1,
+        key_bits=1024,
+        signature_algorithm="sha1WithRSAEncryption",
+        fingerprint="f" * 64,
+        public_key_fingerprint="k" * 64,
+    )
+    return MeasurementRecord(
+        study=1,
+        campaign="test",
+        client_ip=ip,
+        country=country,
+        hostname=host,
+        host_type=htype,
+        mismatch=mismatch,
+        leaf=leaf,
+        chain=(leaf,),
+    )
+
+
+def fill(store, db, n=60):
+    """The same mixed stream into a store and an in-memory database."""
+    for i in range(n):
+        country = ("US", "BR", "??")[i % 3]
+        if i % 10 == 0:
+            record = make_record(country=country, ip=f"10.0.0.{i}", host=f"s{i % 4}")
+            store.add_mismatch(record)
+            db.add_mismatch(record)
+        else:
+            store.add_matched_bulk(country, "Popular", f"s{i % 4}", 3)
+            db.add_matched_bulk(country, "Popular", f"s{i % 4}", 3)
+    store.add_failure("probe_failed", 2)
+    db.failures.probe_failed += 2
+
+
+class TestRoundTrip:
+    def test_scan_matches_in_memory_signature(self, tmp_path):
+        store = ReportStore(tmp_path / "s")
+        db = ReportDatabase()
+        fill(store, db)
+        store.close()
+        aggregator = scan_store(tmp_path / "s")
+        assert aggregator.aggregate_signature() == db.aggregate_signature()
+        assert store.aggregator.aggregate_signature() == db.aggregate_signature()
+        assert aggregator.totals_by_country() == db.totals_by_country()
+        assert aggregator.totals_by_host_type() == db.totals_by_host_type()
+        assert aggregator.distinct_proxied_ips() == db.distinct_proxied_ips()
+        assert aggregator.proxied_rate == db.proxied_rate
+
+    def test_load_store_rebuilds_database(self, tmp_path):
+        store = ReportStore(tmp_path / "s")
+        db = ReportDatabase()
+        fill(store, db)
+        store.close()
+        rebuilt = load_store(tmp_path / "s")
+        assert rebuilt.aggregate_signature() == db.aggregate_signature()
+        assert sorted(r.client_ip for r in iter_store_mismatches(tmp_path / "s")) == (
+            sorted(r.client_ip for r in db.records)
+        )
+
+    def test_unknown_country_shard_is_quoted(self, tmp_path):
+        store = ReportStore(tmp_path / "s")
+        store.add_mismatch(make_record(country=None))
+        store.close()
+        names = os.listdir(tmp_path / "s")
+        assert "%3F%3F" in names
+        assert "_meta" not in names  # no failures recorded
+        aggregator = scan_store(tmp_path / "s")
+        assert aggregator.totals_by_country() == {"??": (1, 1)}
+
+    def test_append_database(self, tmp_path):
+        db = ReportDatabase()
+        db.add_mismatch(make_record())
+        db.add_matched_bulk("US", "Popular", "h", 9)
+        db.failures.connect_failed = 4
+        store = ReportStore(tmp_path / "s")
+        store.append_database(db)
+        store.close()
+        assert scan_store(tmp_path / "s").aggregate_signature() == (
+            db.aggregate_signature()
+        )
+
+    def test_type_guards(self, tmp_path):
+        store = ReportStore(tmp_path / "s")
+        with pytest.raises(ValueError):
+            store.add_mismatch(make_record(mismatch=False))
+        with pytest.raises(ValueError):
+            store.add_matched(make_record(mismatch=True))
+        with pytest.raises(ValueError):
+            store.add_failure("no_such_counter")
+        store.close()
+        with pytest.raises(StoreError):
+            store.add_matched_bulk("US", "Popular", "h", 1)
+
+
+class TestSegmentsAndBatching:
+    def test_segments_rotate_at_threshold(self, tmp_path):
+        registry = MetricsRegistry()
+        store = ReportStore(
+            tmp_path / "s", registry, batch_rows=4, segment_bytes=256
+        )
+        for i in range(40):
+            store.add_mismatch(make_record(ip=f"10.0.0.{i}"))
+        store.close()
+        segments = [p.name for p in (tmp_path / "s" / "US").iterdir()]
+        assert len(segments) > 1
+        assert all(name.endswith(".jsonl") for name in segments)
+        assert not any(".open" in name for name in segments)
+        counters = registry.deterministic_snapshot()["counters"]
+        assert counters["store.segments_written"] == len(segments)
+        assert counters["store.bytes_written"] > 0
+
+    def test_batching_coalesces_matched_rows(self, tmp_path):
+        registry = MetricsRegistry()
+        store = ReportStore(tmp_path / "s", registry, batch_rows=1000)
+        for _ in range(500):
+            store.add_matched_bulk("US", "Popular", "h", 1)
+        store.close()
+        rows = [
+            json.loads(line)
+            for line in (tmp_path / "s" / "US" / "seg-000001.jsonl")
+            .read_bytes()
+            .splitlines()
+        ]
+        assert rows == [{"t": "c", "ht": "Popular", "h": "h", "n": 500}]
+        counters = registry.deterministic_snapshot()["counters"]
+        assert counters["reports.batches"] == 1
+
+    def test_auto_flush_at_batch_rows(self, tmp_path):
+        registry = MetricsRegistry()
+        store = ReportStore(tmp_path / "s", registry, batch_rows=10)
+        for i in range(25):
+            store.add_matched_bulk("US", "Popular", f"h{i}", 1)
+        assert store.pending == 5
+        store.close()
+        counters = registry.deterministic_snapshot()["counters"]
+        assert counters["reports.batches"] == 3
+        histogram = registry.deterministic_snapshot()["histograms"][
+            "store.batch_rows"
+        ]
+        assert histogram["count"] == 3
+
+    def test_backpressure_overloaded_and_defer(self, tmp_path):
+        registry = MetricsRegistry()
+        store = ReportStore(
+            tmp_path / "s", registry, batch_rows=4, max_pending=6, auto_flush=False
+        )
+        for i in range(6):
+            store.add_matched_bulk("US", "Popular", f"h{i}", 1)
+        assert store.overloaded
+        store.defer()
+        store.defer()
+        store.flush()
+        assert not store.overloaded
+        counters = registry.deterministic_snapshot()["counters"]
+        assert counters["store.backpressure_events"] == 2
+        store.close()
+
+
+class TestRecoveryAndCompaction:
+    def test_recover_heals_torn_open_segment(self, tmp_path):
+        store = ReportStore(tmp_path / "s", batch_rows=1000)
+        db = ReportDatabase()
+        fill(store, db, n=30)
+        store.flush()
+        # Simulate a crash: a half-written row on the active segment,
+        # never sealed.
+        shard = store.segments.shard("US")
+        shard.handle.write(b'{"t":"c","ht":"Pop')
+        shard.handle.flush()
+        shard.handle.close()
+        shard.handle = None
+
+        registry = MetricsRegistry()
+        reopened = ReportStore(tmp_path / "s", registry)
+        counters = registry.deterministic_snapshot()["counters"]
+        assert counters["reports.rejected{reason=torn-segment}"] == 1
+        reopened.close()
+        aggregator = scan_store(tmp_path / "s")
+        assert aggregator.aggregate_signature() == db.aggregate_signature()
+
+    def test_recover_seals_clean_open_segments(self, tmp_path):
+        store = ReportStore(tmp_path / "s")
+        store.add_matched_bulk("US", "Popular", "h", 5)
+        store.flush()
+        shard = store.segments.shard("US")
+        shard.handle.close()  # writer dies without sealing
+        shard.handle = None
+
+        registry = MetricsRegistry()
+        ReportStore(tmp_path / "s", registry)
+        counters = registry.deterministic_snapshot()["counters"]
+        assert "reports.rejected{reason=torn-segment}" not in counters
+        names = os.listdir(tmp_path / "s" / "US")
+        assert names == ["seg-000001.jsonl"]
+
+    def test_scan_heal_truncates_damaged_sealed_segment(self, tmp_path):
+        store = ReportStore(tmp_path / "s")
+        db = ReportDatabase()
+        fill(store, db, n=30)
+        store.close()
+        segment = tmp_path / "s" / "US" / "seg-000001.jsonl"
+        intact = segment.read_bytes()
+        segment.write_bytes(intact + b'{"t":"m","r":{"trunc')
+        registry = MetricsRegistry()
+        aggregator = scan_store(tmp_path / "s", registry, heal=True)
+        counters = registry.deterministic_snapshot()["counters"]
+        assert counters["reports.rejected{reason=torn-segment}"] == 1
+        assert aggregator.aggregate_signature() == db.aggregate_signature()
+        assert segment.read_bytes() == intact  # tail gone, rows intact
+
+    def test_compact_preserves_signature_and_coalesces(self, tmp_path):
+        store = ReportStore(tmp_path / "s", batch_rows=2, segment_bytes=200)
+        db = ReportDatabase()
+        fill(store, db, n=60)
+        stats = store.compact()
+        store.close()
+        assert stats["rows_after"] < stats["rows_before"]
+        for shard_dir in (tmp_path / "s").iterdir():
+            assert len(list(shard_dir.iterdir())) == 1
+        assert scan_store(tmp_path / "s").aggregate_signature() == (
+            db.aggregate_signature()
+        )
+
+    def test_compaction_crash_leftovers_are_skipped(self, tmp_path):
+        """A compacted segment's seal header excludes replaced segments."""
+        store = ReportStore(tmp_path / "s", batch_rows=2, segment_bytes=200)
+        db = ReportDatabase()
+        fill(store, db, n=40)
+        store.flush()
+        store.segments.seal_all()
+        old_segments = sorted(p.name for p in (tmp_path / "s" / "US").iterdir())
+        store.compact()
+        store.close()
+        # Resurrect one replaced segment, as if the crash hit between
+        # the compacted segment's rename and the unlinks.
+        survivor = next(p for p in (tmp_path / "s" / "US").iterdir())
+        header = json.loads(survivor.read_bytes().splitlines()[0])
+        assert header["t"] == "seal"
+        assert set(old_segments) <= set(header["compacts"])
+        resurrected = tmp_path / "s" / "US" / old_segments[0]
+        resurrected.write_bytes(b'{"t":"c","ht":"Popular","h":"s0","n":999}\n')
+        aggregator = scan_store(tmp_path / "s")
+        assert aggregator.aggregate_signature() == db.aggregate_signature()
+
+    def test_appends_continue_after_reopen(self, tmp_path):
+        store = ReportStore(tmp_path / "s")
+        db = ReportDatabase()
+        fill(store, db, n=20)
+        store.close()
+        store2 = ReportStore(tmp_path / "s")
+        fill(store2, db, n=20)
+        store2.close()
+        assert scan_store(tmp_path / "s").aggregate_signature() == (
+            db.aggregate_signature()
+        )
