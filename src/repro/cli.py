@@ -16,6 +16,10 @@
 * ``keys`` — warm, inspect or garbage-collect the persistent
   key-material vault that studies and audits share via ``--vault``
   (or ``REPRO_KEY_VAULT``).
+* ``chaos`` — the fault-injection drill matrix: every wire, server and
+  store-crash fault kind, each checked for exact loss accounting and
+  byte-identical recovery (studies take the same plans via
+  ``--faults``).
 """
 
 from __future__ import annotations
@@ -85,6 +89,15 @@ def build_parser() -> argparse.ArgumentParser:
             "the segments (directory must not already hold segments)",
         )
         study_parser.add_argument(
+            "--faults",
+            metavar="PLAN",
+            help="deterministic fault plan, e.g. "
+            "'reset=0.05,429=0.02,crash-rotate=2' — wire/server kinds, "
+            "crash-<flush|rotate|seal|compact>=N, plus seed/retries/"
+            "deadline/segment-bytes/batch-rows overrides; recovery must "
+            "reproduce the fault-free aggregate signature",
+        )
+        study_parser.add_argument(
             "--export", metavar="PATH", help="write the report database as JSONL"
         )
         study_parser.add_argument(
@@ -93,6 +106,44 @@ def build_parser() -> argparse.ArgumentParser:
             help="write the run's metrics snapshot as JSON (deterministic/"
             "process/timing sections) and print the phase profile",
         )
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="run the fault-injection drill matrix: every wire, server "
+        "and store-crash kind, each checked for exact loss accounting "
+        "and byte-identical recovery",
+    )
+    chaos.add_argument("--seed", type=int, default=42)
+    chaos.add_argument(
+        "--reports",
+        type=int,
+        default=48,
+        help="reports per wire drill (default 48)",
+    )
+    chaos.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker count for the embedded study drill; deterministic "
+        "counters are identical for any value (default 1)",
+    )
+    chaos.add_argument(
+        "--scale",
+        type=float,
+        default=0.001,
+        help="scale for the embedded study drill (default 0.001)",
+    )
+    chaos.add_argument(
+        "--vault",
+        metavar="DIR",
+        help="persistent key-vault directory for the embedded study drill",
+    )
+    chaos.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        help="write the matrix's merged deterministic metrics as JSON "
+        "(the CI chaos smoke diffs this across worker counts)",
+    )
 
     scan = sub.add_parser("scan", help="Table 1: policy-file scan of the universe")
     scan.add_argument("--universe", type=int, default=2000)
@@ -310,6 +361,7 @@ def _run_study(study: int, args) -> int:
             workers=args.workers,
             vault=args.vault,
             report_store=args.report_store,
+            faults=args.faults,
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -318,6 +370,8 @@ def _run_study(study: int, args) -> int:
         f"running study {study} ({args.mode} mode, scale {args.scale}, "
         f"seed {args.seed}, workers {args.workers}) ..."
     )
+    if args.faults:
+        print(f"fault plan: {config.fault_plan().describe()}")
     try:
         result = StudyRunner(config).run()
     except ValueError as exc:
@@ -340,6 +394,25 @@ def _run_study(study: int, args) -> int:
         )
     else:
         totals = db = result.database
+    faults_note = result.notes.get("faults")
+    if faults_note:
+        injected = ", ".join(
+            f"{kind}: {count}"
+            for kind, count in sorted(faults_note.get("injected", {}).items())
+        )
+        crashes = ", ".join(
+            f"crash-{point}: {count}"
+            for point, count in sorted(faults_note.get("crashes", {}).items())
+        )
+        print(
+            f"\nfaults: {faults_note['submitted']:,} ops submitted, "
+            f"{faults_note['delivered']:,} delivered, "
+            f"{faults_note['failed']:,} failed "
+            f"({faults_note['retries']} retries, "
+            f"{faults_note.get('recoveries', 0)} crash recoveries)"
+        )
+        if injected or crashes:
+            print(f"injected: {'; '.join(filter(None, [injected, crashes]))}")
     print(
         f"\nmeasurements: {totals.total_measurements:,}  proxied: "
         f"{totals.mismatch_count:,}  rate: "
@@ -377,6 +450,77 @@ def _run_study(study: int, args) -> int:
     if args.metrics_out:
         _emit_metrics(result.metrics, args.metrics_out)
     return 0
+
+
+def _run_chaos(args) -> int:
+    from repro.faults.chaos import run_chaos_matrix
+    from repro.obs.metrics import MetricsRegistry
+    from repro.reporting import render_table
+
+    obs = MetricsRegistry()
+    print(
+        f"chaos drill matrix (seed {args.seed}, {args.reports} reports per "
+        f"wire drill, study workers {args.workers}) ..."
+    )
+    outcomes = run_chaos_matrix(
+        seed=args.seed,
+        reports=args.reports,
+        workers=args.workers,
+        scale=args.scale,
+        vault=args.vault,
+        registry=obs,
+    )
+    body = []
+    for outcome in outcomes:
+        injected = ", ".join(
+            f"{kind}: {count}" for kind, count in sorted(outcome.injected.items())
+        )
+        body.append(
+            [
+                outcome.name,
+                f"{outcome.submitted:,}",
+                f"{outcome.delivered:,}",
+                f"{outcome.failed:,}",
+                str(outcome.retries),
+                str(outcome.recoveries),
+                "ok" if outcome.invariant_ok else "BROKEN",
+                {True: "identical", False: "DIVERGED", None: "lossy"}[
+                    outcome.signature_ok
+                ],
+                injected or "-",
+            ]
+        )
+    print()
+    print(
+        render_table(
+            [
+                "Drill",
+                "Submitted",
+                "Delivered",
+                "Failed",
+                "Retries",
+                "Recoveries",
+                "Loss",
+                "Signature",
+                "Injected",
+            ],
+            body,
+        )
+    )
+    broken = [outcome.name for outcome in outcomes if not outcome.ok]
+    if broken:
+        print(f"\nFAILED drills: {', '.join(broken)}", file=sys.stderr)
+    else:
+        print(
+            f"\nall {len(outcomes)} drills hold submitted == delivered + failed;"
+            " recoverable plans reproduced the fault-free signature"
+        )
+    if args.metrics_out:
+        from repro.obs.export import write_json
+
+        write_json(obs.snapshot(), args.metrics_out)
+        print(f"chaos metrics written to {args.metrics_out}")
+    return 1 if broken else 0
 
 
 def _run_scan(args) -> int:
@@ -675,6 +819,8 @@ def main(argv: list[str] | None = None) -> int:
         return _run_study(1, args)
     if args.command == "study2":
         return _run_study(2, args)
+    if args.command == "chaos":
+        return _run_chaos(args)
     if args.command == "scan":
         return _run_scan(args)
     if args.command == "ablation":

@@ -1,0 +1,45 @@
+"""Deterministic fault injection & recovery (the chaos layer).
+
+Everything here is seeded: a :class:`FaultPlan` turns
+``stable_hash(seed, site, kind)`` into fault schedules for the wire
+path (:mod:`repro.faults.wire`), the reporting server, and the report
+store's named crash points, while :mod:`repro.faults.recovery`
+supervises crash-then-reopen healing and exactly-accounted delivery.
+:mod:`repro.faults.chaos` runs the whole drill matrix behind the
+``repro chaos`` CLI.
+"""
+
+from repro.faults.plan import (
+    CRASH_POINTS,
+    GATE_FAULT_KINDS,
+    SERVER_FAULT_KINDS,
+    WIRE_FAULT_KINDS,
+    Backoff,
+    FaultPlan,
+    FaultPlanError,
+)
+from repro.faults.recovery import (
+    CrashSchedule,
+    FaultGate,
+    ResilientStoreWriter,
+    apply_op,
+    database_ops,
+)
+from repro.faults.wire import FaultRelay, server_fault_hook
+
+__all__ = [
+    "Backoff",
+    "CRASH_POINTS",
+    "CrashSchedule",
+    "FaultGate",
+    "FaultPlan",
+    "FaultPlanError",
+    "FaultRelay",
+    "GATE_FAULT_KINDS",
+    "ResilientStoreWriter",
+    "SERVER_FAULT_KINDS",
+    "WIRE_FAULT_KINDS",
+    "apply_op",
+    "database_ops",
+    "server_fault_hook",
+]

@@ -1,0 +1,286 @@
+"""Recovery supervision: deliver an op stream through injected faults.
+
+The fast-mode study merge normally appends each shard database to the
+report store in fixed (plan, sub) order.  Under a fault plan the same
+operations — mismatch records, matched bulk counters, failure-ledger
+increments — flow through two hazards instead:
+
+* a :class:`FaultGate` that models the transport: transient kinds
+  (``reset``, ``429``) cost seeded-backoff retries before the op gets
+  through, ``drop`` loses it outright (the only unrecoverable kind);
+* a :class:`CrashSchedule` wired into the store's crash points, which
+  kills the writer mid-flush/rotate/seal/compact.
+
+:class:`ResilientStoreWriter` pairs them with recovery: after a crash
+it reopens the store (healing torn tails), consults ``ops_durable`` to
+find exactly which applied ops the dead instance never made durable,
+and replays from the first lost one.  Because the store's crash points
+fire before any byte of the cycle is written, the durable set is
+always a prefix of the applied ops — replay is exact, never
+double-counts, and a plan without ``drop`` reproduces the fault-free
+``aggregate_signature()`` byte-identically.
+
+The loss invariant is accounted exactly: ``submitted == delivered +
+failed`` where ``failed`` is precisely the gate's dropped set.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from collections import Counter
+from typing import Callable, Iterable
+
+from repro.faults.plan import Backoff, FaultPlan
+from repro.measure.database import ReportDatabase
+from repro.measure.store import InjectedCrash, ReportStore
+from repro.obs.metrics import BACKOFF_TICK_BUCKETS, MetricsRegistry
+
+#: Transient gate kinds: injected, retried with backoff, recoverable.
+GATE_TRANSIENT_KINDS = ("reset", "429")
+
+
+class CrashSchedule:
+    """Stateful crash trigger for the store's named crash points.
+
+    ``crash-<point>=N`` fires an :class:`InjectedCrash` at every Nth
+    occurrence of that point.  The occurrence immediately after a fire
+    is always skipped, so recovery makes progress even at cadence 1 —
+    the reopened writer's first flush is never re-killed at the same
+    point.
+    """
+
+    def __init__(
+        self, plan: FaultPlan, registry: MetricsRegistry | None = None
+    ) -> None:
+        self.every = dict(plan.crash_every)
+        self.metrics = registry if registry is not None else MetricsRegistry()
+        self.fired: Counter[str] = Counter()
+        self._seen: Counter[str] = Counter()
+        self._skip: set[str] = set()
+
+    def __call__(self, point: str) -> None:
+        every = self.every.get(point)
+        if not every:
+            return
+        if point in self._skip:
+            self._skip.discard(point)
+            return
+        self._seen[point] += 1
+        if self._seen[point] % every == 0:
+            self._skip.add(point)
+            self.fired[point] += 1
+            self.metrics.inc("faults.injected", kind=f"crash-{point}")
+            raise InjectedCrash(point)
+
+
+class FaultGate:
+    """Per-op transport hazard for the fast-mode delivery stream.
+
+    Decisions are keyed on the global op ordinal, which the parent
+    process assigns in fixed plan order — so the injected fault
+    sequence is identical for any worker count.  Each ordinal is
+    evaluated exactly once; crash-recovery replays of already-evaluated
+    ordinals reuse the cached verdict without re-counting metrics.
+    """
+
+    def __init__(self, plan: FaultPlan, registry: MetricsRegistry | None = None) -> None:
+        self.plan = plan
+        self.metrics = registry if registry is not None else MetricsRegistry()
+        self.backoff = Backoff(plan.seed)
+        self.dropped: set[int] = set()
+        self.injected: Counter[str] = Counter()
+        self.retries = 0
+        self.ticks_waited = 0
+        self._evaluated = -1
+        self._h_backoff = self.metrics.histogram(
+            "faults.backoff_ticks", BACKOFF_TICK_BUCKETS
+        )
+
+    def attempt(self, index: int) -> bool:
+        """True when op ``index`` gets through (possibly after retries)."""
+        if index <= self._evaluated:
+            return index not in self.dropped
+        self._evaluated = index
+        if self.plan.fires("drop", "gate", index):
+            self._count("drop")
+            return self._drop(index, "drop")
+        for kind in GATE_TRANSIENT_KINDS:
+            if self.plan.rates.get(kind, 0.0) <= 0.0:
+                continue
+            attempt = 0
+            while self.plan.fires(kind, "gate", index, attempt):
+                self._count(kind)
+                self.retries += 1
+                self.metrics.inc("faults.retries", kind=kind)
+                delay = self.backoff.delay(
+                    attempt,
+                    "gate",
+                    kind,
+                    index,
+                    retry_after=1 if kind == "429" else None,
+                )
+                self.ticks_waited += delay
+                self._h_backoff.observe(delay)
+                attempt += 1
+                if attempt >= self.plan.retries:
+                    return self._drop(index, kind)
+        return True
+
+    def _count(self, kind: str) -> None:
+        self.injected[kind] += 1
+        self.metrics.inc("faults.injected", kind=kind)
+
+    def _drop(self, index: int, kind: str) -> bool:
+        self.dropped.add(index)
+        self.metrics.inc("faults.dropped", kind=kind)
+        return False
+
+
+# -- the op stream -------------------------------------------------------
+
+def database_ops(database: ReportDatabase) -> Iterable[tuple]:
+    """One shard database as an ordered op stream.
+
+    Mirrors ``ReportStore.append_database`` exactly — mismatches, then
+    matched bulk counters, then failure increments — so fault-free
+    delivery reproduces the unfaulted merge byte for byte.
+    """
+    for record in database.records:
+        yield ("m", record)
+    for (country, host_type, hostname), count in database.matched_counts.items():
+        yield ("c", country, host_type, hostname, count)
+    for name, value in vars(database.failures).items():
+        if value:
+            yield ("f", name, value)
+
+
+def apply_op(sink, op: tuple) -> None:
+    """Apply one op to a :class:`ReportStore` or :class:`ReportDatabase`."""
+    kind = op[0]
+    if kind == "m":
+        sink.add_mismatch(op[1])
+    elif kind == "c":
+        sink.add_matched_bulk(op[1], op[2], op[3], op[4])
+    elif hasattr(sink, "add_failure"):
+        sink.add_failure(op[1], op[2])
+    else:
+        setattr(sink.failures, op[1], getattr(sink.failures, op[1]) + op[2])
+
+
+class ResilientStoreWriter:
+    """Crash-surviving, fault-gated delivery into a report store.
+
+    Owns the store instance(s): the plan's crash schedule is installed
+    as the crash hook, and every :class:`InjectedCrash` is answered by
+    reopening the directory (which heals torn tails) and replaying the
+    ops the dead writer had accepted but not flushed.
+    """
+
+    def __init__(
+        self,
+        path: str | pathlib.Path,
+        plan: FaultPlan,
+        registry: MetricsRegistry | None = None,
+        *,
+        batch_rows: int = 4096,
+        segment_bytes: int | None = None,
+        crash_hook: Callable[[str], None] | None = None,
+    ) -> None:
+        self.path = path
+        self.plan = plan
+        self.metrics = registry if registry is not None else MetricsRegistry()
+        self.gate = FaultGate(plan, self.metrics)
+        self.schedule = (
+            crash_hook
+            if crash_hook is not None
+            else CrashSchedule(plan, self.metrics) if plan.has_crashes() else None
+        )
+        self._batch_rows = plan.batch_rows or batch_rows
+        self._segment_bytes = plan.segment_bytes or segment_bytes
+        self.recoveries = 0
+        self.torn_tails = 0
+        self.store = self._open()
+
+    def _open(self) -> ReportStore:
+        kwargs: dict = {"batch_rows": self._batch_rows}
+        if self._segment_bytes is not None:
+            kwargs["segment_bytes"] = self._segment_bytes
+        return ReportStore(
+            self.path,
+            self.metrics,
+            crash_hook=self.schedule,
+            crash_tear=self.plan.tear,
+            **kwargs,
+        )
+
+    def _recover(self) -> None:
+        self.recoveries += 1
+        self.torn_tails += self.store.crash_torn_segments
+        self.metrics.inc("store.recoveries")
+        self.store = self._open()
+
+    def deliver(self, ops) -> dict:
+        """Drive every op to delivered-or-dropped; close the store.
+
+        Returns the exact loss accounting: ``submitted`` ops in,
+        ``delivered`` made durable, ``failed`` dropped by the gate,
+        with ``submitted == delivered + failed`` always.
+        """
+        ops = ops if isinstance(ops, list) else list(ops)
+        i = 0
+        applied: list[int] = []  # global indices applied to self.store
+        while True:
+            try:
+                while i < len(ops):
+                    if not self.gate.attempt(i):
+                        i += 1
+                        continue
+                    apply_op(self.store, ops[i])
+                    applied.append(i)
+                    i += 1
+                self.store.close()
+                break
+            except InjectedCrash:
+                # Durability is a prefix of the applied ops (crash
+                # points fire before the cycle's writes), so the first
+                # lost op is applied[ops_durable]; everything before it
+                # is safely on disk and never replayed.
+                survivors = self.store.ops_durable
+                if survivors < len(applied):
+                    i = applied[survivors]
+                applied.clear()
+                self._recover()
+        submitted = len(ops)
+        failed = len(self.gate.dropped)
+        return {
+            "plan": self.plan.describe(),
+            "submitted": submitted,
+            "delivered": submitted - failed,
+            "failed": failed,
+            "recoveries": self.recoveries,
+            "torn_tails": self.torn_tails,
+            "retries": self.gate.retries,
+            "injected": dict(sorted(self.gate.injected.items())),
+            "crashes": dict(
+                sorted(self.schedule.fired.items())
+                if isinstance(self.schedule, CrashSchedule)
+                else []
+            ),
+        }
+
+    def compact(self) -> dict:
+        """Run store compaction, riding through injected crashes."""
+        while True:
+            try:
+                return self.store.compact()
+            except InjectedCrash:
+                self._recover()
+
+    def close(self) -> None:
+        """Close the store, riding through injected seal/flush crashes."""
+        while True:
+            try:
+                self.store.close()
+                return
+            except InjectedCrash:
+                self._recover()

@@ -89,6 +89,7 @@ class HttpResponse:
         404: "Not Found",
         429: "Too Many Requests",
         500: "Internal Server Error",
+        503: "Service Unavailable",
     }
 
     def encode(self) -> bytes:

@@ -21,10 +21,23 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterator
 
+from repro.faults.plan import Backoff
 from repro.httpmin.codec import HttpError, HttpRequest, HttpResponse
 from repro.netsim.loop import CooperativeLoop
 from repro.netsim.network import ConnectionRefused, ConnectionReset, Host
 from repro.obs.metrics import MetricsRegistry
+
+
+def _retry_after(response: HttpResponse | None) -> int | None:
+    if response is None:
+        return None
+    header = response.headers.get("retry-after")
+    if header is None:
+        return None
+    try:
+        return max(0, int(header))
+    except ValueError:
+        return None
 
 
 @dataclass
@@ -36,6 +49,8 @@ class ReportSubmission:
     body: bytes  # PEM chain payload
     product_key: str | None = None
     retries: int = 0
+    stall_ticks: int = 0  # injected client-side delay before the first byte
+    ticks_waited: int = 0  # backoff ticks spent, counted against the deadline
     status: str = "pending"  # pending | delivered | deferred | failed
     response: HttpResponse | None = field(default=None, repr=False)
 
@@ -70,6 +85,8 @@ class IngestLoop:
         store=None,  # ReportStore | None — owns the flush cadence
         flush_every: int | None = 8,
         registry: MetricsRegistry | None = None,
+        backoff: Backoff | None = None,
+        deadline_ticks: int | None = None,
     ) -> None:
         self.server_hostname = server_hostname
         self.port = port
@@ -77,6 +94,11 @@ class IngestLoop:
         self.max_retries = max_retries
         self.store = store
         self.flush_every = flush_every
+        # Jittered wait between retries, in cooperative ticks; a
+        # submission that would exceed ``deadline_ticks`` of cumulative
+        # waiting fails instead of retrying forever.
+        self.backoff = backoff if backoff is not None else Backoff(0)
+        self.deadline_ticks = deadline_ticks
         self.metrics = registry if registry is not None else MetricsRegistry()
         self.loop = CooperativeLoop(max_active=max_connections)
         self.delivered: list[ReportSubmission] = []
@@ -95,51 +117,92 @@ class IngestLoop:
         self.loop.spawn(lambda: self._task(submission))
 
     def _task(self, submission: ReportSubmission) -> Iterator[None]:
+        stall, submission.stall_ticks = submission.stall_ticks, 0
+        for _ in range(stall):
+            yield  # injected stall: a slow consumer device holding a slot
         payload = submission.request(self.server_hostname).encode()
         try:
             sock = submission.client.connect(self.server_hostname, self.port)
         except ConnectionRefused:
-            self._fail(submission)
+            yield from self._retry_or_fail(submission, "refused")
             return
+        response = None
+        reset = False
         try:
             for offset in range(0, len(payload), self.chunk_size):
                 sock.send(payload[offset : offset + self.chunk_size])
                 yield  # let other connections make progress
             response, _ = HttpResponse.try_decode(sock.recv())
         except (ConnectionReset, HttpError):
-            self._fail(submission)
-            return
+            reset = True
         finally:
             sock.close()
-        if response is None:
-            self._fail(submission)
+        if reset or response is None:
+            yield from self._retry_or_fail(
+                submission, "reset" if reset else "no-response"
+            )
             return
         submission.response = response
         if response.status == 429:
-            self._defer(submission)
+            # The server pushed back; drain the store, then come back
+            # after its Retry-After.
+            self._c_deferred.inc()
+            if self.store is not None:
+                self.store.flush()
+            yield from self._retry_or_fail(
+                submission, "429", retry_after=_retry_after(response) or 1
+            )
         elif response.ok:
             submission.status = "delivered"
             self._c_delivered.inc()
             self.delivered.append(submission)
+        elif response.status >= 500:
+            yield from self._retry_or_fail(
+                submission, "5xx", retry_after=_retry_after(response)
+            )
         else:
-            self._fail(submission)
+            self._fail(submission)  # permanent rejection (4xx)
 
     def _fail(self, submission: ReportSubmission) -> None:
         submission.status = "failed"
         self._c_failed.inc()
         self.failed.append(submission)
 
-    def _defer(self, submission: ReportSubmission) -> None:
-        """The server pushed back; drain the store and try again later."""
-        self._c_deferred.inc()
-        if self.store is not None:
-            self.store.flush()
+    def _retry_or_fail(
+        self,
+        submission: ReportSubmission,
+        reason: str,
+        retry_after: int | None = None,
+    ) -> Iterator[None]:
+        """Back off (still holding the slot), then retry the submission.
+
+        The wait is jittered deterministic ticks floored by the server's
+        ``Retry-After``; the retry budget and the cumulative-wait
+        deadline both bound how long one report can linger.
+        """
         submission.retries += 1
         if submission.retries > self.max_retries:
             self._fail(submission)
             return
+        delay = self.backoff.delay(
+            submission.retries - 1,
+            submission.client.hostname,
+            submission.hostname,
+            retry_after=retry_after,
+        )
+        if (
+            self.deadline_ticks is not None
+            and submission.ticks_waited + delay > self.deadline_ticks
+        ):
+            self.metrics.inc("ingest.deadline_exhausted")
+            self._fail(submission)
+            return
+        submission.ticks_waited += delay
         submission.status = "deferred"
-        self.loop.spawn(lambda: self._task(submission))
+        self.metrics.inc("ingest.retries", reason=reason)
+        for _ in range(delay):
+            yield
+        yield from self._task(submission)
 
     def _on_tick(self, loop: CooperativeLoop) -> None:
         if (
@@ -156,7 +219,9 @@ class IngestLoop:
             self.store.flush()
         return {
             "ticks": ticks,
+            "submitted": self._c_submitted.value,
             "delivered": len(self.delivered),
             "failed": len(self.failed),
             "peak_active": self.loop.peak_active,
+            "task_failures": self.loop.task_failures,
         }

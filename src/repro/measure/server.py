@@ -47,11 +47,16 @@ class ReportingServer:
         public_roots=None,
         registry: MetricsRegistry | None = None,
         store=None,  # ReportStore | None
+        fault_hook=None,  # Callable[[HttpRequest, Host | None], HttpResponse | None]
     ) -> None:
         if database is None and store is None:
             raise ValueError("ReportingServer needs a database, a store, or both")
         self.database = database
         self.store = store
+        # Chaos hook, consulted before the report handler: returning a
+        # response injects it (500/503/429 drills) without the report
+        # ever touching the database or store.
+        self.fault_hook = fault_hook
         self.geoip = geoip
         self.study = study
         self.campaign = campaign
@@ -101,6 +106,10 @@ class ReportingServer:
             self.metrics.inc("reports.rejected", reason="truncated")
 
     def _ingest_report(self, request: HttpRequest, remote: Host | None) -> HttpResponse:
+        if self.fault_hook is not None:
+            injected = self.fault_hook(request, remote)
+            if injected is not None:
+                return injected
         if self.store is not None and self.store.overloaded:
             # Deferred accept: the pending write buffer is full, so the
             # client must come back after the next flush drains it.

@@ -67,6 +67,24 @@ class StoreError(Exception):
     """Raised on a malformed or inconsistent store directory."""
 
 
+class InjectedCrash(RuntimeError):
+    """A crash hook killed the writer at a named crash point.
+
+    Raised *by* a crash hook (see ``ReportStore.crash_hook``) and
+    re-raised by the store after it has simulated process death:
+    pending appends are gone, the active segments are abandoned
+    (optionally with a torn half-row), and the instance refuses further
+    appends.  Recovery is a fresh :class:`ReportStore` on the same
+    directory plus a replay of the operations ``ops_durable`` did not
+    cover — :class:`repro.faults.recovery.ResilientStoreWriter` is that
+    loop.
+    """
+
+    def __init__(self, point: str) -> None:
+        super().__init__(f"injected crash at store point {point!r}")
+        self.point = point
+
+
 _META_SHARD = "_meta"
 _SEGMENT_PREFIX = "seg-"
 _OPEN_SUFFIX = ".open.jsonl"
@@ -409,6 +427,21 @@ class ReportStore:
     ``max_pending`` the store is *overloaded* — the reporting server
     answers 429 until someone flushes, and every deferral is counted
     under ``store.backpressure_events``.
+
+    **Crash points.**  ``crash_hook(point)`` — when given — is invoked
+    at four named points: ``"flush"`` (entry of a non-empty flush,
+    before any byte is written), ``"rotate"`` (a flush that would seal
+    a segment, still before any write), ``"seal"`` (in ``close()``,
+    after the final flush, before the active segments are renamed) and
+    ``"compact"`` (after a compacted segment is in place, before its
+    replaced segments are unlinked).  A hook that raises
+    :class:`InjectedCrash` kills this writer the way SIGKILL would:
+    pending rows are dropped, the active segment keeps at most a torn
+    half-row (``crash_tear``), and the exception propagates.  Because
+    every point fires *before* the cycle's writes, disk state after a
+    crash is exactly the state of the last successful flush —
+    ``ops_durable`` counts the appends that state covers, which is
+    what makes exact replay possible.
     """
 
     def __init__(
@@ -420,6 +453,8 @@ class ReportStore:
         max_pending: int | None = None,
         segment_bytes: int = 8 * 1024 * 1024,
         auto_flush: bool = True,
+        crash_hook: Callable[[str], None] | None = None,
+        crash_tear: bool = True,
     ) -> None:
         if batch_rows < 1:
             raise ValueError("batch_rows must be >= 1")
@@ -430,8 +465,17 @@ class ReportStore:
         self.max_pending = max_pending if max_pending is not None else 4 * batch_rows
         self.segment_bytes = segment_bytes
         self.auto_flush = auto_flush
+        self.crash_hook = crash_hook
+        self.crash_tear = crash_tear
         self._pending = 0
         self._closed = False
+        # Append-operation accounting for crash recovery: ops_appended
+        # counts every add_* call accepted by this instance,
+        # ops_durable the prefix of those covered by a completed flush.
+        self.ops_appended = 0
+        self.ops_durable = 0
+        # How many active segments the last simulated crash left torn.
+        self.crash_torn_segments = 0
         self._c_batches = self.metrics.counter("reports.batches")
         self._c_segments = self.metrics.counter("store.segments_written")
         self._c_bytes = self.metrics.counter("store.bytes_written")
@@ -521,8 +565,52 @@ class ReportStore:
         if self._closed:
             raise StoreError("append on a closed store")
         self._pending += 1
+        self.ops_appended += 1
         if self.auto_flush and self._pending >= self.batch_rows:
             self.flush()
+
+    # -- crash simulation ------------------------------------------------
+
+    def _crash_point(self, point: str) -> None:
+        if self.crash_hook is None:
+            return
+        try:
+            self.crash_hook(point)
+        except InjectedCrash:
+            self._die()
+            raise
+
+    def _die(self) -> None:
+        """Simulate process death mid-cycle.
+
+        Pending (unflushed) rows vanish, every open segment handle is
+        abandoned — with ``crash_tear`` each first gets a half-written
+        row appended, the artefact a real SIGKILL mid-``write`` leaves
+        — and the instance closes.  Durable state on disk is exactly
+        the last successful flush; ``recover()`` on the next instance
+        heals the torn tails and counts them under
+        ``reports.rejected{reason=torn-segment}``.
+        """
+        torn = 0
+        for shard in self.segments._shards.values():
+            handle = shard.handle
+            if handle is not None:
+                if self.crash_tear:
+                    handle.write(b'{"t":"m","r":{"torn')
+                    torn += 1
+                try:
+                    handle.flush()
+                    handle.close()
+                except OSError:
+                    pass
+                shard.handle = None
+                shard.active_name = None
+                shard.active_bytes = 0
+            shard.pending_lines = []
+            shard.pending_matched = Counter()
+        self._pending = 0
+        self.crash_torn_segments = torn
+        self._closed = True
 
     # -- flushing --------------------------------------------------------
 
@@ -531,6 +619,12 @@ class ReportStore:
         if not self._pending:
             return
         with self.metrics.span("ingest.flush"):
+            self._crash_point("flush")
+            # Build every shard's blob before writing any of them, so
+            # the rotate crash point can fire while disk state is still
+            # exactly the previous flush's.
+            blobs: list[tuple[_Shard, bytes]] = []
+            would_seal = False
             for shard in self.segments._shards.values():
                 if not shard.pending_lines and not shard.pending_matched:
                     continue
@@ -543,6 +637,13 @@ class ReportStore:
                         ).encode("utf-8")
                     )
                 blob = b"\n".join(lines) + b"\n"
+                blobs.append((shard, blob))
+                active = shard.active_bytes if shard.handle is not None else 0
+                if active + len(blob) >= self.segment_bytes:
+                    would_seal = True
+            if would_seal:
+                self._crash_point("rotate")
+            for shard, blob in blobs:
                 sealed = self.segments.write_blob(shard, blob, self.segment_bytes)
                 if shard.handle is not None:
                     # Flushed rows must survive a process crash: drain
@@ -557,12 +658,14 @@ class ReportStore:
             self._c_batches.inc()
             self._h_batch.observe(self._pending)
             self._pending = 0
+            self.ops_durable = self.ops_appended
 
     def close(self) -> None:
         """Flush and seal every active segment."""
         if self._closed:
             return
         self.flush()
+        self._crash_point("seal")
         sealed = self.segments.seal_all()
         if sealed:
             self._c_segments.inc(sealed)
@@ -624,6 +727,14 @@ class ReportStore:
                 segments = self.segments._segment_names(shard_path)
                 if not segments:
                     continue
+                if len(segments) == 1:
+                    # A single sealed segment opening with a seal header
+                    # is a finished compaction; rewriting it would make
+                    # re-running compact() after a crash a treadmill
+                    # instead of a converging recovery.
+                    with open(shard_path / segments[0], "rb") as handle:
+                        if handle.read(12).startswith(b'{"t":"seal"'):
+                            continue
                 counters: Counter[tuple[str, str]] = Counter()
                 failures: Counter[str] = Counter()
                 mismatch_lines: list[bytes] = []
@@ -671,6 +782,11 @@ class ReportStore:
                     handle.flush()
                     os.fsync(handle.fileno())
                 os.replace(tmp, final)
+                # Crash window the seal header exists for: the
+                # compacted segment is live but the segments it
+                # replaces are still on disk.  Readers skip them; a
+                # re-run of compact() after reopen finishes the job.
+                self._crash_point("compact")
                 for segment in segments:
                     os.unlink(shard_path / segment)
                 self._c_segments.inc()

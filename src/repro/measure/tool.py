@@ -16,7 +16,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.data.sites import ProbeSite
+from repro.faults.plan import Backoff
 from repro.httpmin.client import HttpClient
+from repro.httpmin.codec import HttpError
 from repro.netsim.network import ConnectionRefused, ConnectionReset, Host
 from repro.obs.metrics import MetricsRegistry
 from repro.policy.model import PolicyError
@@ -35,6 +37,9 @@ class SessionOutcome:
     connect_failed: int = 0
     probe_failed: int = 0
     report_failed: int = 0
+    report_retries: int = 0
+    backoff_ticks: int = 0
+    deadline_exhausted: int = 0
     errors: list[str] = field(default_factory=list)
 
 
@@ -49,14 +54,22 @@ class MeasurementTool:
         sim_product_header: bool = True,
         registry: MetricsRegistry | None = None,
         report_retry_limit: int = 4,
+        backoff: Backoff | None = None,
+        session_deadline_ticks: int = 256,
     ) -> None:
         self.reporting_host = reporting_host
         self.report_port = report_port
         self.policy_ports = policy_ports
         self.sim_product_header = sim_product_header
-        # How many 429 (ingest back-pressure) answers a client retries
-        # through before giving the report up as failed.
+        # How many retryable failures (429 back-pressure, transient
+        # transport or 5xx) a client rides through before giving the
+        # report up as failed.
         self.report_retry_limit = report_retry_limit
+        # Deterministic jittered backoff between attempts, accounted in
+        # cooperative ticks (nothing sleeps); a session that spends its
+        # deadline budget waiting gives up instead of retrying forever.
+        self.backoff = backoff if backoff is not None else Backoff(0)
+        self.session_deadline_ticks = session_deadline_ticks
         # Shared with the per-session ProbeClients, so probe attempts
         # and failure stages aggregate across the whole run.
         self.metrics = registry if registry is not None else MetricsRegistry()
@@ -70,11 +83,16 @@ class MeasurementTool:
         """Fetch the tool, then probe and report every site."""
         outcome = SessionOutcome()
         http = HttpClient(client)
-        try:
-            http.get(self.reporting_host, "/ad", port=self.report_port)
-        except (ConnectionRefused, ConnectionReset) as exc:
-            outcome.errors.append(f"ad fetch: {exc}")
-            return outcome
+        attempt = 0
+        while True:
+            try:
+                http.get(self.reporting_host, "/ad", port=self.report_port)
+                break
+            except (ConnectionRefused, ConnectionReset, HttpError) as exc:
+                if not self._backoff_tick(attempt, "ad", client.hostname, None, outcome):
+                    outcome.errors.append(f"ad fetch: {exc}")
+                    return outcome
+                attempt += 1
         for site in sites:
             self._probe_and_report(client, http, site, product_key, outcome)
         return outcome
@@ -105,8 +123,55 @@ class MeasurementTool:
         }
         if self.sim_product_header and product_key:
             headers["X-Sim-Product"] = product_key
-        try:
-            for _attempt in range(1 + self.report_retry_limit):
+        self._submit_report(http, site.hostname, body, headers, outcome)
+
+    def _backoff_tick(
+        self,
+        attempt: int,
+        leg: str,
+        site: str,
+        retry_after: int | None,
+        outcome: SessionOutcome,
+    ) -> bool:
+        """Account one backoff wait; False when the budget says give up.
+
+        "Waiting" is pure tick accounting against the session deadline —
+        netsim time is synchronous, so the delay costs nothing but
+        budget, and the jittered schedule is a pure function of the
+        backoff seed and the (leg, site, attempt) coordinates.
+        """
+        if attempt >= self.report_retry_limit:
+            return False
+        delay = self.backoff.delay(attempt, leg, site, retry_after=retry_after)
+        if outcome.backoff_ticks + delay > self.session_deadline_ticks:
+            outcome.deadline_exhausted += 1
+            self.metrics.inc("tool.deadline_exhausted")
+            return False
+        outcome.backoff_ticks += delay
+        outcome.report_retries += 1
+        self.metrics.inc("tool.report_retries", leg=leg)
+        return True
+
+    def _submit_report(
+        self,
+        http: HttpClient,
+        site_hostname: str,
+        body: bytes,
+        headers: dict[str, str],
+        outcome: SessionOutcome,
+    ) -> None:
+        """POST one report, retrying transient failures with backoff.
+
+        Retryable: connection refused/reset, incomplete responses, 429
+        back-pressure and 5xx — honouring the server's ``Retry-After``
+        as a floor on the backoff delay.  Any other 4xx is a permanent
+        rejection.  Every terminal path counts exactly once against
+        ``reports_delivered`` or ``report_failed``.
+        """
+        attempt = 0
+        while True:
+            retry_after = None
+            try:
                 response = http.request(
                     "POST",
                     self.reporting_host,
@@ -115,19 +180,34 @@ class MeasurementTool:
                     body=body,
                     headers=headers,
                 )
-                if response.status != 429:
-                    break
-        except (ConnectionRefused, ConnectionReset) as exc:
-            outcome.report_failed += 1
-            outcome.errors.append(f"report: {exc}")
-            return
-        if response.ok:
-            outcome.reports_delivered += 1
-        else:
-            outcome.report_failed += 1
-            outcome.errors.append(
-                f"report rejected ({response.status}): {response.body[:80]!r}"
-            )
+            except (ConnectionRefused, ConnectionReset, HttpError) as exc:
+                error = f"report: {exc}"
+            else:
+                if response.ok:
+                    outcome.reports_delivered += 1
+                    return
+                if response.status != 429 and response.status < 500:
+                    outcome.report_failed += 1
+                    outcome.errors.append(
+                        f"report rejected ({response.status}): {response.body[:80]!r}"
+                    )
+                    return
+                header = response.headers.get("retry-after")
+                if header is not None:
+                    try:
+                        retry_after = max(0, int(header))
+                    except ValueError:
+                        retry_after = None
+                error = (
+                    f"report rejected ({response.status}): {response.body[:80]!r}"
+                )
+            if not self._backoff_tick(
+                attempt, "report", site_hostname, retry_after, outcome
+            ):
+                outcome.report_failed += 1
+                outcome.errors.append(error)
+                return
+            attempt += 1
 
     def _policy_permits(self, client: Host, hostname: str, outcome: SessionOutcome) -> bool:
         """The Flash runtime's mandatory socket-policy check."""

@@ -28,14 +28,20 @@ class CooperativeLoop:
     is what bounds per-tick memory (and models a listen backlog).
     """
 
-    def __init__(self, max_active: int = 32) -> None:
+    def __init__(
+        self,
+        max_active: int = 32,
+        on_task_error: Callable[[Iterator, BaseException], None] | None = None,
+    ) -> None:
         if max_active < 1:
             raise ValueError("max_active must be >= 1")
         self.max_active = max_active
+        self.on_task_error = on_task_error
         self._pending: deque[Callable[[], Iterator]] = deque()
         self._active: deque[Iterator] = deque()
         self.ticks = 0
         self.completed = 0
+        self.task_failures = 0
         self.peak_active = 0
 
     def spawn(self, factory: Callable[[], Iterator]) -> None:
@@ -62,6 +68,19 @@ class CooperativeLoop:
                 next(task)
             except StopIteration:
                 self.completed += 1
+                continue
+            except Exception as exc:
+                # One faulty task must not kill the whole loop: count
+                # it, run its cleanup, keep every other task ticking.
+                self.task_failures += 1
+                close = getattr(task, "close", None)
+                if close is not None:
+                    try:
+                        close()
+                    except Exception:
+                        pass
+                if self.on_task_error is not None:
+                    self.on_task_error(task, exc)
                 continue
             self._active.append(task)
         self._admit()

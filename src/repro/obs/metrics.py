@@ -45,6 +45,10 @@ SHARD_SESSION_BUCKETS = (100, 1_000, 5_000, 10_000, 25_000, 50_000, 100_000)
 # (store.batch_rows): how well ingest is amortising its writes.
 INGEST_BATCH_BUCKETS = (1, 16, 64, 256, 1_024, 4_096, 16_384)
 
+# Bucket bounds for fault-injection backoff delays (cooperative ticks):
+# the retry schedule is exponential with cap 64, so powers of two.
+BACKOFF_TICK_BUCKETS = (1, 2, 4, 8, 16, 32, 64, 128)
+
 
 def metric_key(name: str, labels: dict[str, object]) -> str:
     """Stable string key for ``name`` + ``labels``.

@@ -45,6 +45,9 @@ import numpy as np
 
 from repro.adwords.campaign import AdCampaign, CampaignOutcome, run_study2_campaigns
 from repro.crypto.keystore import KeyStore
+from repro.faults.plan import Backoff, FaultPlan
+from repro.faults.recovery import FaultGate, ResilientStoreWriter, apply_op, database_ops
+from repro.faults.wire import FaultRelay, server_fault_hook
 from repro.data import countries as country_data
 from repro.data import products as product_data
 from repro.data import sites as site_data
@@ -54,7 +57,7 @@ from repro.measure.records import CertSummary, MeasurementRecord
 from repro.measure.server import CombinedPolicyHttpServer, ReportingServer
 from repro.measure.store import ReportStore
 from repro.measure.tool import MeasurementTool
-from repro.netsim.network import Network
+from repro.netsim.network import Network, PathHop
 from repro.obs.metrics import SHARD_SESSION_BUCKETS, MetricsRegistry
 from repro.policy.model import PolicyFile
 from repro.policy.server import PolicyServer
@@ -96,6 +99,10 @@ class StudyConfig:
     # JSONL (repro.measure.store) instead of merging them into the
     # in-memory database; analysis then reads the segments.
     report_store: str | None = None
+    # A repro.faults plan string ("reset=0.05,429=0.02,crash-flush=3,
+    # ..."); None runs fault-free.  A plain string keeps the config
+    # picklable; the plan's seed defaults to the study seed.
+    faults: str | None = None
 
     def __post_init__(self) -> None:
         if self.study not in (1, 2):
@@ -112,6 +119,17 @@ class StudyConfig:
             raise ValueError("subshard_sessions must be >= 1")
         if self.report_store is not None and self.mode != "fast":
             raise ValueError("report_store applies to fast mode only")
+        if self.faults is not None:
+            plan = FaultPlan.parse(self.faults, seed=self.seed)  # syntax check
+            if plan.has_crashes() and self.report_store is None:
+                raise ValueError(
+                    "crash-<point> faults need --report-store (fast mode)"
+                )
+
+    def fault_plan(self) -> FaultPlan | None:
+        if self.faults is None:
+            return None
+        return FaultPlan.parse(self.faults, seed=self.seed)
 
 
 @dataclass
@@ -275,7 +293,27 @@ class StudyRunner:
         with self.obs.span("study.wire_setup"):
             server = self._build_wire_network(network, result)
         rng = random.Random(stable_hash(config.seed, "wire-sessions"))
-        tool = MeasurementTool(registry=self.obs)
+        plan = config.fault_plan()
+        self._fault_hop = None
+        if plan is not None:
+            tool = MeasurementTool(
+                registry=self.obs,
+                backoff=Backoff(plan.seed),
+                report_retry_limit=plan.retries,
+                session_deadline_ticks=plan.deadline,
+            )
+            if plan.has_wire_faults():
+                # One shared on-path hop: every client's route to the
+                # reporting server crosses the fault relay.
+                relay = FaultRelay(
+                    plan, self.obs, hostname=site_data.AUTHORS_SITE, port=80
+                )
+                self._fault_hop = PathHop("chaos-relay")
+                self._fault_hop.add_interceptor(relay)
+            if plan.has_server_faults():
+                server.fault_hook = server_fault_hook(plan, self.obs)
+        else:
+            tool = MeasurementTool(registry=self.obs)
         client_hosts: dict[tuple[str, int], object] = {}
 
         n_sessions = self.total_sessions()
@@ -342,6 +380,8 @@ class StudyRunner:
             return host
         hostname = f"client-{profile.country}-{profile.client_index}.example"
         host = network.add_host(hostname, ip=profile.ip)
+        if getattr(self, "_fault_hop", None) is not None:
+            host.access_path.append(self._fault_hop)
         if profile.product_key is not None:
             spec = self._catalog[profile.product_key]
             engine = TlsProxyEngine(
@@ -395,9 +435,19 @@ class StudyRunner:
             outcomes = [
                 self._run_fast_shard(population, shard) for shard in subshards
             ]
+        plan = config.fault_plan()
         store = None
+        writer = None
         if config.report_store is not None:
-            store = ReportStore(config.report_store, registry=self.obs)
+            if plan is not None:
+                # Delivery rides through the fault gate and any store
+                # crash points, with crash-then-reopen supervision.
+                writer = ResilientStoreWriter(
+                    config.report_store, plan, registry=self.obs
+                )
+                store = writer.store
+            else:
+                store = ReportStore(config.report_store, registry=self.obs)
             if store.segments.segment_paths():
                 raise ValueError(
                     f"report store {config.report_store!r} already has segments"
@@ -405,16 +455,45 @@ class StudyRunner:
         # Fold the shard snapshots back in fixed (plan, sub) order —
         # the same discipline ReportDatabase.merge follows — so the
         # deterministic section is byte-identical for any worker count.
+        # Fault decisions key on the global op ordinal assigned here,
+        # which inherits that worker-count invariance.
         with self.obs.span("study.merge"):
-            for outcome in outcomes:
-                if store is not None:
-                    store.append_database(outcome.database)
-                else:
-                    result.database.merge(outcome.database)
-                result.sessions_run += outcome.sessions_run
-                self.obs.merge_snapshot(outcome.metrics)
+            if writer is not None:
+                ops: list[tuple] = []
+                for outcome in outcomes:
+                    ops.extend(database_ops(outcome.database))
+                    result.sessions_run += outcome.sessions_run
+                    self.obs.merge_snapshot(outcome.metrics)
+                result.notes["faults"] = writer.deliver(ops)
+            elif plan is not None:
+                gate = FaultGate(plan, self.obs)
+                index = 0
+                for outcome in outcomes:
+                    for op in database_ops(outcome.database):
+                        if gate.attempt(index):
+                            apply_op(result.database, op)
+                        index += 1
+                    result.sessions_run += outcome.sessions_run
+                    self.obs.merge_snapshot(outcome.metrics)
+                result.notes["faults"] = {
+                    "plan": plan.describe(),
+                    "submitted": index,
+                    "delivered": index - len(gate.dropped),
+                    "failed": len(gate.dropped),
+                    "retries": gate.retries,
+                    "injected": dict(sorted(gate.injected.items())),
+                }
+            else:
+                for outcome in outcomes:
+                    if store is not None:
+                        store.append_database(outcome.database)
+                    else:
+                        result.database.merge(outcome.database)
+                    result.sessions_run += outcome.sessions_run
+                    self.obs.merge_snapshot(outcome.metrics)
         if store is not None:
-            store.close()
+            if writer is None:
+                store.close()  # writer.deliver() closes its own store
             result.notes["report_store"] = config.report_store
         result.notes["fast_workers"] = config.workers
         result.notes["fast_shards"] = len({shard.code for shard in subshards})
