@@ -41,6 +41,7 @@ from repro.audit.scenarios import (
     scenario_by_key,
 )
 from repro.audit.scorecard import (
+    ALPN_MISMATCH_KEY,
     AuditReport,
     CheckResult,
     ClientLegObservation,
@@ -48,6 +49,7 @@ from repro.audit.scorecard import (
     MimicryEntry,
     MimicryProbe,
     MimicrySurvey,
+    ModernLegObservation,
     OUTCOME_BLOCK,
     OUTCOME_DIVERGENT,
     OUTCOME_DOWNGRADED,
@@ -58,8 +60,10 @@ from repro.audit.scorecard import (
     OUTCOME_PASS,
     OUTCOME_WEAK,
     ProductScorecard,
+    RESUMPTION_KEY,
     ScenarioObservation,
     ServerLegObservation,
+    TLS13_DOWNGRADE_KEY,
     build_client_checks,
     build_scorecard,
     build_server_checks,
@@ -68,6 +72,7 @@ from repro.audit.scorecard import (
 
 __all__ = [
     "ADVERSARIAL_SCENARIOS",
+    "ALPN_MISMATCH_KEY",
     "AUDIT_HOSTNAME",
     "AuditHarness",
     "AuditPki",
@@ -79,6 +84,7 @@ __all__ = [
     "MimicryEntry",
     "MimicryProbe",
     "MimicrySurvey",
+    "ModernLegObservation",
     "OUTCOME_BLOCK",
     "OUTCOME_DIVERGENT",
     "OUTCOME_DOWNGRADED",
@@ -90,9 +96,11 @@ __all__ = [
     "OUTCOME_WEAK",
     "OriginSetup",
     "ProductScorecard",
+    "RESUMPTION_KEY",
     "SCENARIOS",
     "ScenarioObservation",
     "ServerLegObservation",
+    "TLS13_DOWNGRADE_KEY",
     "audit_catalog",
     "build_client_checks",
     "build_scorecard",

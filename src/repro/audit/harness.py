@@ -34,6 +34,7 @@ from repro.audit.scorecard import (
     MimicryEntry,
     MimicryProbe,
     MimicrySurvey,
+    ModernLegObservation,
     OUTCOME_BLOCK,
     OUTCOME_ERROR,
     OUTCOME_INTERCEPT,
@@ -154,8 +155,17 @@ class AuditHarness:
         )
         with self.obs.span("audit.mimicry"):
             result = probe.probe(AUDIT_HOSTNAME, 443)
+            # Capture the upstream hello *before* any resume probe can
+            # overwrite it, then collect the TLS 1.3-era facets (which
+            # may run a second probe on the same rig).  2014 browsers
+            # skip this entirely — their batteries stay byte-identical.
+            upstream_hello = engine.last_upstream_hello
+            modern = (
+                self._observe_modern_leg(profile, victim, result.server_hello)
+                if self.browser.offers_tls13
+                else None
+            )
         expected = self.browser.fingerprint()
-        upstream_hello = engine.last_upstream_hello
         if not result.ok or upstream_hello is None:
             error = result.error or "no upstream hello observed"
             return MimicryProbe(
@@ -170,7 +180,9 @@ class AuditHarness:
                     echoed_version=None,
                     error=error,
                 ),
-                server_leg=self._observe_server_leg(result.server_hello, error),
+                server_leg=self._observe_server_leg(
+                    result.server_hello, error, modern=modern
+                ),
             )
         observed = fingerprint_client_hello(upstream_hello)
         leaf = result.leaf
@@ -188,7 +200,9 @@ class AuditHarness:
                     echoed_version=None,
                     error=error,
                 ),
-                server_leg=self._observe_server_leg(result.server_hello, error),
+                server_leg=self._observe_server_leg(
+                    result.server_hello, error, modern=modern
+                ),
             )
         try:
             substitute_hash = hash_by_signature_oid(leaf.signature_oid).name
@@ -205,10 +219,70 @@ class AuditHarness:
                 offered_version=self.browser.version,
                 echoed_version=result.server_hello.version,
             ),
-            server_leg=self._observe_server_leg(result.server_hello),
+            server_leg=self._observe_server_leg(result.server_hello, modern=modern),
         )
 
-    def _observe_server_leg(self, served, error: str = "") -> ServerLegObservation:
+    def _observe_modern_leg(
+        self, profile: ProxyProfile, victim: Host, served
+    ) -> ModernLegObservation:
+        """Collect the TLS 1.3-era facets of ``served`` on one rig.
+
+        ``served`` is the substitute ServerHello the first probe
+        captured (or None).  When it carried a session id, a *second*
+        probe on the same rig presents that id back — the
+        resumption-honouring check needs the product's answer to its
+        own ticket, which no single handshake can reveal.  The resume
+        probe draws from its own deterministic rng stream, so the
+        first probe's bytes (and every 2014-era battery) are
+        untouched.
+        """
+        browser = self.browser
+        offered_max = browser.client_hello(
+            bytes(32), AUDIT_HOSTNAME
+        ).max_offered_version
+        if served is None:
+            return ModernLegObservation(
+                expected_alpn=browser.expected_alpn,
+                served_alpn=None,
+                offered_max_version=offered_max,
+                negotiated_version=None,
+                downgrade_sentinel=False,
+                session_id_issued=False,
+                resumption_honoured=None,
+                resumption_error="no ServerHello captured",
+            )
+        first_sid = served.session_id
+        honoured: bool | None = False
+        resume_error = ""
+        if first_sid:
+            resume = ProbeClient(
+                victim,
+                rng=self._probe_rng(profile, "mimicry-resume"),
+                browser=browser,
+            )
+            with self.obs.span("audit.resume"):
+                second = resume.probe(AUDIT_HOSTNAME, 443, session_id=first_sid)
+            if second.server_hello is None:
+                honoured = None
+                resume_error = (
+                    second.error or "resume probe captured no ServerHello"
+                )
+            else:
+                honoured = second.server_hello.session_id == first_sid
+        return ModernLegObservation(
+            expected_alpn=browser.expected_alpn,
+            served_alpn=served.alpn_protocol,
+            offered_max_version=offered_max,
+            negotiated_version=served.selected_version,
+            downgrade_sentinel=codec.has_downgrade_sentinel(served.server_random),
+            session_id_issued=bool(first_sid),
+            resumption_honoured=honoured,
+            resumption_error=resume_error,
+        )
+
+    def _observe_server_leg(
+        self, served, error: str = "", modern: ModernLegObservation | None = None
+    ) -> ServerLegObservation:
         """Grade-ready view of the substitute ServerHello ``served``.
 
         ``served`` is the wire-parsed hello the probe received — the
@@ -239,6 +313,7 @@ class AuditHarness:
                 compression_method=None,
                 session_id_length=None,
                 error=error or "substitute flight missing ServerHello",
+                modern=modern,
             )
         observed = fingerprint_server_hello(served)
         try:
@@ -262,6 +337,7 @@ class AuditHarness:
             compression_method=served.compression_method,
             session_id_length=len(served.session_id),
             error="",
+            modern=modern,
         )
 
     def survey_product(self, spec) -> MimicryEntry:

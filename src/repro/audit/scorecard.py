@@ -22,7 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.audit.scenarios import ADVERSARIAL_SCENARIOS, SCENARIOS, scenario_by_key
-from repro.tls.codec import WEAK_CIPHER_SUITES, version_name
+from repro.tls.codec import TLS_1_3, WEAK_CIPHER_SUITES, version_name
 
 OUTCOME_BLOCK = "BLOCK"
 OUTCOME_MASK = "MASK"
@@ -56,6 +56,12 @@ SERVER_EXTENSIONS_KEY = "server-extensions"
 VERSION_ECHO_KEY = "version-echo"
 SERVER_COMPRESSION_KEY = "server-compression"
 SERVER_SESSION_KEY = "server-session"
+
+# Modern (TLS 1.3 era) server-leg check keys, graded only when the
+# probing browser offers TLS 1.3.
+ALPN_MISMATCH_KEY = "alpn-mismatch"
+RESUMPTION_KEY = "resumption-honouring"
+TLS13_DOWNGRADE_KEY = "tls13-downgrade"
 
 # Letter-grade floors over the score fraction, best first.
 GRADE_FLOORS: tuple[tuple[float, str], ...] = (
@@ -208,6 +214,27 @@ def build_client_checks(
 
 
 @dataclass(frozen=True)
+class ModernLegObservation:
+    """The TLS 1.3-era facets of one substitute ServerHello.
+
+    Collected only when the probing browser offers TLS 1.3: the ALPN
+    answer vs the browser's expectation, the version actually
+    negotiated (supported_versions-aware) with the RFC 8446 downgrade
+    sentinel, and whether a session id the product handed out on the
+    first probe was honoured when presented back on a second.
+    """
+
+    expected_alpn: str | None  # what the browser expects an origin to pick
+    served_alpn: str | None  # what the substitute leg answered
+    offered_max_version: tuple[int, int]  # the hello's true ceiling
+    negotiated_version: tuple[int, int] | None  # supported_versions-aware
+    downgrade_sentinel: bool  # DOWNGRD mark in the server random
+    session_id_issued: bool  # first probe handed out a session id
+    resumption_honoured: bool | None  # second probe echoed it; None = no probe
+    resumption_error: str = ""  # non-empty when the resume probe failed
+
+
+@dataclass(frozen=True)
 class ServerLegObservation:
     """What the harness saw in one product's substitute *ServerHello*.
 
@@ -233,6 +260,9 @@ class ServerLegObservation:
     compression_method: int | None  # served compression byte
     session_id_length: int | None  # length of the served session id
     error: str = ""  # non-empty when the probe could not complete
+    # TLS 1.3-era facets; None when the probing browser is 2014-era,
+    # which keeps those scorecards (and their JSON) byte-identical.
+    modern: ModernLegObservation | None = None
 
 
 def build_server_checks(
@@ -257,15 +287,22 @@ def build_server_checks(
     """
     if observation.error:
         evidence = f"server-leg probe failed: {observation.error}"
+        rows = [
+            (SERVER_CIPHER_KEY, "Substitute cipher choice", "cipher-divergence"),
+            (SERVER_EXTENSIONS_KEY, "Server extension set", "extension-divergence"),
+            (VERSION_ECHO_KEY, "Version echo", "protocol-downgrade"),
+            (SERVER_COMPRESSION_KEY, "Server compression", "server-compression"),
+            (SERVER_SESSION_KEY, "Session-id policy", "no-resumption"),
+        ]
+        if observation.modern is not None:
+            rows += [
+                (ALPN_MISMATCH_KEY, "ALPN answer", "alpn-mismatch"),
+                (RESUMPTION_KEY, "Resumption honouring", "broken-resumption"),
+                (TLS13_DOWNGRADE_KEY, "TLS 1.3 negotiation", "tls13-downgrade"),
+            ]
         return tuple(
             CheckResult(key, title, defect, OUTCOME_ERROR, 0.0, 1.0, evidence)
-            for key, title, defect in (
-                (SERVER_CIPHER_KEY, "Substitute cipher choice", "cipher-divergence"),
-                (SERVER_EXTENSIONS_KEY, "Server extension set", "extension-divergence"),
-                (VERSION_ECHO_KEY, "Version echo", "protocol-downgrade"),
-                (SERVER_COMPRESSION_KEY, "Server compression", "server-compression"),
-                (SERVER_SESSION_KEY, "Session-id policy", "no-resumption"),
-            )
+            for key, title, defect in rows
         )
     # An error-free observation always carries the served hello's
     # fields (the harness grades a captured hello or takes the error
@@ -450,6 +487,151 @@ def build_server_checks(
                 "(empty session id)",
             )
         )
+    if observation.modern is not None:
+        checks.extend(_build_modern_checks(observation.modern))
+    return tuple(checks)
+
+
+def _build_modern_checks(
+    modern: ModernLegObservation,
+) -> tuple[CheckResult, ...]:
+    """Grade the TLS 1.3-era facets of a substitute ServerHello.
+
+    * ``alpn-mismatch`` — the served ALPN answer vs what the browser
+      expects a genuine origin to pick; stripping the extension or
+      answering an unexpected protocol fails.
+    * ``resumption-honouring`` — the probe presents back the session
+      id the product issued one connection earlier; full marks only
+      when that id is echoed.  Never issuing one, or refusing an id
+      the product itself handed out, fails.
+    * ``tls13-downgrade`` — the negotiated (supported_versions-aware)
+      protocol vs the hello's true ceiling.  Downgrading a 1.3 offer
+      to 1.2 earns half *only* when the RFC 8446 sentinel in the
+      server random discloses it; a silent downgrade fails outright.
+    """
+    checks = []
+    if modern.served_alpn == modern.expected_alpn:
+        checks.append(
+            CheckResult(
+                ALPN_MISMATCH_KEY,
+                "ALPN answer",
+                "alpn-mismatch",
+                OUTCOME_OK,
+                1.0,
+                1.0,
+                f"substitute leg answers ALPN {modern.served_alpn!r}, "
+                "exactly what a genuine origin picks for this offer",
+            )
+        )
+    else:
+        checks.append(
+            CheckResult(
+                ALPN_MISMATCH_KEY,
+                "ALPN answer",
+                "alpn-mismatch",
+                OUTCOME_DIVERGENT,
+                0.0,
+                1.0,
+                f"substitute leg answers ALPN {modern.served_alpn!r} where "
+                f"a genuine origin picks {modern.expected_alpn!r}",
+            )
+        )
+    if modern.resumption_honoured:
+        checks.append(
+            CheckResult(
+                RESUMPTION_KEY,
+                "Resumption honouring",
+                "broken-resumption",
+                OUTCOME_OK,
+                1.0,
+                1.0,
+                "substitute leg echoes the session id it issued one "
+                "connection earlier — resumption is honoured",
+            )
+        )
+    elif modern.resumption_honoured is None:
+        checks.append(
+            CheckResult(
+                RESUMPTION_KEY,
+                "Resumption honouring",
+                "broken-resumption",
+                OUTCOME_ERROR,
+                0.0,
+                1.0,
+                "resume probe failed: "
+                f"{modern.resumption_error or 'no second probe completed'}",
+            )
+        )
+    elif not modern.session_id_issued:
+        checks.append(
+            CheckResult(
+                RESUMPTION_KEY,
+                "Resumption honouring",
+                "broken-resumption",
+                OUTCOME_WEAK,
+                0.0,
+                1.0,
+                "substitute leg never issues resumable sessions — every "
+                "connection pays a full handshake",
+            )
+        )
+    else:
+        checks.append(
+            CheckResult(
+                RESUMPTION_KEY,
+                "Resumption honouring",
+                "broken-resumption",
+                OUTCOME_DIVERGENT,
+                0.0,
+                1.0,
+                "substitute leg hands out session ids it then refuses to "
+                "honour — a stack quirk no genuine origin exhibits",
+            )
+        )
+    negotiated = modern.negotiated_version
+    if negotiated is not None and negotiated >= TLS_1_3:
+        checks.append(
+            CheckResult(
+                TLS13_DOWNGRADE_KEY,
+                "TLS 1.3 negotiation",
+                "tls13-downgrade",
+                OUTCOME_OK,
+                1.0,
+                1.0,
+                f"substitute leg negotiates {version_name(negotiated)} "
+                "for a 1.3-offering client",
+            )
+        )
+    elif modern.downgrade_sentinel:
+        checks.append(
+            CheckResult(
+                TLS13_DOWNGRADE_KEY,
+                "TLS 1.3 negotiation",
+                "tls13-downgrade",
+                OUTCOME_DOWNGRADED,
+                0.5,
+                1.0,
+                f"client offered {version_name(modern.offered_max_version)} "
+                "but the substitute leg negotiated "
+                f"{version_name(negotiated) if negotiated else 'nothing'} — "
+                "disclosed via the RFC 8446 downgrade sentinel",
+            )
+        )
+    else:
+        checks.append(
+            CheckResult(
+                TLS13_DOWNGRADE_KEY,
+                "TLS 1.3 negotiation",
+                "tls13-downgrade",
+                OUTCOME_DOWNGRADED,
+                0.0,
+                1.0,
+                f"client offered {version_name(modern.offered_max_version)} "
+                "but the substitute leg silently negotiated "
+                f"{version_name(negotiated) if negotiated else 'nothing'} "
+                "with no downgrade sentinel",
+            )
+        )
     return tuple(checks)
 
 
@@ -596,6 +778,22 @@ class ProductScorecard:
                 "error": server.error if server else "",
                 "checks": [_check_dict(check) for check in self.server_checks],
             }
+            if server is not None and server.modern is not None:
+                modern = server.modern
+                data["server_leg"]["modern"] = {
+                    "expected_alpn": modern.expected_alpn,
+                    "served_alpn": modern.served_alpn,
+                    "offered_max_version": list(modern.offered_max_version),
+                    "negotiated_version": (
+                        list(modern.negotiated_version)
+                        if modern.negotiated_version
+                        else None
+                    ),
+                    "downgrade_sentinel": modern.downgrade_sentinel,
+                    "session_id_issued": modern.session_id_issued,
+                    "resumption_honoured": modern.resumption_honoured,
+                    "resumption_error": modern.resumption_error,
+                }
         return data
 
 
@@ -724,8 +922,11 @@ class MimicryEntry:
         The JA3S dimensions the substitute ServerHello diverges on,
         plus ``compression`` for a nonzero compression byte; a probe
         the product broke outright reports ``error`` (the client
-        certainly noticed *something*).  Session-id policy is excluded:
-        a resumption-less origin is unusual but not impossible.
+        certainly noticed *something*).  Under a 1.3-offering browser,
+        ``alpn`` marks an ALPN answer no genuine origin gives and
+        ``tls13-downgrade`` a ceiling below the client's offer.
+        Session-id and resumption policy are excluded: a
+        resumption-less origin is unusual but not impossible.
         """
         server = self.server_leg
         if server.error:
@@ -733,6 +934,13 @@ class MimicryEntry:
         reasons = list(server.divergent_fields)
         if server.compression_method:
             reasons.append("compression")
+        modern = server.modern
+        if modern is not None:
+            if modern.served_alpn != modern.expected_alpn:
+                reasons.append("alpn")
+            negotiated = modern.negotiated_version
+            if negotiated is None or negotiated < TLS_1_3:
+                reasons.append("tls13-downgrade")
         return tuple(reasons)
 
     @property

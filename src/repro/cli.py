@@ -186,8 +186,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--browser",
         choices=sorted(BROWSER_PROFILES),
         default=DEFAULT_BROWSER,
-        help="2014-era browser profile the client-leg mimicry probe "
-        f"impersonates (default {DEFAULT_BROWSER})",
+        help="browser profile the client-leg mimicry probe impersonates; "
+        "2020-era profiles (chrome-2020, firefox-2020, safari-2020) offer "
+        "TLS 1.3 and add the ALPN/resumption/downgrade checks "
+        f"(default {DEFAULT_BROWSER})",
     )
     audit.add_argument(
         "--detail",
@@ -227,8 +229,8 @@ def build_parser() -> argparse.ArgumentParser:
         "--browser",
         choices=sorted(BROWSER_PROFILES),
         default=DEFAULT_BROWSER,
-        help="2014-era browser whose expected origin answer the server "
-        f"legs are graded against (default {DEFAULT_BROWSER})",
+        help="browser whose expected origin answer the server legs are "
+        f"graded against (default {DEFAULT_BROWSER})",
     )
     prevalence.add_argument(
         "--workers",
@@ -559,7 +561,8 @@ def _run_ablation() -> int:
     evaluation = evaluate_mitigations(seed=42)
     header = (
         f"{'scenario':<18} {'intercepted':<11} {'pinning':<20} "
-        f"{'pin-strict':<11} {'notary':<15} {'dvcert':<14} {'ct':<10} disclosure"
+        f"{'pin-strict':<11} {'notary':<15} {'dvcert':<14} {'ct':<10} "
+        f"{'mdtls':<26} disclosure"
     )
     print(header)
     print("-" * len(header))
@@ -568,7 +571,7 @@ def _run_ablation() -> int:
             f"{outcome.scenario:<18} {str(outcome.intercepted):<11} "
             f"{outcome.pinning:<20} {outcome.pinning_strict:<11} "
             f"{outcome.notary:<15} {outcome.dvcert:<14} "
-            f"{outcome.ct_monitor:<10} {outcome.disclosure}"
+            f"{outcome.ct_monitor:<10} {outcome.mdtls:<26} {outcome.disclosure}"
         )
     return 0
 

@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.proxy.profile import (
+    AlpnPolicy,
     ForgedUpstreamPolicy,
     ProxyCategory,
     ProxyProfile,
@@ -31,6 +32,7 @@ from repro.tls.codec import (
     EXT_SERVER_NAME,
     EXT_SIGNATURE_ALGORITHMS,
     EXT_SUPPORTED_GROUPS,
+    TLS_1_3,
 )
 from repro.tls.fingerprint import CANONICAL_SERVER_EXTENSION_TYPES
 from repro.x509.model import Name
@@ -188,6 +190,14 @@ def build_catalog() -> list[ProductSpec]:
                 substitute_cipher_suite=None,
                 own_server_extension_types=CANONICAL_SERVER_EXTENSION_TYPES,
                 server_session_id=ServerSessionPolicy.FRESH,
+                # The full modern mimic: negotiates TLS 1.3 like a
+                # genuine origin, selects ALPN the way the origin
+                # would, grants tickets and honours its own session
+                # ids — the catalog's clean pass on the modern checks.
+                max_tls_version=TLS_1_3,
+                alpn=AlpnPolicy.ECHO,
+                issues_session_tickets=True,
+                resumes_sessions=True,
             ),
             study1_weight=4788,
             study2_weight=20000,
@@ -219,10 +229,15 @@ def build_catalog() -> list[ProductSpec]:
                 rejects_deprecated_hashes=True,
                 min_tls_version=(3, 1),
                 upstream_hello=UpstreamHelloPolicy.MIMIC,
-                # Mimics on the server leg as well (see bitdefender).
+                # Mimics on the server leg as well (see bitdefender),
+                # modern posture included.
                 substitute_cipher_suite=None,
                 own_server_extension_types=CANONICAL_SERVER_EXTENSION_TYPES,
                 server_session_id=ServerSessionPolicy.FRESH,
+                max_tls_version=TLS_1_3,
+                alpn=AlpnPolicy.ECHO,
+                issues_session_tickets=True,
+                resumes_sessions=True,
             ),
             study1_weight=927,
             study2_weight=4500,
@@ -284,6 +299,15 @@ def build_catalog() -> list[ProductSpec]:
                     EXT_EC_POINT_FORMATS,
                 ),
                 "server_session_id": ServerSessionPolicy.FRESH,
+                # 1.3-capable on paper, but the inspection path pushes
+                # modern clients back to 1.2 — at least it stamps the
+                # RFC 8446 sentinel (the *visible* downgrade, worth
+                # partial credit), strips ALPN, and never honours the
+                # fresh session ids it mints.
+                "max_tls_version": TLS_1_3,
+                "downgrade_tls13": True,
+                "sets_downgrade_sentinel": True,
+                "alpn": AlpnPolicy.STRIP,
             },
         )
     )

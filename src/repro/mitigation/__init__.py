@@ -17,6 +17,9 @@ compared experimentally (the A1 ablation bench):
 * :mod:`repro.mitigation.disclosure` — the IETF explicit-proxy
   direction: cooperating proxies mark their substitute certificates,
   making interception visible to clients that look.
+* :mod:`repro.mitigation.mdtls` — a middlebox-aware TLS (mdTLS) stub:
+  the protocol-redesign direction where middleboxes are authorized
+  parties and an undelegated interceptor fails closed.
 """
 
 from repro.mitigation.disclosure import (
@@ -26,6 +29,12 @@ from repro.mitigation.disclosure import (
 )
 from repro.mitigation.dvcert import DirectValidationClient, DirectValidationServer
 from repro.mitigation.evaluate import DetectionOutcome, MitigationEvaluation, evaluate_mitigations
+from repro.mitigation.mdtls import (
+    MDTLS_AUTHORIZED,
+    MDTLS_MITM,
+    MDTLS_OK,
+    MdtlsClient,
+)
 from repro.mitigation.notary import NotaryService, NotaryVerdict
 from repro.mitigation.pinning import PinStore, PinVerdict
 
@@ -34,6 +43,10 @@ __all__ = [
     "DetectionOutcome",
     "DirectValidationClient",
     "DirectValidationServer",
+    "MDTLS_AUTHORIZED",
+    "MDTLS_MITM",
+    "MDTLS_OK",
+    "MdtlsClient",
     "MitigationEvaluation",
     "NotaryService",
     "NotaryVerdict",

@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 from repro.crypto.keystore import KeyStore
 from repro.mitigation.disclosure import read_disclosure
 from repro.mitigation.dvcert import DirectValidationClient, DirectValidationServer
+from repro.mitigation.mdtls import MdtlsClient
 from repro.mitigation.notary import NotaryService, NotaryVerdict
 from repro.mitigation.pinning import PinStore, PinVerdict
 from repro.netsim.network import Network
@@ -59,6 +60,9 @@ class DetectionOutcome:
     # "invisible" (interception happened but nothing reached the log),
     # or "clean" (no interception, log consistent).
     ct_monitor: str = "clean"
+    # Middlebox-aware TLS (mdTLS stub): "ok", "authorized-middlebox",
+    # or "unauthorized-mitm-detected".
+    mdtls: str = "ok"
 
 
 @dataclass
@@ -237,6 +241,12 @@ def _run_scenario(scenario: str, seed: int) -> DetectionOutcome:
     # --- disclosure ---------------------------------------------------------------
     disclosed = read_disclosure(observed_leaf)
 
+    # --- mdTLS (middlebox-aware TLS stub) -----------------------------------------
+    # The origin has delegated to exactly one middlebox: the explicit
+    # cooperating proxy.  Everything else that intercepts fails closed.
+    mdtls_client = MdtlsClient(authorized=frozenset({"GoodAV Explicit Proxy v1"}))
+    mdtls = mdtls_client.verdict(intercepted, disclosed)
+
     # --- Certificate Transparency ---------------------------------------------------
     # Publicly trusted CAs are obliged to log what they issue; a rogue
     # *public* CA's mis-issued certificate therefore reaches the log and
@@ -267,4 +277,5 @@ def _run_scenario(scenario: str, seed: int) -> DetectionOutcome:
         dvcert=dvcert,
         disclosure=disclosed,
         ct_monitor=ct_verdict,
+        mdtls=mdtls,
     )

@@ -1,0 +1,58 @@
+"""mdTLS-style middlebox-aware TLS — the §7 "redesign TLS" family.
+
+The mitigation families the paper surveys all bolt detection onto an
+unmodified TLS; the research direction it gestures at instead changes
+the protocol so middleboxes become first-class, *authorized* parties
+(mcTLS and its successors, e.g. mdTLS).  There the client holds a list
+of middleboxes the origin has delegated to, and the handshake itself
+proves whether the party terminating TLS is on that list — an
+unauthorized interceptor cannot produce the delegation, full stop.
+
+This module is a deliberately thin stub of that end state: it does not
+model the delegated-credential handshake, only its *decision surface*,
+so the ablation table can show where a protocol-level fix lands
+relative to the detection-only mechanisms.  The inputs are facts the
+evaluation rig already observes — was the connection intercepted, and
+what identity (if any) did the interceptor disclose; a real mdTLS
+deployment would derive both cryptographically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+# Verdicts, mirroring the other mechanisms' string-valued outcomes.
+MDTLS_OK = "ok"
+MDTLS_AUTHORIZED = "authorized-middlebox"
+MDTLS_MITM = "unauthorized-mitm-detected"
+
+
+@dataclass(frozen=True)
+class MdtlsClient:
+    """A client enforcing middlebox-aware TLS for one origin.
+
+    ``authorized`` holds the middlebox identities the origin has
+    delegated to (the stand-in for mdTLS delegated credentials).
+    """
+
+    authorized: frozenset[str] = frozenset()
+
+    def verdict(self, intercepted: bool, disclosed: str | None) -> str:
+        """Judge one observed connection.
+
+        * not intercepted — the origin terminated TLS: ``ok``;
+        * intercepted by a middlebox whose disclosed identity the
+          origin delegated to: ``authorized-middlebox``;
+        * any other interception — no identity, or one the origin
+          never delegated to: ``unauthorized-mitm-detected``.
+
+        The asymmetry with certificate disclosure is the point: a
+        disclosure-only client learns about *cooperating* proxies and
+        nothing else, while a middlebox-aware handshake fails closed —
+        silence is itself proof of an unauthorized party.
+        """
+        if not intercepted:
+            return MDTLS_OK
+        if disclosed is not None and disclosed in self.authorized:
+            return MDTLS_AUTHORIZED
+        return MDTLS_MITM

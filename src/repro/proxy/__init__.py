@@ -22,6 +22,7 @@ product install time — Figure 2(c) of the paper).
 from repro.proxy.engine import TlsProxyEngine, UpstreamObservation
 from repro.proxy.forger import ForgedCertificate, SubstituteCertForger
 from repro.proxy.profile import (
+    AlpnPolicy,
     ForgedUpstreamPolicy,
     ProxyCategory,
     ProxyProfile,
@@ -30,6 +31,7 @@ from repro.proxy.profile import (
 )
 
 __all__ = [
+    "AlpnPolicy",
     "ForgedCertificate",
     "ForgedUpstreamPolicy",
     "ProxyCategory",

@@ -31,6 +31,7 @@ from repro.proxy.profile import (
     DEFECT_REVOKED,
     DEFECT_WEAK_KEY,
     DEPRECATED_HASHES,
+    AlpnPolicy,
     ForgedUpstreamPolicy,
     ProxyProfile,
     ServerSessionPolicy,
@@ -38,11 +39,14 @@ from repro.proxy.profile import (
 )
 from repro.tls import codec
 from repro.tls.fingerprint import (
+    TLS13_CIPHER_SUITES,
+    build_modern_server_extensions,
     build_own_server_extensions,
     build_own_stack_extensions,
     fingerprint_client_hello,
     fingerprint_server_hello,
     negotiate_origin_cipher,
+    origin_alpn_selection,
 )
 from repro.tls.codec import (
     Alert,
@@ -111,6 +115,11 @@ class TlsProxyEngine(Interceptor):
         # Per-hostname verdicts reused when the profile caches
         # validation instead of re-checking every connection.
         self._validation_cache: dict[str, tuple[ChainDefect, ...]] = {}
+        # Session ids the substitute leg has handed out (FRESH policy).
+        # A profile that ``resumes_sessions`` honours these when a
+        # client presents one back; everyone else mints anew — the
+        # resumption-honouring defect the modern audit grades.
+        self._issued_session_ids: set[bytes] = set()
         # Decision counters live on the registry (deterministic: the
         # decisions an engine takes are a pure function of seed and
         # plan); the historical attribute names remain as live views.
@@ -541,40 +550,105 @@ class _MitmConnection(Protocol):
         except (TlsError, X509Error):
             return None
 
+    def _alpn_answer_body(self, hello: ClientHello) -> bytes | None:
+        """The 1.2-path ALPN body per the profile's policy (None = skip)."""
+        profile = self.engine.profile
+        if profile.alpn is AlpnPolicy.STRIP:
+            return None
+        if profile.alpn is AlpnPolicy.ECHO:
+            selected = origin_alpn_selection(hello)
+            return codec.encode_alpn_body((selected,)) if selected else None
+        # OWN: the canned http/1.1 answer — the historical wire bytes.
+        return codec.encode_alpn_body(("http/1.1",))
+
     def _serve_chain(
         self, sock: StreamSocket, hello: ClientHello, der_chain: list[bytes]
     ) -> None:
         engine = self.engine
         profile = engine.profile
-        version = hello.version
+        offered_max = hello.max_offered_version
+        if codec.TLS_FALLBACK_SCSV in hello.cipher_suites and (
+            offered_max < min(profile.max_tls_version, codec.TLS_1_2)
+        ):
+            # RFC 7507: the client is retrying at a downgraded version
+            # while this leg could do better — refuse the fallback.
+            self._fatal(sock, codec.ALERT_INAPPROPRIATE_FALLBACK)
+            return
+        # Effective version: the client's best offer (supported_versions
+        # aware), capped by the product's ceiling and — pre-1.3 — by the
+        # configured substitute version.  A 1.3-capable product with the
+        # downgrade knob set pushes 1.3 offers back to 1.2, the Waked
+        # et al. appliance defect.
+        negotiated = min(offered_max, profile.max_tls_version)
         if profile.substitute_tls_version is not None:
-            # The substitute leg speaks the product's stack, capped by
-            # what the client offered — a product pinned below the
-            # client's offer serves a visible version downgrade.
-            version = min(version, profile.substitute_tls_version)
+            negotiated = min(negotiated, profile.substitute_tls_version)
+        if negotiated >= codec.TLS_1_3 and profile.downgrade_tls13:
+            negotiated = codec.TLS_1_2
+        tls13 = negotiated >= codec.TLS_1_3
+        # The legacy version field: frozen at 1.2 under a 1.3
+        # negotiation (RFC 8446 §4.1.3), the plain echo-with-caps
+        # otherwise — which reproduces the historical behaviour for
+        # every pre-1.3 client.
+        version = codec.TLS_1_2 if tls13 else min(hello.version, negotiated)
         session_id = b""
-        if profile.server_session_id is ServerSessionPolicy.ECHO:
+        if (
+            profile.resumes_sessions
+            and hello.session_id
+            and hello.session_id in engine._issued_session_ids
+        ):
+            # Honoured resumption: echo the id this leg handed out.
+            session_id = hello.session_id
+        elif profile.server_session_id is ServerSessionPolicy.ECHO:
             session_id = hello.session_id
         elif profile.server_session_id is ServerSessionPolicy.FRESH:
             session_id = engine._rng.getrandbits(256).to_bytes(32, "big")
+            engine._issued_session_ids.add(session_id)
         cipher_suite = profile.substitute_cipher_suite
         if cipher_suite is None:
-            cipher_suite = negotiate_origin_cipher(hello)
+            cipher_suite = negotiate_origin_cipher(hello, tls13=tls13)
+        elif tls13 and cipher_suite not in TLS13_CIPHER_SUITES:
+            # A canned pre-1.3 suite cannot ride a 1.3 negotiation; a
+            # product that actually speaks 1.3 picks from RFC 8446.
+            cipher_suite = negotiate_origin_cipher(hello, tls13=True)
+        server_random = engine._rng.getrandbits(256).to_bytes(32, "big")
+        if (
+            profile.sets_downgrade_sentinel
+            and offered_max >= codec.TLS_1_3
+            and negotiated < codec.TLS_1_3
+        ):
+            server_random = codec.stamp_downgrade_sentinel(server_random, negotiated)
+        if tls13:
+            alpn_protocol = None
+            if profile.alpn is not AlpnPolicy.STRIP and hello.alpn_protocols:
+                alpn_protocol = (
+                    origin_alpn_selection(hello)
+                    if profile.alpn is AlpnPolicy.ECHO
+                    else "http/1.1"
+                )
+            extensions: tuple[tuple[int, bytes], ...] | None = (
+                build_modern_server_extensions(
+                    hello, alpn_protocol, profile.issues_session_tickets
+                )
+            )
+        else:
+            extensions = build_own_server_extensions(
+                profile.own_server_extension_types,
+                hello,
+                alpn_body=self._alpn_answer_body(hello),
+            )
         server_hello = ServerHello(
-            server_random=engine._rng.getrandbits(256).to_bytes(32, "big"),
+            server_random=server_random,
             cipher_suite=cipher_suite,
             version=version,
             session_id=session_id,
             compression_method=profile.substitute_compression_method,
-            extensions=build_own_server_extensions(
-                profile.own_server_extension_types, hello
-            ),
+            extensions=extensions,
         )
         engine.last_served_hello = server_hello
         engine.events.record(
             self._conn,
             "server-hello",
-            version=version_name(version),
+            version=version_name(negotiated),
             ja3s=fingerprint_server_hello(server_hello).digest(),
         )
         engine.events.record(

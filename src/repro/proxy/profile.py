@@ -12,7 +12,7 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass, field
 
-from repro.tls.codec import DEFAULT_CIPHER_SUITES, EXT_SERVER_NAME, TLS_1_2
+from repro.tls.codec import DEFAULT_CIPHER_SUITES, EXT_SERVER_NAME, TLS_1_2, TLS_1_3
 from repro.x509.model import Name
 from repro.x509.verify import (
     CHAIN_OF_TRUST_DEFECTS,
@@ -84,6 +84,23 @@ class ServerSessionPolicy(str, enum.Enum):
     NONE = "none"
     ECHO = "echo"
     FRESH = "fresh"
+
+
+class AlpnPolicy(str, enum.Enum):
+    """How the substitute ServerHello answers the client's ALPN offer.
+
+    * ``OWN`` — the product's own canned answer: always http/1.1,
+      whatever the client preferred.  The historical engine behaviour,
+      and an ALPN-mismatch tell against any h2-preferring origin.
+    * ``ECHO`` — select like a genuine origin would (h2 over http/1.1
+      within the client's offer) — the mimic setting.
+    * ``STRIP`` — never answer ALPN at all, even when offered; common
+      in appliances whose inspection engine cannot parse HTTP/2.
+    """
+
+    OWN = "own"
+    ECHO = "echo"
+    STRIP = "strip"
 
 
 class UpstreamHelloPolicy(str, enum.Enum):
@@ -192,6 +209,37 @@ class ProxyProfile:
     # Nonzero is a scorecard-visible defect: no sane 2014 origin
     # negotiated TLS compression post-CRIME.
     substitute_compression_method: int = 0
+    # -- Version-negotiation posture (TLS 1.3 era) ----------------------
+    # The highest protocol version the substitute leg will negotiate.
+    # The TLS 1.2 default reproduces every historical product: a
+    # 1.3-offering client is silently capped at 1.2.  ``TLS_1_3`` lets
+    # the substitute leg negotiate 1.3 via supported_versions/key_share
+    # the way a genuine modern origin does.  (``substitute_tls_version``
+    # still caps the pre-1.3 legacy echo below this ceiling.)
+    max_tls_version: tuple[int, int] = TLS_1_2
+    # A 1.3-capable product that *chooses* to downgrade clients to 1.2
+    # so its inspection path stays simple — the enterprise-appliance
+    # defect Waked et al. flagged.  Only meaningful with
+    # ``max_tls_version`` ≥ TLS 1.3.
+    downgrade_tls13: bool = False
+    # Whether a downgrading substitute leg stamps the RFC 8446 §4.1.3
+    # "DOWNGRD" sentinel into its server random.  A conforming stack
+    # must; a product that downgrades *silently* (False) defeats the
+    # client's downgrade protection entirely — the worse defect.
+    sets_downgrade_sentinel: bool = False
+    # ALPN answer policy for the substitute leg.
+    alpn: AlpnPolicy = AlpnPolicy.OWN
+    # Session-ticket issue / session-resume behaviour.  Ticket *issue*
+    # on the 1.2 path is the EXT_SESSION_TICKET grant already governed
+    # by ``own_server_extension_types``; this knob controls the grant
+    # on the modern (1.3) path, where the served extension set is
+    # protocol-determined rather than configured.
+    issues_session_tickets: bool = False
+    # Whether the substitute leg honours a session id it previously
+    # handed out (presented back by a resuming client).  False with a
+    # FRESH session policy models the Waked et al. defect: the product
+    # mints resumable-looking ids it then refuses to resume.
+    resumes_sessions: bool = False
 
     def notices_defect(self, code: str) -> bool:
         """Whether this product's posture catches the given defect code.

@@ -1,10 +1,21 @@
 """TLS record and handshake message codec.
 
-Implements the TLS 1.0–1.2 wire format for the messages the probe
-exchanges in the clear: records (RFC 5246 §6.2), ClientHello with the
-server_name extension (RFC 6066), ServerHello, Certificate and Alert.
-Everything else in TLS happens after the point at which the probe
-aborts, so it is deliberately out of scope.
+Implements the TLS 1.0–1.3 wire format for the messages the probe
+exchanges in the clear: records (RFC 5246 §6.2, RFC 8446 §5.1),
+ClientHello with the server_name extension (RFC 6066), ServerHello,
+Certificate and Alert.  Everything else in TLS happens after the point
+at which the probe aborts, so it is deliberately out of scope.
+
+TLS 1.3 (RFC 8446) negotiates the real version inside the
+supported_versions extension while freezing the legacy version fields
+at 0x0303, so this codec stays a *single* lossless hello parser: 1.3
+semantics live in helpers over the extension list
+(:func:`parse_supported_versions_body`, :func:`parse_key_share_groups`,
+:func:`parse_alpn_body`) and in the version-aware properties
+``ClientHello.max_offered_version`` / ``ServerHello.selected_version``.
+GREASE values (RFC 8701) are plain integers to the codec and survive
+parse → re-encode verbatim; only :mod:`repro.tls.fingerprint` filters
+them, per the JA3 spec.
 """
 
 from __future__ import annotations
@@ -44,12 +55,14 @@ SSL_3_0 = (3, 0)
 TLS_1_0 = (3, 1)
 TLS_1_1 = (3, 2)
 TLS_1_2 = (3, 3)
+TLS_1_3 = (3, 4)
 
 VERSION_NAMES = {
     SSL_3_0: "SSLv3",
     TLS_1_0: "TLSv1.0",
     TLS_1_1: "TLSv1.1",
     TLS_1_2: "TLSv1.2",
+    TLS_1_3: "TLSv1.3",
 }
 
 
@@ -67,9 +80,57 @@ EXT_HEARTBEAT = 15
 EXT_ALPN = 16
 EXT_PADDING = 21
 EXT_SESSION_TICKET = 35
+EXT_PRE_SHARED_KEY = 41
+EXT_SUPPORTED_VERSIONS = 43
+EXT_PSK_KEY_EXCHANGE_MODES = 45
+EXT_KEY_SHARE = 51
 EXT_NEXT_PROTOCOL_NEGOTIATION = 13172
 EXT_CHANNEL_ID = 30032
 EXT_RENEGOTIATION_INFO = 0xFF01
+
+# GREASE (RFC 8701): reserved values clients sprinkle into cipher,
+# group, version and extension lists to keep peers honest about
+# ignoring unknowns.  The codec treats them as ordinary integers —
+# they round-trip losslessly — and negotiation/fingerprint layers
+# filter them with :func:`is_grease`.
+GREASE_VALUES = frozenset((v << 8) | v for v in range(0x0A, 0xFB, 0x10))
+
+
+def is_grease(value: int) -> bool:
+    """True for RFC 8701 GREASE values (0x0A0A, 0x1A1A, … 0xFAFA)."""
+    return value in GREASE_VALUES
+
+
+# TLS_FALLBACK_SCSV (RFC 7507): a client retrying a handshake at a
+# downgraded version appends this signalling suite; a server whose
+# maximum version exceeds the retried offer answers with a fatal
+# inappropriate_fallback alert instead of accepting the downgrade.
+TLS_FALLBACK_SCSV = 0x5600
+
+# RFC 8446 §4.1.3 downgrade sentinels: a TLS 1.3-capable server that
+# negotiates an older version overwrites the last 8 bytes of its
+# server random with one of these, so a 1.3-capable client can detect
+# a downgrade even when a middlebox strips supported_versions.
+DOWNGRADE_SENTINEL_TLS12 = b"DOWNGRD\x01"  # negotiated TLS 1.2
+DOWNGRADE_SENTINEL_TLS11 = b"DOWNGRD\x00"  # negotiated TLS 1.1 or below
+
+
+def stamp_downgrade_sentinel(
+    server_random: bytes, negotiated: tuple[int, int]
+) -> bytes:
+    """Overwrite the random's last 8 bytes with the RFC 8446 sentinel."""
+    sentinel = (
+        DOWNGRADE_SENTINEL_TLS12
+        if negotiated >= TLS_1_2
+        else DOWNGRADE_SENTINEL_TLS11
+    )
+    return server_random[:24] + sentinel
+
+
+def has_downgrade_sentinel(server_random: bytes) -> bool:
+    """True when the random carries either RFC 8446 downgrade sentinel."""
+    tail = server_random[-8:]
+    return tail in (DOWNGRADE_SENTINEL_TLS12, DOWNGRADE_SENTINEL_TLS11)
 
 
 def encode_sni_extension_body(server_name: str) -> bytes:
@@ -96,6 +157,86 @@ def parse_sni_extension_body(ext_body: bytes) -> str | None:
     except TlsError:
         pass
     return None
+
+def encode_supported_versions_body(versions: tuple[tuple[int, int], ...]) -> bytes:
+    """The ClientHello supported_versions body: a 1-byte-length list."""
+    packed = b"".join(bytes(version) for version in versions)
+    return _encode_vector(packed, 1)
+
+
+def parse_supported_versions_body(ext_body: bytes) -> tuple[tuple[int, int], ...]:
+    """Best-effort version list from a ClientHello supported_versions body."""
+    try:
+        reader = _Reader(ext_body)
+        packed = reader.take_vector(1)
+        if len(packed) % 2:
+            return ()
+        return tuple(
+            (packed[i], packed[i + 1]) for i in range(0, len(packed), 2)
+        )
+    except TlsError:
+        return ()
+
+
+def encode_selected_version_body(version: tuple[int, int]) -> bytes:
+    """The ServerHello supported_versions body: the one selected version."""
+    return bytes(version)
+
+
+def parse_selected_version_body(ext_body: bytes) -> tuple[int, int] | None:
+    """The selected version from a ServerHello supported_versions body."""
+    if len(ext_body) != 2:
+        return None
+    return (ext_body[0], ext_body[1])
+
+
+def encode_key_share_body(entries: tuple[tuple[int, bytes], ...]) -> bytes:
+    """The ClientHello key_share body: (group, key_exchange) entries."""
+    packed = b"".join(
+        struct.pack(">H", group) + _encode_vector(key, 2) for group, key in entries
+    )
+    return _encode_vector(packed, 2)
+
+
+def encode_server_key_share_body(group: int, key: bytes) -> bytes:
+    """The ServerHello key_share body: the single selected entry."""
+    return struct.pack(">H", group) + _encode_vector(key, 2)
+
+
+def parse_key_share_groups(ext_body: bytes) -> tuple[int, ...]:
+    """Best-effort group ids from a ClientHello key_share body."""
+    try:
+        entries = _Reader(_Reader(ext_body).take_vector(2))
+        groups = []
+        while entries.remaining >= 4:
+            groups.append(entries.take_int(2))
+            entries.take_vector(2)
+        return tuple(groups)
+    except TlsError:
+        return ()
+
+
+def encode_alpn_body(protocols: tuple[str, ...]) -> bytes:
+    """An ALPN body: a protocol-name list (client offer or server pick)."""
+    packed = b"".join(
+        _encode_vector(protocol.encode("ascii"), 1) for protocol in protocols
+    )
+    return _encode_vector(packed, 2)
+
+
+def parse_alpn_body(ext_body: bytes) -> tuple[str, ...]:
+    """Best-effort protocol names from an ALPN extension body."""
+    try:
+        names = _Reader(_Reader(ext_body).take_vector(2))
+        protocols = []
+        while names.remaining:
+            protocols.append(
+                names.take_vector(1).decode("ascii", errors="replace")
+            )
+        return tuple(protocols)
+    except TlsError:
+        return ()
+
 
 # Cipher suites a 2014-era client should refuse: NULL, export-grade
 # and RC4/MD5 constructions (values from the TLS registry).  The audit
@@ -159,6 +300,13 @@ def decode_records(data: bytes) -> tuple[list[Record], bytes]:
             # heartbeats (handled above by inclusion); a header byte
             # outside the TLS range means the stream is not TLS.
             raise TlsError(f"unknown record content type {content_type}")
+        if major != 3 or minor > 4:
+            # Every deployed TLS record version is 3.0–3.4 on the wire,
+            # and TLS 1.3 *freezes* the field at 0x0303 for all
+            # post-hello records (RFC 8446 §5.1) — so 0x0303 atop a 1.3
+            # negotiation is legitimate, not garbage, while a header
+            # version outside the family means the stream is not TLS.
+            raise TlsError(f"implausible record version ({major},{minor})")
         if len(data) - offset - 5 < length:
             break  # incomplete record; caller buffers
         payload = data[offset + 5 : offset + 5 + length]
@@ -328,6 +476,36 @@ class ClientHello:
                 return body
         return None
 
+    @property
+    def offered_versions(self) -> tuple[tuple[int, int], ...]:
+        """Every protocol version this hello offers, GREASE filtered.
+
+        TLS 1.3 clients freeze the legacy version field at 0x0303 and
+        list their real offer in supported_versions (RFC 8446 §4.2.1);
+        pre-1.3 clients offer exactly the legacy field.
+        """
+        body = self.extension_body(EXT_SUPPORTED_VERSIONS)
+        if body is not None:
+            versions = tuple(
+                version
+                for version in parse_supported_versions_body(body)
+                if not is_grease((version[0] << 8) | version[1])
+            )
+            if versions:
+                return versions
+        return (self.version,)
+
+    @property
+    def max_offered_version(self) -> tuple[int, int]:
+        """The highest version this hello offers (supported_versions aware)."""
+        return max(self.offered_versions)
+
+    @property
+    def alpn_protocols(self) -> tuple[str, ...]:
+        """The ALPN protocols this hello offers (empty when none)."""
+        body = self.extension_body(EXT_ALPN)
+        return parse_alpn_body(body) if body is not None else ()
+
     def to_handshake(self) -> HandshakeMessage:
         body = bytes(self.version)
         body += self.client_random
@@ -423,6 +601,30 @@ class ServerHello:
                 return body
         return None
 
+    @property
+    def selected_version(self) -> tuple[int, int]:
+        """The version this hello actually negotiated.
+
+        A TLS 1.3 ServerHello keeps its legacy version field at 0x0303
+        and names the real selection in supported_versions (RFC 8446
+        §4.1.3); pre-1.3 servers select via the legacy field.
+        """
+        body = self.extension_body(EXT_SUPPORTED_VERSIONS)
+        if body is not None:
+            selected = parse_selected_version_body(body)
+            if selected is not None:
+                return selected
+        return self.version
+
+    @property
+    def alpn_protocol(self) -> str | None:
+        """The ALPN protocol this hello selected, if any."""
+        body = self.extension_body(EXT_ALPN)
+        if body is None:
+            return None
+        protocols = parse_alpn_body(body)
+        return protocols[0] if protocols else None
+
     def to_handshake(self) -> HandshakeMessage:
         body = bytes(self.version)
         body += self.server_random
@@ -507,6 +709,7 @@ class Alert:
 ALERT_CLOSE_NOTIFY = 0
 ALERT_HANDSHAKE_FAILURE = 40
 ALERT_BAD_CERTIFICATE = 42
+ALERT_INAPPROPRIATE_FALLBACK = 86
 ALERT_UNRECOGNIZED_NAME = 112
 
 

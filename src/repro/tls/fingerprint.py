@@ -1,4 +1,4 @@
-"""ClientHello fingerprinting and 2014-era browser profiles.
+"""ClientHello fingerprinting and 2014/2020-era browser profiles.
 
 A TLS interception product terminates the browser's handshake and
 opens its own upstream connection — so the origin no longer sees the
@@ -19,13 +19,22 @@ This module provides both halves of that methodology:
   leg: negotiated version, chosen cipher suite and extension-type
   list of one ServerHello.  ``ja3s_string()`` / ``digest()`` mirror
   the client forms.
-* :data:`BROWSER_PROFILES` — a registry of synthetic 2014-era browser
-  ClientHello templates (Chrome, Firefox, IE, Safari) the audit
-  battery probes with, each carrying the *expected* genuine-origin
-  server response (cipher choice and extension echo) its offer earns.
-  They are deliberately *synthetic*: distinct, deterministic,
-  plausible for the paper's measurement window — not bit-archaeology
-  of specific builds.
+* :data:`BROWSER_PROFILES` — a registry of synthetic browser
+  ClientHello templates the audit battery probes with, each carrying
+  the *expected* genuine-origin server response (cipher choice and
+  extension echo) its offer earns.  The 2014-era set (Chrome, Firefox,
+  IE, Safari) matches the paper's measurement window; the ~2020-era
+  set (``chrome-2020``, ``firefox-2020``, ``safari-2020``) offers
+  TLS 1.3 via supported_versions/key_share, ALPN ``h2``, and — for
+  Chrome and Safari — fixed GREASE values, exercising the modern
+  audit checks (ALPN-mismatch, resumption-honouring, 1.3-downgrade).
+  All profiles are deliberately *synthetic*: distinct, deterministic,
+  plausible for their era — not bit-archaeology of specific builds.
+
+Per the JA3 spec, GREASE values (RFC 8701) are filtered out of the
+JA3/JA3S strings — two Chrome hellos differing only in their GREASE
+draw must hash identically — while the underlying hellos preserve
+them losslessly.
 """
 
 from __future__ import annotations
@@ -112,15 +121,25 @@ class TlsFingerprint:
     FIELDS = ("version", "cipher_suites", "extension_types", "groups", "point_formats")
 
 
+def _drop_grease(values: tuple[int, ...]) -> tuple[int, ...]:
+    return tuple(value for value in values if not codec.is_grease(value))
+
+
 def fingerprint_client_hello(hello: ClientHello) -> TlsFingerprint:
-    """Fingerprint a hello exactly as a server-side observer would."""
+    """Fingerprint a hello exactly as a server-side observer would.
+
+    GREASE values are filtered from the cipher, extension and group
+    lists per the JA3 spec: they exist precisely to vary between
+    connections, so a fingerprint that kept them would never be
+    stable for the browsers that send them.
+    """
     groups_body = hello.extension_body(codec.EXT_SUPPORTED_GROUPS)
     formats_body = hello.extension_body(codec.EXT_EC_POINT_FORMATS)
     return TlsFingerprint(
         version=(hello.version[0] << 8) | hello.version[1],
-        cipher_suites=tuple(hello.cipher_suites),
-        extension_types=hello.extension_types,
-        groups=parse_groups_body(groups_body) if groups_body else (),
+        cipher_suites=_drop_grease(tuple(hello.cipher_suites)),
+        extension_types=_drop_grease(hello.extension_types),
+        groups=_drop_grease(parse_groups_body(groups_body)) if groups_body else (),
         point_formats=parse_point_formats_body(formats_body) if formats_body else (),
     )
 
@@ -172,11 +191,16 @@ class ServerFingerprint:
 
 
 def fingerprint_server_hello(hello: ServerHello) -> ServerFingerprint:
-    """Fingerprint a ServerHello exactly as the client sees it."""
+    """Fingerprint a ServerHello exactly as the client sees it.
+
+    GREASE extension values are filtered like the client side; the
+    version is the hello's legacy field (frozen at 0x0303 under
+    TLS 1.3), matching what JA3S hashes on the wire.
+    """
     return ServerFingerprint(
         version=(hello.version[0] << 8) | hello.version[1],
         cipher_suite=hello.cipher_suite,
-        extension_types=hello.extension_types,
+        extension_types=_drop_grease(hello.extension_types),
     )
 
 
@@ -199,6 +223,24 @@ _SNI_PLACEHOLDER = b""
 _P256_P384_P521 = (23, 24, 25)
 _UNCOMPRESSED_ONLY = (0,)
 _SHA2_ERA_SIGALGS = ((4, 1), (5, 1), (6, 1), (2, 1))  # sha256/384/512/sha1 + RSA
+
+# Common ~2020-era parameter blocks.  X25519(29) leads the group list;
+# signature schemes are the RFC 8446 names (ecdsa_secp256r1_sha256,
+# rsa_pss_rsae_sha256, rsa_pkcs1_sha256, …) — each scheme id's two
+# bytes ride the same (hash, sig) pair encoding as the 2014 list.
+_X25519_FIRST_GROUPS = (29, 23, 24)
+_MODERN_SIGALGS = ((4, 3), (8, 4), (4, 1), (5, 3), (8, 5), (5, 1), (8, 6), (6, 1))
+_ALPN_H2_HTTP11_BODY = codec.encode_alpn_body(("h2", "http/1.1"))
+# A deterministic x25519 client share: fingerprinting only sees the
+# extension *type*, and the simulation aborts before key agreement, so
+# a fixed stand-in keeps profiles reproducible.
+_X25519_CLIENT_SHARE = b"\x2a" * 32
+# Fixed GREASE draws for the profiles that send GREASE.  Real browsers
+# randomise per connection; the registry pins one draw per profile so
+# every run is byte-identical (JA3 filters them out regardless).
+_CHROME_GREASE = 0x0A0A
+_CHROME_GREASE_2 = 0x1A1A
+_SAFARI_GREASE = 0x3A3A
 
 
 @dataclass(frozen=True)
@@ -225,9 +267,22 @@ class BrowserProfile:
     # The expected genuine-origin answer to this browser's offer.
     expected_server_cipher: int = 0xC02F
     expected_server_extension_types: tuple[int, ...] = ()
+    # The ALPN protocol a genuine modern origin selects for this offer
+    # (None for the 2014 set: the era's audit graded extension *types*
+    # only, and keeping it None keeps those grades frozen).
+    expected_alpn: str | None = None
 
-    def client_hello(self, client_random: bytes, server_name: str) -> ClientHello:
-        """Instantiate the template against one hostname."""
+    def client_hello(
+        self,
+        client_random: bytes,
+        server_name: str,
+        session_id: bytes = b"",
+    ) -> ClientHello:
+        """Instantiate the template against one hostname.
+
+        ``session_id`` lets a resumption probe present the id an
+        earlier handshake handed out.
+        """
         materialised = tuple(
             (ext_type, codec.encode_sni_extension_body(server_name))
             if ext_type == codec.EXT_SERVER_NAME
@@ -239,9 +294,23 @@ class BrowserProfile:
             server_name=server_name,
             version=self.version,
             cipher_suites=self.cipher_suites,
+            session_id=session_id,
             compression_methods=self.compression_methods,
             extensions=materialised,
         )
+
+    @property
+    def offers_tls13(self) -> bool:
+        """True when this profile offers TLS 1.3 via supported_versions.
+
+        This is the gate for the modern audit checks: ALPN-mismatch,
+        resumption-honouring and TLS-1.3-downgrade are graded only for
+        browsers that can actually observe them.
+        """
+        for ext_type, body in self.extensions:
+            if ext_type == codec.EXT_SUPPORTED_VERSIONS:
+                return codec.TLS_1_3 in codec.parse_supported_versions_body(body)
+        return False
 
     def fingerprint(self) -> TlsFingerprint:
         """The fingerprint any hostname instantiation produces."""
@@ -283,21 +352,50 @@ RSA_ORIGIN_CIPHER_SUITES = frozenset(
 )
 
 
-def negotiate_origin_cipher(client_hello: ClientHello) -> int:
+# TLS 1.3 suites (RFC 8446 §B.4): AEAD + hash only, certificate-type
+# agnostic, so a genuine origin can serve any of them.
+TLS13_CIPHER_SUITES = frozenset({0x1301, 0x1302, 0x1303})
+
+
+def negotiate_origin_cipher(
+    client_hello: ClientHello, tls13: bool = False
+) -> int:
     """The suite a genuine RSA-certificate origin picks for an offer.
 
-    Client preference order, first RSA-authenticated suite wins — for
-    each registry browser profile this reproduces its
+    Client preference order, first servable suite wins — for each
+    registry browser profile this reproduces its
     ``expected_server_cipher`` exactly, which is what lets a server-leg
     mimic stay indistinguishable against *any* probing browser instead
-    of hardcoding one browser's answer.  Falls back to RSA-AES128-SHA
-    when the offer carries no RSA suite at all (a degenerate client no
-    2014 origin could honestly serve).
+    of hardcoding one browser's answer.  Under a TLS 1.3 negotiation
+    (``tls13=True``) only the RFC 8446 suites are servable; otherwise
+    only the RSA-authenticated 1.2-era suites are.  Falls back to the
+    era's baseline suite when the offer carries nothing servable (a
+    degenerate client no genuine origin could honestly serve).
     """
+    servable = TLS13_CIPHER_SUITES if tls13 else RSA_ORIGIN_CIPHER_SUITES
     for suite in client_hello.cipher_suites:
-        if suite in RSA_ORIGIN_CIPHER_SUITES:
+        if suite in servable:
             return suite
-    return 0x002F
+    return 0x1301 if tls13 else 0x002F
+
+
+# The ALPN preference a genuine modern origin applies to a client's
+# protocol offer (RFC 7301 gives the *server* the pick).
+ORIGIN_ALPN_PREFERENCE = ("h2", "http/1.1")
+
+
+def origin_alpn_selection(client_hello: ClientHello) -> str | None:
+    """The ALPN protocol a genuine origin selects, or None to skip.
+
+    First protocol in the origin's preference order that the client
+    offered; None when the client offered no ALPN (a server must not
+    answer an extension that was never offered) or no overlap exists.
+    """
+    offered = client_hello.alpn_protocols
+    for protocol in ORIGIN_ALPN_PREFERENCE:
+        if protocol in offered:
+            return protocol
+    return None
 
 
 # The server extension set a well-run 2014 origin answers with, in
@@ -316,6 +414,54 @@ CANONICAL_SERVER_EXTENSION_TYPES = (
     codec.EXT_ALPN,
     codec.EXT_EC_POINT_FORMATS,
 )
+
+# The ServerHello extension set a genuine origin answers a TLS 1.3
+# negotiation with, in answer order: the selected version, the server
+# key share, the ALPN pick, and a session-ticket grant when offered.
+# One modelling simplification, shared by the genuine origin and the
+# engine's substitute leg so the comparison stays fair: under real
+# TLS 1.3 the ALPN answer rides EncryptedExtensions and tickets ride
+# post-handshake NewSessionTicket — both invisible at the probe's
+# abort point — so the simulation surfaces them in the (observable)
+# ServerHello instead, and ticket resumption is abstracted onto the
+# legacy session-id channel.
+MODERN_SERVER_EXTENSION_TYPES = (
+    codec.EXT_SUPPORTED_VERSIONS,
+    codec.EXT_KEY_SHARE,
+    codec.EXT_ALPN,
+    codec.EXT_SESSION_TICKET,
+)
+
+# The x25519 share a simulated server answers key_share with; like the
+# client side, only the extension type is ever compared.
+_X25519_SERVER_SHARE = b"\x5c" * 32
+
+
+def build_modern_server_extensions(
+    client_hello: ClientHello,
+    alpn_protocol: str | None,
+    grant_session_ticket: bool,
+) -> tuple[tuple[int, bytes], ...]:
+    """The ServerHello extension list for a TLS 1.3 negotiation.
+
+    Unlike the 1.2 path, the served set is protocol-determined rather
+    than configured: supported_versions and key_share are mandatory,
+    ALPN appears when a protocol was selected, and the ticket grant
+    when the server issues tickets and the client offered the slot.
+    """
+    built = [
+        (codec.EXT_SUPPORTED_VERSIONS,
+         codec.encode_selected_version_body(codec.TLS_1_3)),
+        (codec.EXT_KEY_SHARE,
+         codec.encode_server_key_share_body(29, _X25519_SERVER_SHARE)),
+    ]
+    if alpn_protocol is not None:
+        built.append((codec.EXT_ALPN, codec.encode_alpn_body((alpn_protocol,))))
+    if grant_session_ticket and (
+        codec.EXT_SESSION_TICKET in client_hello.extension_types
+    ):
+        built.append((codec.EXT_SESSION_TICKET, b""))
+    return tuple(built)
 
 BROWSER_PROFILES: dict[str, BrowserProfile] = {
     profile.key: profile
@@ -426,8 +572,114 @@ BROWSER_PROFILES: dict[str, BrowserProfile] = {
             expected_server_cipher=0xC028,
             expected_server_extension_types=(codec.EXT_EC_POINT_FORMATS,),
         ),
+        BrowserProfile(
+            key="chrome-2020",
+            name="Chrome 83 (2020)",
+            version=codec.TLS_1_2,  # legacy field frozen; 1.3 via ext 43
+            cipher_suites=(
+                _CHROME_GREASE,
+                0x1301, 0x1302, 0x1303,
+                0xC02B, 0xC02F, 0xC02C, 0xC030, 0xCCA9, 0xCCA8,
+                0xC013, 0xC014, 0x009C, 0x009D, 0x002F, 0x0035,
+            ),
+            extensions=(
+                (_CHROME_GREASE, b""),
+                (codec.EXT_SERVER_NAME, _SNI_PLACEHOLDER),
+                (codec.EXT_RENEGOTIATION_INFO, b"\x00"),
+                (codec.EXT_SUPPORTED_GROUPS,
+                 encode_groups_body((_CHROME_GREASE,) + _X25519_FIRST_GROUPS)),
+                (codec.EXT_EC_POINT_FORMATS,
+                 encode_point_formats_body(_UNCOMPRESSED_ONLY)),
+                (codec.EXT_SESSION_TICKET, b""),
+                (codec.EXT_ALPN, _ALPN_H2_HTTP11_BODY),
+                (codec.EXT_STATUS_REQUEST, b"\x01\x00\x00\x00\x00"),
+                (codec.EXT_SIGNATURE_ALGORITHMS,
+                 encode_signature_algorithms_body(_MODERN_SIGALGS)),
+                (codec.EXT_KEY_SHARE, codec.encode_key_share_body(
+                    ((_CHROME_GREASE, b"\x00"), (29, _X25519_CLIENT_SHARE)))),
+                (codec.EXT_PSK_KEY_EXCHANGE_MODES, b"\x01\x01"),
+                (codec.EXT_SUPPORTED_VERSIONS, codec.encode_supported_versions_body(
+                    ((_CHROME_GREASE >> 8, _CHROME_GREASE & 0xFF),
+                     codec.TLS_1_3, codec.TLS_1_2))),
+                (_CHROME_GREASE_2, b"\x00"),
+            ),
+            # A genuine modern origin takes Chrome's first 1.3 suite
+            # and answers the protocol-determined modern extension set.
+            expected_server_cipher=0x1301,
+            expected_server_extension_types=MODERN_SERVER_EXTENSION_TYPES,
+            expected_alpn="h2",
+        ),
+        BrowserProfile(
+            key="firefox-2020",
+            name="Firefox 77 (2020)",
+            version=codec.TLS_1_2,
+            cipher_suites=(
+                0x1301, 0x1303, 0x1302,
+                0xC02B, 0xC02F, 0xCCA9, 0xCCA8, 0xC02C, 0xC030,
+                0xC013, 0xC014, 0x002F, 0x0035, 0x000A,
+            ),
+            extensions=(
+                (codec.EXT_SERVER_NAME, _SNI_PLACEHOLDER),
+                (codec.EXT_SUPPORTED_GROUPS,
+                 encode_groups_body(_X25519_FIRST_GROUPS + (25,))),
+                (codec.EXT_EC_POINT_FORMATS,
+                 encode_point_formats_body(_UNCOMPRESSED_ONLY)),
+                (codec.EXT_SESSION_TICKET, b""),
+                (codec.EXT_ALPN, _ALPN_H2_HTTP11_BODY),
+                (codec.EXT_STATUS_REQUEST, b"\x01\x00\x00\x00\x00"),
+                (codec.EXT_KEY_SHARE, codec.encode_key_share_body(
+                    ((29, _X25519_CLIENT_SHARE),))),
+                (codec.EXT_SUPPORTED_VERSIONS, codec.encode_supported_versions_body(
+                    (codec.TLS_1_3, codec.TLS_1_2))),
+                (codec.EXT_SIGNATURE_ALGORITHMS,
+                 encode_signature_algorithms_body(_MODERN_SIGALGS)),
+                (codec.EXT_PSK_KEY_EXCHANGE_MODES, b"\x01\x01"),
+                (codec.EXT_RENEGOTIATION_INFO, b"\x00"),
+            ),
+            # Firefox sends no GREASE; same modern expectation.
+            expected_server_cipher=0x1301,
+            expected_server_extension_types=MODERN_SERVER_EXTENSION_TYPES,
+            expected_alpn="h2",
+        ),
+        BrowserProfile(
+            key="safari-2020",
+            name="Safari 13 (2020)",
+            version=codec.TLS_1_2,
+            cipher_suites=(
+                _SAFARI_GREASE,
+                0x1301, 0x1302, 0x1303,
+                0xC02C, 0xC02B, 0xC030, 0xC02F, 0xCCA9, 0xCCA8,
+                0xC024, 0xC023, 0xC028, 0xC027, 0xC014, 0xC013,
+            ),
+            extensions=(
+                (_SAFARI_GREASE, b""),
+                (codec.EXT_SERVER_NAME, _SNI_PLACEHOLDER),
+                (codec.EXT_SUPPORTED_GROUPS,
+                 encode_groups_body(_X25519_FIRST_GROUPS + (25,))),
+                (codec.EXT_EC_POINT_FORMATS,
+                 encode_point_formats_body(_UNCOMPRESSED_ONLY)),
+                (codec.EXT_ALPN, _ALPN_H2_HTTP11_BODY),
+                (codec.EXT_STATUS_REQUEST, b"\x01\x00\x00\x00\x00"),
+                (codec.EXT_SIGNATURE_ALGORITHMS,
+                 encode_signature_algorithms_body(_MODERN_SIGALGS)),
+                (codec.EXT_KEY_SHARE, codec.encode_key_share_body(
+                    ((29, _X25519_CLIENT_SHARE),))),
+                (codec.EXT_PSK_KEY_EXCHANGE_MODES, b"\x01\x01"),
+                (codec.EXT_SUPPORTED_VERSIONS, codec.encode_supported_versions_body(
+                    ((_SAFARI_GREASE >> 8, _SAFARI_GREASE & 0xFF),
+                     codec.TLS_1_3, codec.TLS_1_2, codec.TLS_1_1, codec.TLS_1_0))),
+                (codec.EXT_SESSION_TICKET, b""),
+            ),
+            expected_server_cipher=0x1301,
+            expected_server_extension_types=MODERN_SERVER_EXTENSION_TYPES,
+            expected_alpn="h2",
+        ),
     )
 }
+
+# The era split, for callers that reason about the two sets.
+MODERN_BROWSER_KEYS = ("chrome-2020", "firefox-2020", "safari-2020")
+LEGACY_BROWSER_KEYS = ("chrome", "firefox", "ie", "safari")
 
 DEFAULT_BROWSER = "chrome"
 
@@ -482,7 +734,9 @@ _ALPN_HTTP11_SERVER_BODY = b"\x00\x09\x08http/1.1"
 
 
 def build_own_server_extensions(
-    extension_types: tuple[int, ...], client_hello: ClientHello
+    extension_types: tuple[int, ...],
+    client_hello: ClientHello,
+    alpn_body: bytes | None = _ALPN_HTTP11_SERVER_BODY,
 ) -> tuple[tuple[int, bytes], ...] | None:
     """Materialise a product's substitute-ServerHello extension list.
 
@@ -492,10 +746,12 @@ def build_own_server_extensions(
     origin's answer order for a mimicking product).  Bodies are the
     canned server-side forms: secure-renegotiation confirmation, an
     empty session-ticket grant, an empty stapling acknowledgement, an
-    ALPN selection of http/1.1, and echoed EC point formats.  Returns
-    ``None`` — no extensions block on the wire — when nothing applies,
-    which is exactly the historical engine's (and a bare 2014 proxy
-    stack's) ServerHello shape.
+    ALPN selection (``alpn_body``; the historical canned http/1.1 by
+    default, an origin-style pick for ``AlpnPolicy.ECHO`` products, or
+    ``None`` to strip the answer entirely), and echoed EC point
+    formats.  Returns ``None`` — no extensions block on the wire —
+    when nothing applies, which is exactly the historical engine's
+    (and a bare 2014 proxy stack's) ServerHello shape.
     """
     offered = set(client_hello.extension_types)
     built: list[tuple[int, bytes]] = []
@@ -507,7 +763,8 @@ def build_own_server_extensions(
         elif ext_type == codec.EXT_EC_POINT_FORMATS:
             built.append((ext_type, encode_point_formats_body(_UNCOMPRESSED_ONLY)))
         elif ext_type == codec.EXT_ALPN:
-            built.append((ext_type, _ALPN_HTTP11_SERVER_BODY))
+            if alpn_body is not None:
+                built.append((ext_type, alpn_body))
         else:
             built.append((ext_type, b""))
     return tuple(built) if built else None

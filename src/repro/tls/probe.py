@@ -61,15 +61,23 @@ class ProbeClient:
         self._rng = rng or random.Random(0xFACADE)
         self.metrics = registry if registry is not None else MetricsRegistry()
 
-    def probe(self, hostname: str, port: int = 443) -> ProbeResult:
-        """Fetch the certificate chain presented for ``hostname:port``."""
+    def probe(
+        self, hostname: str, port: int = 443, session_id: bytes = b""
+    ) -> ProbeResult:
+        """Fetch the certificate chain presented for ``hostname:port``.
+
+        ``session_id`` is presented in the ClientHello for resumption:
+        the audit's resumption-honouring check hands back the id a
+        product issued on an earlier probe and watches whether the
+        substitute leg echoes it.
+        """
         self.metrics.inc("probe.attempts")
         try:
             sock = self.host.connect(hostname, port)
         except ConnectionRefused as exc:
             return self._failed(hostname, port, "connect", f"connect: {exc}")
         try:
-            return self._handshake(sock, hostname, port)
+            return self._handshake(sock, hostname, port, session_id)
         finally:
             sock.close()
 
@@ -79,12 +87,18 @@ class ProbeClient:
         self.metrics.inc("probe.failures", stage=stage)
         return ProbeResult(False, hostname, port, error=error, **extra)
 
-    def _handshake(self, sock, hostname: str, port: int) -> ProbeResult:
+    def _handshake(
+        self, sock, hostname: str, port: int, session_id: bytes = b""
+    ) -> ProbeResult:
         client_random = self._rng.getrandbits(256).to_bytes(32, "big")
         if self.browser is not None:
-            hello = self.browser.client_hello(client_random, hostname)
+            hello = self.browser.client_hello(client_random, hostname, session_id)
         else:
-            hello = ClientHello(client_random=client_random, server_name=hostname)
+            hello = ClientHello(
+                client_random=client_random,
+                server_name=hostname,
+                session_id=session_id,
+            )
         try:
             sock.send(codec.encode_handshake_record(hello, version=hello.version))
         except ConnectionReset as exc:

@@ -21,6 +21,12 @@ from repro.tls.codec import (
     ServerHello,
     TlsError,
 )
+from repro.tls.fingerprint import (
+    TLS13_CIPHER_SUITES,
+    build_modern_server_extensions,
+    negotiate_origin_cipher,
+    origin_alpn_selection,
+)
 from repro.x509.model import Certificate
 
 
@@ -30,6 +36,13 @@ class TlsCertServer(Protocol):
     The handshake intentionally stops after ServerHelloDone: the probe
     aborts there, and no measured behaviour depends on the key
     exchange.
+
+    With ``max_version`` raised to TLS 1.3 the origin answers a
+    1.3-offering client the modern way: legacy version frozen at
+    0x0303, real version in supported_versions, key_share/ALPN/ticket
+    answers via :func:`build_modern_server_extensions`, and RFC 7507
+    fallback protection (a TLS_FALLBACK_SCSV offer below the origin's
+    ceiling draws ``inappropriate_fallback``).
     """
 
     def __init__(
@@ -97,13 +110,42 @@ class TlsCertServer(Protocol):
                 self._answer_client_hello(sock, ClientHello.from_body(message.body))
 
     def _answer_client_hello(self, sock: StreamSocket, hello: ClientHello) -> None:
-        version = min(hello.version, self.max_version)
+        offered_max = hello.max_offered_version
+        if codec.TLS_FALLBACK_SCSV in hello.cipher_suites and (
+            offered_max < min(self.max_version, codec.TLS_1_2)
+        ):
+            # RFC 7507: the client signalled a fallback retry but this
+            # origin speaks higher than it now offers — refuse.
+            sock.send(
+                Alert(2, codec.ALERT_INAPPROPRIATE_FALLBACK).encode_record()
+            )
+            sock.close()
+            return
         server_random = self._rng.getrandbits(256).to_bytes(32, "big")
-        server_hello = ServerHello(
-            server_random=server_random,
-            cipher_suite=self.cipher_suite,
-            version=version,
-        )
+        if self.max_version >= codec.TLS_1_3 and offered_max >= codec.TLS_1_3:
+            cipher = (
+                self.cipher_suite
+                if self.cipher_suite in TLS13_CIPHER_SUITES
+                else negotiate_origin_cipher(hello, tls13=True)
+            )
+            server_hello = ServerHello(
+                server_random=server_random,
+                cipher_suite=cipher,
+                version=codec.TLS_1_2,  # frozen legacy field (RFC 8446)
+                session_id=hello.session_id,
+                extensions=build_modern_server_extensions(
+                    hello,
+                    origin_alpn_selection(hello),
+                    grant_session_ticket=True,
+                ),
+            )
+        else:
+            version = min(hello.version, self.max_version)
+            server_hello = ServerHello(
+                server_random=server_random,
+                cipher_suite=self.cipher_suite,
+                version=version,
+            )
         chain = self.chain_for(hello.server_name)
         certificate = CertificateMessage(tuple(c.encode() for c in chain))
         done = HandshakeMessage(codec.HS_SERVER_HELLO_DONE, b"")

@@ -404,6 +404,52 @@ class TestMimicryPrevalenceDeterminism:
         assert "compression" in by_key["md5-legacy"].detection_reasons
 
 
+class TestModernAuditDeterminism:
+    """The TLS 1.3-era battery obeys the same contract as the 2014 one:
+    a chrome-2020 audit — double resumption probe and all — is
+    byte-identical for workers ∈ {1, 4} and thread vs process pools."""
+
+    SUBSET = ["bitdefender", "fortinet", "kurupira"]
+    MODERN_KEYS = {"alpn-mismatch", "resumption-honouring", "tls13-downgrade"}
+
+    @pytest.fixture(scope="class")
+    def modern_serial(self):
+        return audit_catalog(
+            seed=SEED,
+            products=self.SUBSET,
+            workers=1,
+            pki_key_bits=512,
+            browser="chrome-2020",
+        )
+
+    def test_report_identical_across_workers_and_executors(self, modern_serial):
+        baseline = json.dumps(modern_serial.to_dict(), sort_keys=True)
+        for workers, executor in ((4, "thread"), (2, "process")):
+            report = audit_catalog(
+                seed=SEED,
+                products=self.SUBSET,
+                workers=workers,
+                executor=executor,
+                pki_key_bits=512,
+                browser="chrome-2020",
+            )
+            assert json.dumps(report.to_dict(), sort_keys=True) == baseline
+
+    def test_modern_checks_graded_for_every_product(self, modern_serial):
+        for card in modern_serial.scorecards:
+            keys = {check.scenario for check in card.server_checks}
+            assert self.MODERN_KEYS <= keys
+
+    def test_2014_battery_carries_no_modern_rows(self, serial_audit):
+        """The modern checks must not leak into 2014-era batteries —
+        their exported JSON is pinned by earlier PRs."""
+        for card in serial_audit.scorecards:
+            keys = {check.scenario for check in card.server_checks}
+            assert not (self.MODERN_KEYS & keys)
+            assert card.server_leg is not None
+            assert card.server_leg.modern is None
+
+
 class TestMetricsDeterminism:
     """The telemetry layer obeys the same contract as the database:
     the *deterministic* metrics section is a pure function of

@@ -1,0 +1,209 @@
+"""Property-based tests: TLS 1.2/1.3 hello codecs must be lossless.
+
+The version-aware audit reads its evidence from wire-parsed hellos, so
+the codec must round-trip every ClientHello/ServerHello it could meet —
+GREASE values, supported_versions, key_share, ALPN and unknown
+extensions included — byte for byte.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tls import codec
+from repro.tls.codec import ClientHello, ServerHello
+
+# --- strategies -------------------------------------------------------
+
+randoms = st.binary(min_size=32, max_size=32)
+
+versions = st.sampled_from(
+    [codec.TLS_1_0, codec.TLS_1_1, codec.TLS_1_2, codec.TLS_1_3]
+)
+
+grease_values = st.sampled_from(sorted(codec.GREASE_VALUES))
+
+cipher_suites = st.lists(
+    st.one_of(
+        st.sampled_from(
+            [0x002F, 0x0035, 0xC02F, 0x1301, 0x1302, 0x1303, codec.TLS_FALLBACK_SCSV]
+        ),
+        grease_values,
+        st.integers(min_value=0, max_value=0xFFFF),
+    ),
+    min_size=1,
+    max_size=12,
+).map(tuple)
+
+alpn_protocols = st.lists(
+    st.sampled_from(["h2", "http/1.1", "spdy/3.1", "h3"]),
+    min_size=1,
+    max_size=3,
+).map(tuple)
+
+
+def _extension(type_value, body):
+    return (type_value, body)
+
+
+client_extensions = st.lists(
+    st.one_of(
+        st.builds(
+            _extension,
+            st.just(codec.EXT_SUPPORTED_VERSIONS),
+            st.lists(
+                st.one_of(versions.map(bytes), grease_values.map(lambda v: v.to_bytes(2, "big"))),
+                min_size=1,
+                max_size=4,
+            ).map(lambda vs: codec.encode_supported_versions_body(
+                tuple((b[0], b[1]) for b in vs)
+            )),
+        ),
+        st.builds(
+            _extension,
+            st.just(codec.EXT_KEY_SHARE),
+            st.lists(
+                st.tuples(
+                    st.one_of(st.sampled_from([29, 23, 24]), grease_values),
+                    st.binary(min_size=1, max_size=40),
+                ),
+                min_size=1,
+                max_size=3,
+            ).map(lambda entries: codec.encode_key_share_body(tuple(entries))),
+        ),
+        st.builds(
+            _extension, st.just(codec.EXT_ALPN), alpn_protocols.map(codec.encode_alpn_body)
+        ),
+        st.builds(_extension, st.just(codec.EXT_SESSION_TICKET), st.binary(max_size=16)),
+        st.builds(
+            _extension,
+            st.one_of(grease_values, st.integers(0, 0xFFFF)),
+            st.binary(max_size=30),
+        ),
+    ),
+    max_size=6,
+).map(tuple)
+
+client_hellos = st.builds(
+    lambda random, version, suites, session_id, extensions: ClientHello(
+        client_random=random,
+        version=version,
+        cipher_suites=suites,
+        session_id=session_id,
+        extensions=extensions,
+    ),
+    randoms,
+    versions,
+    cipher_suites,
+    st.binary(max_size=32),
+    st.one_of(st.none(), client_extensions),
+)
+
+server_extensions = st.lists(
+    st.one_of(
+        st.builds(
+            _extension,
+            st.just(codec.EXT_SUPPORTED_VERSIONS),
+            versions.map(codec.encode_selected_version_body),
+        ),
+        st.builds(
+            _extension,
+            st.just(codec.EXT_KEY_SHARE),
+            st.builds(
+                codec.encode_server_key_share_body,
+                st.sampled_from([29, 23, 24]),
+                st.binary(min_size=1, max_size=40),
+            ),
+        ),
+        st.builds(
+            _extension,
+            st.just(codec.EXT_ALPN),
+            alpn_protocols.map(codec.encode_alpn_body),
+        ),
+        st.builds(
+            _extension,
+            st.one_of(grease_values, st.integers(0, 0xFFFF)),
+            st.binary(max_size=30),
+        ),
+    ),
+    max_size=5,
+).map(tuple)
+
+server_hellos = st.builds(
+    lambda random, version, suite, session_id, compression, extensions: ServerHello(
+        server_random=random,
+        cipher_suite=suite,
+        version=version,
+        session_id=session_id,
+        compression_method=compression,
+        extensions=extensions,
+    ),
+    randoms,
+    versions,
+    st.integers(min_value=0, max_value=0xFFFF),
+    st.binary(max_size=32),
+    st.integers(min_value=0, max_value=255),
+    st.one_of(st.none(), server_extensions),
+)
+
+
+class TestClientHelloRoundTrip:
+    @given(hello=client_hellos)
+    @settings(max_examples=200)
+    def test_body_round_trip_is_identity(self, hello):
+        body = hello.to_handshake().body
+        decoded = ClientHello.from_body(body)
+        assert decoded.client_random == hello.client_random
+        assert decoded.version == hello.version
+        assert decoded.cipher_suites == hello.cipher_suites
+        assert decoded.session_id == hello.session_id
+        assert decoded.extensions == hello.extensions
+        assert decoded.to_handshake().body == body
+
+    @given(hello=client_hellos)
+    @settings(max_examples=100)
+    def test_grease_survives_while_derived_views_filter_it(self, hello):
+        decoded = ClientHello.from_body(hello.to_handshake().body)
+        original_extensions = hello.extensions or ()
+        assert (decoded.extensions or ()) == original_extensions
+        # Derived views never surface GREASE...
+        for version in decoded.offered_versions:
+            assert ((version[0] << 8) | version[1]) not in codec.GREASE_VALUES
+        # ...but the wire bytes keep every GREASE value.
+        grease_suites = [
+            s for s in hello.cipher_suites if s in codec.GREASE_VALUES
+        ]
+        assert [
+            s for s in decoded.cipher_suites if s in codec.GREASE_VALUES
+        ] == grease_suites
+
+
+class TestServerHelloRoundTrip:
+    @given(hello=server_hellos)
+    @settings(max_examples=200)
+    def test_body_round_trip_is_identity(self, hello):
+        body = hello.to_handshake().body
+        decoded = ServerHello.from_body(body)
+        assert decoded == hello
+        assert decoded.to_handshake().body == body
+
+    @given(hello=server_hellos)
+    @settings(max_examples=100)
+    def test_selected_version_consistent_with_wire(self, hello):
+        decoded = ServerHello.from_body(hello.to_handshake().body)
+        body = decoded.extension_body(codec.EXT_SUPPORTED_VERSIONS)
+        if body is not None and len(body) == 2:
+            assert decoded.selected_version == (body[0], body[1])
+        else:
+            assert decoded.selected_version == decoded.version
+
+
+class TestRecordLayerTolerance:
+    @given(
+        minor=st.integers(min_value=0, max_value=4),
+        payload=st.binary(min_size=1, max_size=64),
+    )
+    def test_plausible_versions_round_trip(self, minor, payload):
+        record = codec.Record(codec.CONTENT_HANDSHAKE, (3, minor), payload)
+        records, rest = codec.decode_records(record.encode())
+        assert records == [record]
+        assert rest == b""

@@ -7,7 +7,11 @@ from repro.tls.codec import ClientHello, ServerHello
 from repro.tls.fingerprint import (
     BROWSER_PROFILES,
     CANONICAL_SERVER_EXTENSION_TYPES,
+    LEGACY_BROWSER_KEYS,
+    MODERN_BROWSER_KEYS,
+    MODERN_SERVER_EXTENSION_TYPES,
     browser_profile,
+    build_modern_server_extensions,
     build_own_server_extensions,
     build_own_stack_extensions,
     encode_groups_body,
@@ -15,6 +19,7 @@ from repro.tls.fingerprint import (
     fingerprint_client_hello,
     fingerprint_divergence,
     fingerprint_server_hello,
+    origin_alpn_selection,
     parse_groups_body,
     parse_point_formats_body,
     server_fingerprint_divergence,
@@ -59,10 +64,18 @@ class TestFingerprint:
 
 
 class TestBrowserRegistry:
-    def test_four_profiles_with_distinct_fingerprints(self):
-        assert set(BROWSER_PROFILES) == {"chrome", "firefox", "ie", "safari"}
+    def test_both_eras_registered_with_distinct_fingerprints(self):
+        assert set(BROWSER_PROFILES) == set(LEGACY_BROWSER_KEYS) | set(
+            MODERN_BROWSER_KEYS
+        )
         digests = {p.fingerprint().digest() for p in BROWSER_PROFILES.values()}
-        assert len(digests) == 4
+        assert len(digests) == len(BROWSER_PROFILES)
+
+    def test_modern_profiles_offer_tls13_legacy_do_not(self):
+        for key in MODERN_BROWSER_KEYS:
+            assert browser_profile(key).offers_tls13, key
+        for key in LEGACY_BROWSER_KEYS:
+            assert not browser_profile(key).offers_tls13, key
 
     def test_profiles_round_trip_losslessly(self):
         for profile in BROWSER_PROFILES.values():
@@ -154,21 +167,41 @@ class TestExpectedServerResponses:
             assert set(profile.expected_server_extension_types) <= offered
 
     def test_expected_answer_is_canonical_filtered_by_offer(self):
-        """Each browser's expectation is the canonical origin answer
-        restricted to that browser's offer, in canonical order."""
-        for profile in BROWSER_PROFILES.values():
+        """Each browser's expectation is its era's canonical origin
+        answer restricted to that browser's offer, in canonical order."""
+        for key in LEGACY_BROWSER_KEYS:
+            profile = browser_profile(key)
             offered = {ext_type for ext_type, _ in profile.extensions}
             filtered = tuple(
                 t for t in CANONICAL_SERVER_EXTENSION_TYPES if t in offered
             )
             assert profile.expected_server_extension_types == filtered
+        for key in MODERN_BROWSER_KEYS:
+            profile = browser_profile(key)
+            offered = {ext_type for ext_type, _ in profile.extensions}
+            # The modern answer is protocol-determined; a browser must
+            # still have offered the answerable slots (ALPN, tickets).
+            assert (
+                profile.expected_server_extension_types
+                == MODERN_SERVER_EXTENSION_TYPES
+            )
+            assert codec.EXT_ALPN in offered
+            assert codec.EXT_SESSION_TICKET in offered
+            assert codec.EXT_KEY_SHARE in offered
 
     def test_server_fingerprints_distinct_across_browsers(self):
         digests = {
             p.server_fingerprint().digest() for p in BROWSER_PROFILES.values()
         }
-        # chrome and firefox expect the same answer; ie and safari differ.
-        assert len(digests) == 3
+        # chrome and firefox expect the same answer; ie and safari
+        # differ; the three modern browsers share one expectation.
+        assert len(digests) == 4
+
+    def test_modern_profiles_expect_h2_legacy_expect_nothing(self):
+        for key in MODERN_BROWSER_KEYS:
+            assert browser_profile(key).expected_alpn == "h2"
+        for key in LEGACY_BROWSER_KEYS:
+            assert browser_profile(key).expected_alpn is None
 
 
 class TestOwnServerExtensions:
@@ -176,9 +209,9 @@ class TestOwnServerExtensions:
         return browser_profile("chrome").client_hello(bytes(32), "x.example")
 
     def test_mimic_config_reproduces_expected_answer(self):
-        """The canonical server set against a browser offer yields
+        """The canonical server set against a 2014 browser offer yields
         exactly that browser's expected extension answer."""
-        for key in BROWSER_PROFILES:
+        for key in LEGACY_BROWSER_KEYS:
             profile = browser_profile(key)
             hello = profile.client_hello(bytes(32), "x.example")
             built = build_own_server_extensions(
@@ -189,6 +222,25 @@ class TestOwnServerExtensions:
                 tuple(t for t, _ in built)
                 == profile.expected_server_extension_types
             )
+
+    def test_modern_answer_reproduces_expected_answer(self):
+        """The protocol-determined TLS 1.3 answer against a modern
+        browser offer yields exactly its expected extension answer."""
+        for key in MODERN_BROWSER_KEYS:
+            profile = browser_profile(key)
+            hello = profile.client_hello(bytes(32), "x.example")
+            built = build_modern_server_extensions(
+                hello,
+                alpn_protocol=origin_alpn_selection(hello),
+                grant_session_ticket=True,
+            )
+            assert (
+                tuple(t for t, _ in built)
+                == profile.expected_server_extension_types
+            )
+            by_type = dict(built)
+            assert by_type[codec.EXT_SUPPORTED_VERSIONS] == bytes(codec.TLS_1_3)
+            assert codec.parse_alpn_body(by_type[codec.EXT_ALPN]) == ("h2",)
 
     def test_unoffered_types_filtered_out(self):
         hello = ClientHello(client_random=bytes(32), server_name="x.example")
@@ -218,7 +270,10 @@ class TestOriginCipherNegotiation:
 
         for profile in BROWSER_PROFILES.values():
             hello = profile.client_hello(bytes(32), "x.example")
-            assert negotiate_origin_cipher(hello) == profile.expected_server_cipher
+            negotiated = negotiate_origin_cipher(
+                hello, tls13=profile.offers_tls13
+            )
+            assert negotiated == profile.expected_server_cipher
 
     def test_negotiation_skips_ecdsa_and_falls_back(self):
         from repro.tls.fingerprint import negotiate_origin_cipher
@@ -235,3 +290,75 @@ class TestOriginCipherNegotiation:
             cipher_suites=(0xC02B, 0xC014, 0xC02F),
         )
         assert negotiate_origin_cipher(mixed) == 0xC014
+
+    def test_tls13_negotiation_takes_first_offered_13_suite(self):
+        from repro.tls.fingerprint import negotiate_origin_cipher
+
+        hello = browser_profile("firefox-2020").client_hello(
+            bytes(32), "x.example"
+        )
+        assert negotiate_origin_cipher(hello, tls13=True) == 0x1301
+        # No 1.3 suite offered → era baseline fallback.
+        legacy = browser_profile("chrome").client_hello(bytes(32), "x.example")
+        assert negotiate_origin_cipher(legacy, tls13=True) == 0x1301
+
+
+class TestGreaseFiltering:
+    """JA3/JA3S must filter RFC 8701 GREASE values (regression pin).
+
+    GREASE values exist to vary per connection; a fingerprint that
+    kept them would make the same browser hash differently every
+    handshake.  The codec still round-trips them losslessly — only
+    the JA3 string drops them.
+    """
+
+    def _hello(self, grease: bool) -> ClientHello:
+        extensions = [
+            (codec.EXT_SERVER_NAME, codec.encode_sni_extension_body("g.example")),
+            (codec.EXT_SUPPORTED_GROUPS,
+             encode_groups_body(((0x2A2A, 23, 24) if grease else (23, 24)))),
+            (codec.EXT_EC_POINT_FORMATS, encode_point_formats_body((0,))),
+        ]
+        if grease:
+            extensions.insert(0, (0x2A2A, b""))
+        return ClientHello(
+            client_random=bytes(32),
+            server_name="g.example",
+            version=(3, 3),
+            cipher_suites=(0x2A2A, 0x002F, 0xC013) if grease else (0x002F, 0xC013),
+            extensions=tuple(extensions),
+        )
+
+    def test_grease_twin_hellos_hash_identically(self):
+        with_grease = fingerprint_client_hello(self._hello(grease=True))
+        without = fingerprint_client_hello(self._hello(grease=False))
+        assert with_grease == without
+        assert with_grease.digest() == without.digest()
+        # Pinned: identical to the pre-GREASE layout pin above.
+        assert with_grease.ja3_string() == "771,47-49171,0-10-11,23-24,0"
+
+    def test_grease_survives_codec_round_trip(self):
+        hello = self._hello(grease=True)
+        decoded = ClientHello.from_body(hello.to_handshake().body)
+        assert decoded == hello
+        assert 0x2A2A in decoded.cipher_suites
+        assert 0x2A2A in decoded.extension_types
+
+    def test_chrome_2020_ja3_carries_no_grease(self):
+        fp = browser_profile("chrome-2020").fingerprint()
+        for value in fp.cipher_suites + fp.extension_types + fp.groups:
+            assert not codec.is_grease(value), value
+        # The same draw twice — GREASE pinned, so stable by
+        # construction — and the digest survives a codec round trip.
+        hello = browser_profile("chrome-2020").client_hello(bytes(32), "x.example")
+        decoded = ClientHello.from_body(hello.to_handshake().body)
+        assert fingerprint_client_hello(decoded).digest() == fp.digest()
+
+    def test_server_hello_grease_extension_filtered(self):
+        hello = ServerHello(
+            server_random=bytes(32),
+            cipher_suite=0xC02F,
+            version=(3, 3),
+            extensions=((0x4A4A, b""), (codec.EXT_RENEGOTIATION_INFO, b"\x00")),
+        )
+        assert fingerprint_server_hello(hello).ja3s_string() == "771,49199,65281"

@@ -223,3 +223,36 @@ class TestAblation:
         for scenario in ("benign-av", "malware", "chained-attack"):
             assert evaluation.by_scenario(scenario).ct_monitor == "invisible"
         assert evaluation.by_scenario("clean").ct_monitor == "clean"
+
+    def test_mdtls_fails_closed_on_undelegated_interception(self, evaluation):
+        from repro.mitigation import MDTLS_AUTHORIZED, MDTLS_MITM, MDTLS_OK
+
+        assert evaluation.by_scenario("clean").mdtls == MDTLS_OK
+        assert (
+            evaluation.by_scenario("cooperative-proxy").mdtls
+            == MDTLS_AUTHORIZED
+        )
+        for scenario in ("benign-av", "malware", "rogue-ca", "chained-attack"):
+            assert evaluation.by_scenario(scenario).mdtls == MDTLS_MITM
+
+
+class TestMdtlsClient:
+    def test_verdict_table(self):
+        from repro.mitigation import (
+            MDTLS_AUTHORIZED,
+            MDTLS_MITM,
+            MDTLS_OK,
+            MdtlsClient,
+        )
+
+        client = MdtlsClient(authorized=frozenset({"Corp Proxy"}))
+        assert client.verdict(False, None) == MDTLS_OK
+        assert client.verdict(True, "Corp Proxy") == MDTLS_AUTHORIZED
+        assert client.verdict(True, "Other Proxy") == MDTLS_MITM
+        assert client.verdict(True, None) == MDTLS_MITM
+
+    def test_empty_delegation_trusts_no_middlebox(self):
+        from repro.mitigation import MDTLS_MITM, MdtlsClient
+
+        client = MdtlsClient()
+        assert client.verdict(True, "Anyone") == MDTLS_MITM

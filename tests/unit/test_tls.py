@@ -166,6 +166,94 @@ class TestServerHelloAndCertificate:
         assert Alert.from_payload(records[0].payload) == alert
 
 
+class TestVersionAwareRecords:
+    def test_frozen_tls13_record_version_tolerated(self):
+        """RFC 8446 §5.1 freezes the record-layer version at 0x0303
+        (and allows 0x0304 on some stacks); neither is garbage."""
+        for minor in (1, 3, 4):
+            record = Record(codec.CONTENT_HANDSHAKE, (3, minor), b"payload")
+            records, rest = codec.decode_records(record.encode())
+            assert records == [record]
+            assert rest == b""
+
+    def test_implausible_record_version_rejected(self):
+        """Random bytes that happen to carry a known content type must
+        still be classified as garbage via the version sanity check."""
+        for major, minor in ((4, 0), (3, 5), (9, 9), (0, 3)):
+            data = bytes([codec.CONTENT_HANDSHAKE, major, minor, 0, 1, 0x41])
+            with pytest.raises(TlsError):
+                codec.decode_records(data)
+
+
+class TestTls13Origin:
+    def _rig(self, chain, max_version=codec.TLS_1_3):
+        net = Network()
+        client_host = net.add_host("client.example")
+        server_host = net.add_host("probe-target.example")
+        server_host.listen(
+            443, TlsCertServer(chain, max_version=max_version).factory
+        )
+        return net, client_host
+
+    def test_origin_answers_modern_browser_expectation(self, site_chain):
+        """The invariant the modern scorecard checks lean on: a genuine
+        TLS 1.3 origin's answer to a 2020-era browser matches that
+        profile's expected cipher, extension set and ALPN exactly."""
+        from repro.tls.fingerprint import browser_profile
+
+        net, client_host = self._rig(site_chain)
+        browser = browser_profile("chrome-2020")
+        result = ProbeClient(client_host, browser=browser).probe(
+            "probe-target.example"
+        )
+        assert result.ok
+        served = result.server_hello
+        assert served.version == codec.TLS_1_2  # frozen legacy field
+        assert served.selected_version == codec.TLS_1_3
+        assert served.cipher_suite == browser.expected_server_cipher
+        assert served.extension_types == browser.expected_server_extension_types
+        assert served.alpn_protocol == browser.expected_alpn
+
+    def test_legacy_client_gets_legacy_answer(self, site_chain):
+        net, client_host = self._rig(site_chain)
+        result = ProbeClient(client_host).probe("probe-target.example")
+        assert result.ok
+        served = result.server_hello
+        assert served.selected_version == codec.TLS_1_2
+        assert served.extensions is None
+
+    def test_fallback_scsv_draws_inappropriate_fallback(self, site_chain):
+        """RFC 7507: a fallback retry offering less than the origin
+        speaks is refused with a dedicated fatal alert."""
+        net, client_host = self._rig(site_chain, max_version=codec.TLS_1_2)
+        sock = client_host.connect("probe-target.example", 443)
+        hello = ClientHello(
+            client_random=_rand32(9),
+            version=codec.TLS_1_1,
+            cipher_suites=(0x002F, codec.TLS_FALLBACK_SCSV),
+            server_name="probe-target.example",
+        )
+        sock.send(codec.encode_handshake_record(hello, version=hello.version))
+        records, _ = codec.decode_records(sock.recv())
+        assert records[0].content_type == codec.CONTENT_ALERT
+        alert = Alert.from_payload(records[0].payload)
+        assert alert.description == codec.ALERT_INAPPROPRIATE_FALLBACK
+
+    def test_scsv_at_full_strength_is_served(self, site_chain):
+        """A client that offers SCSV while already at the origin's
+        ceiling is not a fallback — it must be answered normally."""
+        net, client_host = self._rig(site_chain, max_version=codec.TLS_1_2)
+        sock = client_host.connect("probe-target.example", 443)
+        hello = ClientHello(
+            client_random=_rand32(10),
+            cipher_suites=(0x002F, codec.TLS_FALLBACK_SCSV),
+            server_name="probe-target.example",
+        )
+        sock.send(codec.encode_handshake_record(hello, version=hello.version))
+        records, _ = codec.decode_records(sock.recv())
+        assert records[0].content_type == codec.CONTENT_HANDSHAKE
+
+
 class TestProbeEndToEnd:
     def build_network(self, chain):
         net = Network()
