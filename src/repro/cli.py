@@ -75,6 +75,15 @@ def build_parser() -> argparse.ArgumentParser:
             "are identical for any value (default 1)",
         )
         study_parser.add_argument(
+            "--wire-concurrency",
+            type=int,
+            default=1,
+            help="wire-mode admission cap: how many client session chains "
+            "the cooperative scheduler multiplexes at once; signatures, "
+            "event logs and deterministic metrics are identical for any "
+            "value (default 1 = serial)",
+        )
+        study_parser.add_argument(
             "--vault",
             metavar="DIR",
             help="persistent key-vault directory: RSA key material is "
@@ -361,6 +370,7 @@ def _run_study(study: int, args) -> int:
             scale=args.scale,
             mode=args.mode,
             workers=args.workers,
+            wire_concurrency=args.wire_concurrency,
             vault=args.vault,
             report_store=args.report_store,
             faults=args.faults,

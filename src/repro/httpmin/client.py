@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from repro.httpmin.codec import HttpError, HttpRequest, HttpResponse
+from repro.netsim.events import drive, settle
 from repro.netsim.network import ConnectionRefused, ConnectionReset, Host
 
 
@@ -27,12 +28,32 @@ class HttpClient:
         lets netsim connection errors propagate — callers decide how a
         failed report should be counted.
         """
+        return drive(
+            self.request_task(method, hostname, path, port, body, headers)
+        )
+
+    def request_task(
+        self,
+        method: str,
+        hostname: str,
+        path: str,
+        port: int = 80,
+        body: bytes = b"",
+        headers: dict[str, str] | None = None,
+    ):
+        """Resumable form of :meth:`request`: a generator state machine.
+
+        Same contract and error behaviour; yields while awaiting the
+        response on a scheduled transport and returns the
+        :class:`HttpResponse` via ``StopIteration``.
+        """
         all_headers = {"Host": hostname}
         all_headers.update(headers or {})
         request = HttpRequest(method=method, path=path, headers=all_headers, body=body)
         sock = self.host.connect(hostname, port)
         try:
             sock.send(request.encode())
+            yield from settle(sock)
             response, leftover = HttpResponse.try_decode(sock.recv())
             if response is None:
                 raise HttpError("incomplete response")

@@ -16,13 +16,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.data.sites import ProbeSite
-from repro.faults.plan import Backoff
+from repro.faults.plan import Backoff, FaultPlan
 from repro.httpmin.client import HttpClient
 from repro.httpmin.codec import HttpError
+from repro.netsim.events import drive
 from repro.netsim.network import ConnectionRefused, ConnectionReset, Host
 from repro.obs.metrics import MetricsRegistry
 from repro.policy.model import PolicyError
-from repro.policy.server import fetch_policy
+from repro.policy.server import fetch_policy_task
 from repro.tls.probe import ProbeClient
 from repro.x509.pem import pem_encode
 
@@ -56,6 +57,7 @@ class MeasurementTool:
         report_retry_limit: int = 4,
         backoff: Backoff | None = None,
         session_deadline_ticks: int = 256,
+        fault_plan: FaultPlan | None = None,
     ) -> None:
         self.reporting_host = reporting_host
         self.report_port = report_port
@@ -70,6 +72,12 @@ class MeasurementTool:
         # deadline budget waiting gives up instead of retrying forever.
         self.backoff = backoff if backoff is not None else Backoff(0)
         self.session_deadline_ticks = session_deadline_ticks
+        # Seeded fault plan for client-side stall injections: under a
+        # scheduler a stall is a real delay (the session holds its
+        # admission slot while others run); driven serially it only
+        # burns deadline budget.  Keyed on the planning-time session
+        # ordinal, so injections are identical at any concurrency.
+        self.fault_plan = fault_plan
         # Shared with the per-session ProbeClients, so probe attempts
         # and failure stages aggregate across the whole run.
         self.metrics = registry if registry is not None else MetricsRegistry()
@@ -79,22 +87,52 @@ class MeasurementTool:
         client: Host,
         sites: list[ProbeSite],
         product_key: str | None = None,
+        session_ordinal: int = 0,
     ) -> SessionOutcome:
         """Fetch the tool, then probe and report every site."""
+        return drive(
+            self.session_task(client, sites, product_key, session_ordinal)
+        )
+
+    def session_task(
+        self,
+        client: Host,
+        sites: list[ProbeSite],
+        product_key: str | None = None,
+        session_ordinal: int = 0,
+    ):
+        """Resumable form of :meth:`run_session`.
+
+        A generator state machine that yields while awaiting bytes (and
+        for every backoff or injected-stall tick), so a scheduler can
+        multiplex thousands of sessions; driven inline via
+        :func:`repro.netsim.events.drive` it performs exactly the
+        historical synchronous work.  Returns the
+        :class:`SessionOutcome` via ``StopIteration``.
+        """
         outcome = SessionOutcome()
         http = HttpClient(client)
         attempt = 0
         while True:
             try:
-                http.get(self.reporting_host, "/ad", port=self.report_port)
+                yield from http.request_task(
+                    "GET", self.reporting_host, "/ad", port=self.report_port
+                )
                 break
             except (ConnectionRefused, ConnectionReset, HttpError) as exc:
-                if not self._backoff_tick(attempt, "ad", client.hostname, None, outcome):
+                delay = self._backoff_tick(
+                    attempt, "ad", client.hostname, None, outcome
+                )
+                if delay is None:
                     outcome.errors.append(f"ad fetch: {exc}")
                     return outcome
+                for _ in range(delay):
+                    yield
                 attempt += 1
         for site in sites:
-            self._probe_and_report(client, http, site, product_key, outcome)
+            yield from self._probe_and_report(
+                client, http, site, product_key, outcome, session_ordinal
+            )
         return outcome
 
     def _probe_and_report(
@@ -104,11 +142,15 @@ class MeasurementTool:
         site: ProbeSite,
         product_key: str | None,
         outcome: SessionOutcome,
-    ) -> None:
+        session_ordinal: int = 0,
+    ):
         outcome.probes_attempted += 1
-        if not self._policy_permits(client, site.hostname, outcome):
+        permitted = yield from self._policy_permits(client, site.hostname, outcome)
+        if not permitted:
             return
-        result = ProbeClient(client, registry=self.metrics).probe(site.hostname, 443)
+        result = yield from ProbeClient(client, registry=self.metrics).probe_task(
+            site.hostname, 443
+        )
         if not result.ok:
             if result.error.startswith("connect"):
                 outcome.connect_failed += 1
@@ -123,7 +165,16 @@ class MeasurementTool:
         }
         if self.sim_product_header and product_key:
             headers["X-Sim-Product"] = product_key
-        self._submit_report(http, site.hostname, body, headers, outcome)
+        plan = self.fault_plan
+        if plan is not None:
+            stall = plan.stall_ticks("wire", site.hostname, session_ordinal)
+            if stall:
+                # Injected client-side stall: under a scheduler these
+                # are real delay ticks holding the session slot.
+                self.metrics.inc("faults.injected", kind="stall")
+                for _ in range(stall):
+                    yield
+        yield from self._submit_report(http, site.hostname, body, headers, outcome)
 
     def _backoff_tick(
         self,
@@ -132,25 +183,26 @@ class MeasurementTool:
         site: str,
         retry_after: int | None,
         outcome: SessionOutcome,
-    ) -> bool:
-        """Account one backoff wait; False when the budget says give up.
+    ) -> int | None:
+        """Account one backoff wait; ``None`` when the budget says give up.
 
-        "Waiting" is pure tick accounting against the session deadline —
-        netsim time is synchronous, so the delay costs nothing but
-        budget, and the jittered schedule is a pure function of the
-        backoff seed and the (leg, site, attempt) coordinates.
+        Returns the tick count the caller should wait (yield) — a pure
+        function of the backoff seed and the (leg, site, attempt)
+        coordinates, accounted against the session deadline.  Under a
+        scheduler those ticks are real suspensions; driven inline they
+        cost nothing but budget, exactly the historical accounting.
         """
         if attempt >= self.report_retry_limit:
-            return False
+            return None
         delay = self.backoff.delay(attempt, leg, site, retry_after=retry_after)
         if outcome.backoff_ticks + delay > self.session_deadline_ticks:
             outcome.deadline_exhausted += 1
             self.metrics.inc("tool.deadline_exhausted")
-            return False
+            return None
         outcome.backoff_ticks += delay
         outcome.report_retries += 1
         self.metrics.inc("tool.report_retries", leg=leg)
-        return True
+        return delay
 
     def _submit_report(
         self,
@@ -159,7 +211,7 @@ class MeasurementTool:
         body: bytes,
         headers: dict[str, str],
         outcome: SessionOutcome,
-    ) -> None:
+    ):
         """POST one report, retrying transient failures with backoff.
 
         Retryable: connection refused/reset, incomplete responses, 429
@@ -172,7 +224,7 @@ class MeasurementTool:
         while True:
             retry_after = None
             try:
-                response = http.request(
+                response = yield from http.request_task(
                     "POST",
                     self.reporting_host,
                     "/report",
@@ -201,19 +253,22 @@ class MeasurementTool:
                 error = (
                     f"report rejected ({response.status}): {response.body[:80]!r}"
                 )
-            if not self._backoff_tick(
+            delay = self._backoff_tick(
                 attempt, "report", site_hostname, retry_after, outcome
-            ):
+            )
+            if delay is None:
                 outcome.report_failed += 1
                 outcome.errors.append(error)
                 return
+            for _ in range(delay):
+                yield
             attempt += 1
 
-    def _policy_permits(self, client: Host, hostname: str, outcome: SessionOutcome) -> bool:
+    def _policy_permits(self, client: Host, hostname: str, outcome: SessionOutcome):
         """The Flash runtime's mandatory socket-policy check."""
         for port in self.policy_ports:
             try:
-                policy = fetch_policy(client, hostname, port)
+                policy = yield from fetch_policy_task(client, hostname, port)
             except ConnectionRefused:
                 continue
             except (PolicyError, ConnectionReset):

@@ -8,14 +8,20 @@ pull-style sockets, and — the part the whole paper hinges on —
 re-originate connections exactly like a corporate firewall, antivirus
 product, or piece of malware.
 
-Execution model: delivery is synchronous.  ``socket.send`` immediately
-invokes the peer protocol's ``data_received``; anything the peer sends
-back lands in the client's receive buffer before ``send`` returns.
-This keeps an entire TLS handshake deterministic without threads or an
-event loop, which is what lets the test suite drive millions of
-handshakes reproducibly.
+Execution model: delivery is synchronous by default — ``socket.send``
+immediately invokes the peer protocol's ``data_received``, so anything
+the peer sends back lands in the client's receive buffer before
+``send`` returns, and an entire TLS handshake is one deterministic
+call stack.  For concurrent wire runs a scheduler
+(:class:`~repro.netsim.loop.WireScheduler`) activates the network's
+:class:`~repro.netsim.events.DeliveryQueue`: sends then enqueue FIFO
+delivery events that are drained between cooperative ticks, letting
+one process multiplex thousands of client state machines while every
+individual connection still observes synchronous semantics.
 """
 
+from repro.netsim.events import DeliveryQueue, drive, settle
+from repro.netsim.loop import CooperativeLoop, LoopStarvation, WireScheduler
 from repro.netsim.network import (
     ConnectionRefused,
     ConnectionReset,
@@ -31,11 +37,17 @@ from repro.netsim.network import (
 __all__ = [
     "ConnectionRefused",
     "ConnectionReset",
+    "CooperativeLoop",
+    "DeliveryQueue",
     "Host",
     "Interceptor",
+    "LoopStarvation",
     "NetsimError",
     "Network",
     "PathHop",
     "Protocol",
     "StreamSocket",
+    "WireScheduler",
+    "drive",
+    "settle",
 ]

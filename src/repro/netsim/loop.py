@@ -1,22 +1,51 @@
-"""A cooperative task loop over the synchronous simulated network.
+"""A cooperative task loop over the simulated network.
 
-netsim delivers bytes synchronously — ``send()`` runs the peer's
-protocol callbacks before returning — so "concurrency" here means
-interleaving progress across many client state machines, the same job
-a selector loop does for real sockets.  :class:`CooperativeLoop`
-round-robins a set of generator tasks: each task yields whenever it
-has handed bytes to the network and is willing to let other
-connections run, and finishes by returning.
+"Concurrency" here means interleaving progress across many client
+state machines, the same job a selector loop does for real sockets.
+:class:`CooperativeLoop` round-robins a set of generator tasks: each
+task yields whenever it has handed bytes to the network and is willing
+to let other connections run, and finishes by returning.
 
-The ingest front end (:mod:`repro.measure.ingest`) builds on this to
-drive many reporting clients against one server host concurrently,
-with an admission cap standing in for the listen backlog.
+Two consumers build on it:
+
+* the ingest front end (:mod:`repro.measure.ingest`) drives many
+  reporting clients against one server host on the historical
+  synchronous transport, with the admission cap standing in for the
+  listen backlog;
+* :class:`WireScheduler` pairs the loop with a network's
+  :class:`~repro.netsim.events.DeliveryQueue`, draining queued
+  transport events between ticks — the substrate that multiplexes
+  thousands of concurrent wire-mode measurement sessions in one
+  process.
 """
 
 from __future__ import annotations
 
+import random
 from collections import deque
-from typing import Callable, Iterator
+from typing import TYPE_CHECKING, Callable, Iterator
+
+if TYPE_CHECKING:
+    from repro.netsim.network import Network
+
+
+class LoopStarvation(RuntimeError):
+    """``run()`` hit its deadline with tasks still in flight.
+
+    Carries the labels of the stuck tasks so a starved run is
+    diagnosable — a task spawning fresh work every tick, or one
+    waiting on bytes that will never arrive, shows up by name instead
+    of as a silent infinite loop.
+    """
+
+    def __init__(self, ticks: int, stuck: list[str]) -> None:
+        self.ticks = ticks
+        self.stuck = stuck
+        preview = ", ".join(stuck[:8]) + (", ..." if len(stuck) > 8 else "")
+        super().__init__(
+            f"loop exceeded {ticks} ticks with {len(stuck)} task(s) "
+            f"still in flight: {preview}"
+        )
 
 
 class CooperativeLoop:
@@ -26,35 +55,46 @@ class CooperativeLoop:
     yield point.  At most ``max_active`` tasks are in flight; the rest
     wait in an admission queue and are started as slots free up, which
     is what bounds per-tick memory (and models a listen backlog).
+
+    ``shuffle`` (a seeded :class:`random.Random`) randomises the order
+    tasks are stepped within each tick — the determinism tests use it
+    to prove results are interleaving-independent.
     """
 
     def __init__(
         self,
         max_active: int = 32,
         on_task_error: Callable[[Iterator, BaseException], None] | None = None,
+        shuffle: random.Random | None = None,
     ) -> None:
         if max_active < 1:
             raise ValueError("max_active must be >= 1")
         self.max_active = max_active
         self.on_task_error = on_task_error
-        self._pending: deque[Callable[[], Iterator]] = deque()
-        self._active: deque[Iterator] = deque()
+        self.shuffle = shuffle
+        self._pending: deque[tuple[Callable[[], Iterator], str | None]] = deque()
+        self._active: deque[tuple[Iterator, str | None]] = deque()
         self.ticks = 0
         self.completed = 0
         self.task_failures = 0
         self.peak_active = 0
 
-    def spawn(self, factory: Callable[[], Iterator]) -> None:
+    def spawn(self, factory: Callable[[], Iterator], label: str | None = None) -> None:
         """Queue a task; ``factory()`` is called when it is admitted."""
-        self._pending.append(factory)
+        self._pending.append((factory, label))
 
     @property
     def idle(self) -> bool:
         return not self._pending and not self._active
 
+    def active_labels(self) -> list[str]:
+        """Labels of in-flight tasks (spawn order, unlabelled as ``?``)."""
+        return [label if label is not None else "?" for _, label in self._active]
+
     def _admit(self) -> None:
         while self._pending and len(self._active) < self.max_active:
-            self._active.append(self._pending.popleft()())
+            factory, label = self._pending.popleft()
+            self._active.append((factory(), label))
         if len(self._active) > self.peak_active:
             self.peak_active = len(self._active)
 
@@ -62,8 +102,12 @@ class CooperativeLoop:
         """Step every active task once; returns tasks still in flight."""
         self._admit()
         self.ticks += 1
-        for _ in range(len(self._active)):
-            task = self._active.popleft()
+        batch = list(self._active)
+        self._active.clear()
+        if self.shuffle is not None:
+            self.shuffle.shuffle(batch)
+        for entry in batch:
+            task, _label = entry
             try:
                 next(task)
             except StopIteration:
@@ -82,7 +126,7 @@ class CooperativeLoop:
                 if self.on_task_error is not None:
                     self.on_task_error(task, exc)
                 continue
-            self._active.append(task)
+            self._active.append(entry)
         self._admit()
         return len(self._active)
 
@@ -90,13 +134,65 @@ class CooperativeLoop:
         self,
         max_ticks: int | None = None,
         on_tick: Callable[["CooperativeLoop"], None] | None = None,
+        deadline_ticks: int | None = None,
     ) -> int:
-        """Tick until idle (or ``max_ticks``); returns ticks executed."""
+        """Tick until idle; returns ticks executed.
+
+        ``max_ticks`` bounds this call and returns quietly (callers
+        slicing work into chunks).  ``deadline_ticks`` is the
+        starvation guard: exceeding it raises :class:`LoopStarvation`
+        naming the stuck tasks, which is what turns a task that spawns
+        new work every tick — ``idle`` never goes true — from a hang
+        into a diagnosis.
+        """
         start = self.ticks
         while not self.idle:
             if max_ticks is not None and self.ticks - start >= max_ticks:
                 break
+            if deadline_ticks is not None and self.ticks - start >= deadline_ticks:
+                raise LoopStarvation(self.ticks - start, self.active_labels())
             self.tick()
             if on_tick is not None:
                 on_tick(self)
         return self.ticks - start
+
+
+class WireScheduler:
+    """Runs client tasks over a network's scheduled-delivery transport.
+
+    For the duration of :meth:`run` the network's
+    :class:`~repro.netsim.events.DeliveryQueue` is active: sends on
+    schedulable sockets enqueue instead of recursing, and the queue is
+    drained to quiescence after every loop tick.  Because every server
+    protocol answers within the drain, a client task that yields once
+    after sending is guaranteed the complete reply (or the close) on
+    resume — synchronous semantics, concurrent execution.
+    """
+
+    def __init__(
+        self,
+        network: "Network",
+        max_active: int = 32,
+        on_task_error: Callable[[Iterator, BaseException], None] | None = None,
+        shuffle: random.Random | None = None,
+    ) -> None:
+        self.network = network
+        self.loop = CooperativeLoop(
+            max_active=max_active, on_task_error=on_task_error, shuffle=shuffle
+        )
+
+    def spawn(self, factory: Callable[[], Iterator], label: str | None = None) -> None:
+        self.loop.spawn(factory, label)
+
+    def run(self, deadline_ticks: int | None = None) -> int:
+        """Drive all tasks to completion; returns loop ticks executed."""
+        queue = self.network.queue
+        queue.active = True
+        try:
+            ticks = self.loop.run(
+                on_tick=lambda loop: queue.drain(), deadline_ticks=deadline_ticks
+            )
+            queue.drain()
+        finally:
+            queue.active = False
+        return ticks

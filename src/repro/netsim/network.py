@@ -4,6 +4,8 @@ from __future__ import annotations
 
 from typing import Callable
 
+from repro.netsim.events import DeliveryQueue
+
 
 class NetsimError(Exception):
     """Base class for simulated network errors."""
@@ -42,21 +44,30 @@ class StreamSocket:
     (server side) or buffers them for :meth:`recv` (client side).
     """
 
-    def __init__(self, label: str = "") -> None:
+    def __init__(self, label: str = "", queue: DeliveryQueue | None = None) -> None:
         self.label = label
         self.peer: StreamSocket | None = None
         self.protocol: Protocol | None = None
         self.remote_host: "Host | None" = None  # who is on the other end
+        # The network's transport event queue, when this socket was
+        # opened on a schedulable path (client-entry connections).
+        # ``None`` — or an inactive queue — means synchronous delivery.
+        self.queue = queue
         self._rx = bytearray()
         self.closed = False
+        self._lost_notified = False
         self.bytes_sent = 0
 
     # -- wiring ---------------------------------------------------------
 
     @staticmethod
-    def pair(client_label: str, server_label: str) -> tuple["StreamSocket", "StreamSocket"]:
-        client = StreamSocket(client_label)
-        server = StreamSocket(server_label)
+    def pair(
+        client_label: str,
+        server_label: str,
+        queue: DeliveryQueue | None = None,
+    ) -> tuple["StreamSocket", "StreamSocket"]:
+        client = StreamSocket(client_label, queue=queue)
+        server = StreamSocket(server_label, queue=queue)
         client.peer = server
         server.peer = client
         return client, server
@@ -64,7 +75,12 @@ class StreamSocket:
     # -- data path ------------------------------------------------------
 
     def send(self, data: bytes) -> None:
-        """Deliver ``data`` to the peer synchronously."""
+        """Deliver ``data`` to the peer (synchronously, or via the queue).
+
+        With an active delivery queue the chunk is enqueued and lands
+        when the scheduler drains; otherwise the peer sees it before
+        this call returns — the historical reentrant model.
+        """
         if self.closed:
             raise ConnectionReset(f"{self.label}: send on closed socket")
         if not data:
@@ -73,7 +89,10 @@ class StreamSocket:
         if peer is None or peer.closed:
             raise ConnectionReset(f"{self.label}: peer is gone")
         self.bytes_sent += len(data)
-        if peer.protocol is not None:
+        queue = self.queue
+        if queue is not None and queue.active:
+            queue.push_data(peer, bytes(data))
+        elif peer.protocol is not None:
             peer.protocol.data_received(peer, bytes(data))
         else:
             peer._rx.extend(data)
@@ -93,15 +112,39 @@ class StreamSocket:
         return len(self._rx)
 
     def close(self) -> None:
-        """Close both directions and notify the peer's protocol."""
+        """Close both directions; both protocols get ``connection_lost``.
+
+        Close is symmetric: the peer's protocol *and* this side's own
+        protocol (if any) are notified, each exactly once per socket
+        lifetime — the closing side used to be skipped, which left
+        server-side state (relay upstreams, abandoned-request
+        accounting) dangling on self-close.  Under an active delivery
+        queue the notifications are enqueued behind any bytes already
+        in flight, so a "reply then close" server still lands its reply
+        first; this side stops accepting sends immediately either way.
+        """
         if self.closed:
             return
         self.closed = True
-        peer = self.peer
-        if peer is not None and not peer.closed:
+        queue = self.queue
+        if queue is not None and queue.active:
+            queue.push_close(self, self.peer)
+        else:
+            self._finish_close(self.peer)
+
+    def _finish_close(self, peer: "StreamSocket | None") -> None:
+        """Deliver the close: mark the peer dead, notify both sides."""
+        if peer is not None:
             peer.closed = True
-            if peer.protocol is not None:
-                peer.protocol.connection_lost(peer)
+            peer._notify_lost()
+        self._notify_lost()
+
+    def _notify_lost(self) -> None:
+        if self._lost_notified:
+            return
+        self._lost_notified = True
+        if self.protocol is not None:
+            self.protocol.connection_lost(self)
 
 
 class Interceptor:
@@ -202,6 +245,10 @@ class Network:
         self._hosts: dict[str, Host] = {}
         self._by_ip: dict[str, Host] = {}
         self._auto_ip = 0
+        # Transport event queue for scheduled delivery.  Inactive until
+        # a scheduler (netsim.loop.WireScheduler) takes over, so plain
+        # networks keep the synchronous model unchanged.
+        self.queue = DeliveryQueue()
         self.connections_opened = 0
         self.connections_refused = 0
         self.connections_intercepted = 0
@@ -234,27 +281,38 @@ class Network:
 
     # -- connection establishment ----------------------------------------
 
-    def connect(self, src: Host, hostname: str, port: int) -> StreamSocket:
+    def connect(
+        self, src: Host, hostname: str, port: int, *, queued: bool = True
+    ) -> StreamSocket:
         """Connect from ``src``; interceptors on ``src`` get first claim.
 
         Name resolution happens first: a poisoned entry in the client's
         ``dns_overrides`` silently redirects the connection while the
         application layer keeps using the original hostname.
+
+        ``queued`` marks the connection schedulable: its sockets carry
+        the network's delivery queue, so a scheduler can interleave it
+        with other client traffic.  Interceptors opening their own
+        origin-facing legs pass ``queued=False`` (or use
+        :meth:`connect_upstream` directly) — middlebox upstream
+        handshakes stay synchronous inside one delivery event.
         """
         resolved = src.dns_overrides.get(hostname, hostname)
         for interceptor in src.interceptors:
             if interceptor.intercepts(hostname, port):
                 self.connections_intercepted += 1
-                return self._connect_via_interceptor(interceptor, src, resolved, port)
+                return self._connect_via_interceptor(
+                    interceptor, src, resolved, port, queued=queued
+                )
         # On-path middleboxes beyond the client machine, nearest first.
         for hop in src.access_path:
             for interceptor in hop.interceptors:
                 if interceptor.intercepts(hostname, port):
                     self.connections_intercepted += 1
                     return self._connect_via_interceptor(
-                        interceptor, src, resolved, port
+                        interceptor, src, resolved, port, queued=queued
                     )
-        return self.connect_upstream(src, resolved, port)
+        return self.connect_upstream(src, resolved, port, queued=queued)
 
     def traceroute(self, src: Host, hostname: str) -> list[str]:
         """The hop names a packet from ``src`` to ``hostname`` traverses.
@@ -266,33 +324,55 @@ class Network:
         return [src.hostname, *(hop.name for hop in src.access_path), resolved]
 
     def _connect_via_interceptor(
-        self, interceptor: Interceptor, src: Host, hostname: str, port: int
+        self,
+        interceptor: Interceptor,
+        src: Host,
+        hostname: str,
+        port: int,
+        *,
+        queued: bool = False,
     ) -> StreamSocket:
         client_side, proxy_side = StreamSocket.pair(
-            f"{src.hostname}->proxy", f"proxy<-{src.hostname}"
+            f"{src.hostname}->proxy",
+            f"proxy<-{src.hostname}",
+            queue=self.queue if queued else None,
         )
         proxy_side.remote_host = src
+        # ``accept`` claims the socket (assigns its protocol) before
+        # any client byte can be delivered, so it runs synchronously
+        # even on a scheduled transport.
         interceptor.accept(self, proxy_side, hostname, port)
         self.connections_opened += 1
         return client_side
 
-    def connect_upstream(self, src: Host, hostname: str, port: int) -> StreamSocket:
+    def connect_upstream(
+        self, src: Host, hostname: str, port: int, *, queued: bool = False
+    ) -> StreamSocket:
         """Connect directly to the destination, bypassing interceptors.
 
         Used both for unintercepted client traffic and for the upstream
-        leg an interceptor opens toward the origin server.
+        leg an interceptor opens toward the origin server.  The default
+        ``queued=False`` keeps those upstream legs synchronous — an
+        interceptor's request/reply dance with the origin completes
+        inside whatever event is currently being processed.
         """
         destination = self._hosts.get(hostname)
         if destination is None or port not in destination.listeners:
             self.connections_refused += 1
             raise ConnectionRefused(f"{hostname}:{port}")
+        queue = self.queue if queued else None
         client_side, server_side = StreamSocket.pair(
-            f"{src.hostname}->{hostname}:{port}", f"{hostname}:{port}<-{src.hostname}"
+            f"{src.hostname}->{hostname}:{port}",
+            f"{hostname}:{port}<-{src.hostname}",
+            queue=queue,
         )
         client_side.remote_host = destination
         server_side.remote_host = src
         protocol = destination.listeners[port]()
         server_side.protocol = protocol
         self.connections_opened += 1
-        protocol.connection_made(server_side)
+        if queue is not None and queue.active:
+            queue.push_connect(protocol, server_side)
+        else:
+            protocol.connection_made(server_side)
         return client_side

@@ -11,6 +11,7 @@ here can listen anywhere.
 
 from __future__ import annotations
 
+from repro.netsim.events import drive, settle
 from repro.netsim.network import ConnectionRefused, Host, Protocol, StreamSocket
 from repro.policy.model import PolicyError, PolicyFile
 
@@ -50,9 +51,19 @@ def fetch_policy(client: Host, hostname: str, port: int = 843) -> PolicyFile:
     and lets :class:`ConnectionRefused` propagate when there is no
     policy listener at all — callers treat both as "cannot probe".
     """
+    return drive(fetch_policy_task(client, hostname, port))
+
+
+def fetch_policy_task(client: Host, hostname: str, port: int = 843):
+    """Resumable form of :func:`fetch_policy`: a generator state machine.
+
+    Yields while awaiting the policy bytes on a scheduled transport and
+    returns the parsed :class:`PolicyFile` via ``StopIteration``.
+    """
     sock = client.connect(hostname, port)
     try:
         sock.send(POLICY_REQUEST)
+        yield from settle(sock)
         raw = sock.recv()
     finally:
         sock.close()
@@ -62,4 +73,10 @@ def fetch_policy(client: Host, hostname: str, port: int = 843) -> PolicyFile:
     return PolicyFile.from_xml(text)
 
 
-__all__ = ["PolicyServer", "fetch_policy", "POLICY_REQUEST", "ConnectionRefused"]
+__all__ = [
+    "PolicyServer",
+    "fetch_policy",
+    "fetch_policy_task",
+    "POLICY_REQUEST",
+    "ConnectionRefused",
+]

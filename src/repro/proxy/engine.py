@@ -494,8 +494,11 @@ class _MitmConnection(Protocol):
         engine = self.engine
         try:
             if engine.upstream_via_interceptors:
+                # queued=False: the origin-facing leg (even through a
+                # second middlebox) must answer synchronously inside
+                # whatever delivery event is being processed.
                 upstream = self.network.connect(
-                    engine.upstream_host, self.hostname, self.port
+                    engine.upstream_host, self.hostname, self.port, queued=False
                 )
             else:
                 upstream = self.network.connect_upstream(

@@ -57,6 +57,7 @@ from repro.measure.records import CertSummary, MeasurementRecord
 from repro.measure.server import CombinedPolicyHttpServer, ReportingServer
 from repro.measure.store import ReportStore
 from repro.measure.tool import MeasurementTool
+from repro.netsim.loop import WireScheduler
 from repro.netsim.network import Network, PathHop
 from repro.obs.metrics import SHARD_SESSION_BUCKETS, MetricsRegistry
 from repro.policy.model import PolicyFile
@@ -84,8 +85,16 @@ class StudyConfig:
     mode: str = "fast"  # "fast" or "wire"
     matched_sample_limit: int = 500
     # Process-pool width for fast-mode country shards.  1 = run the
-    # shards inline; results are identical either way.
+    # shards inline; results are identical either way.  In wire mode
+    # ``workers > 1`` is folded into ``wire_concurrency`` (one process
+    # multiplexes the sessions instead of a pool).
     workers: int = 1
+    # Wire-mode admission cap: how many client session chains the
+    # cooperative scheduler keeps in flight at once.  1 = the
+    # historical serial path; any value produces byte-identical
+    # signatures, handshake event logs and deterministic metrics —
+    # concurrency changes wall-clock and loop ticks, never results.
+    wire_concurrency: int = 1
     # Countries above this session count split into even sub-shards so
     # the pool's work units are comparable in size.  The split plan
     # depends only on (counts, this knob), never on worker count.
@@ -113,8 +122,17 @@ class StudyConfig:
             raise ValueError("scale must be in (0, 1]")
         if self.workers < 1:
             raise ValueError("workers must be >= 1")
+        if self.wire_concurrency < 1:
+            raise ValueError("wire_concurrency must be >= 1")
+        if self.wire_concurrency > 1 and self.mode != "wire":
+            raise ValueError("wire_concurrency applies to wire mode only")
         if self.workers > 1 and self.mode == "wire":
-            raise ValueError("workers > 1 applies to fast mode only")
+            # Wire mode runs in one process; a workers request means
+            # "run that many sessions concurrently", which the
+            # cooperative scheduler does without a pool.
+            if self.wire_concurrency == 1:
+                object.__setattr__(self, "wire_concurrency", self.workers)
+            object.__setattr__(self, "workers", 1)
         if self.subshard_sessions < 1:
             raise ValueError("subshard_sessions must be >= 1")
         if self.report_store is not None and self.mode != "fast":
@@ -181,6 +199,11 @@ class StudyRunner:
         # RSA generations observed inside worker processes (set by
         # sharded runs; None for inline execution).
         self._worker_keys_generated: int | None = None
+        # Test hook: a seeded random.Random here shuffles the wire
+        # scheduler's per-tick task order, which the interleaving
+        # determinism property uses to prove results are
+        # schedule-independent.
+        self._wire_shuffle: random.Random | None = None
 
     def warm_keys(self) -> None:
         """Touch every RSA key a fast run can need.
@@ -287,6 +310,21 @@ class StudyRunner:
     # -- wire mode ------------------------------------------------------------------
 
     def _run_wire(self, result: StudyResult) -> None:
+        """Wire mode: plan all sessions, then execute serially or scheduled.
+
+        Planning and execution are strictly separated so concurrency
+        cannot touch the sampling streams: every draw from the session
+        rng (client sampling, per-site completion) happens in one
+        serial pass, producing an ordered session plan.  At
+        ``wire_concurrency == 1`` the plan is executed with the
+        historical inline loop; above 1 the sessions become generator
+        chains on a :class:`WireScheduler` — one chain per client host,
+        so each client's interception engine sees its connections in
+        exactly the serial order and per-engine handshake event logs
+        stay byte-identical.  Either way the report multiset, the
+        deterministic metrics and ``aggregate_signature()`` are the
+        same; only wall-clock and loop ticks change.
+        """
         config = self.config
         population = result.population
         network = Network()
@@ -301,6 +339,7 @@ class StudyRunner:
                 backoff=Backoff(plan.seed),
                 report_retry_limit=plan.retries,
                 session_deadline_ticks=plan.deadline,
+                fault_plan=plan,
             )
             if plan.has_wire_faults():
                 # One shared on-path hop: every client's route to the
@@ -318,8 +357,19 @@ class StudyRunner:
 
         n_sessions = self.total_sessions()
         c_sessions = self.obs.counter("study.sessions", mode="wire")
+
+        def fold(outcome) -> None:
+            result.database.failures.policy_denied += outcome.policy_denied
+            result.database.failures.connect_failed += outcome.connect_failed
+            result.database.failures.probe_failed += outcome.probe_failed
+            result.database.failures.report_failed += outcome.report_failed
+            result.sessions_run += 1
+            c_sessions.inc()
+
         with self.obs.span("study.wire_sessions"):
-            for _ in range(n_sessions):
+            # Planning pass: every rng draw, in the historical order.
+            planned: list[tuple[object, str | None, list[ProbeSite], int]] = []
+            for ordinal in range(n_sessions):
                 result.database.failures.sessions_started += 1
                 profile = population.sample_client(rng)
                 client = self._client_host(network, profile, client_hosts)
@@ -330,16 +380,92 @@ class StudyRunner:
                 ]
                 if not chosen:
                     continue
-                outcome = tool.run_session(
-                    client, chosen, product_key=profile.product_key
-                )
-                result.database.failures.policy_denied += outcome.policy_denied
-                result.database.failures.connect_failed += outcome.connect_failed
-                result.database.failures.probe_failed += outcome.probe_failed
-                result.database.failures.report_failed += outcome.report_failed
-                result.sessions_run += 1
-                c_sessions.inc()
+                planned.append((client, profile.product_key, chosen, ordinal))
+
+            task_failures = 0
+            if config.wire_concurrency <= 1:
+                for client, product_key, chosen, ordinal in planned:
+                    fold(
+                        tool.run_session(
+                            client,
+                            chosen,
+                            product_key=product_key,
+                            session_ordinal=ordinal,
+                        )
+                    )
+            else:
+                task_failures = self._run_wire_scheduled(tool, planned, fold)
+        # Task failures are deterministic (a session crash is a bug,
+        # not a scheduling artefact), so the counter lives in the
+        # deterministic section — created in both execution paths so
+        # serial and concurrent snapshots stay byte-identical.
+        self.obs.counter("loop.task_failures").inc(task_failures)
         result.notes["reporting_server"] = server
+        result.notes["wire_concurrency"] = config.wire_concurrency
+        result.notes["wire_client_hosts"] = client_hosts
+
+    def _run_wire_scheduled(self, tool, planned, fold) -> int:
+        """Execute the session plan concurrently; returns task failures.
+
+        One chain task per client host runs that client's sessions
+        sequentially (``yield from``), so per-engine connection order —
+        and with it every handshake event log and engine rng stream —
+        matches the serial execution exactly.  The admission cap bounds
+        chains in flight; the delivery queue is drained between ticks.
+        """
+        chains: dict[object, list[tuple[str | None, list, int]]] = {}
+        for client, product_key, chosen, ordinal in planned:
+            chains.setdefault(client, []).append((product_key, chosen, ordinal))
+
+        inflight = {"now": 0, "peak": 0}
+
+        def chain(client, work):
+            def task():
+                inflight["now"] += 1
+                if inflight["now"] > inflight["peak"]:
+                    inflight["peak"] = inflight["now"]
+                try:
+                    for product_key, chosen, ordinal in work:
+                        outcome = yield from tool.session_task(
+                            client,
+                            chosen,
+                            product_key=product_key,
+                            session_ordinal=ordinal,
+                        )
+                        fold(outcome)
+                finally:
+                    inflight["now"] -= 1
+
+            return task
+
+        network = next(iter(chains)).network if chains else None
+        if network is None:
+            return 0
+        scheduler = WireScheduler(
+            network,
+            max_active=self.config.wire_concurrency,
+            shuffle=getattr(self, "_wire_shuffle", None),
+        )
+        for client, work in chains.items():
+            scheduler.spawn(chain(client, work), label=client.hostname)
+        scheduler.run()
+        # Concurrency-shaped telemetry (loop ticks, queue depth,
+        # in-flight high-water) depends on the admission cap by
+        # definition, so it lands in the process section — the
+        # deterministic section stays invariant across concurrency.
+        loop = scheduler.loop
+        self.obs.process_counter("loop.ticks").inc(loop.ticks)
+        self.obs.process_counter("loop.completed").inc(loop.completed)
+        self.obs.process_gauge("wire.sessions_inflight").set(inflight["peak"])
+        self.obs.process_gauge("wire.chains_peak_active").set(loop.peak_active)
+        self.obs.process_gauge("wire.queue_depth_peak").set(
+            network.queue.max_depth
+        )
+        self.obs.process_counter("wire.queue_delivered").inc(
+            network.queue.delivered
+        )
+        self.obs.process_counter("wire.queue_dropped").inc(network.queue.dropped)
+        return loop.task_failures
 
     def _build_wire_network(self, network: Network, result: StudyResult):
         """Sites, policy servers and the reporting stack."""

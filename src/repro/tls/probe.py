@@ -12,6 +12,7 @@ import random
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
+from repro.netsim.events import drive, settle
 from repro.netsim.network import ConnectionRefused, ConnectionReset, Host
 from repro.obs.metrics import MetricsRegistry
 from repro.tls import codec
@@ -71,13 +72,24 @@ class ProbeClient:
         product issued on an earlier probe and watches whether the
         substitute leg echoes it.
         """
+        return drive(self.probe_task(hostname, port, session_id))
+
+    def probe_task(self, hostname: str, port: int = 443, session_id: bytes = b""):
+        """Resumable form of :meth:`probe`: a generator state machine.
+
+        Yields while awaiting bytes on a scheduled transport, so a
+        cooperative loop can interleave thousands of probes; on a
+        synchronous network it completes without suspending.  Returns
+        the :class:`ProbeResult` via ``StopIteration`` (use ``yield
+        from`` or :func:`repro.netsim.events.drive`).
+        """
         self.metrics.inc("probe.attempts")
         try:
             sock = self.host.connect(hostname, port)
         except ConnectionRefused as exc:
             return self._failed(hostname, port, "connect", f"connect: {exc}")
         try:
-            return self._handshake(sock, hostname, port, session_id)
+            return (yield from self._handshake(sock, hostname, port, session_id))
         finally:
             sock.close()
 
@@ -104,6 +116,9 @@ class ProbeClient:
         except ConnectionReset as exc:
             return self._failed(hostname, port, "send", f"send: {exc}")
 
+        # Let the scheduler deliver the hello and the server's reply
+        # flight; synchronous transports have already done both.
+        yield from settle(sock)
         buffer = sock.recv()
         self.metrics.inc("probe.bytes_received", n=len(buffer))
         server_hello: ServerHello | None = None

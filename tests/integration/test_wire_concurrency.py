@@ -1,0 +1,95 @@
+"""Wire concurrency: the admission cap must not change a single byte.
+
+ISSUE 10's acceptance bar: a wire study at concurrency 1, 64 and 1024
+produces byte-identical ``aggregate_signature()``, per-engine handshake
+event logs and deterministic metrics.  Concurrency only reshapes the
+process section (loop ticks, queue depth, in-flight high-water).
+"""
+
+import pytest
+
+from repro.study import StudyConfig, StudyRunner
+
+
+def _run(wire_concurrency: int):
+    result = StudyRunner(
+        StudyConfig(
+            study=2,
+            seed=9,
+            scale=0.0001,
+            mode="wire",
+            wire_concurrency=wire_concurrency,
+        )
+    ).run()
+    engine_logs = {}
+    for key, host in result.notes["wire_client_hosts"].items():
+        for interceptor in host.interceptors:
+            events = getattr(interceptor, "events", None)
+            if events is not None:
+                engine_logs[key] = events.to_dicts()
+    return result, engine_logs
+
+
+@pytest.fixture(scope="module")
+def runs():
+    return {n: _run(n) for n in (1, 64, 1024)}
+
+
+class TestWireConcurrencyEquivalence:
+    def test_signatures_identical(self, runs):
+        signatures = {
+            n: result.database.aggregate_signature()
+            for n, (result, _logs) in runs.items()
+        }
+        assert len(set(signatures.values())) == 1, signatures
+
+    def test_deterministic_metrics_identical(self, runs):
+        sections = [
+            result.metrics["deterministic"] for result, _logs in runs.values()
+        ]
+        assert sections[0] == sections[1] == sections[2]
+
+    def test_per_engine_event_logs_identical(self, runs):
+        _serial, serial_logs = runs[1]
+        for n in (64, 1024):
+            _result, logs = runs[n]
+            assert logs.keys() == serial_logs.keys()
+            for key in serial_logs:
+                assert logs[key] == serial_logs[key], (
+                    f"engine {key} diverged at concurrency {n}"
+                )
+
+    def test_sessions_and_failure_counters_identical(self, runs):
+        baselines = None
+        for result, _logs in runs.values():
+            failures = result.database.failures
+            row = (
+                result.sessions_run,
+                failures.sessions_started,
+                failures.policy_denied,
+                failures.connect_failed,
+                failures.probe_failed,
+                failures.report_failed,
+            )
+            if baselines is None:
+                baselines = row
+            assert row == baselines
+
+    def test_concurrent_runs_actually_multiplexed(self, runs):
+        result, _logs = runs[1024]
+        process = result.metrics["process"]
+        assert result.notes["wire_concurrency"] == 1024
+        # The scheduler ran: ticks were spent and sessions overlapped.
+        counters = process["counters"]
+        gauges = process["gauges"]
+        assert counters["loop.ticks"] > 0
+        assert counters["wire.queue_delivered"] > 0
+        assert gauges["wire.sessions_inflight"] > 1
+        assert gauges["wire.chains_peak_active"] > 1
+
+    def test_workers_flag_is_lifted_into_concurrency(self):
+        # The historical "wire mode is single-worker" rejection is gone:
+        # workers>1 now normalises into the admission cap.
+        config = StudyConfig(study=2, seed=9, scale=0.0001, mode="wire", workers=8)
+        assert config.workers == 1
+        assert config.wire_concurrency == 8

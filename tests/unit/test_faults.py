@@ -22,6 +22,7 @@ from repro.measure.database import ReportDatabase
 from repro.measure.server import ReportingServer
 from repro.measure.store import InjectedCrash
 from repro.measure.tool import MeasurementTool, SessionOutcome
+from repro.netsim.events import drive
 from repro.netsim.loop import CooperativeLoop
 from repro.netsim.network import Network
 from repro.obs.metrics import MetricsRegistry
@@ -283,7 +284,11 @@ class TestToolSubmitRetries:
         delivered = 0
         for _ in range(12):
             outcome = SessionOutcome()
-            tool._submit_report(http, "origin.chaos", body, dict(self.HEADERS), outcome)
+            drive(
+                tool._submit_report(
+                    http, "origin.chaos", body, dict(self.HEADERS), outcome
+                )
+            )
             delivered += outcome.reports_delivered
             assert outcome.reports_delivered + outcome.report_failed == 1
         assert delivered == 12  # every injected error was retried through
@@ -305,8 +310,10 @@ class TestToolSubmitRetries:
         server.fault_hook = always_503
         tool = MeasurementTool(report_retry_limit=8, session_deadline_ticks=100)
         outcome = SessionOutcome()
-        tool._submit_report(
-            HttpClient(client), "origin.chaos", body, dict(self.HEADERS), outcome
+        drive(
+            tool._submit_report(
+                HttpClient(client), "origin.chaos", body, dict(self.HEADERS), outcome
+            )
         )
         # Every wait is >= the served Retry-After (40), so the 100-tick
         # deadline admits exactly two waits before the session gives up.
@@ -320,7 +327,7 @@ class TestToolSubmitRetries:
         tool = MeasurementTool(report_retry_limit=8)
         outcome = SessionOutcome()
         headers = dict(self.HEADERS, **{"X-Probed-Host": "unknown.example"})
-        tool._submit_report(HttpClient(client), "x", body, headers, outcome)
+        drive(tool._submit_report(HttpClient(client), "x", body, headers, outcome))
         assert outcome.report_failed == 1
         assert outcome.report_retries == 0
         assert database.total_measurements == 0
